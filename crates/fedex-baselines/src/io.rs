@@ -1,0 +1,113 @@
+//! The Interestingness-Only (IO) baseline — baseline 3 of §4.1.
+//!
+//! Based on the influence notion of Wu & Madden's Scorpion line of work
+//! [79] as the paper adapts it: the influence of an attribute is the
+//! difference in interestingness of that attribute in `d_out` w.r.t.
+//! `D_in`. IO therefore ranks output columns by the same interestingness
+//! measures FEDEX uses, but stops there — it produces *column-level*
+//! explanations with no contributing sets-of-rows, which is exactly what
+//! the §4.2 user study found less useful.
+
+use fedex_core::{score_all_columns, InterestingnessKind, Sample};
+use fedex_core::{ExplainError, Fedex};
+use fedex_query::ExploratoryStep;
+
+/// A column-level explanation: "column `A` is what changed most".
+#[derive(Debug, Clone)]
+pub struct IoExplanation {
+    /// The flagged output column.
+    pub column: String,
+    /// The measure used.
+    pub measure: InterestingnessKind,
+    /// Interestingness of the column.
+    pub score: f64,
+}
+
+impl IoExplanation {
+    /// Human-readable description.
+    pub fn describe(&self) -> String {
+        format!(
+            "column '{}' shows high {} ({:.3})",
+            self.column,
+            self.measure.name(),
+            self.score
+        )
+    }
+}
+
+/// Rank output columns by interestingness and return the top `k`.
+pub fn explain(
+    step: &ExploratoryStep,
+    k: usize,
+) -> std::result::Result<Vec<IoExplanation>, ExplainError> {
+    let kind = Fedex::new().measure_for(step);
+    let mut scores = score_all_columns(step, kind, &Sample::full(step.inputs.len()))?;
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    Ok(scores
+        .into_iter()
+        .take(k)
+        .map(|(column, score)| IoExplanation { column, measure: kind, score })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedex_frame::{Column, DataFrame};
+    use fedex_query::{Aggregate, Expr, Operation};
+
+    fn df() -> DataFrame {
+        let mut decade = Vec::new();
+        let mut pop = Vec::new();
+        let mut tempo = Vec::new();
+        for i in 0..100i64 {
+            let d = if i % 5 == 0 { "2010s" } else { "older" };
+            decade.push(d);
+            pop.push(if d == "2010s" { 80 } else { 30 });
+            tempo.push(100.0 + (i % 7) as f64);
+        }
+        DataFrame::new(vec![
+            Column::from_strs("decade", decade),
+            Column::from_ints("popularity", pop),
+            Column::from_floats("tempo", tempo),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn ranks_columns_by_deviation() {
+        let step = ExploratoryStep::run(
+            vec![df()],
+            Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
+        )
+        .unwrap();
+        let ex = explain(&step, 2).unwrap();
+        assert_eq!(ex.len(), 2);
+        // decade deviates fully; tempo barely.
+        assert!(ex[0].column == "decade" || ex[0].column == "popularity");
+        assert!(ex[0].score >= ex[1].score);
+    }
+
+    #[test]
+    fn group_by_uses_diversity() {
+        let step = ExploratoryStep::run(
+            vec![df()],
+            Operation::group_by(vec!["decade"], vec![Aggregate::mean("popularity")]),
+        )
+        .unwrap();
+        let ex = explain(&step, 3).unwrap();
+        assert!(!ex.is_empty());
+        assert_eq!(ex[0].measure, InterestingnessKind::Diversity);
+    }
+
+    #[test]
+    fn describe_readable() {
+        let e = IoExplanation {
+            column: "decade".into(),
+            measure: InterestingnessKind::Exceptionality,
+            score: 0.56,
+        };
+        assert!(e.describe().contains("'decade'"));
+        assert!(e.describe().contains("exceptionality"));
+    }
+}

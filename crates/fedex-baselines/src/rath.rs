@@ -1,0 +1,298 @@
+//! RATH-style automatic insight extraction — baseline 2 of §4.1.
+//!
+//! Modeled after the top-k insight mining of Tang et al. (SIGMOD 2017)
+//! that powers RATH: enumerate `(dimension, measure, aggregate)` spaces
+//! over a dataframe, compute the aggregate series, and score *insight
+//! types* with a single commensurable score in `[0, 1]`:
+//!
+//! * **outstanding first / last** — the top (bottom) value is far above
+//!   (below) what the rest of the distribution predicts, scored by its
+//!   z-score squashed through a logistic;
+//! * **trend** — for ordinal dimensions, the series has a strong linear
+//!   trend, scored by the regression correlation `r²`.
+//!
+//! Like the original, the search is exhaustive over subspaces, which is
+//! why it degrades on wide/large data (the paper reports RATH timing out
+//! and exhausting memory on the Products dataset).
+
+use std::collections::HashMap;
+
+use fedex_frame::{DataFrame, Value};
+use fedex_query::AggFunc;
+
+/// Insight flavors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsightKind {
+    /// One dimension value's aggregate towers above the rest.
+    OutstandingFirst,
+    /// One dimension value's aggregate sits far below the rest.
+    OutstandingLast,
+    /// The aggregate series trends with the (ordered) dimension.
+    Trend,
+}
+
+impl InsightKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InsightKind::OutstandingFirst => "outstanding-first",
+            InsightKind::OutstandingLast => "outstanding-last",
+            InsightKind::Trend => "trend",
+        }
+    }
+}
+
+/// One extracted insight.
+#[derive(Debug, Clone)]
+pub struct Insight {
+    /// Dimension attribute.
+    pub dimension: String,
+    /// Measure attribute.
+    pub measure: String,
+    /// Aggregate function over the measure.
+    pub agg: AggFunc,
+    /// Insight flavor.
+    pub kind: InsightKind,
+    /// Commensurable score in `[0, 1]`.
+    pub score: f64,
+    /// The standout dimension value (outstanding insights).
+    pub subject: Option<String>,
+}
+
+impl Insight {
+    /// Human-readable description.
+    pub fn describe(&self) -> String {
+        match (&self.kind, &self.subject) {
+            (InsightKind::Trend, _) => format!(
+                "{}({}) trends with {}",
+                self.agg.name(),
+                self.measure,
+                self.dimension
+            ),
+            (k, Some(s)) => format!(
+                "{}({}) of {}={} is {}",
+                self.agg.name(),
+                self.measure,
+                self.dimension,
+                s,
+                k.name()
+            ),
+            (k, None) => format!("{} in {}({})", k.name(), self.agg.name(), self.measure),
+        }
+    }
+}
+
+/// Logistic squash of a z-score into `[0, 1]`.
+fn squash(z: f64) -> f64 {
+    1.0 / (1.0 + (-(z - 2.0)).exp())
+}
+
+/// Aggregate series of `measure` by `dimension`.
+fn series(df: &DataFrame, dimension: &str, measure: &str, agg: AggFunc) -> Vec<(Value, f64)> {
+    let Ok(dim) = df.column(dimension) else { return Vec::new() };
+    let Ok(mea) = df.column(measure) else { return Vec::new() };
+    let mut acc: HashMap<Value, (f64, u64)> = HashMap::new();
+    for i in 0..df.n_rows() {
+        let d = dim.get(i);
+        if d.is_null() {
+            continue;
+        }
+        let m = mea.get(i).as_f64().unwrap_or(0.0);
+        let e = acc.entry(d).or_insert((0.0, 0));
+        e.0 += m;
+        e.1 += 1;
+    }
+    let mut out: Vec<(Value, f64)> = acc
+        .into_iter()
+        .map(|(k, (s, c))| {
+            let v = match agg {
+                AggFunc::Sum => s,
+                AggFunc::Count => c as f64,
+                _ => {
+                    if c == 0 {
+                        0.0
+                    } else {
+                        s / c as f64
+                    }
+                }
+            };
+            (k, v)
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn outstanding(series: &[(Value, f64)]) -> Option<(InsightKind, f64, String)> {
+    if series.len() < 3 {
+        return None;
+    }
+    let vals: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
+    let n = vals.len() as f64;
+    let mean = vals.iter().sum::<f64>() / n;
+    let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    if sd == 0.0 {
+        return None;
+    }
+    let (max_i, max_v) =
+        vals.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, v)| (i, *v))?;
+    let (min_i, min_v) =
+        vals.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, v)| (i, *v))?;
+    let z_max = (max_v - mean) / sd;
+    let z_min = (mean - min_v) / sd;
+    if z_max >= z_min {
+        Some((InsightKind::OutstandingFirst, squash(z_max), series[max_i].0.to_string()))
+    } else {
+        Some((InsightKind::OutstandingLast, squash(z_min), series[min_i].0.to_string()))
+    }
+}
+
+fn trend(series: &[(Value, f64)]) -> Option<f64> {
+    if series.len() < 5 {
+        return None;
+    }
+    // r² of the least-squares fit of value against rank.
+    let n = series.len() as f64;
+    let xs: Vec<f64> = (0..series.len()).map(|i| i as f64).collect();
+    let ys: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some((sxy * sxy) / (sxx * syy))
+}
+
+/// Extract the top-`k` insights of a dataframe.
+///
+/// `max_dimension_cardinality` prunes dimensions whose group count makes
+/// charts unreadable (RATH uses a similar cut).
+pub fn extract_insights(df: &DataFrame, k: usize) -> Vec<Insight> {
+    const MAX_DIM_CARD: usize = 128;
+    let mut out = Vec::new();
+    for dim in df.schema().fields() {
+        let Ok(dim_col) = df.column(&dim.name) else { continue };
+        let card = dim_col.n_distinct();
+        if !(2..=MAX_DIM_CARD).contains(&card) {
+            continue;
+        }
+        for mea in df.schema().fields() {
+            if !mea.dtype.is_numeric() || mea.name == dim.name {
+                continue;
+            }
+            for agg in [AggFunc::Mean, AggFunc::Sum, AggFunc::Count] {
+                let s = series(df, &dim.name, &mea.name, agg);
+                if let Some((kind, score, subject)) = outstanding(&s) {
+                    out.push(Insight {
+                        dimension: dim.name.clone(),
+                        measure: mea.name.clone(),
+                        agg,
+                        kind,
+                        score,
+                        subject: Some(subject),
+                    });
+                }
+                // Trends only make sense over ordered (numeric) dimensions.
+                if dim.dtype.is_numeric() {
+                    if let Some(r2) = trend(&s) {
+                        out.push(Insight {
+                            dimension: dim.name.clone(),
+                            measure: mea.name.clone(),
+                            agg,
+                            kind: InsightKind::Trend,
+                            score: r2,
+                            subject: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| b.score.total_cmp(&a.score));
+    out.truncate(k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedex_frame::Column;
+
+    #[test]
+    fn finds_outstanding_value() {
+        // County "Polk" dominates counts.
+        let mut county = Vec::new();
+        let mut total = Vec::new();
+        for i in 0..300 {
+            county.push(if i % 3 != 2 { "Polk" } else { ["Linn", "Scott"][i % 2] });
+            total.push(10.0);
+        }
+        let df = DataFrame::new(vec![
+            Column::from_strs("county", county),
+            Column::from_floats("total", total),
+        ])
+        .unwrap();
+        let insights = extract_insights(&df, 10);
+        assert!(!insights.is_empty());
+        let top = insights
+            .iter()
+            .find(|i| i.kind == InsightKind::OutstandingFirst && i.agg == AggFunc::Count);
+        let top = top.expect("count-outstanding insight expected");
+        assert_eq!(top.subject.as_deref(), Some("Polk"));
+    }
+
+    #[test]
+    fn finds_trend() {
+        let years: Vec<i64> = (0..200).map(|i| 1990 + (i % 20)).collect();
+        let vals: Vec<f64> = years.iter().map(|y| (*y - 1990) as f64 * 2.0 + 5.0).collect();
+        let df = DataFrame::new(vec![
+            Column::from_ints("year", years),
+            Column::from_floats("loudness", vals),
+        ])
+        .unwrap();
+        let insights = extract_insights(&df, 20);
+        let t = insights.iter().find(|i| i.kind == InsightKind::Trend);
+        assert!(t.is_some());
+        assert!(t.unwrap().score > 0.95);
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let df = DataFrame::new(vec![
+            Column::from_strs("g", vec!["a", "b", "c", "a", "b", "c"]),
+            Column::from_floats("v", vec![1.0, 2.0, 30.0, 1.5, 2.5, 28.0]),
+        ])
+        .unwrap();
+        for i in extract_insights(&df, 50) {
+            assert!((0.0..=1.0).contains(&i.score), "score {}", i.score);
+        }
+    }
+
+    #[test]
+    fn constant_series_no_insight() {
+        let df = DataFrame::new(vec![
+            Column::from_strs("g", vec!["a", "b", "c"]),
+            Column::from_floats("v", vec![2.0, 2.0, 2.0]),
+        ])
+        .unwrap();
+        let insights = extract_insights(&df, 10);
+        assert!(insights.iter().all(|i| i.agg != AggFunc::Mean || i.score < 0.5));
+    }
+
+    #[test]
+    fn describe_readable() {
+        let i = Insight {
+            dimension: "county".into(),
+            measure: "total".into(),
+            agg: AggFunc::Sum,
+            kind: InsightKind::OutstandingFirst,
+            score: 0.9,
+            subject: Some("Polk".into()),
+        };
+        assert_eq!(i.describe(), "sum(total) of county=Polk is outstanding-first");
+    }
+}

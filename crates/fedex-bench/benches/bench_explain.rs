@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the end-to-end explanation pipeline:
+//! exact FEDEX vs FEDEX-Sampling on each operation type (the per-query
+//! costs behind Figs. 9–10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedex_core::Fedex;
+use fedex_data::{build_workbench, query_by_id, run_query, DatasetScale};
+
+fn bench_explain(c: &mut Criterion) {
+    let wb = build_workbench(&DatasetScale {
+        spotify_rows: 20_000,
+        bank_rows: 5_000,
+        product_rows: 500,
+        sales_rows: 20_000,
+        store_rows: 100,
+        seed: 1,
+    });
+
+    // One representative query per operation type.
+    let cases = [
+        ("filter/spotify-q6", 6u8),
+        ("filter/bank-q13", 13u8),
+        ("join/products-q1", 1u8),
+        ("groupby/spotify-q21", 21u8),
+        ("groupby/bank-q28", 28u8),
+    ];
+
+    let mut group = c.benchmark_group("explain");
+    group.sample_size(10);
+    for (name, qid) in cases {
+        let step = run_query(query_by_id(qid).unwrap(), &wb.catalog).unwrap();
+        group.bench_with_input(BenchmarkId::new("exact", name), &step, |b, step| {
+            let fedex = Fedex::new();
+            b.iter(|| fedex.explain(step).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("sampling-5k", name), &step, |b, step| {
+            let fedex = Fedex::sampling(5_000);
+            b.iter(|| fedex.explain(step).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explain);
+criterion_main!(benches);

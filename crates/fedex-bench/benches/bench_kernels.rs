@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks of the computational kernels: KS statistic,
+//! hash group-by, hash join, partition construction, and the incremental
+//! vs naive contribution computation (the ablation behind the §3.7
+//! efficiency claims).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedex_core::{frequency_partition, ContributionComputer, InterestingnessKind};
+use fedex_data::{build_workbench, DatasetScale};
+use fedex_query::{Aggregate, ExploratoryStep, Expr, Operation};
+use fedex_stats::ks::ks_statistic;
+
+fn bench_ks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ks-statistic");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let a: Vec<f64> = (0..n).map(|i| (i % 97) as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i % 89) as f64 + 3.0).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| ks_statistic(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_operations(c: &mut Criterion) {
+    let wb = build_workbench(&DatasetScale {
+        spotify_rows: 50_000,
+        bank_rows: 2_000,
+        product_rows: 1_000,
+        sales_rows: 50_000,
+        store_rows: 100,
+        seed: 2,
+    });
+    let mut group = c.benchmark_group("operations");
+    group.sample_size(10);
+
+    let filter = Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64)));
+    group.bench_function("filter/spotify-50k", |b| {
+        b.iter(|| filter.apply(std::slice::from_ref(&wb.spotify)).unwrap());
+    });
+
+    let gb = Operation::group_by(vec!["year"], vec![Aggregate::mean("loudness")]);
+    group.bench_function("groupby/spotify-50k", |b| {
+        b.iter(|| gb.apply(std::slice::from_ref(&wb.spotify)).unwrap());
+    });
+
+    let join = Operation::join("item", "item", "products", "sales");
+    let inputs = vec![wb.products.clone(), wb.sales.clone()];
+    group.bench_function("join/products-50k", |b| {
+        b.iter(|| join.apply(&inputs).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_contribution(c: &mut Criterion) {
+    let wb = build_workbench(&DatasetScale {
+        spotify_rows: 20_000,
+        bank_rows: 1_000,
+        product_rows: 200,
+        sales_rows: 2_000,
+        store_rows: 50,
+        seed: 3,
+    });
+    let step = ExploratoryStep::run(
+        vec![wb.spotify.clone()],
+        Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
+    )
+    .unwrap();
+    let partition = frequency_partition(&step.inputs[0], 0, "decade", 10).unwrap().unwrap();
+    let cc = ContributionComputer::new(&step, InterestingnessKind::Exceptionality);
+
+    let mut group = c.benchmark_group("contribution");
+    group.sample_size(10);
+    // The incremental kernel computes all ~11 sets in one pass…
+    group.bench_function("incremental/all-sets", |b| {
+        b.iter(|| cc.contributions(&partition, "decade").unwrap().unwrap());
+    });
+    // …the naive Def. 3.3 implementation re-runs the filter per set.
+    group.bench_function("naive-rerun/all-sets", |b| {
+        b.iter(|| {
+            for s in 0..partition.n_sets() {
+                let rows = partition.rows_of_set(s as u32);
+                cc.contribution_by_rerun(0, &rows, "decade").unwrap().unwrap();
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_partitions(c: &mut Criterion) {
+    let wb = build_workbench(&DatasetScale {
+        spotify_rows: 50_000,
+        bank_rows: 1_000,
+        product_rows: 200,
+        sales_rows: 2_000,
+        store_rows: 50,
+        seed: 4,
+    });
+    let mut group = c.benchmark_group("partitions");
+    group.sample_size(10);
+    group.bench_function("frequency/decade-50k", |b| {
+        b.iter(|| frequency_partition(&wb.spotify, 0, "decade", 10).unwrap().unwrap());
+    });
+    group.bench_function("many-to-one-mining/year-50k", |b| {
+        b.iter(|| {
+            fedex_core::many_to_one_partitions(&wb.spotify, 0, "year", 10, 1).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ks, bench_operations, bench_contribution, bench_partitions);
+criterion_main!(benches);

@@ -1,0 +1,227 @@
+//! FEDEX-Sampling accuracy experiments (Figs. 7–8): precision@k,
+//! Kendall-Tau distance, and nDCG of the sampled skyline against the exact
+//! skyline as ground truth.
+
+use fedex_core::Fedex;
+use fedex_data::{build_workbench, run_query, Dataset, DatasetScale, QueryKind, Workbench};
+use fedex_stats::ranking::{kendall_tau_distance, ndcg, precision_at_k};
+
+use crate::util::TextTable;
+
+/// Identity key of an explanation, used to compare exact vs sampled
+/// skylines.
+fn explanation_key(e: &fedex_core::Explanation) -> String {
+    format!("{}|{}|{}", e.column, e.partition_attr, e.set_label)
+}
+
+/// A query step paired with its exact (ground-truth) skyline.
+type GroundTruth = (fedex_query::ExploratoryStep, Vec<fedex_core::Explanation>);
+
+/// One accuracy measurement at one parameter value.
+#[derive(Debug, Clone)]
+pub struct AccuracyPoint {
+    /// The swept parameter (sample size for Fig. 7, row count for Fig. 8).
+    pub param: usize,
+    /// precision@3 averaged over queries.
+    pub precision: f64,
+    /// Kendall-Tau distance averaged over queries.
+    pub kendall: f64,
+    /// nDCG averaged over queries.
+    pub ndcg: f64,
+    /// Number of queries measured.
+    pub queries: usize,
+}
+
+/// Compare the sampled skyline to a precomputed exact skyline.
+fn compare_against_exact(
+    step: &fedex_query::ExploratoryStep,
+    exact: &[fedex_core::Explanation],
+    sample_size: usize,
+) -> Option<(f64, f64, f64)> {
+    if exact.is_empty() {
+        return None;
+    }
+    let sampled = Fedex::sampling(sample_size).explain(step).ok()?;
+
+    let truth: Vec<String> = exact.iter().map(explanation_key).collect();
+    let predicted: Vec<String> = sampled.iter().map(explanation_key).collect();
+
+    let p = precision_at_k(&truth, &predicted, 3);
+    let kt = kendall_tau_distance(&truth, &predicted) as f64;
+    // nDCG gains: the exact-run weighted score of each predicted item
+    // (0 when the sampled run surfaced something the exact skyline does
+    // not contain); ideal = the exact scores in exact order.
+    let gains: Vec<f64> = predicted
+        .iter()
+        .map(|k| {
+            exact
+                .iter()
+                .find(|e| &explanation_key(e) == k)
+                .map_or(0.0, |e| e.score.max(0.0))
+        })
+        .collect();
+    let ideal: Vec<f64> = exact.iter().map(|e| e.score.max(0.0)).collect();
+    let n = ndcg(&gains, &ideal);
+    Some((p, kt, n))
+}
+
+/// Fig. 7: accuracy vs sample size over the Spotify and Products
+/// filter/join + group-by workloads (queries 1–10 and 16–25). The exact
+/// (ground-truth) skyline is computed once per query and reused across
+/// the sample-size sweep.
+pub fn accuracy_vs_sample_size(wb: &Workbench, sample_sizes: &[usize]) -> Vec<AccuracyPoint> {
+    let queries: Vec<u8> = (1..=10).chain(16..=25).collect();
+    // (step, exact skyline) per usable query.
+    let mut ground: Vec<GroundTruth> = Vec::new();
+    for id in &queries {
+        let Some(spec) = fedex_data::query_by_id(*id) else { continue };
+        if !matches!(spec.dataset, Dataset::Spotify | Dataset::Products) {
+            continue;
+        }
+        let Ok(step) = run_query(spec, &wb.catalog) else { continue };
+        let Ok(exact) = Fedex::new().explain(&step) else { continue };
+        if !exact.is_empty() {
+            ground.push((step, exact));
+        }
+    }
+    let mut out = Vec::new();
+    for &k in sample_sizes {
+        let mut acc = (0.0, 0.0, 0.0);
+        let mut n = 0usize;
+        for (step, exact) in &ground {
+            if let Some((p, kt, nd)) = compare_against_exact(step, exact, k) {
+                acc.0 += p;
+                acc.1 += kt;
+                acc.2 += nd;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            out.push(AccuracyPoint {
+                param: k,
+                precision: acc.0 / n as f64,
+                kendall: acc.1 / n as f64,
+                ndcg: acc.2 / n as f64,
+                queries: n,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 8: accuracy vs row count for the Products dataset at a fixed 5K
+/// sample, over its filter/join queries.
+pub fn accuracy_vs_rows(
+    base: &DatasetScale,
+    row_counts: &[usize],
+    sample_size: usize,
+) -> Vec<AccuracyPoint> {
+    let mut out = Vec::new();
+    for &rows in row_counts {
+        let scale = DatasetScale { sales_rows: rows, ..*base };
+        let wb = build_workbench(&scale);
+        let mut acc = (0.0, 0.0, 0.0);
+        let mut n = 0usize;
+        for spec in fedex_data::queries_where(Some(Dataset::Products), None) {
+            if spec.kind == QueryKind::GroupBy {
+                continue;
+            }
+            let Ok(step) = run_query(spec, &wb.catalog) else { continue };
+            let Ok(exact) = Fedex::new().explain(&step) else { continue };
+            if let Some((p, kt, nd)) = compare_against_exact(&step, &exact, sample_size) {
+                acc.0 += p;
+                acc.1 += kt;
+                acc.2 += nd;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            out.push(AccuracyPoint {
+                param: rows,
+                precision: acc.0 / n as f64,
+                kendall: acc.1 / n as f64,
+                ndcg: acc.2 / n as f64,
+                queries: n,
+            });
+        }
+    }
+    out
+}
+
+/// Render accuracy points as a text table.
+pub fn render_accuracy(points: &[AccuracyPoint], param_name: &str, title: &str) -> String {
+    let mut t =
+        TextTable::new(vec![param_name, "precision@3", "kendall-tau", "nDCG", "queries"]);
+    for p in points {
+        t.row(vec![
+            p.param.to_string(),
+            format!("{:.3}", p.precision),
+            format!("{:.1}", p.kendall),
+            format!("{:.4}", p.ndcg),
+            p.queries.to_string(),
+        ]);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_wb() -> Workbench {
+        build_workbench(&DatasetScale {
+            spotify_rows: 2_000,
+            bank_rows: 400,
+            product_rows: 150,
+            sales_rows: 2_500,
+            store_rows: 60,
+            seed: 9,
+        })
+    }
+
+    #[test]
+    fn accuracy_improves_with_sample_size() {
+        let wb = tiny_wb();
+        let pts = accuracy_vs_sample_size(&wb, &[50, 100_000]);
+        assert_eq!(pts.len(), 2);
+        // A sample covering everything must be perfect.
+        let full = &pts[1];
+        assert!((full.precision - 1.0).abs() < 1e-9, "precision {}", full.precision);
+        assert!(full.kendall < 1e-9);
+        assert!((full.ndcg - 1.0).abs() < 1e-9);
+        // A tiny sample is no better than the full one.
+        assert!(pts[0].precision <= full.precision + 1e-9);
+    }
+
+    #[test]
+    fn fig8_runs_on_small_rows() {
+        let base = DatasetScale {
+            spotify_rows: 500,
+            bank_rows: 200,
+            product_rows: 100,
+            sales_rows: 1_000,
+            store_rows: 40,
+            seed: 4,
+        };
+        let pts = accuracy_vs_rows(&base, &[500, 1_500], 100_000);
+        assert!(!pts.is_empty());
+        for p in &pts {
+            assert!((p.precision - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn render_contains_metrics() {
+        let pts = vec![AccuracyPoint {
+            param: 5_000,
+            precision: 0.93,
+            kendall: 21.6,
+            ndcg: 0.998,
+            queries: 20,
+        }];
+        let s = render_accuracy(&pts, "sample", "Fig. 7");
+        assert!(s.contains("0.930"));
+        assert!(s.contains("21.6"));
+    }
+}

@@ -1,0 +1,204 @@
+//! CLI regenerating every table and figure of the FEDEX paper (§4).
+//!
+//! ```text
+//! experiments <target> [--scale small|medium|paper]
+//!
+//! targets: tables fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 all
+//! ```
+//!
+//! `--scale` controls dataset sizes: `small` finishes in seconds, `medium`
+//! (default) in a few minutes, `paper` uses the paper's full row counts.
+
+use std::env;
+use std::process::ExitCode;
+
+use fedex_bench::{accuracy, quality, runtime, sets, tables};
+use fedex_data::{build_workbench, Dataset, DatasetScale, Workbench};
+
+fn scale_from(name: &str) -> Option<DatasetScale> {
+    match name {
+        "small" => Some(DatasetScale::small()),
+        "medium" => Some(DatasetScale::medium()),
+        "paper" => Some(DatasetScale::paper()),
+        _ => None,
+    }
+}
+
+/// Sweep values scaled to the chosen dataset size.
+struct Sweeps {
+    sample_sizes: Vec<usize>,
+    fig8_rows: Vec<usize>,
+    fig10_rows: Vec<usize>,
+    set_counts: Vec<usize>,
+}
+
+fn sweeps(scale: &DatasetScale) -> Sweeps {
+    let max_rows = scale.sales_rows;
+    let geometric = |max: usize| -> Vec<usize> {
+        let mut v = Vec::new();
+        let mut x = (max / 32).max(1_000).min(max);
+        while x < max {
+            v.push(x);
+            x *= 2;
+        }
+        v.push(max);
+        v
+    };
+    Sweeps {
+        sample_sizes: vec![50, 200, 1_000, 5_000, 10_000, 20_000, 50_000]
+            .into_iter()
+            .filter(|&s| s <= scale.sales_rows.max(scale.spotify_rows) * 2)
+            .collect(),
+        fig8_rows: geometric(max_rows),
+        fig10_rows: geometric(max_rows),
+        set_counts: vec![2, 3, 5, 8, 10, 15, 20, 30, 50],
+    }
+}
+
+fn run_target(target: &str, scale: &DatasetScale, wb: &Workbench) -> Result<(), String> {
+    let sw = sweeps(scale);
+    match target {
+        "tables" => println!("{}", tables::run_all_queries(wb)),
+        "fig3" => {
+            let rows = quality::quality_study(wb, None);
+            println!("{}", quality::render_quality(&rows, "Fig. 3 — oracle-graded user study"));
+        }
+        "fig4" => println!("{}", quality::generation_time(wb)),
+        "fig5" => println!("{}", quality::insight_sessions(8)),
+        "fig6" => {
+            let rows = quality::quality_study(wb, Some(quality::AUGMENTED_CAPTION_QUALITY));
+            println!(
+                "{}",
+                quality::render_quality(
+                    &rows,
+                    "Fig. 6 — baselines augmented with expert captions"
+                )
+            );
+        }
+        "fig7" => {
+            let pts = accuracy::accuracy_vs_sample_size(wb, &sw.sample_sizes);
+            println!(
+                "{}",
+                accuracy::render_accuracy(
+                    &pts,
+                    "sample size",
+                    "Fig. 7 — FEDEX-Sampling accuracy vs sample size"
+                )
+            );
+        }
+        "fig8" => {
+            let pts = accuracy::accuracy_vs_rows(scale, &sw.fig8_rows, 5_000);
+            println!(
+                "{}",
+                accuracy::render_accuracy(
+                    &pts,
+                    "rows",
+                    "Fig. 8 — FEDEX-Sampling (5K) accuracy vs Products rows"
+                )
+            );
+        }
+        "fig9" => {
+            for ds in [Dataset::Bank, Dataset::Spotify, Dataset::Products] {
+                let pts = runtime::runtime_vs_columns(wb, ds, scale.seed);
+                println!(
+                    "{}",
+                    runtime::render_runtime(
+                        &pts,
+                        "columns",
+                        &format!("Fig. 9 — runtime vs columns ({})", ds.name())
+                    )
+                );
+            }
+        }
+        "fig10" => {
+            for ds in [Dataset::Bank, Dataset::Spotify, Dataset::Products] {
+                let rows = match ds {
+                    Dataset::Bank => dedup(
+                        sw.fig10_rows.iter().map(|&r| r.min(scale.bank_rows)).collect(),
+                    ),
+                    Dataset::Spotify => dedup(
+                        sw.fig10_rows.iter().map(|&r| r.min(scale.spotify_rows)).collect(),
+                    ),
+                    Dataset::Products => sw.fig10_rows.clone(),
+                };
+                let pts = runtime::runtime_vs_rows(ds, scale, &rows);
+                println!(
+                    "{}",
+                    runtime::render_runtime(
+                        &pts,
+                        "rows",
+                        &format!("Fig. 10 — runtime vs rows ({})", ds.name())
+                    )
+                );
+            }
+        }
+        "fig11" => {
+            let pts = sets::contribution_vs_sets(wb, &sw.set_counts);
+            println!("{}", sets::render_sets(&pts));
+        }
+        "all" => {
+            for t in
+                ["tables", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"]
+            {
+                run_target(t, scale, wb)?;
+            }
+        }
+        other => return Err(format!("unknown target {other:?}")),
+    }
+    Ok(())
+}
+
+fn dedup(mut v: Vec<usize>) -> Vec<usize> {
+    v.dedup();
+    v
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut target = None;
+    let mut scale = DatasetScale::medium();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                match args.get(i).and_then(|s| scale_from(s)) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("--scale requires one of: small, medium, paper");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments <tables|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|all> \
+                     [--scale small|medium|paper]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            t if target.is_none() => target = Some(t.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(target) = target else {
+        eprintln!("missing experiment target (try --help)");
+        return ExitCode::FAILURE;
+    };
+    eprintln!(
+        "# generating datasets (spotify {}, bank {}, products {}, sales {}) ...",
+        scale.spotify_rows, scale.bank_rows, scale.product_rows, scale.sales_rows
+    );
+    let wb = build_workbench(&scale);
+    match run_target(&target, &scale, &wb) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! # fedex-cli
+//!
+//! Command-line front-end for the FEDEX explainability framework — the
+//! "explain an exploratory operation in one line" wrapper the paper lists
+//! as future work (§5):
+//!
+//! ```text
+//! fedex explain --table songs=songs.csv \
+//!               --sql "SELECT * FROM songs WHERE popularity > 65" \
+//!               [--sample 5000] [--top 2] [--json] [--width 44]
+//! fedex schema  --table songs=songs.csv
+//! fedex demo
+//! ```
+//!
+//! The library half parses arguments and executes commands against
+//! injected output, so the whole surface is unit-testable; `main.rs` is a
+//! thin shim.
+
+use std::fmt::Write as _;
+
+use fedex_core::{render_all, to_json_array, Fedex, FedexConfig};
+use fedex_frame::read_csv;
+use fedex_query::{parse_query, Catalog};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Explain one SQL step over registered CSV tables.
+    Explain {
+        /// `(name, path)` table registrations.
+        tables: Vec<(String, String)>,
+        /// The query text.
+        sql: String,
+        /// FEDEX-Sampling size (`None` = exact).
+        sample: Option<usize>,
+        /// Top-k cut after the skyline.
+        top: Option<usize>,
+        /// Emit JSON instead of text.
+        json: bool,
+        /// Chart width in cells.
+        width: usize,
+    },
+    /// Print the inferred schema of the given tables.
+    Schema {
+        /// `(name, path)` table registrations.
+        tables: Vec<(String, String)>,
+    },
+    /// Run the built-in Spotify demo (no files needed).
+    Demo,
+    /// Print usage.
+    Help,
+}
+
+/// Usage string.
+pub const USAGE: &str = "\
+usage:
+  fedex explain --table <name=path.csv> [--table ...] --sql <query>
+                [--sample N] [--top K] [--json] [--width N]
+  fedex schema  --table <name=path.csv> [--table ...]
+  fedex demo
+  fedex help
+
+The query language is the SQL subset of the FEDEX paper's workload:
+  SELECT * FROM t WHERE <predicate>
+  SELECT * FROM t1 INNER JOIN t2 ON t1.a = t2.b
+  SELECT mean(x), count FROM t [WHERE ...] GROUP BY a, b
+";
+
+/// Errors surfaced to the user with exit code 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn parse_table_spec(spec: &str) -> Result<(String, String), CliError> {
+    match spec.split_once('=') {
+        Some((name, path)) if !name.is_empty() && !path.is_empty() => {
+            Ok((name.to_string(), path.to_string()))
+        }
+        _ => Err(CliError(format!(
+            "--table expects name=path.csv, got {spec:?}"
+        ))),
+    }
+}
+
+/// Parse a command line (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "demo" => Ok(Command::Demo),
+        "schema" | "explain" => {
+            let mut tables = Vec::new();
+            let mut sql = None;
+            let mut sample = None;
+            let mut top = None;
+            let mut json = false;
+            let mut width = 44usize;
+            let mut i = 1;
+            let need = |i: usize, flag: &str, args: &[String]| -> Result<String, CliError> {
+                args.get(i).cloned().ok_or_else(|| CliError(format!("{flag} needs a value")))
+            };
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--table" => {
+                        i += 1;
+                        tables.push(parse_table_spec(&need(i, "--table", args)?)?);
+                    }
+                    "--sql" => {
+                        i += 1;
+                        sql = Some(need(i, "--sql", args)?);
+                    }
+                    "--sample" => {
+                        i += 1;
+                        sample = Some(
+                            need(i, "--sample", args)?
+                                .parse::<usize>()
+                                .map_err(|e| CliError(format!("--sample: {e}")))?,
+                        );
+                    }
+                    "--top" => {
+                        i += 1;
+                        top = Some(
+                            need(i, "--top", args)?
+                                .parse::<usize>()
+                                .map_err(|e| CliError(format!("--top: {e}")))?,
+                        );
+                    }
+                    "--json" => json = true,
+                    "--width" => {
+                        i += 1;
+                        width = need(i, "--width", args)?
+                            .parse::<usize>()
+                            .map_err(|e| CliError(format!("--width: {e}")))?;
+                    }
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+                i += 1;
+            }
+            if tables.is_empty() {
+                return Err(CliError("at least one --table is required".into()));
+            }
+            if cmd == "schema" {
+                Ok(Command::Schema { tables })
+            } else {
+                let sql = sql.ok_or_else(|| CliError("--sql is required".into()))?;
+                Ok(Command::Explain { tables, sql, sample, top, json, width })
+            }
+        }
+        other => Err(CliError(format!("unknown command {other:?} (try `fedex help`)"))),
+    }
+}
+
+fn load_catalog(tables: &[(String, String)]) -> Result<Catalog, CliError> {
+    let mut catalog = Catalog::new();
+    for (name, path) in tables {
+        let df = read_csv(path).map_err(|e| CliError(format!("loading {path:?}: {e}")))?;
+        catalog.register(name.clone(), df);
+    }
+    Ok(catalog)
+}
+
+/// Execute a command, returning the text to print.
+pub fn run(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Schema { tables } => {
+            let catalog = load_catalog(&tables)?;
+            let mut out = String::new();
+            for (name, _) in &tables {
+                let df = catalog.get(name).map_err(|e| CliError(e.to_string()))?;
+                let _ = writeln!(
+                    out,
+                    "{name}: {} rows, schema {}",
+                    df.n_rows(),
+                    df.schema()
+                );
+            }
+            Ok(out)
+        }
+        Command::Explain { tables, sql, sample, top, json, width } => {
+            let catalog = load_catalog(&tables)?;
+            let step = parse_query(&sql)
+                .map_err(|e| CliError(format!("parsing query: {e}")))?
+                .to_step(&catalog)
+                .map_err(|e| CliError(format!("running query: {e}")))?;
+            let fedex = Fedex::with_config(FedexConfig {
+                sample_size: sample,
+                top_k_explanations: top,
+                ..Default::default()
+            });
+            let explanations =
+                fedex.explain(&step).map_err(|e| CliError(format!("explaining: {e}")))?;
+            if json {
+                Ok(to_json_array(&explanations))
+            } else if explanations.is_empty() {
+                Ok("no explanation: no set-of-rows positively contributes to any \
+                    interesting column"
+                    .to_string())
+            } else {
+                Ok(render_all(&explanations, width))
+            }
+        }
+        Command::Demo => {
+            let spotify = fedex_data::spotify::generate(10_000, 42);
+            let mut catalog = Catalog::new();
+            catalog.register("spotify", spotify);
+            let step = parse_query("SELECT * FROM spotify WHERE popularity > 65")
+                .expect("demo query parses")
+                .to_step(&catalog)
+                .expect("demo query runs");
+            let fedex = Fedex::with_config(FedexConfig {
+                sample_size: Some(5_000),
+                top_k_explanations: Some(2),
+                ..Default::default()
+            });
+            let explanations =
+                fedex.explain(&step).map_err(|e| CliError(format!("explaining: {e}")))?;
+            Ok(format!(
+                "demo: SELECT * FROM spotify WHERE popularity > 65 \
+                 ({} → {} rows)\n\n{}",
+                step.inputs[0].n_rows(),
+                step.output.n_rows(),
+                render_all(&explanations, 44)
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_explain() {
+        let cmd = parse_args(&s(&[
+            "explain", "--table", "songs=x.csv", "--sql", "SELECT * FROM songs WHERE a > 1",
+            "--sample", "5000", "--top", "2", "--json", "--width", "60",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Explain { tables, sql, sample, top, json, width } => {
+                assert_eq!(tables, vec![("songs".to_string(), "x.csv".to_string())]);
+                assert!(sql.contains("WHERE"));
+                assert_eq!(sample, Some(5000));
+                assert_eq!(top, Some(2));
+                assert!(json);
+                assert_eq!(width, 60);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&s(&["explain", "--sql", "q"])).is_err()); // no table
+        assert!(parse_args(&s(&["explain", "--table", "a=b.csv"])).is_err()); // no sql
+        assert!(parse_args(&s(&["explain", "--table", "bad"])).is_err());
+        assert!(parse_args(&s(&["explain", "--table", "a=b.csv", "--frob"])).is_err());
+        assert!(parse_args(&s(&["wat"])).is_err());
+        assert!(parse_args(&s(&["explain", "--table"])).is_err()); // dangling value
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&s(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&s(&["--help"])).unwrap(), Command::Help);
+        assert!(run(Command::Help).unwrap().contains("usage"));
+    }
+
+    #[test]
+    fn demo_runs_end_to_end() {
+        let out = run(Command::Demo).unwrap();
+        assert!(out.contains("Explanation 1"), "{out}");
+        assert!(out.contains("2010s"), "{out}");
+    }
+
+    #[test]
+    fn explain_over_real_csv_files() {
+        let dir = std::env::temp_dir().join("fedex-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("songs.csv");
+        let spotify = fedex_data::spotify::generate(2_000, 7);
+        fedex_frame::write_csv(&spotify, &path).unwrap();
+
+        let cmd = Command::Explain {
+            tables: vec![("songs".to_string(), path.to_string_lossy().into_owned())],
+            sql: "SELECT * FROM songs WHERE popularity > 65".to_string(),
+            sample: None,
+            top: Some(1),
+            json: false,
+            width: 40,
+        };
+        let out = run(cmd).unwrap();
+        assert!(out.contains("Explanation 1"), "{out}");
+
+        // And the JSON path.
+        let cmd = Command::Explain {
+            tables: vec![("songs".to_string(), path.to_string_lossy().into_owned())],
+            sql: "SELECT * FROM songs WHERE popularity > 65".to_string(),
+            sample: Some(1_000),
+            top: Some(1),
+            json: true,
+            width: 40,
+        };
+        let out = run(cmd).unwrap();
+        assert!(out.starts_with('[') && out.ends_with(']'));
+    }
+
+    #[test]
+    fn schema_command() {
+        let dir = std::env::temp_dir().join("fedex-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        std::fs::write(&path, "a,b\n1,x\n2,y\n").unwrap();
+        let cmd = Command::Schema {
+            tables: vec![("t".to_string(), path.to_string_lossy().into_owned())],
+        };
+        let out = run(cmd).unwrap();
+        assert!(out.contains("t: 2 rows"));
+        assert!(out.contains("a: int"));
+    }
+
+    #[test]
+    fn missing_file_reported() {
+        let cmd = Command::Schema {
+            tables: vec![("t".to_string(), "/nonexistent/file.csv".to_string())],
+        };
+        assert!(run(cmd).is_err());
+    }
+}

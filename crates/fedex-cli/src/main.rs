@@ -1,0 +1,18 @@
+//! `fedex` binary entry point; all logic lives in the library for
+//! testability.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match fedex_cli::parse_args(&args).and_then(fedex_cli::run) {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", fedex_cli::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Natural-language caption templates (§3.7).
+//!
+//! Captions mirror the paper's phrasing: exceptionality explanations
+//! describe the change in frequency of the chosen set-of-rows between the
+//! input and output dataframes; diversity explanations describe how far the
+//! set's aggregated value sits from the overall mean, in standard
+//! deviations.
+
+/// Caption for an exceptionality-based explanation (cf. Fig. 2a).
+///
+/// `before_pct` / `after_pct` are the set's relative frequency (in %) in
+/// the input and output dataframes.
+pub fn exceptionality_caption(
+    column: &str,
+    set_label: &str,
+    before_pct: f64,
+    after_pct: f64,
+) -> String {
+    let direction = if after_pct >= before_pct { "more" } else { "less" };
+    let ratio = if after_pct >= before_pct {
+        if before_pct > 0.0 {
+            after_pct / before_pct
+        } else {
+            f64::INFINITY
+        }
+    } else if after_pct > 0.0 {
+        before_pct / after_pct
+    } else {
+        f64::INFINITY
+    };
+    let ratio_text = if ratio.is_finite() {
+        format!("{} times {direction} frequent", round_ratio(ratio))
+    } else if direction == "less" {
+        "entirely absent after the operation".to_string()
+    } else {
+        "present only after the operation".to_string()
+    };
+    format!(
+        "See that the column '{column}' presents a significant change in distribution. \
+         In particular, '{set_label}' (highlighted) is {ratio_text}: \
+         {before_pct:.1}% before and {after_pct:.1}% after."
+    )
+}
+
+/// Caption for a diversity-based explanation (cf. Fig. 2b).
+///
+/// `z` is the signed distance of the set's aggregated value from the mean
+/// of all sets, in standard deviations of the output column.
+pub fn diversity_caption(
+    column: &str,
+    partition_attr: &str,
+    set_label: &str,
+    z: f64,
+    overall_mean: f64,
+) -> String {
+    let (adj, dir) = if z < 0.0 { ("low", "lower") } else { ("high", "higher") };
+    format!(
+        "See that the column '{column}' presents a significant diversity. \
+         In particular, groups with '{partition_attr}'='{set_label}' (highlighted) have a \
+         relatively {adj} '{column}' value: {:.1} standard deviation{} {dir} than the mean \
+         ({overall_mean:.1}).",
+        z.abs(),
+        if (z.abs() - 1.0).abs() < 0.05 { "" } else { "s" },
+    )
+}
+
+/// Round a frequency ratio the way the paper reports it ("17 times"):
+/// whole numbers above 2, one decimal below.
+fn round_ratio(r: f64) -> String {
+    if r >= 2.0 {
+        format!("{}", r.round() as i64)
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exceptionality_matches_paper_example() {
+        // Fig. 2a: 3.5% before, 61% after → "17 times more frequent".
+        let c = exceptionality_caption("decade", "2010s", 3.5, 61.0);
+        assert!(c.contains("'decade'"));
+        assert!(c.contains("'2010s'"));
+        assert!(c.contains("17 times more frequent"), "{c}");
+        assert!(c.contains("3.5% before and 61.0% after"));
+    }
+
+    #[test]
+    fn exceptionality_decrease() {
+        let c = exceptionality_caption("decade", "1970s", 20.0, 5.0);
+        assert!(c.contains("4 times less frequent"), "{c}");
+    }
+
+    #[test]
+    fn exceptionality_vanishing_set() {
+        let c = exceptionality_caption("decade", "1920s", 2.0, 0.0);
+        assert!(c.contains("entirely absent"), "{c}");
+        let c = exceptionality_caption("decade", "2020s", 0.0, 2.0);
+        assert!(c.contains("present only after"), "{c}");
+    }
+
+    #[test]
+    fn diversity_matches_paper_example() {
+        // Fig. 2b: 1.2 std-dev lower than the mean (-8.7).
+        let c = diversity_caption("loudness", "decade", "1990s", -1.2, -8.7);
+        assert!(c.contains("significant diversity"));
+        assert!(c.contains("'decade'='1990s'"));
+        assert!(c.contains("1.2 standard deviations lower than the mean (-8.7)"), "{c}");
+    }
+
+    #[test]
+    fn diversity_singular_std() {
+        let c = diversity_caption("x", "g", "a", 1.0, 0.0);
+        assert!(c.contains("1.0 standard deviation higher"), "{c}");
+    }
+}

@@ -1,0 +1,694 @@
+//! Contribution of sets-of-rows (Def. 3.3) and standardized contribution
+//! (§3.6).
+//!
+//! `C(R, A, Q) = I_A(D_in, q, d_out) − I_A(D_in − R, q, d'_out)`: remove the
+//! set, re-apply the operation, re-measure. A naive implementation re-runs
+//! `q` once per set-of-rows; [`ContributionComputer`] instead exploits row
+//! provenance to compute every intervention *incrementally*:
+//!
+//! * **exceptionality** — removing `R` shifts the input and output value
+//!   histograms by the value counts of `R` (and of the output rows `R`
+//!   produced), so each intervention is a histogram subtraction;
+//! * **diversity** — one pass accumulates per-set × per-group partial
+//!   aggregates; each intervention recombines the partials of all *other*
+//!   sets (leave-one-out), which also handles groups that disappear.
+//!
+//! [`ContributionComputer::contribution_by_rerun`] keeps the naive
+//! semantics; property tests assert both paths agree.
+
+use fedex_frame::DataFrame;
+use fedex_query::{AggFunc, ExploratoryStep, Operation, Provenance};
+use fedex_stats::descriptive::{coefficient_of_variation, mean_and_std};
+
+use crate::hist::ValueHist;
+use crate::interestingness::{score_column, InterestingnessKind, Sample};
+use crate::partition::{RowPartition, IGNORE};
+use crate::Result;
+
+/// Computes per-set contributions for one exploratory step.
+pub struct ContributionComputer<'a> {
+    step: &'a ExploratoryStep,
+    kind: InterestingnessKind,
+}
+
+impl<'a> ContributionComputer<'a> {
+    /// Build a computer for `step` under measure `kind`.
+    pub fn new(step: &'a ExploratoryStep, kind: InterestingnessKind) -> Self {
+        ContributionComputer { step, kind }
+    }
+
+    /// Raw contribution `C(R_s, A, Q)` for every set of `partition`
+    /// (ignore-set last when non-empty — it participates in
+    /// standardization but never becomes a candidate).
+    ///
+    /// Returns `None` when the measure does not apply to `column`.
+    pub fn contributions(
+        &self,
+        partition: &RowPartition,
+        column: &str,
+    ) -> Result<Option<Vec<f64>>> {
+        match self.kind {
+            InterestingnessKind::Exceptionality => {
+                self.exceptionality_contributions(partition, column)
+            }
+            InterestingnessKind::Diversity => self.diversity_contributions(partition, column),
+        }
+    }
+
+    /// Number of contribution slots for a partition: its sets plus the
+    /// ignore-set when non-empty.
+    pub fn n_slots(partition: &RowPartition) -> usize {
+        partition.n_sets() + usize::from(partition.ignore_size > 0)
+    }
+
+    /// Map a row's assignment code to its slot index (ignore → last slot).
+    #[inline]
+    fn slot_of(partition: &RowPartition, code: u32) -> usize {
+        if code == IGNORE {
+            partition.n_sets()
+        } else {
+            code as usize
+        }
+    }
+
+    // ------------------------------------------------ exceptionality ----
+
+    fn exceptionality_contributions(
+        &self,
+        partition: &RowPartition,
+        column: &str,
+    ) -> Result<Option<Vec<f64>>> {
+        let n_slots = Self::n_slots(partition);
+        let step = self.step;
+        match &step.op {
+            Operation::GroupBy { .. } => Ok(None),
+            Operation::Union => {
+                // Base histograms per input + output.
+                let mut in_hists = Vec::with_capacity(step.inputs.len());
+                for input in &step.inputs {
+                    if !input.has_column(column) {
+                        return Ok(None);
+                    }
+                    in_hists.push(ValueHist::from_column(input.column(column)?));
+                }
+                let out_col = step.output.column(column)?;
+                let base_out = ValueHist::from_column(out_col);
+                let base_i = in_hists
+                    .iter()
+                    .map(|h| h.ks(&base_out))
+                    .fold(f64::NEG_INFINITY, f64::max);
+
+                // Per-slot subtraction hists: input side (partition input
+                // only) and output side.
+                let p_idx = partition.input_idx;
+                let in_col = step.inputs[p_idx].column(column)?;
+                let mut sub_in: Vec<ValueHist> = vec![ValueHist::new(); n_slots];
+                for (row, &code) in partition.assignment.iter().enumerate() {
+                    let v = in_col.get(row);
+                    if !v.is_null() {
+                        sub_in[Self::slot_of(partition, code)].add(v, 1);
+                    }
+                }
+                let Provenance::Union { source_of_row } = &step.provenance else {
+                    unreachable!("union step has union provenance")
+                };
+                let mut sub_out: Vec<ValueHist> = vec![ValueHist::new(); n_slots];
+                for (out_row, &(src_input, src_row)) in source_of_row.iter().enumerate() {
+                    if src_input != p_idx {
+                        continue;
+                    }
+                    let v = out_col.get(out_row);
+                    if !v.is_null() {
+                        sub_out[Self::slot_of(partition, partition.assignment[src_row])].add(v, 1);
+                    }
+                }
+
+                let empty = ValueHist::new();
+                let mut out = Vec::with_capacity(n_slots);
+                for s in 0..n_slots {
+                    let mut reduced_i = f64::NEG_INFINITY;
+                    for (i, h) in in_hists.iter().enumerate() {
+                        let sub = if i == p_idx { &sub_in[s] } else { &empty };
+                        reduced_i = reduced_i.max(h.ks_sub(sub, &base_out, &sub_out[s]));
+                    }
+                    out.push(base_i - reduced_i);
+                }
+                Ok(Some(out))
+            }
+            _ => {
+                // Filter and join share one shape: the output column has a
+                // unique source input.
+                let Some((src_idx, src_col_name)) = step.source_of_output_column(column) else {
+                    return Ok(None);
+                };
+                let in_col = step.inputs[src_idx].column(&src_col_name)?;
+                let out_col = step.output.column(column)?;
+                let base_in = ValueHist::from_column(in_col);
+                let base_out = ValueHist::from_column(out_col);
+                let base_i = base_in.ks(&base_out);
+
+                let p_idx = partition.input_idx;
+
+                // Input-side subtractions apply only when the partition is
+                // over the same input that sources the column.
+                let mut sub_in: Vec<ValueHist> = vec![ValueHist::new(); n_slots];
+                if p_idx == src_idx {
+                    for (row, &code) in partition.assignment.iter().enumerate() {
+                        let v = in_col.get(row);
+                        if !v.is_null() {
+                            sub_in[Self::slot_of(partition, code)].add(v, 1);
+                        }
+                    }
+                }
+
+                // Output-side subtractions: rows whose partition-side
+                // provenance lands in each set.
+                let mut sub_out: Vec<ValueHist> = vec![ValueHist::new(); n_slots];
+                match &step.provenance {
+                    Provenance::Filter { kept } => {
+                        debug_assert_eq!(p_idx, 0);
+                        for (out_row, &in_row) in kept.iter().enumerate() {
+                            let v = out_col.get(out_row);
+                            if !v.is_null() {
+                                sub_out[Self::slot_of(partition, partition.assignment[in_row])]
+                                    .add(v, 1);
+                            }
+                        }
+                    }
+                    Provenance::Join { left_rows, right_rows } => {
+                        let side = if p_idx == 0 { left_rows } else { right_rows };
+                        for (out_row, &in_row) in side.iter().enumerate() {
+                            let v = out_col.get(out_row);
+                            if !v.is_null() {
+                                sub_out[Self::slot_of(partition, partition.assignment[in_row])]
+                                    .add(v, 1);
+                            }
+                        }
+                    }
+                    _ => unreachable!("filter/join provenance"),
+                }
+
+                let mut out = Vec::with_capacity(n_slots);
+                for s in 0..n_slots {
+                    let reduced = base_in.ks_sub(&sub_in[s], &base_out, &sub_out[s]);
+                    out.push(base_i - reduced);
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+
+    // ----------------------------------------------------- diversity ----
+
+    fn diversity_contributions(
+        &self,
+        partition: &RowPartition,
+        column: &str,
+    ) -> Result<Option<Vec<f64>>> {
+        let step = self.step;
+        let (Operation::GroupBy { aggs, .. }, Provenance::GroupBy { group_of_row, n_groups }) =
+            (&step.op, &step.provenance)
+        else {
+            // Diversity contribution outside group-by: fall back to rerun
+            // per set (rare — non-default configuration).
+            return self.diversity_by_rerun_all(partition, column);
+        };
+        let out_col = step.output.column(column)?;
+        if !out_col.dtype().is_numeric() {
+            return Ok(None);
+        }
+        let n_groups = *n_groups;
+        let n_slots = Self::n_slots(partition);
+        let agg = aggs.iter().find(|a| a.output_name() == column);
+
+        // One pass: per-slot × per-group partials.
+        let src_col = match agg {
+            Some(a) => match a.source_column() {
+                Some(c) => Some(step.inputs[0].column(c)?),
+                None => None,
+            },
+            None => None,
+        };
+        let idx = |s: usize, g: usize| s * n_groups + g;
+        let mut rows = vec![0u64; n_slots * n_groups];
+        let mut vcount = vec![0u64; n_slots * n_groups];
+        let mut vsum = vec![0.0f64; n_slots * n_groups];
+        let mut vmin = vec![f64::INFINITY; n_slots * n_groups];
+        let mut vmax = vec![f64::NEG_INFINITY; n_slots * n_groups];
+        for (row, g) in group_of_row.iter().enumerate() {
+            let Some(g) = g else { continue };
+            let g = *g as usize;
+            let s = Self::slot_of(partition, partition.assignment[row]);
+            rows[idx(s, g)] += 1;
+            if let Some(c) = src_col {
+                if let Some(x) = c.get(row).as_f64() {
+                    let k = idx(s, g);
+                    vcount[k] += 1;
+                    vsum[k] += x;
+                    if x < vmin[k] {
+                        vmin[k] = x;
+                    }
+                    if x > vmax[k] {
+                        vmax[k] = x;
+                    }
+                }
+            } else if agg.is_some() {
+                // bare count: every row counts
+                vcount[idx(s, g)] += 1;
+            }
+        }
+
+        // Totals per group.
+        let mut tot_rows = vec![0u64; n_groups];
+        let mut tot_count = vec![0u64; n_groups];
+        let mut tot_sum = vec![0.0f64; n_groups];
+        for s in 0..n_slots {
+            for g in 0..n_groups {
+                tot_rows[g] += rows[idx(s, g)];
+                tot_count[g] += vcount[idx(s, g)];
+                tot_sum[g] += vsum[idx(s, g)];
+            }
+        }
+
+        // Base interestingness: CV over the actual output column.
+        let base_i = match coefficient_of_variation(&out_col.numeric_values()) {
+            Some(v) => v,
+            None => return Ok(None),
+        };
+
+        // Group key values (for key-column diversity) come straight from
+        // the output column.
+        let key_values: Vec<Option<f64>> = (0..n_groups).map(|g| out_col.get(g).as_f64()).collect();
+
+        let needs_minmax = matches!(agg.map(|a| a.func), Some(AggFunc::Min) | Some(AggFunc::Max));
+        let mut out = Vec::with_capacity(n_slots);
+        for s in 0..n_slots {
+            let mut values: Vec<f64> = Vec::with_capacity(n_groups);
+            for g in 0..n_groups {
+                let remaining_rows = tot_rows[g] - rows[idx(s, g)];
+                if remaining_rows == 0 {
+                    continue; // group disappears
+                }
+                match agg {
+                    None => {
+                        // Key column: its value is unchanged while the
+                        // group survives.
+                        if let Some(v) = key_values[g] {
+                            values.push(v);
+                        }
+                    }
+                    Some(a) => {
+                        let rem_count = tot_count[g] - vcount[idx(s, g)];
+                        match a.func {
+                            AggFunc::Count => values.push(rem_count as f64),
+                            AggFunc::Sum => values.push(tot_sum[g] - vsum[idx(s, g)]),
+                            AggFunc::Mean => {
+                                if rem_count > 0 {
+                                    values.push(
+                                        (tot_sum[g] - vsum[idx(s, g)]) / rem_count as f64,
+                                    );
+                                }
+                            }
+                            AggFunc::Min | AggFunc::Max => {
+                                if rem_count > 0 && needs_minmax {
+                                    let mut acc = if a.func == AggFunc::Min {
+                                        f64::INFINITY
+                                    } else {
+                                        f64::NEG_INFINITY
+                                    };
+                                    for s2 in 0..n_slots {
+                                        if s2 == s || vcount[idx(s2, g)] == 0 {
+                                            continue;
+                                        }
+                                        acc = if a.func == AggFunc::Min {
+                                            acc.min(vmin[idx(s2, g)])
+                                        } else {
+                                            acc.max(vmax[idx(s2, g)])
+                                        };
+                                    }
+                                    if acc.is_finite() {
+                                        values.push(acc);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let reduced_i = coefficient_of_variation(&values).unwrap_or(0.0);
+            out.push(base_i - reduced_i);
+        }
+        Ok(Some(out))
+    }
+
+    fn diversity_by_rerun_all(
+        &self,
+        partition: &RowPartition,
+        column: &str,
+    ) -> Result<Option<Vec<f64>>> {
+        let n_slots = Self::n_slots(partition);
+        let mut out = Vec::with_capacity(n_slots);
+        for s in 0..n_slots {
+            let code = if s == partition.n_sets() { IGNORE } else { s as u32 };
+            let rows: Vec<usize> = partition
+                .assignment
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &a)| (a == code).then_some(i))
+                .collect();
+            match self.contribution_by_rerun(partition.input_idx, &rows, column)? {
+                Some(c) => out.push(c),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(out))
+    }
+
+    // ------------------------------------------------ naive baseline ----
+
+    /// Ground-truth contribution by literally re-running the operation on
+    /// `D_in − R` (Def. 3.3 verbatim). Used by tests to validate the
+    /// incremental kernels, and by custom measures.
+    pub fn contribution_by_rerun(
+        &self,
+        input_idx: usize,
+        set_rows: &[usize],
+        column: &str,
+    ) -> Result<Option<f64>> {
+        let step = self.step;
+        let base = match score_column(step, column, self.kind, &Sample::full(step.inputs.len()))? {
+            Some(v) => v,
+            None => return Ok(None),
+        };
+        // Build the reduced step.
+        let keep = step.inputs[input_idx].complement_indices(set_rows);
+        let reduced_input = step.inputs[input_idx].take(&keep).map_err(crate::ExplainError::from)?;
+        let mut inputs: Vec<DataFrame> = step.inputs.clone();
+        inputs[input_idx] = reduced_input;
+        let reduced_step = ExploratoryStep::run(inputs, step.op.clone())?;
+        let reduced =
+            score_column(&reduced_step, column, self.kind, &Sample::full(step.inputs.len()))?
+                .unwrap_or(0.0);
+        Ok(Some(base - reduced))
+    }
+}
+
+/// Standardized contribution `C̄(R, A) = (C − μ) / s` over the slots of one
+/// partition (§3.6). A zero standard deviation yields all-zero scores.
+pub fn standardized(raw: &[f64]) -> Vec<f64> {
+    let (mu, sd) = mean_and_std(raw);
+    if sd == 0.0 {
+        return vec![0.0; raw.len()];
+    }
+    raw.iter().map(|c| (c - mu) / sd).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{frequency_partition, many_to_one_partitions, numeric_partition};
+    use fedex_frame::Column;
+    use fedex_query::{Aggregate, Expr};
+
+    fn spotify_like() -> DataFrame {
+        let mut years = Vec::new();
+        let mut decades = Vec::new();
+        let mut pops = Vec::new();
+        let mut loud = Vec::new();
+        for i in 0..40i64 {
+            let (y, d, p, l) = if i < 10 {
+                (2010 + (i % 5), "2010s", 70 + (i % 20), -7.0 - 0.05 * i as f64)
+            } else if i < 20 {
+                (1990 + (i % 8), "1990s", 30 + (i % 30), -11.0 - 0.05 * i as f64)
+            } else {
+                (1970 + (i % 10), "1970s", 20 + (i % 40), -9.0 - 0.05 * i as f64)
+            };
+            years.push(y);
+            decades.push(d);
+            pops.push(p);
+            loud.push(l);
+        }
+        DataFrame::new(vec![
+            Column::from_ints("year", years),
+            Column::from_strs("decade", decades),
+            Column::from_ints("popularity", pops),
+            Column::from_floats("loudness", loud),
+        ])
+        .unwrap()
+    }
+
+    fn filter_step() -> ExploratoryStep {
+        ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn incremental_matches_rerun_filter() {
+        let step = filter_step();
+        let cc = ContributionComputer::new(&step, InterestingnessKind::Exceptionality);
+        let p = frequency_partition(&step.inputs[0], 0, "decade", 3).unwrap().unwrap();
+        let fast = cc.contributions(&p, "decade").unwrap().unwrap();
+        for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
+            let rows = p.rows_of_set(s as u32);
+            let c_slow = cc.contribution_by_rerun(0, &rows, "decade").unwrap().unwrap();
+            assert!(
+                (c_fast - c_slow).abs() < 1e-9,
+                "set {s}: fast {c_fast} vs rerun {c_slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_rerun_cross_column() {
+        // Partition on 'decade', contribution to column 'year'.
+        let step = filter_step();
+        let cc = ContributionComputer::new(&step, InterestingnessKind::Exceptionality);
+        let p = frequency_partition(&step.inputs[0], 0, "decade", 3).unwrap().unwrap();
+        let fast = cc.contributions(&p, "year").unwrap().unwrap();
+        for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
+            let rows = p.rows_of_set(s as u32);
+            let c_slow = cc.contribution_by_rerun(0, &rows, "year").unwrap().unwrap();
+            assert!((c_fast - c_slow).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dominant_set_has_top_contribution() {
+        let step = filter_step();
+        let cc = ContributionComputer::new(&step, InterestingnessKind::Exceptionality);
+        let p = frequency_partition(&step.inputs[0], 0, "decade", 3).unwrap().unwrap();
+        let c = cc.contributions(&p, "decade").unwrap().unwrap();
+        // The filter keeps mostly 2010s rows; removing them should hurt the
+        // deviation most.
+        let idx_2010s = p.sets.iter().position(|s| s.label == "2010s").unwrap();
+        let best = c
+            .iter()
+            .take(p.n_sets())
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(best, idx_2010s);
+    }
+
+    fn groupby_step() -> ExploratoryStep {
+        ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::group_by(vec!["year"], vec![Aggregate::mean("loudness")]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn incremental_matches_rerun_groupby_mean() {
+        let step = groupby_step();
+        let cc = ContributionComputer::new(&step, InterestingnessKind::Diversity);
+        let p = many_to_one_partitions(&step.inputs[0], 0, "year", 5, 1)
+            .unwrap()
+            .into_iter()
+            .next()
+            .expect("decade is many-to-one with year");
+        let fast = cc.contributions(&p, "mean_loudness").unwrap().unwrap();
+        for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
+            let rows = p.rows_of_set(s as u32);
+            let c_slow = cc.contribution_by_rerun(0, &rows, "mean_loudness").unwrap().unwrap();
+            assert!(
+                (c_fast - c_slow).abs() < 1e-9,
+                "set {s}: fast {c_fast} vs rerun {c_slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_rerun_groupby_all_aggs() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::group_by(
+                vec!["decade"],
+                vec![
+                    Aggregate::count(None),
+                    Aggregate::sum("popularity"),
+                    Aggregate::min("loudness"),
+                    Aggregate::max("loudness"),
+                ],
+            ),
+        )
+        .unwrap();
+        let cc = ContributionComputer::new(&step, InterestingnessKind::Diversity);
+        let p = numeric_partition(&step.inputs[0], 0, "popularity", 4).unwrap().unwrap();
+        for col in ["count", "sum_popularity", "min_loudness", "max_loudness"] {
+            let fast = cc.contributions(&p, col).unwrap().unwrap();
+            for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
+                let rows = p.rows_of_set(s as u32);
+                let c_slow = cc.contribution_by_rerun(0, &rows, col).unwrap().unwrap();
+                assert!(
+                    (c_fast - c_slow).abs() < 1e-9,
+                    "{col} set {s}: fast {c_fast} vs rerun {c_slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_rerun_join_both_sides() {
+        let products = DataFrame::new(vec![
+            Column::from_ints("item", vec![1, 2, 3, 4]),
+            Column::from_strs("cat", vec!["a", "a", "b", "b"]),
+        ])
+        .unwrap();
+        let sales = DataFrame::new(vec![
+            Column::from_ints("item", vec![1, 1, 1, 2, 3, 3]),
+            Column::from_floats("total", vec![5.0, 6.0, 5.0, 9.0, 2.0, 2.5]),
+        ])
+        .unwrap();
+        let step = ExploratoryStep::run(
+            vec![products, sales],
+            Operation::join("item", "item", "p", "s"),
+        )
+        .unwrap();
+        let cc = ContributionComputer::new(&step, InterestingnessKind::Exceptionality);
+
+        // Partition the left side by category; measure contribution to a
+        // right-side column.
+        let p = frequency_partition(&step.inputs[0], 0, "cat", 2).unwrap().unwrap();
+        let fast = cc.contributions(&p, "s_total").unwrap().unwrap();
+        for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
+            let rows = p.rows_of_set(s as u32);
+            let c_slow = cc.contribution_by_rerun(0, &rows, "s_total").unwrap().unwrap();
+            assert!((c_fast - c_slow).abs() < 1e-9);
+        }
+
+        // Partition the right side; contribution to a left-side column.
+        let p = numeric_partition(&step.inputs[1], 1, "total", 3).unwrap().unwrap();
+        let fast = cc.contributions(&p, "p_cat").unwrap().unwrap();
+        for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
+            let rows = p.rows_of_set(s as u32);
+            let c_slow = cc.contribution_by_rerun(1, &rows, "p_cat").unwrap().unwrap();
+            assert!((c_fast - c_slow).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_rerun_union() {
+        let a = spotify_like().head(15);
+        let b = spotify_like();
+        let step = ExploratoryStep::run(vec![a, b], Operation::Union).unwrap();
+        let cc = ContributionComputer::new(&step, InterestingnessKind::Exceptionality);
+        let p = frequency_partition(&step.inputs[1], 1, "decade", 3).unwrap().unwrap();
+        let fast = cc.contributions(&p, "decade").unwrap().unwrap();
+        for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
+            let rows = p.rows_of_set(s as u32);
+            let c_slow = cc.contribution_by_rerun(1, &rows, "decade").unwrap().unwrap();
+            assert!((c_fast - c_slow).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_set_contributes_zero() {
+        let step = filter_step();
+        let cc = ContributionComputer::new(&step, InterestingnessKind::Exceptionality);
+        let c = cc.contribution_by_rerun(0, &[], "decade").unwrap().unwrap();
+        assert!(c.abs() < 1e-12);
+    }
+
+    #[test]
+    fn contribution_can_be_negative() {
+        // The paper's example (§3.3): d_in = {(x,1),(x,2),(y,3)}, group-sum.
+        // Removing (x,2) increases diversity → negative contribution.
+        let df = DataFrame::new(vec![
+            Column::from_strs("k", vec!["x", "x", "y"]),
+            Column::from_ints("v", vec![1, 2, 3]),
+        ])
+        .unwrap();
+        let step = ExploratoryStep::run(
+            vec![df],
+            Operation::group_by(vec!["k"], vec![Aggregate::sum("v")]),
+        )
+        .unwrap();
+        let cc = ContributionComputer::new(&step, InterestingnessKind::Diversity);
+        let c = cc.contribution_by_rerun(0, &[1], "sum_v").unwrap().unwrap();
+        assert!(c < 0.0, "removing (x,2) must increase diversity, C = {c}");
+    }
+
+    #[test]
+    fn contribution_can_be_positive_groupby() {
+        // Counterpart example: d_in = {(x,1),(x,1),(y,1)}, group-sum.
+        // Removing one (x,1) flattens the sums → positive contribution.
+        let df = DataFrame::new(vec![
+            Column::from_strs("k", vec!["x", "x", "y"]),
+            Column::from_ints("v", vec![1, 1, 1]),
+        ])
+        .unwrap();
+        let step = ExploratoryStep::run(
+            vec![df],
+            Operation::group_by(vec!["k"], vec![Aggregate::sum("v")]),
+        )
+        .unwrap();
+        let cc = ContributionComputer::new(&step, InterestingnessKind::Diversity);
+        let c = cc.contribution_by_rerun(0, &[1], "sum_v").unwrap().unwrap();
+        assert!(c > 0.0, "removing one (x,1) must decrease diversity, C = {c}");
+    }
+
+    #[test]
+    fn standardized_contribution_properties() {
+        let raw = vec![0.08, -0.01, -0.03, -0.04];
+        let z = standardized(&raw);
+        assert_eq!(z.len(), 4);
+        // Mean ≈ 0 and the max raw value has the max standardized value.
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert_eq!(
+            z.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0,
+            0
+        );
+        // Degenerate: identical contributions → all zeros.
+        assert_eq!(standardized(&[0.5, 0.5]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn group_disappearance_handled() {
+        // Partition exactly aligned with one group: removing the set kills
+        // the whole group.
+        let df = DataFrame::new(vec![
+            Column::from_strs("k", vec!["x", "x", "y", "z"]),
+            Column::from_floats("v", vec![1.0, 2.0, 10.0, 3.0]),
+        ])
+        .unwrap();
+        let step = ExploratoryStep::run(
+            vec![df],
+            Operation::group_by(vec!["k"], vec![Aggregate::mean("v")]),
+        )
+        .unwrap();
+        let cc = ContributionComputer::new(&step, InterestingnessKind::Diversity);
+        let p = frequency_partition(&step.inputs[0], 0, "k", 3).unwrap().unwrap();
+        let fast = cc.contributions(&p, "mean_v").unwrap().unwrap();
+        for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
+            let rows = p.rows_of_set(s as u32);
+            let c_slow = cc.contribution_by_rerun(0, &rows, "mean_v").unwrap().unwrap();
+            assert!((c_fast - c_slow).abs() < 1e-9, "set {s}");
+        }
+    }
+}

@@ -1,0 +1,886 @@
+//! Algorithm 1: the FEDEX explanation-generation pipeline.
+//!
+//! 1. Score the interestingness of every output column (sampled when
+//!    FEDEX-Sampling is enabled) and keep the top-k columns.
+//! 2. Partition every input dataframe with the §3.5 methods, for each
+//!    configured set count.
+//! 3. Compute the contribution of every set-of-rows to every interesting
+//!    column (incrementally, via [`ContributionComputer`]); keep candidates
+//!    with positive contribution and standardize within each partition.
+//! 4. Take the skyline of (interestingness, standardized contribution) and
+//!    rank it by the weighted score; render each survivor as a captioned
+//!    chart.
+
+use fedex_frame::Value;
+use fedex_query::{ExploratoryStep, Operation, Provenance};
+use fedex_stats::descriptive::mean_and_std;
+use fedex_stats::sampling::uniform_sample_indices;
+
+use crate::caption::{diversity_caption, exceptionality_caption};
+use crate::contribution::{standardized, ContributionComputer};
+use crate::error::ExplainError;
+use crate::interestingness::{score_all_columns, InterestingnessKind, Sample};
+use crate::partition::{build_partitions_for_attr, PartitionKind, RowPartition};
+use crate::skyline::{skyline_indices, weighted_score};
+use crate::viz::{json_number, json_string, Bar, Chart, ChartKind};
+use crate::Result;
+
+/// Per-partition contribution callback used by the shared pipeline tail:
+/// given a partition and an output column, return the raw contribution per
+/// slot (or `None` when the measure does not apply).
+type ContributionFn<'a> = dyn Fn(&RowPartition, &str) -> Result<Option<Vec<f64>>> + 'a;
+
+/// A user-defined interestingness measure (§3.8, "general interestingness
+/// functions").
+///
+/// No properties (monotonicity, non-negativity, ...) are required. Scores
+/// should be comparable across columns of one step; `None` marks columns
+/// the measure does not apply to. Contribution under a custom measure uses
+/// the literal Def. 3.3 re-run, so it is slower than the built-in
+/// exceptionality/diversity kernels.
+pub trait CustomMeasure {
+    /// Measure name (used in diagnostics).
+    fn name(&self) -> &str;
+    /// Score `I_A(Q)` for one output column.
+    fn score(&self, step: &ExploratoryStep, column: &str) -> Result<Option<f64>>;
+}
+
+/// Configuration of the FEDEX pipeline.
+#[derive(Debug, Clone)]
+pub struct FedexConfig {
+    /// Set counts tried per partition method (the paper uses 5 and 10).
+    pub set_counts: Vec<usize>,
+    /// Number of most-interesting columns for which contributions are
+    /// computed (the greedy step-1 cut of §4.3).
+    pub top_k_columns: usize,
+    /// `Some(n)` enables FEDEX-Sampling with a uniform sample of `n` input
+    /// rows for interestingness scoring (§3.7); contribution is always
+    /// exact. `None` is exact FEDEX.
+    pub sample_size: Option<usize>,
+    /// RNG seed for sampling and many-to-one mining.
+    pub seed: u64,
+    /// Restrict explanation to these output columns (§3.8,
+    /// "user-specified columns"). `None` = all columns.
+    pub target_columns: Option<Vec<String>>,
+    /// Keep only this many explanations after weighted ranking (`None` =
+    /// the full skyline).
+    pub top_k_explanations: Option<usize>,
+    /// Weight of interestingness in the post-skyline ranking (§3.7).
+    pub w_interestingness: f64,
+    /// Weight of standardized contribution in the post-skyline ranking.
+    pub w_contribution: f64,
+    /// Force a measure instead of the per-operation default (§3.8).
+    pub measure_override: Option<InterestingnessKind>,
+}
+
+impl Default for FedexConfig {
+    fn default() -> Self {
+        FedexConfig {
+            set_counts: vec![5, 10],
+            top_k_columns: 3,
+            sample_size: None,
+            seed: 42,
+            target_columns: None,
+            top_k_explanations: None,
+            w_interestingness: 1.0,
+            w_contribution: 1.0,
+            measure_override: None,
+        }
+    }
+}
+
+/// One explanation returned by FEDEX: the pair `(R, A)` with its quality
+/// scores and presentation artifacts.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The explained output column `A`.
+    pub column: String,
+    /// The measure that scored `A`.
+    pub measure: InterestingnessKind,
+    /// `I_A(Q)`.
+    pub interestingness: f64,
+    /// Label of the set-of-rows `R` (a value, interval, or `B` value).
+    pub set_label: String,
+    /// The attribute the partition was derived from.
+    pub partition_attr: String,
+    /// The partition method.
+    pub partition_kind: PartitionKind,
+    /// Which input dataframe `R` lives in.
+    pub input_idx: usize,
+    /// The rows of `R` (indices into that input dataframe).
+    pub set_rows: Vec<usize>,
+    /// Raw contribution `C(R, A, Q)`.
+    pub contribution: f64,
+    /// Standardized contribution `C̄(R, A)`.
+    pub std_contribution: f64,
+    /// Weighted ranking score.
+    pub score: f64,
+    /// Natural-language caption.
+    pub caption: String,
+    /// Captioned visualization data.
+    pub chart: Chart,
+}
+
+impl Explanation {
+    /// Render caption + chart as terminal text.
+    pub fn render_text(&self, width: usize) -> String {
+        format!("{}\n\n{}", self.caption, self.chart.render_text(width))
+    }
+
+    /// Serialize to a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"column\":{},\"measure\":{},\"interestingness\":{},\"set_label\":{},\
+             \"partition_attr\":{},\"partition_kind\":{},\"input_idx\":{},\
+             \"set_size\":{},\"contribution\":{},\"std_contribution\":{},\"score\":{},\
+             \"caption\":{},\"chart\":{}}}",
+            json_string(&self.column),
+            json_string(self.measure.name()),
+            json_number(self.interestingness),
+            json_string(&self.set_label),
+            json_string(&self.partition_attr),
+            json_string(&self.partition_kind.name()),
+            self.input_idx,
+            self.set_rows.len(),
+            json_number(self.contribution),
+            json_number(self.std_contribution),
+            json_number(self.score),
+            json_string(&self.caption),
+            self.chart.to_json(),
+        )
+    }
+}
+
+/// The FEDEX explainer.
+#[derive(Debug, Clone, Default)]
+pub struct Fedex {
+    config: FedexConfig,
+}
+
+impl Fedex {
+    /// Exact FEDEX with default configuration.
+    pub fn new() -> Self {
+        Fedex { config: FedexConfig::default() }
+    }
+
+    /// FEDEX-Sampling with the given interestingness sample size (the
+    /// paper's recommended size is 5 000).
+    pub fn sampling(sample_size: usize) -> Self {
+        Fedex { config: FedexConfig { sample_size: Some(sample_size), ..Default::default() } }
+    }
+
+    /// Custom configuration.
+    pub fn with_config(config: FedexConfig) -> Self {
+        Fedex { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FedexConfig {
+        &self.config
+    }
+
+    /// Build the per-input sampling masks.
+    fn build_sample(&self, step: &ExploratoryStep) -> Sample {
+        let Some(k) = self.config.sample_size else {
+            return Sample::full(step.inputs.len());
+        };
+        let masks = step
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(i, df)| {
+                let n = df.n_rows();
+                if n <= k {
+                    None
+                } else {
+                    let mut mask = vec![false; n];
+                    for idx in uniform_sample_indices(n, k, self.config.seed.wrapping_add(i as u64))
+                    {
+                        mask[idx] = true;
+                    }
+                    Some(mask)
+                }
+            })
+            .collect();
+        Sample { input_masks: masks }
+    }
+
+    /// The measure used for this step.
+    pub fn measure_for(&self, step: &ExploratoryStep) -> InterestingnessKind {
+        self.config.measure_override.unwrap_or_else(|| InterestingnessKind::default_for(&step.op))
+    }
+
+    /// Step 1 of Algorithm 1: interestingness scores of the output columns,
+    /// sorted descending (restricted to target columns when configured).
+    ///
+    /// Columns referenced by a filter predicate are excluded: the filter
+    /// *constructs* their deviation, so explaining it is a tautology. This
+    /// matches the paper's Example 3.2, where the top columns for
+    /// `popularity > 65` are 'decade', 'year', 'loudness' — not
+    /// 'popularity' itself.
+    pub fn interesting_columns(&self, step: &ExploratoryStep) -> Result<Vec<(String, f64)>> {
+        let kind = self.measure_for(step);
+        let sample = self.build_sample(step);
+        let mut scores = score_all_columns(step, kind, &sample)?;
+        if let Operation::Filter { predicate } = &step.op {
+            let excluded = predicate.referenced_columns();
+            scores.retain(|(c, _)| !excluded.contains(&c.as_str()));
+        }
+        if let Some(targets) = &self.config.target_columns {
+            for t in targets {
+                if !step.output.has_column(t) {
+                    return Err(ExplainError::UnknownColumn(t.clone()));
+                }
+            }
+            scores.retain(|(c, _)| targets.iter().any(|t| t == c));
+        }
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Ok(scores)
+    }
+
+    /// Step 2 of Algorithm 1: all row partitions of all inputs.
+    ///
+    /// Partitions that assign rows identically are deduplicated: a
+    /// many-to-one partition of `A` via `B` equals the frequency partition
+    /// of `B` itself, and near-unique columns (ids, names) would otherwise
+    /// spawn one such duplicate per functionally-dependent column. The
+    /// many-to-one labelling is preferred when both arise (it carries the
+    /// finer attribute, as in Example 3.9).
+    ///
+    /// Partitions *defined on a predicate column* of a filter (or group-by
+    /// pre-filter) are excluded: the set "rows with popularity ∈ [65, 100]"
+    /// explaining the step `popularity > 65` is a tautology — removing the
+    /// rows the filter selects trivially destroys any deviation.
+    pub fn build_partitions(&self, step: &ExploratoryStep) -> Result<Vec<RowPartition>> {
+        let predicate_cols: Vec<&str> = match &step.op {
+            Operation::Filter { predicate } => predicate.referenced_columns(),
+            Operation::GroupBy { pre_filter: Some(f), .. } => f.referenced_columns(),
+            _ => Vec::new(),
+        };
+        let mut out: Vec<RowPartition> = Vec::new();
+        let mut seen: std::collections::HashSet<(usize, String, &'static str, usize)> =
+            std::collections::HashSet::new();
+        for (idx, input) in step.inputs.iter().enumerate() {
+            for field in input.schema().fields() {
+                if idx == 0 && predicate_cols.contains(&field.name.as_str()) {
+                    continue;
+                }
+                for p in build_partitions_for_attr(
+                    input,
+                    idx,
+                    &field.name,
+                    &self.config.set_counts,
+                    self.config.seed,
+                )? {
+                    if idx == 0 && predicate_cols.contains(&p.defining_column()) {
+                        continue;
+                    }
+                    let family = match &p.kind {
+                        PartitionKind::NumericBins => "bins",
+                        _ => "values",
+                    };
+                    let key = (idx, p.defining_column().to_string(), family, p.n_sets());
+                    if seen.insert(key) {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Run the full pipeline and return the ranked skyline explanations.
+    pub fn explain(&self, step: &ExploratoryStep) -> Result<Vec<Explanation>> {
+        self.explain_with_partitions(step, Vec::new())
+    }
+
+    /// [`Fedex::explain`] with additional user-defined partitions (§3.8,
+    /// "custom partitioning of rows"). The extra partitions must satisfy
+    /// Def. 3.8 over the step's inputs (validated here); they are used
+    /// *alongside* the automatically mined ones.
+    pub fn explain_with_partitions(
+        &self,
+        step: &ExploratoryStep,
+        extra_partitions: Vec<RowPartition>,
+    ) -> Result<Vec<Explanation>> {
+        let kind = self.measure_for(step);
+        let scores = self.interesting_columns(step)?;
+        let top: Vec<(String, f64)> =
+            scores.into_iter().take(self.config.top_k_columns.max(1)).collect();
+        if top.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut partitions = self.build_partitions(step)?;
+        for p in extra_partitions {
+            p.validate()?;
+            if p.input_idx >= step.inputs.len()
+                || p.assignment.len() != step.inputs[p.input_idx].n_rows()
+            {
+                return Err(ExplainError::InvalidConfig(format!(
+                    "custom partition on {:?} does not match input {}",
+                    p.attr, p.input_idx
+                )));
+            }
+            partitions.push(p);
+        }
+        let computer = ContributionComputer::new(step, kind);
+        let contribute = |partition: &RowPartition, column: &str| {
+            computer.contributions(partition, column)
+        };
+        self.finish_explain(step, kind, &top, &partitions, &contribute)
+    }
+
+    /// [`Fedex::explain`] under a user-supplied interestingness measure
+    /// (§3.8, "general interestingness functions"). No properties are
+    /// required of the measure; contribution falls back to the literal
+    /// Def. 3.3 re-run, so this path is slower than the built-ins.
+    pub fn explain_with_measure(
+        &self,
+        step: &ExploratoryStep,
+        measure: &dyn CustomMeasure,
+    ) -> Result<Vec<Explanation>> {
+        // Score every output column under the custom measure.
+        let mut scores: Vec<(String, f64)> = Vec::new();
+        for field in step.output.schema().fields() {
+            if let Some(s) = measure.score(step, &field.name)? {
+                if s.is_finite() {
+                    scores.push((field.name.clone(), s));
+                }
+            }
+        }
+        if let Some(targets) = &self.config.target_columns {
+            scores.retain(|(c, _)| targets.iter().any(|t| t == c));
+        }
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let top: Vec<(String, f64)> =
+            scores.into_iter().take(self.config.top_k_columns.max(1)).collect();
+        if top.is_empty() {
+            return Ok(Vec::new());
+        }
+        let partitions = self.build_partitions(step)?;
+        // Def. 3.3 verbatim: remove each set, re-run, re-score.
+        let contribute = |partition: &RowPartition, column: &str| -> Result<Option<Vec<f64>>> {
+            let Some(base) = measure.score(step, column)? else { return Ok(None) };
+            let n_slots = ContributionComputer::n_slots(partition);
+            let mut out = Vec::with_capacity(n_slots);
+            for slot in 0..n_slots {
+                let code = if slot == partition.n_sets() {
+                    crate::partition::IGNORE
+                } else {
+                    slot as u32
+                };
+                let rows: Vec<usize> = partition
+                    .assignment
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &a)| (a == code).then_some(i))
+                    .collect();
+                let keep = step.inputs[partition.input_idx].complement_indices(&rows);
+                let reduced = step.inputs[partition.input_idx]
+                    .take(&keep)
+                    .map_err(ExplainError::from)?;
+                let mut inputs = step.inputs.clone();
+                inputs[partition.input_idx] = reduced;
+                let reduced_step = ExploratoryStep::run(inputs, step.op.clone())?;
+                let reduced_score = measure.score(&reduced_step, column)?.unwrap_or(0.0);
+                out.push(base - reduced_score);
+            }
+            Ok(Some(out))
+        };
+        let render_kind = self.measure_for(step);
+        self.finish_explain(step, render_kind, &top, &partitions, &contribute)
+    }
+
+    /// Shared back half of Algorithm 1: candidates → skyline → ranking →
+    /// rendering.
+    fn finish_explain(
+        &self,
+        step: &ExploratoryStep,
+        kind: InterestingnessKind,
+        top: &[(String, f64)],
+        partitions: &[RowPartition],
+        contribute: &ContributionFn<'_>,
+    ) -> Result<Vec<Explanation>> {
+        // Candidate accumulation: (partition idx, slot, column idx, raw C,
+        // standardized C̄).
+        struct Candidate {
+            part: usize,
+            slot: usize,
+            col: usize,
+            raw: f64,
+            std: f64,
+        }
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for (pi, partition) in partitions.iter().enumerate() {
+            for (ci, (column, _)) in top.iter().enumerate() {
+                let Some(raw) = contribute(partition, column)? else {
+                    continue;
+                };
+                let std = standardized(&raw);
+                // The ignore-set (last slot, when present) participates in
+                // standardization but never becomes a candidate.
+                for slot in 0..partition.n_sets() {
+                    if raw[slot] > 0.0 {
+                        candidates.push(Candidate {
+                            part: pi,
+                            slot,
+                            col: ci,
+                            raw: raw[slot],
+                            std: std[slot],
+                        });
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Skyline over (I_A, C̄).
+        let points: Vec<(f64, f64)> =
+            candidates.iter().map(|c| (top[c.col].1, c.std)).collect();
+        let sky = skyline_indices(&points);
+
+        // Weighted ranking + dedup of equivalent explanations (the same
+        // set label can arise from several partitions, e.g. n=5 and n=10).
+        let mut ranked: Vec<&Candidate> = sky.iter().map(|&i| &candidates[i]).collect();
+        ranked.sort_by(|a, b| {
+            let sa = weighted_score(
+                top[a.col].1,
+                a.std,
+                self.config.w_interestingness,
+                self.config.w_contribution,
+            );
+            let sb = weighted_score(
+                top[b.col].1,
+                b.std,
+                self.config.w_interestingness,
+                self.config.w_contribution,
+            );
+            sb.total_cmp(&sa)
+        });
+        let mut seen: Vec<(String, String, String)> = Vec::new();
+        let mut out = Vec::new();
+        for cand in ranked {
+            let partition = &partitions[cand.part];
+            let column = &top[cand.col].0;
+            let key = (
+                column.clone(),
+                partition.attr.clone(),
+                partition.sets[cand.slot].label.clone(),
+            );
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            out.push(self.render_explanation(
+                step,
+                kind,
+                partition,
+                cand.slot,
+                column,
+                top[cand.col].1,
+                cand.raw,
+                cand.std,
+            )?);
+            if let Some(k) = self.config.top_k_explanations {
+                if out.len() >= k {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn render_explanation(
+        &self,
+        step: &ExploratoryStep,
+        kind: InterestingnessKind,
+        partition: &RowPartition,
+        slot: usize,
+        column: &str,
+        interestingness: f64,
+        raw: f64,
+        std: f64,
+    ) -> Result<Explanation> {
+        let set_label = partition.sets[slot].label.clone();
+        let (caption, chart) = match kind {
+            InterestingnessKind::Exceptionality => {
+                let (bars, before, after) = exceptionality_chart(step, partition, slot)?;
+                (
+                    exceptionality_caption(column, &set_label, before, after),
+                    Chart {
+                        kind: ChartKind::BeforeAfterBars,
+                        x_label: partition.defining_column().to_string(),
+                        y_label: "Frequency (%)".to_string(),
+                        bars,
+                        mean_line: None,
+                    },
+                )
+            }
+            InterestingnessKind::Diversity => {
+                let (bars, z, mean) = diversity_chart(step, partition, slot, column)?;
+                (
+                    diversity_caption(column, partition.defining_column(), &set_label, z, mean),
+                    Chart {
+                        kind: ChartKind::ValueBars,
+                        x_label: partition.defining_column().to_string(),
+                        y_label: format!("'{column}' per set"),
+                        bars,
+                        mean_line: Some(mean),
+                    },
+                )
+            }
+        };
+        Ok(Explanation {
+            column: column.to_string(),
+            measure: kind,
+            interestingness,
+            set_label,
+            partition_attr: partition.attr.clone(),
+            partition_kind: partition.kind.clone(),
+            input_idx: partition.input_idx,
+            set_rows: partition.rows_of_set(slot as u32),
+            contribution: raw,
+            std_contribution: std,
+            score: weighted_score(
+                interestingness,
+                std,
+                self.config.w_interestingness,
+                self.config.w_contribution,
+            ),
+            caption,
+            chart,
+        })
+    }
+}
+
+/// Per-set output attribution counts: how many output rows trace back to
+/// each slot of the partition.
+fn attribution_counts(step: &ExploratoryStep, partition: &RowPartition) -> Vec<u64> {
+    let n_slots = ContributionComputer::n_slots(partition);
+    let slot_of = |code: u32| -> usize {
+        if code == crate::partition::IGNORE {
+            partition.n_sets()
+        } else {
+            code as usize
+        }
+    };
+    let mut counts = vec![0u64; n_slots.max(1)];
+    match &step.provenance {
+        Provenance::Filter { kept } => {
+            for &in_row in kept {
+                counts[slot_of(partition.assignment[in_row])] += 1;
+            }
+        }
+        Provenance::Join { left_rows, right_rows } => {
+            let side = if partition.input_idx == 0 { left_rows } else { right_rows };
+            for &in_row in side {
+                counts[slot_of(partition.assignment[in_row])] += 1;
+            }
+        }
+        Provenance::Union { source_of_row } => {
+            for &(src_input, src_row) in source_of_row {
+                if src_input == partition.input_idx {
+                    counts[slot_of(partition.assignment[src_row])] += 1;
+                }
+            }
+        }
+        Provenance::GroupBy { .. } => {}
+    }
+    counts
+}
+
+/// Build the before/after frequency bars for an exceptionality explanation;
+/// returns `(bars, before% of the chosen set, after%)`.
+fn exceptionality_chart(
+    step: &ExploratoryStep,
+    partition: &RowPartition,
+    slot: usize,
+) -> Result<(Vec<Bar>, f64, f64)> {
+    let n_in = step.inputs[partition.input_idx].n_rows().max(1) as f64;
+    let n_out = step.output.n_rows().max(1) as f64;
+    let attributed = attribution_counts(step, partition);
+    let mut bars = Vec::with_capacity(partition.n_sets());
+    let mut chosen = (0.0, 0.0);
+    for (s, meta) in partition.sets.iter().enumerate() {
+        let before = 100.0 * meta.size as f64 / n_in;
+        let after = 100.0 * attributed[s] as f64 / n_out;
+        if s == slot {
+            chosen = (before, after);
+        }
+        bars.push(Bar {
+            label: meta.label.clone(),
+            value: before,
+            after: Some(after),
+            highlighted: s == slot,
+        });
+    }
+    Ok((bars, chosen.0, chosen.1))
+}
+
+/// Build the per-set aggregated-value bars for a diversity explanation;
+/// returns `(bars, z-score of the chosen set, overall mean)`.
+fn diversity_chart(
+    step: &ExploratoryStep,
+    partition: &RowPartition,
+    slot: usize,
+    column: &str,
+) -> Result<(Vec<Bar>, f64, f64)> {
+    let out_col = step.output.column(column)?;
+    let values = out_col.numeric_values();
+    let (mean_all, std_all) = mean_and_std(&values);
+
+    // Weight each output group's value by the share of its rows in each
+    // set; for partitions coarser than the grouping (e.g. many-to-one
+    // year → decade) this is exactly the per-set mean of its groups.
+    let n_slots = ContributionComputer::n_slots(partition);
+    let mut wsum = vec![0.0f64; n_slots];
+    let mut wcnt = vec![0.0f64; n_slots];
+    if let Provenance::GroupBy { group_of_row, .. } = &step.provenance {
+        let slot_of = |code: u32| -> usize {
+            if code == crate::partition::IGNORE {
+                partition.n_sets()
+            } else {
+                code as usize
+            }
+        };
+        for (row, g) in group_of_row.iter().enumerate() {
+            let Some(g) = g else { continue };
+            if let Some(v) = out_col.get(*g as usize).as_f64() {
+                let s = slot_of(partition.assignment[row]);
+                wsum[s] += v;
+                wcnt[s] += 1.0;
+            }
+        }
+    }
+    let mut bars = Vec::with_capacity(partition.n_sets());
+    let mut chosen_value = mean_all;
+    for (s, meta) in partition.sets.iter().enumerate() {
+        let v = if wcnt[s] > 0.0 { wsum[s] / wcnt[s] } else { 0.0 };
+        if s == slot {
+            chosen_value = v;
+        }
+        bars.push(Bar { label: meta.label.clone(), value: v, after: None, highlighted: s == slot });
+    }
+    let z = if std_all > 0.0 { (chosen_value - mean_all) / std_all } else { 0.0 };
+    Ok((bars, z, mean_all))
+}
+
+/// Pretty-print a list of explanations (convenience for notebooks/CLIs).
+pub fn render_all(explanations: &[Explanation], width: usize) -> String {
+    let mut out = String::new();
+    for (i, e) in explanations.iter().enumerate() {
+        out.push_str(&format!("── Explanation {} ──\n{}\n", i + 1, e.render_text(width)));
+    }
+    out
+}
+
+/// Serialize a list of explanations as a JSON array.
+pub fn to_json_array(explanations: &[Explanation]) -> String {
+    let mut s = String::from("[");
+    for (i, e) in explanations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&e.to_json());
+    }
+    s.push(']');
+    s
+}
+
+// Silence an unused-import warning path for Value (used in doctests).
+#[allow(unused)]
+fn _value_witness(v: Value) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedex_frame::{Column, DataFrame};
+    use fedex_query::{Aggregate, Expr, Operation};
+
+    /// 2010s songs are popular; 1990s songs are quiet — both planted
+    /// patterns FEDEX must surface.
+    fn spotify_like() -> DataFrame {
+        let mut years = Vec::new();
+        let mut decades = Vec::new();
+        let mut pops = Vec::new();
+        let mut loud = Vec::new();
+        for i in 0..200i64 {
+            let (y, d) = match i % 4 {
+                0 => (2010 + (i % 5), "2010s"),
+                1 => (1990 + (i % 8), "1990s"),
+                2 => (1970 + (i % 10), "1970s"),
+                _ => (1980 + (i % 10), "1980s"),
+            };
+            let pop = if d == "2010s" { 70 + (i % 25) } else { 20 + (i % 30) };
+            let l = if d == "1990s" { -12.0 + 0.01 * (i % 7) as f64 } else { -7.0 - 0.01 * (i % 9) as f64 };
+            years.push(y);
+            decades.push(d);
+            pops.push(pop);
+            loud.push(l);
+        }
+        DataFrame::new(vec![
+            Column::from_ints("year", years),
+            Column::from_strs("decade", decades),
+            Column::from_ints("popularity", pops),
+            Column::from_floats("loudness", loud),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn explains_filter_with_planted_pattern() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
+        )
+        .unwrap();
+        let ex = Fedex::new().explain(&step).unwrap();
+        assert!(!ex.is_empty());
+        let top = &ex[0];
+        assert_eq!(top.measure, InterestingnessKind::Exceptionality);
+        // The filter column itself is never explained (tautology).
+        assert!(ex.iter().all(|e| e.column != "popularity"));
+        assert!(top.interestingness > 0.3);
+        assert!(top.contribution > 0.0);
+        assert!(!top.caption.is_empty());
+        assert!(!top.chart.bars.is_empty());
+        // The planted pattern must surface: some explanation of the
+        // 'decade' column highlights the 2010s set.
+        let found = ex.iter().any(|e| e.column == "decade" && e.set_label.contains("2010s"));
+        assert!(
+            found,
+            "explanations: {:?}",
+            ex.iter().map(|e| (&e.column, &e.set_label)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn explains_group_by_with_planted_pattern() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::group_by(vec!["year"], vec![Aggregate::mean("loudness")]),
+        )
+        .unwrap();
+        let ex = Fedex::new().explain(&step).unwrap();
+        assert!(!ex.is_empty());
+        let loudness_ex = ex.iter().find(|e| e.column == "mean_loudness");
+        assert!(loudness_ex.is_some(), "expected an explanation for mean_loudness");
+        let e = loudness_ex.unwrap();
+        assert_eq!(e.measure, InterestingnessKind::Diversity);
+        // The quiet decade should be the highlighted set on some
+        // explanation for this column.
+        let found_1990s = ex
+            .iter()
+            .any(|e| e.column == "mean_loudness" && e.set_label.contains("1990"));
+        assert!(found_1990s, "explanations: {:?}",
+            ex.iter().map(|e| (&e.column, &e.set_label)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn no_explanation_without_positive_contribution() {
+        // An identity filter: nothing deviates, contributions are 0.
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::filter(Expr::col("popularity").ge(Expr::lit(0i64))),
+        )
+        .unwrap();
+        let ex = Fedex::new().explain(&step).unwrap();
+        assert!(ex.is_empty());
+    }
+
+    #[test]
+    fn target_columns_restrict_output() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
+        )
+        .unwrap();
+        let fedex = Fedex::with_config(FedexConfig {
+            target_columns: Some(vec!["loudness".to_string()]),
+            ..Default::default()
+        });
+        let ex = fedex.explain(&step).unwrap();
+        assert!(ex.iter().all(|e| e.column == "loudness"));
+
+        let bad = Fedex::with_config(FedexConfig {
+            target_columns: Some(vec!["nope".to_string()]),
+            ..Default::default()
+        });
+        assert!(matches!(bad.explain(&step), Err(ExplainError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn top_k_explanations_truncates() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
+        )
+        .unwrap();
+        let fedex = Fedex::with_config(FedexConfig {
+            top_k_explanations: Some(1),
+            ..Default::default()
+        });
+        assert_eq!(fedex.explain(&step).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn sampling_matches_exact_on_small_data() {
+        // When the sample size exceeds the data, FEDEX-Sampling must equal
+        // exact FEDEX bit-for-bit.
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
+        )
+        .unwrap();
+        let exact = Fedex::new().explain(&step).unwrap();
+        let sampled = Fedex::sampling(10_000).explain(&step).unwrap();
+        assert_eq!(exact.len(), sampled.len());
+        for (a, b) in exact.iter().zip(&sampled) {
+            assert_eq!(a.column, b.column);
+            assert_eq!(a.set_label, b.set_label);
+        }
+    }
+
+    #[test]
+    fn sampling_skyline_close_to_exact() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
+        )
+        .unwrap();
+        let exact = Fedex::new().explain(&step).unwrap();
+        let sampled = Fedex::sampling(120).explain(&step).unwrap();
+        assert!(!sampled.is_empty());
+        // Top explanation identity is stable under sampling here.
+        assert_eq!(exact[0].set_label, sampled[0].set_label);
+    }
+
+    #[test]
+    fn explanations_render_and_serialize() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
+        )
+        .unwrap();
+        let ex = Fedex::new().explain(&step).unwrap();
+        let text = render_all(&ex, 40);
+        assert!(text.contains("Explanation 1"));
+        let json = to_json_array(&ex);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"caption\""));
+    }
+
+    #[test]
+    fn empty_output_yields_no_explanations() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::filter(Expr::col("popularity").gt(Expr::lit(99999i64))),
+        )
+        .unwrap();
+        let ex = Fedex::new().explain(&step).unwrap();
+        assert!(ex.is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! Value histograms with subtraction — the kernel behind incremental
+//! exceptionality contribution.
+//!
+//! The exceptionality measure (Eq. 1) is a KS statistic over the
+//! value-frequency distributions of a column before and after the
+//! operation. Removing a set-of-rows `R` from the input (Def. 3.3) shifts
+//! both distributions by the value counts of `R`, so the intervention score
+//! can be computed by *histogram subtraction* — no re-execution of the
+//! operation is needed. [`ValueHist`] supports exactly that.
+
+use std::collections::BTreeMap;
+
+use fedex_frame::{Column, Value};
+
+/// Ordered histogram of column values (nulls excluded).
+#[derive(Debug, Clone, Default)]
+pub struct ValueHist {
+    counts: BTreeMap<Value, i64>,
+    total: i64,
+}
+
+impl ValueHist {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Histogram of all non-null values of a column.
+    pub fn from_column(col: &Column) -> Self {
+        let mut h = ValueHist::new();
+        for v in col.iter() {
+            if !v.is_null() {
+                h.add(v, 1);
+            }
+        }
+        h
+    }
+
+    /// Histogram of the column restricted to `rows`.
+    pub fn from_column_rows(col: &Column, rows: &[usize]) -> Self {
+        let mut h = ValueHist::new();
+        for &i in rows {
+            let v = col.get(i);
+            if !v.is_null() {
+                h.add(v, 1);
+            }
+        }
+        h
+    }
+
+    /// Add `n` observations of `v`.
+    pub fn add(&mut self, v: Value, n: i64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(v).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> i64 {
+        self.total
+    }
+
+    /// Number of distinct values.
+    pub fn n_distinct(&self) -> usize {
+        self.counts.values().filter(|&&c| c > 0).count()
+    }
+
+    /// Count of one value.
+    pub fn count(&self, v: &Value) -> i64 {
+        self.counts.get(v).copied().unwrap_or(0)
+    }
+
+    /// Iterate `(value, count)` in value order, skipping zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, i64)> + '_ {
+        self.counts.iter().filter(|(_, &c)| c > 0).map(|(v, &c)| (v, c))
+    }
+
+    /// The `n` most frequent values, ties broken by value order.
+    pub fn top_n(&self, n: usize) -> Vec<(Value, i64)> {
+        let mut all: Vec<(Value, i64)> = self.iter().map(|(v, c)| (v.clone(), c)).collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// KS statistic between `self − sub_a` and `other − sub_b`, where the
+    /// subtracted histograms are the value counts of a removed set-of-rows
+    /// on each side. Pass [`ValueHist::new()`] to subtract nothing.
+    ///
+    /// Returns 0.0 when either reduced side is empty.
+    pub fn ks_sub(&self, sub_a: &ValueHist, other: &ValueHist, sub_b: &ValueHist) -> f64 {
+        let ta = (self.total - sub_a.total) as f64;
+        let tb = (other.total - sub_b.total) as f64;
+        if ta <= 0.0 || tb <= 0.0 {
+            return 0.0;
+        }
+        // Merge-walk the union of keys from all four histograms in value
+        // order, maintaining both CDFs.
+        let mut keys: Vec<&Value> = self
+            .counts
+            .keys()
+            .chain(other.counts.keys())
+            .chain(sub_a.counts.keys())
+            .chain(sub_b.counts.keys())
+            .collect();
+        keys.sort();
+        keys.dedup();
+
+        let mut cdf_a = 0.0f64;
+        let mut cdf_b = 0.0f64;
+        let mut max_diff = 0.0f64;
+        for k in keys {
+            let ca = self.count(k) - sub_a.count(k);
+            let cb = other.count(k) - sub_b.count(k);
+            cdf_a += ca as f64 / ta;
+            cdf_b += cb as f64 / tb;
+            let d = (cdf_a - cdf_b).abs();
+            if d > max_diff {
+                max_diff = d;
+            }
+        }
+        max_diff.clamp(0.0, 1.0)
+    }
+
+    /// Plain two-sample KS statistic between two histograms.
+    pub fn ks(&self, other: &ValueHist) -> f64 {
+        let empty = ValueHist::new();
+        self.ks_sub(&empty, other, &empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedex_frame::Column;
+
+    #[test]
+    fn from_column_counts_values() {
+        let c = Column::from_strs("d", vec!["a", "b", "a", "a"]);
+        let h = ValueHist::from_column(&c);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(&Value::str("a")), 3);
+        assert_eq!(h.n_distinct(), 2);
+    }
+
+    #[test]
+    fn nulls_excluded() {
+        let c = Column::from_opt_ints("x", vec![Some(1), None, Some(1)]);
+        let h = ValueHist::from_column(&c);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn restricted_rows() {
+        let c = Column::from_ints("x", vec![1, 2, 3, 2]);
+        let h = ValueHist::from_column_rows(&c, &[1, 3]);
+        assert_eq!(h.count(&Value::Int(2)), 2);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn ks_matches_direct_computation() {
+        let a = Column::from_ints("x", vec![1, 1, 1, 2]);
+        let b = Column::from_ints("x", vec![1, 2, 2, 2]);
+        let ha = ValueHist::from_column(&a);
+        let hb = ValueHist::from_column(&b);
+        // CDF at 1: 0.75 vs 0.25 → D = 0.5
+        assert!((ha.ks(&hb) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_sub_equals_ks_of_reduced_columns() {
+        let col = Column::from_ints("x", vec![1, 1, 2, 3, 3, 3, 4]);
+        let out = Column::from_ints("x", vec![3, 3, 3, 4]);
+        let h_in = ValueHist::from_column(&col);
+        let h_out = ValueHist::from_column(&out);
+        // Remove rows {0, 4} from the input (values 1 and 3); on the output
+        // side row 4 maps to output row 1 (value 3).
+        let sub_in = ValueHist::from_column_rows(&col, &[0, 4]);
+        let sub_out = ValueHist::from_column_rows(&out, &[1]);
+
+        let reduced_in = Column::from_ints("x", vec![1, 2, 3, 3, 4]);
+        let reduced_out = Column::from_ints("x", vec![3, 3, 4]);
+        let expected = ValueHist::from_column(&reduced_in).ks(&ValueHist::from_column(&reduced_out));
+        let got = h_in.ks_sub(&sub_in, &h_out, &sub_out);
+        assert!((got - expected).abs() < 1e-12, "got {got}, expected {expected}");
+    }
+
+    #[test]
+    fn ks_sub_empty_side_is_zero() {
+        let c = Column::from_ints("x", vec![1, 2]);
+        let h = ValueHist::from_column(&c);
+        let all = ValueHist::from_column_rows(&c, &[0, 1]);
+        assert_eq!(h.ks_sub(&all, &h, &ValueHist::new()), 0.0);
+    }
+
+    #[test]
+    fn top_n_orders_by_count_then_value() {
+        let c = Column::from_strs("d", vec!["b", "b", "a", "a", "c"]);
+        let h = ValueHist::from_column(&c);
+        let top = h.top_n(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, Value::str("a")); // tie (2 vs 2) → value order
+        assert_eq!(top[1].0, Value::str("b"));
+    }
+
+    #[test]
+    fn mixed_numeric_keys_merge() {
+        // Int and Float of equal numeric value are one key.
+        let mut h = ValueHist::new();
+        h.add(Value::Int(2), 1);
+        h.add(Value::Float(2.0), 1);
+        assert_eq!(h.n_distinct(), 1);
+        assert_eq!(h.count(&Value::Int(2)), 2);
+    }
+}

@@ -1,0 +1,549 @@
+//! Interestingness measures (§3.2): *exceptionality* (two-sample KS, Eq. 1)
+//! for filter/join/union and *diversity* (coefficient of variation, Eq. 2)
+//! for group-by.
+//!
+//! Scores are computed per output column. The optional [`Sample`] restricts
+//! the computation to uniformly-sampled input rows (the FEDEX-Sampling
+//! optimization of §3.7): the output side is restricted through row
+//! provenance to the rows *produced by* the sampled input rows, which is
+//! exactly `q` applied to the sample.
+
+use fedex_frame::{Column, DataFrame, Value};
+use fedex_query::{AggFunc, Aggregate, ExploratoryStep, Operation, Provenance};
+use fedex_stats::descriptive::coefficient_of_variation;
+
+use crate::hist::ValueHist;
+use crate::Result;
+
+/// Which interestingness measure to use for a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterestingnessKind {
+    /// Deviation of the output column distribution from the input column
+    /// distribution (two-sample KS). Default for filter, join, union.
+    Exceptionality,
+    /// Dispersion of the output column values (coefficient of variation).
+    /// Default for group-by.
+    Diversity,
+}
+
+impl InterestingnessKind {
+    /// The paper's default measure for each operation (§3.2).
+    pub fn default_for(op: &Operation) -> InterestingnessKind {
+        match op {
+            Operation::GroupBy { .. } => InterestingnessKind::Diversity,
+            _ => InterestingnessKind::Exceptionality,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InterestingnessKind::Exceptionality => "exceptionality",
+            InterestingnessKind::Diversity => "diversity",
+        }
+    }
+}
+
+/// Uniform row sample over the step's inputs: one optional membership mask
+/// per input dataframe (`None` = use all rows).
+#[derive(Debug, Clone, Default)]
+pub struct Sample {
+    /// Per-input membership masks.
+    pub input_masks: Vec<Option<Vec<bool>>>,
+}
+
+impl Sample {
+    /// A sample that uses all rows of every input.
+    pub fn full(n_inputs: usize) -> Self {
+        Sample { input_masks: vec![None; n_inputs] }
+    }
+
+    /// True when input `idx` row `row` is in the sample.
+    pub fn contains(&self, idx: usize, row: usize) -> bool {
+        match self.input_masks.get(idx).and_then(|m| m.as_ref()) {
+            Some(mask) => mask[row],
+            None => true,
+        }
+    }
+
+    /// True when no input is actually sampled.
+    pub fn is_full(&self) -> bool {
+        self.input_masks.iter().all(Option::is_none)
+    }
+}
+
+/// Histogram of a column restricted to rows where `mask` is true.
+fn hist_masked(col: &Column, mask: Option<&Vec<bool>>) -> ValueHist {
+    match mask {
+        None => ValueHist::from_column(col),
+        Some(m) => {
+            let mut h = ValueHist::new();
+            for (i, v) in col.iter().enumerate() {
+                if m[i] && !v.is_null() {
+                    h.add(v, 1);
+                }
+            }
+            h
+        }
+    }
+}
+
+/// Histogram of the output column restricted (through provenance) to the
+/// rows produced by sampled input rows.
+fn output_hist_sampled(step: &ExploratoryStep, column: &str, sample: &Sample) -> Result<ValueHist> {
+    let col = step.output.column(column)?;
+    if sample.is_full() {
+        return Ok(ValueHist::from_column(col));
+    }
+    let mut h = ValueHist::new();
+    match &step.provenance {
+        Provenance::Filter { kept } => {
+            for (out_row, &in_row) in kept.iter().enumerate() {
+                if sample.contains(0, in_row) {
+                    let v = col.get(out_row);
+                    if !v.is_null() {
+                        h.add(v, 1);
+                    }
+                }
+            }
+        }
+        Provenance::Join { left_rows, right_rows } => {
+            for out_row in 0..col.len() {
+                if sample.contains(0, left_rows[out_row]) && sample.contains(1, right_rows[out_row])
+                {
+                    let v = col.get(out_row);
+                    if !v.is_null() {
+                        h.add(v, 1);
+                    }
+                }
+            }
+        }
+        Provenance::Union { source_of_row } => {
+            for (out_row, &(src_input, src_row)) in source_of_row.iter().enumerate() {
+                if sample.contains(src_input, src_row) {
+                    let v = col.get(out_row);
+                    if !v.is_null() {
+                        h.add(v, 1);
+                    }
+                }
+            }
+        }
+        Provenance::GroupBy { .. } => {
+            // Group-by output rows are groups, not provenance-mapped rows;
+            // exceptionality is not used for group-by.
+            return Ok(ValueHist::from_column(col));
+        }
+    }
+    Ok(h)
+}
+
+/// Find the aggregate spec producing output column `column`, if any.
+fn aggregate_of_column<'a>(op: &'a Operation, column: &str) -> Option<&'a Aggregate> {
+    match op {
+        Operation::GroupBy { aggs, .. } => aggs.iter().find(|a| a.output_name() == column),
+        _ => None,
+    }
+}
+
+/// Recompute a group-by aggregate column over a row subset defined by
+/// `keep`, using the step's group provenance. Returns one value per group;
+/// groups with no kept rows yield `None` (the group disappears).
+pub fn aggregate_over_rows(
+    input: &DataFrame,
+    group_of_row: &[Option<u32>],
+    n_groups: usize,
+    agg: &Aggregate,
+    keep: &dyn Fn(usize) -> bool,
+) -> Result<Vec<Option<f64>>> {
+    let src = match agg.source_column() {
+        Some(c) => Some(input.column(c)?),
+        None => None,
+    };
+    let mut count = vec![0u64; n_groups];
+    let mut sum = vec![0.0f64; n_groups];
+    let mut min = vec![f64::INFINITY; n_groups];
+    let mut max = vec![f64::NEG_INFINITY; n_groups];
+    let mut present = vec![false; n_groups];
+    for (i, g) in group_of_row.iter().enumerate() {
+        let Some(g) = g else { continue };
+        if !keep(i) {
+            continue;
+        }
+        let g = *g as usize;
+        present[g] = true;
+        match (agg.func, src) {
+            (AggFunc::Count, None) => count[g] += 1,
+            (AggFunc::Count, Some(c)) => {
+                if !c.get(i).is_null() {
+                    count[g] += 1;
+                }
+            }
+            (_, Some(c)) => {
+                if let Some(x) = c.get(i).as_f64() {
+                    count[g] += 1;
+                    sum[g] += x;
+                    if x < min[g] {
+                        min[g] = x;
+                    }
+                    if x > max[g] {
+                        max[g] = x;
+                    }
+                }
+            }
+            (_, None) => {}
+        }
+    }
+    let mut out = Vec::with_capacity(n_groups);
+    for g in 0..n_groups {
+        if !present[g] {
+            out.push(None);
+            continue;
+        }
+        out.push(match agg.func {
+            AggFunc::Count => Some(count[g] as f64),
+            AggFunc::Sum => Some(sum[g]),
+            AggFunc::Mean => {
+                if count[g] == 0 {
+                    None
+                } else {
+                    Some(sum[g] / count[g] as f64)
+                }
+            }
+            AggFunc::Min => {
+                if count[g] == 0 {
+                    None
+                } else {
+                    Some(min[g])
+                }
+            }
+            AggFunc::Max => {
+                if count[g] == 0 {
+                    None
+                } else {
+                    Some(max[g])
+                }
+            }
+        });
+    }
+    Ok(out)
+}
+
+/// Score `I_A(Q)` for one output column (Eq. 1 / Eq. 2). Returns `None`
+/// when the measure does not apply to the column (e.g. diversity of a
+/// non-numeric column, exceptionality of a column with no input
+/// counterpart).
+pub fn score_column(
+    step: &ExploratoryStep,
+    column: &str,
+    kind: InterestingnessKind,
+    sample: &Sample,
+) -> Result<Option<f64>> {
+    match kind {
+        InterestingnessKind::Exceptionality => score_exceptionality(step, column, sample),
+        InterestingnessKind::Diversity => score_diversity(step, column, sample),
+    }
+}
+
+fn score_exceptionality(
+    step: &ExploratoryStep,
+    column: &str,
+    sample: &Sample,
+) -> Result<Option<f64>> {
+    match &step.op {
+        Operation::Union => {
+            let out_hist = output_hist_sampled(step, column, sample)?;
+            let mut best: Option<f64> = None;
+            for (idx, input) in step.inputs.iter().enumerate() {
+                if !input.has_column(column) {
+                    continue;
+                }
+                let in_hist = hist_masked(
+                    input.column(column)?,
+                    sample.input_masks.get(idx).and_then(|m| m.as_ref()),
+                );
+                let ks = in_hist.ks(&out_hist);
+                best = Some(best.map_or(ks, |b: f64| b.max(ks)));
+            }
+            Ok(best)
+        }
+        Operation::GroupBy { .. } => Ok(None),
+        _ => {
+            let Some((input_idx, src_col)) = step.source_of_output_column(column) else {
+                return Ok(None);
+            };
+            let in_hist = hist_masked(
+                step.inputs[input_idx].column(&src_col)?,
+                sample.input_masks.get(input_idx).and_then(|m| m.as_ref()),
+            );
+            let out_hist = output_hist_sampled(step, column, sample)?;
+            Ok(Some(in_hist.ks(&out_hist)))
+        }
+    }
+}
+
+fn score_diversity(step: &ExploratoryStep, column: &str, sample: &Sample) -> Result<Option<f64>> {
+    // Group-by aggregates are recomputed over the sample through
+    // provenance; anything else takes the CV of the output column directly.
+    if let (Operation::GroupBy { .. }, Provenance::GroupBy { group_of_row, n_groups }) =
+        (&step.op, &step.provenance)
+    {
+        if let Some(agg) = aggregate_of_column(&step.op, column) {
+            if !sample.is_full() {
+                let vals = aggregate_over_rows(
+                    &step.inputs[0],
+                    group_of_row,
+                    *n_groups,
+                    agg,
+                    &|i| sample.contains(0, i),
+                )?;
+                let xs: Vec<f64> = vals.into_iter().flatten().collect();
+                return Ok(coefficient_of_variation(&xs));
+            }
+        }
+    }
+    let col = step.output.column(column)?;
+    if !col.dtype().is_numeric() {
+        return Ok(None);
+    }
+    let xs: Vec<f64> = match (&step.provenance, sample.is_full()) {
+        (_, true) => col.numeric_values(),
+        // Non-aggregate columns of a sampled step: use all output values
+        // (group keys are cheap and sampling them would drop groups
+        // arbitrarily).
+        _ => col.numeric_values(),
+    };
+    Ok(coefficient_of_variation(&xs))
+}
+
+/// Score every output column of the step, returning `(column, score)` in
+/// output-schema order, skipping inapplicable columns.
+pub fn score_all_columns(
+    step: &ExploratoryStep,
+    kind: InterestingnessKind,
+    sample: &Sample,
+) -> Result<Vec<(String, f64)>> {
+    let mut out = Vec::new();
+    for field in step.output.schema().fields() {
+        if let Some(score) = score_column(step, &field.name, kind, sample)? {
+            if score.is_finite() {
+                out.push((field.name.clone(), score));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Dispatch on [`Value`] for test helpers (re-exported for the bench crate).
+pub fn value_to_f64(v: &Value) -> Option<f64> {
+    v.as_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedex_frame::Column;
+    use fedex_query::Expr;
+
+    fn spotify_like() -> DataFrame {
+        // 20 rows: popularity high exactly for 2010s rows.
+        let mut years = Vec::new();
+        let mut decades = Vec::new();
+        let mut pops = Vec::new();
+        let mut loud = Vec::new();
+        for i in 0..20 {
+            if i < 5 {
+                years.push(2011 + (i as i64 % 4));
+                decades.push("2010s");
+                pops.push(80);
+                loud.push(-7.0 - 0.1 * i as f64);
+            } else {
+                years.push(1970 + (i as i64 % 20));
+                decades.push("older");
+                pops.push(30);
+                loud.push(-11.0 - 0.1 * i as f64);
+            }
+        }
+        DataFrame::new(vec![
+            Column::from_ints("year", years),
+            Column::from_strs("decade", decades),
+            Column::from_ints("popularity", pops),
+            Column::from_floats("loudness", loud),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn default_measure_per_operation() {
+        assert_eq!(
+            InterestingnessKind::default_for(&Operation::filter(
+                Expr::col("x").gt(Expr::lit(0i64))
+            )),
+            InterestingnessKind::Exceptionality
+        );
+        assert_eq!(
+            InterestingnessKind::default_for(&Operation::group_by(
+                vec!["x"],
+                vec![Aggregate::count(None)]
+            )),
+            InterestingnessKind::Diversity
+        );
+    }
+
+    #[test]
+    fn filter_exceptionality_flags_shifted_column() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
+        )
+        .unwrap();
+        let sample = Sample::full(1);
+        let decade =
+            score_column(&step, "decade", InterestingnessKind::Exceptionality, &sample)
+                .unwrap()
+                .unwrap();
+        // Filter keeps only 2010s rows → maximal deviation on 'decade'.
+        assert!(decade > 0.7, "decade KS = {decade}");
+        let scores = score_all_columns(&step, InterestingnessKind::Exceptionality, &sample)
+            .unwrap();
+        // Every output column is scored, and all scores are in [0, 1].
+        assert_eq!(scores.len(), 4);
+        assert!(scores.iter().all(|(_, s)| (0.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    fn identity_filter_scores_zero() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::filter(Expr::col("popularity").ge(Expr::lit(0i64))),
+        )
+        .unwrap();
+        let s = score_column(
+            &step,
+            "decade",
+            InterestingnessKind::Exceptionality,
+            &Sample::full(1),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn group_by_diversity_prefers_spread_column() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::group_by(
+                vec!["decade"],
+                vec![Aggregate::mean("loudness"), Aggregate::mean("popularity")],
+            ),
+        )
+        .unwrap();
+        let sample = Sample::full(1);
+        let d_loud =
+            score_column(&step, "mean_loudness", InterestingnessKind::Diversity, &sample)
+                .unwrap()
+                .unwrap();
+        let d_pop =
+            score_column(&step, "mean_popularity", InterestingnessKind::Diversity, &sample)
+                .unwrap()
+                .unwrap();
+        assert!(d_loud > 0.0);
+        assert!(d_pop > 0.0);
+    }
+
+    #[test]
+    fn diversity_skips_non_numeric() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::group_by(vec!["decade"], vec![Aggregate::count(None)]),
+        )
+        .unwrap();
+        let s = score_column(&step, "decade", InterestingnessKind::Diversity, &Sample::full(1))
+            .unwrap();
+        assert!(s.is_none());
+    }
+
+    #[test]
+    fn exceptionality_none_for_groupby() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::group_by(vec!["decade"], vec![Aggregate::count(None)]),
+        )
+        .unwrap();
+        let s = score_column(
+            &step,
+            "count",
+            InterestingnessKind::Exceptionality,
+            &Sample::full(1),
+        )
+        .unwrap();
+        assert!(s.is_none());
+    }
+
+    #[test]
+    fn sampled_score_close_to_exact() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
+        )
+        .unwrap();
+        let exact = score_column(
+            &step,
+            "decade",
+            InterestingnessKind::Exceptionality,
+            &Sample::full(1),
+        )
+        .unwrap()
+        .unwrap();
+        // Sample 15 of 20 rows.
+        let idx = fedex_stats::uniform_sample_indices(20, 15, 3);
+        let mut mask = vec![false; 20];
+        for i in idx {
+            mask[i] = true;
+        }
+        let sample = Sample { input_masks: vec![Some(mask)] };
+        let approx =
+            score_column(&step, "decade", InterestingnessKind::Exceptionality, &sample)
+                .unwrap()
+                .unwrap();
+        assert!((exact - approx).abs() < 0.2, "exact {exact} vs approx {approx}");
+    }
+
+    #[test]
+    fn union_takes_max_over_inputs() {
+        let a = DataFrame::new(vec![Column::from_ints("x", vec![1, 1, 1, 1])]).unwrap();
+        let b = DataFrame::new(vec![Column::from_ints("x", vec![9, 9, 9, 9])]).unwrap();
+        let step = ExploratoryStep::run(vec![a, b], Operation::Union).unwrap();
+        let s = score_column(&step, "x", InterestingnessKind::Exceptionality, &Sample::full(2))
+            .unwrap()
+            .unwrap();
+        // Each input deviates from the 50/50 mix by 0.5.
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_over_rows_matches_full_output() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::group_by(vec!["decade"], vec![Aggregate::mean("loudness")]),
+        )
+        .unwrap();
+        let Provenance::GroupBy { group_of_row, n_groups } = &step.provenance else {
+            panic!()
+        };
+        let agg = Aggregate::mean("loudness");
+        let vals = aggregate_over_rows(
+            &step.inputs[0],
+            group_of_row,
+            *n_groups,
+            &agg,
+            &|_| true,
+        )
+        .unwrap();
+        let out_col = step.output.column("mean_loudness").unwrap();
+        for (g, v) in vals.iter().enumerate() {
+            let expected = out_col.get(g).as_f64().unwrap();
+            assert!((v.unwrap() - expected).abs() < 1e-9);
+        }
+    }
+}

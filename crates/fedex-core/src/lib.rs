@@ -1,0 +1,53 @@
+//! # fedex-core
+//!
+//! The FEDEX explainability framework (Deutch, Gilad, Milo, Mualem, Somech —
+//! VLDB 2022): given an exploratory step `Q = (D_in, q, d_out)`, produce
+//! captioned explanations of *why the step's result is interesting*, as
+//! sets-of-rows of the input that contribute most to the interestingness of
+//! an output column.
+//!
+//! Pipeline (Algorithm 1 of the paper):
+//!
+//! 1. **Interestingness** (§3.2, [`interestingness`]) — exceptionality
+//!    (two-sample KS) for filter/join/union; diversity (coefficient of
+//!    variation) for group-by.
+//! 2. **Row partitions** (§3.5, [`partition`]) — frequency-based, numeric
+//!    equal-frequency bins, and mined many-to-one partitions.
+//! 3. **Contribution** (§3.3, [`contribution`]) — intervention-based
+//!    `C(R, A, Q)`, computed incrementally through row provenance.
+//! 4. **Skyline** (§3.6, [`skyline`]) — non-dominated candidates in
+//!    (interestingness, standardized contribution).
+//! 5. **Presentation** (§3.7, [`caption`], [`viz`]) — NL captions and
+//!    bar-chart visualizations.
+//!
+//! Entry point: [`Fedex::explain`]. The `sample_size` configuration enables
+//! FEDEX-Sampling (§3.7).
+
+pub mod caption;
+pub mod contribution;
+pub mod error;
+pub mod explain;
+pub mod hist;
+pub mod interestingness;
+pub mod measures_ext;
+pub mod partition;
+pub mod session;
+pub mod skyline;
+pub mod viz;
+
+pub use contribution::{standardized, ContributionComputer};
+pub use error::ExplainError;
+pub use explain::{render_all, to_json_array, CustomMeasure, Explanation, Fedex, FedexConfig};
+pub use measures_ext::{Compactness, Surprisingness};
+pub use session::{Session, SessionEntry};
+pub use hist::ValueHist;
+pub use interestingness::{score_all_columns, score_column, InterestingnessKind, Sample};
+pub use partition::{
+    build_partitions_for_attr, frequency_partition, many_to_one_partitions, numeric_partition,
+    PartitionKind, RowPartition, SetMeta, IGNORE,
+};
+pub use skyline::{skyline_indices, weighted_score};
+pub use viz::{Bar, Chart, ChartKind};
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, ExplainError>;

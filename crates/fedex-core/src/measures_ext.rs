@@ -1,0 +1,170 @@
+//! Additional interestingness measures, illustrating the §3.8 extension
+//! point ("general interestingness functions").
+//!
+//! The paper names *compactness/coverage* [16] for group-by operations and
+//! *surprisingness* [43] as example pluggable measures; this module
+//! provides working implementations of both as [`CustomMeasure`]s, used
+//! through [`crate::Fedex::explain_with_measure`].
+
+use fedex_query::ExploratoryStep;
+
+use crate::explain::CustomMeasure;
+use crate::Result;
+
+/// Surprisingness: how far the output column's mean moved from the input
+/// column's mean, in input standard deviations (a z-shift, following the
+/// user-expectation framing of Liu et al. [43] where the input plays the
+/// role of the expectation).
+///
+/// Applies to numeric columns of operations whose output columns have an
+/// input counterpart (filter/join/union).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Surprisingness;
+
+impl CustomMeasure for Surprisingness {
+    fn name(&self) -> &str {
+        "surprisingness"
+    }
+
+    fn score(&self, step: &ExploratoryStep, column: &str) -> Result<Option<f64>> {
+        let Some((input_idx, src)) = step.source_of_output_column(column) else {
+            return Ok(None);
+        };
+        let input_col = step.inputs[input_idx].column(&src)?;
+        let output_col = step.output.column(column)?;
+        let xs = input_col.numeric_values();
+        let ys = output_col.numeric_values();
+        if xs.len() < 2 || ys.is_empty() {
+            return Ok(None);
+        }
+        let (mu, sd) = fedex_stats::descriptive::mean_and_std(&xs);
+        if sd == 0.0 {
+            return Ok(None);
+        }
+        let out_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        Ok(Some(((out_mean - mu) / sd).abs()))
+    }
+}
+
+/// Compactness: how concentrated the output column's mass is, following
+/// the summarization view of Chandola & Kumar [16] — implemented as one
+/// minus the normalized Shannon entropy of the column's (absolute) value
+/// shares. A group-by result where one group dominates is compact (score
+/// near 1); a uniform result is not (score near 0).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Compactness;
+
+impl CustomMeasure for Compactness {
+    fn name(&self) -> &str {
+        "compactness"
+    }
+
+    fn score(&self, step: &ExploratoryStep, column: &str) -> Result<Option<f64>> {
+        let col = step.output.column(column)?;
+        if !col.dtype().is_numeric() {
+            return Ok(None);
+        }
+        let values: Vec<f64> = col.numeric_values().iter().map(|v| v.abs()).collect();
+        let total: f64 = values.iter().sum();
+        if values.len() < 2 || total == 0.0 {
+            return Ok(None);
+        }
+        let entropy: f64 = values
+            .iter()
+            .filter(|&&v| v > 0.0)
+            .map(|&v| {
+                let p = v / total;
+                -p * p.ln()
+            })
+            .sum();
+        let max_entropy = (values.len() as f64).ln();
+        Ok(Some((1.0 - entropy / max_entropy).clamp(0.0, 1.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedex_frame::{Column, DataFrame};
+    use fedex_query::{Aggregate, Expr, Operation};
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            Column::from_strs("g", vec!["a", "a", "a", "b", "b", "c", "c", "c", "c", "c"]),
+            Column::from_ints("v", vec![1, 2, 1, 50, 60, 2, 3, 1, 2, 2]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn surprisingness_detects_mean_shift() {
+        // Filter keeps the large-v rows → big positive z-shift on v.
+        let step = ExploratoryStep::run(
+            vec![df()],
+            Operation::filter(Expr::col("v").gt(Expr::lit(10i64))),
+        )
+        .unwrap();
+        let s = Surprisingness.score(&step, "v").unwrap().unwrap();
+        assert!(s > 1.0, "z-shift {s}");
+        // The group column is non-numeric → None.
+        assert!(Surprisingness.score(&step, "g").unwrap().is_none());
+    }
+
+    #[test]
+    fn surprisingness_zero_for_identity() {
+        let step = ExploratoryStep::run(
+            vec![df()],
+            Operation::filter(Expr::col("v").ge(Expr::lit(0i64))),
+        )
+        .unwrap();
+        let s = Surprisingness.score(&step, "v").unwrap().unwrap();
+        assert!(s.abs() < 1e-9);
+    }
+
+    #[test]
+    fn compactness_orders_concentration() {
+        let concentrated = ExploratoryStep::run(
+            vec![df()],
+            Operation::group_by(vec!["g"], vec![Aggregate::sum("v")]),
+        )
+        .unwrap();
+        // sums: a=4, b=110, c=10 → concentrated on b.
+        let c1 = Compactness.score(&concentrated, "sum_v").unwrap().unwrap();
+
+        let uniform_df = DataFrame::new(vec![
+            Column::from_strs("g", vec!["a", "b", "c"]),
+            Column::from_ints("v", vec![5, 5, 5]),
+        ])
+        .unwrap();
+        let uniform = ExploratoryStep::run(
+            vec![uniform_df],
+            Operation::group_by(vec!["g"], vec![Aggregate::sum("v")]),
+        )
+        .unwrap();
+        let c2 = Compactness.score(&uniform, "sum_v").unwrap().unwrap();
+        assert!(c1 > c2 + 0.2, "concentrated {c1} vs uniform {c2}");
+        assert!((0.0..=1.0).contains(&c1));
+        assert!(c2.abs() < 1e-9);
+    }
+
+    #[test]
+    fn explain_with_custom_measure_end_to_end() {
+        let step = ExploratoryStep::run(
+            vec![df()],
+            Operation::filter(Expr::col("v").gt(Expr::lit(10i64))),
+        )
+        .unwrap();
+        let ex = crate::Fedex::new().explain_with_measure(&step, &Surprisingness).unwrap();
+        // The 'b' group supplies all the large values; removing it must
+        // erase the mean shift, so it should be an explanation.
+        assert!(!ex.is_empty());
+        assert!(
+            ex.iter().any(|e| e.set_label == "b"),
+            "sets: {:?}",
+            ex.iter().map(|e| (&e.column, &e.set_label)).collect::<Vec<_>>()
+        );
+        for e in &ex {
+            assert!(e.contribution > 0.0);
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! Row partitions (§3.5): frequency-based, numeric equal-frequency, and
+//! many-to-one.
+//!
+//! A [`RowPartition`] divides one input dataframe into `n + 1` disjoint
+//! sets-of-rows `{R_1, ..., R_n, R̂}` (Def. 3.8), where `R̂` is the
+//! *ignore-set* that can never become an explanation candidate. For
+//! memory-efficiency the partition is stored as a per-row assignment vector
+//! (`u32` set index; [`IGNORE`] marks the ignore-set) plus per-set metadata,
+//! rather than as materialized index lists.
+
+use std::collections::HashMap;
+
+use fedex_frame::{DataFrame, Value};
+use fedex_stats::binning::equal_frequency_bins;
+use fedex_stats::sampling::uniform_sample_indices;
+
+use crate::error::ExplainError;
+use crate::hist::ValueHist;
+use crate::Result;
+
+/// Assignment code of the ignore-set `R̂`.
+pub const IGNORE: u32 = u32::MAX;
+
+/// The partition method that produced a [`RowPartition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionKind {
+    /// Top-`n` most prevalent values of the attribute; the rest is ignored.
+    Frequency,
+    /// Equal-frequency value intervals (numeric attributes; empty
+    /// ignore-set).
+    NumericBins,
+    /// Values of the attribute grouped through a many-to-one related
+    /// attribute `via` (e.g. `year → decade`).
+    ManyToOne {
+        /// The coarser attribute `B`.
+        via: String,
+    },
+}
+
+impl PartitionKind {
+    /// Short label used in captions and experiment output.
+    pub fn name(&self) -> String {
+        match self {
+            PartitionKind::Frequency => "frequency".to_string(),
+            PartitionKind::NumericBins => "numeric-bins".to_string(),
+            PartitionKind::ManyToOne { via } => format!("many-to-one({via})"),
+        }
+    }
+}
+
+/// Metadata of one set-of-rows within a partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetMeta {
+    /// Human-readable label: the value, the interval, or the `B` value.
+    pub label: String,
+    /// Number of rows in the set.
+    pub size: usize,
+}
+
+/// A partition of one input dataframe into disjoint sets-of-rows.
+#[derive(Debug, Clone)]
+pub struct RowPartition {
+    /// Which input dataframe of the step this partitions.
+    pub input_idx: usize,
+    /// The attribute the partition was derived from (`A` in §3.5).
+    pub attr: String,
+    /// The method used.
+    pub kind: PartitionKind,
+    /// Per-set metadata, indexed by assignment code.
+    pub sets: Vec<SetMeta>,
+    /// Per-row set assignment (`IGNORE` = ignore-set).
+    pub assignment: Vec<u32>,
+    /// Number of rows in the ignore-set.
+    pub ignore_size: usize,
+}
+
+impl RowPartition {
+    /// Number of candidate sets (excluding the ignore-set).
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The column whose values *define* the row assignment: `via` for a
+    /// many-to-one partition, the partitioned attribute otherwise. Two
+    /// partitions with the same defining column, method family, and set
+    /// count assign rows identically, so the explanation pipeline
+    /// deduplicates on this key.
+    pub fn defining_column(&self) -> &str {
+        match &self.kind {
+            PartitionKind::ManyToOne { via } => via,
+            _ => &self.attr,
+        }
+    }
+
+    /// Materialize the row indices of set `s` (for presentation or
+    /// drill-down; the explanation pipeline works off `assignment`).
+    pub fn rows_of_set(&self, s: u32) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == s).then_some(i))
+            .collect()
+    }
+
+    /// Check the Def. 3.8 invariants: every row is in exactly one set or
+    /// the ignore-set, and set sizes match the assignment.
+    pub fn validate(&self) -> Result<()> {
+        let mut sizes = vec![0usize; self.sets.len()];
+        let mut ignored = 0usize;
+        for &a in &self.assignment {
+            if a == IGNORE {
+                ignored += 1;
+            } else if (a as usize) < sizes.len() {
+                sizes[a as usize] += 1;
+            } else {
+                return Err(ExplainError::InvalidConfig(format!(
+                    "assignment code {a} out of range"
+                )));
+            }
+        }
+        if ignored != self.ignore_size {
+            return Err(ExplainError::InvalidConfig("ignore size mismatch".into()));
+        }
+        for (s, meta) in self.sets.iter().enumerate() {
+            if sizes[s] != meta.size {
+                return Err(ExplainError::InvalidConfig(format!(
+                    "set {s} size mismatch: {} vs {}",
+                    sizes[s], meta.size
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Frequency-based partition: one set per top-`n` most prevalent value of
+/// `attr`; all other rows (and null rows) go to the ignore-set.
+///
+/// Returns `None` when the column has no non-null values.
+pub fn frequency_partition(
+    df: &DataFrame,
+    input_idx: usize,
+    attr: &str,
+    n: usize,
+) -> Result<Option<RowPartition>> {
+    let col = df.column(attr)?;
+    let hist = ValueHist::from_column(col);
+    if hist.total() == 0 || n == 0 {
+        return Ok(None);
+    }
+    let top = hist.top_n(n);
+    let code_of: HashMap<Value, u32> =
+        top.iter().enumerate().map(|(i, (v, _))| (v.clone(), i as u32)).collect();
+    let mut assignment = Vec::with_capacity(col.len());
+    let mut ignore_size = 0usize;
+    for v in col.iter() {
+        match code_of.get(&v) {
+            Some(&c) => assignment.push(c),
+            None => {
+                assignment.push(IGNORE);
+                ignore_size += 1;
+            }
+        }
+    }
+    let sets = top
+        .into_iter()
+        .map(|(v, c)| SetMeta { label: v.to_string(), size: c as usize })
+        .collect();
+    Ok(Some(RowPartition {
+        input_idx,
+        attr: attr.to_string(),
+        kind: PartitionKind::Frequency,
+        sets,
+        assignment,
+        ignore_size,
+    }))
+}
+
+/// Numeric equal-frequency partition of `attr` into at most `n` interval
+/// sets. Null rows go to the ignore-set (the paper's ignore-set is empty
+/// for this method on fully-populated columns).
+///
+/// Returns `None` when `attr` is not numeric or has no non-null values.
+pub fn numeric_partition(
+    df: &DataFrame,
+    input_idx: usize,
+    attr: &str,
+    n: usize,
+) -> Result<Option<RowPartition>> {
+    let col = df.column(attr)?;
+    if !col.dtype().is_numeric() {
+        return Ok(None);
+    }
+    let mut values: Vec<(usize, f64)> = Vec::with_capacity(col.len());
+    for (i, v) in col.iter().enumerate() {
+        if let Some(x) = v.as_f64() {
+            if !x.is_nan() {
+                values.push((i, x));
+            }
+        }
+    }
+    if values.is_empty() || n == 0 {
+        return Ok(None);
+    }
+    let bins = equal_frequency_bins(&values, n);
+    let mut assignment = vec![IGNORE; col.len()];
+    let mut sets = Vec::with_capacity(bins.len());
+    for (s, bin) in bins.iter().enumerate() {
+        for &row in &bin.rows {
+            assignment[row] = s as u32;
+        }
+        sets.push(SetMeta { label: bin.label(), size: bin.rows.len() });
+    }
+    let ignore_size = assignment.iter().filter(|&&a| a == IGNORE).count();
+    Ok(Some(RowPartition {
+        input_idx,
+        attr: attr.to_string(),
+        kind: PartitionKind::NumericBins,
+        sets,
+        assignment,
+        ignore_size,
+    }))
+}
+
+/// Mine attributes `B` that stand in a many-to-one relationship with
+/// `attr` (Conditions 1–2 of §3.5): `attr` functionally determines `B`,
+/// and `B` is strictly coarser. For each such `B`, the rows are partitioned
+/// by the frequency method over `B`.
+///
+/// Mining first rejects candidates on a uniform row sample (cheap), then
+/// verifies survivors with a full scan — a pure optimization that cannot
+/// admit false positives.
+pub fn many_to_one_partitions(
+    df: &DataFrame,
+    input_idx: usize,
+    attr: &str,
+    n: usize,
+    seed: u64,
+) -> Result<Vec<RowPartition>> {
+    let a_col = df.column(attr)?;
+    let n_rows = df.n_rows();
+    if n_rows == 0 {
+        return Ok(Vec::new());
+    }
+    const MINE_SAMPLE: usize = 2_000;
+    let sample = uniform_sample_indices(n_rows, MINE_SAMPLE, seed);
+
+    let mut out = Vec::new();
+    for b in df.columns() {
+        if b.name() == attr {
+            continue;
+        }
+        if !holds_many_to_one(a_col, b, &sample) {
+            continue;
+        }
+        // Full verification.
+        let all: Vec<usize> = (0..n_rows).collect();
+        if !holds_many_to_one(a_col, b, &all) {
+            continue;
+        }
+        if let Some(mut p) = frequency_partition(df, input_idx, b.name(), n)? {
+            p.attr = attr.to_string();
+            p.kind = PartitionKind::ManyToOne { via: b.name().to_string() };
+            out.push(p);
+        }
+    }
+    Ok(out)
+}
+
+/// Check Conditions 1–2 of §3.5 over the given rows: every `A` value maps
+/// to a single `B` value, and at least one `B` value covers two distinct
+/// `A` values. Rows where either side is null are skipped.
+fn holds_many_to_one(a: &fedex_frame::Column, b: &fedex_frame::Column, rows: &[usize]) -> bool {
+    let mut map: HashMap<Value, Value> = HashMap::new();
+    // Count distinct A per B value lazily: strictly-coarser holds iff
+    // #distinct(A) > #distinct(B-image).
+    for &i in rows {
+        let va = a.get(i);
+        let vb = b.get(i);
+        if va.is_null() || vb.is_null() {
+            continue;
+        }
+        match map.get(&va) {
+            Some(prev) => {
+                if *prev != vb {
+                    return false; // A value maps to two B values
+                }
+            }
+            None => {
+                map.insert(va, vb);
+            }
+        }
+    }
+    if map.is_empty() {
+        return false;
+    }
+    let distinct_a = map.len();
+    let distinct_b: std::collections::HashSet<&Value> = map.values().collect();
+    distinct_a > distinct_b.len()
+}
+
+/// Build all partitions of `df` for one attribute: frequency, numeric bins
+/// (when applicable), and every many-to-one partition — for each requested
+/// set count.
+pub fn build_partitions_for_attr(
+    df: &DataFrame,
+    input_idx: usize,
+    attr: &str,
+    set_counts: &[usize],
+    seed: u64,
+) -> Result<Vec<RowPartition>> {
+    let mut out = Vec::new();
+    for &n in set_counts {
+        if let Some(p) = frequency_partition(df, input_idx, attr, n)? {
+            out.push(p);
+        }
+        if let Some(p) = numeric_partition(df, input_idx, attr, n)? {
+            out.push(p);
+        }
+        out.extend(many_to_one_partitions(df, input_idx, attr, n, seed)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedex_frame::Column;
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            Column::from_ints("year", vec![1991, 1992, 1991, 2014, 2013, 2014, 1991, 2020]),
+            Column::from_strs(
+                "decade",
+                vec!["1990s", "1990s", "1990s", "2010s", "2010s", "2010s", "1990s", "2020s"],
+            ),
+            Column::from_floats("loudness", vec![-11.0, -10.5, -11.2, -7.8, -8.2, -7.9, -10.9, -6.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn frequency_partition_top_n() {
+        let p = frequency_partition(&df(), 0, "year", 2).unwrap().unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.n_sets(), 2);
+        // 1991 appears 3×, 2014 2× → top-2
+        assert_eq!(p.sets[0].label, "1991");
+        assert_eq!(p.sets[0].size, 3);
+        assert_eq!(p.sets[1].label, "2014");
+        assert_eq!(p.sets[1].size, 2);
+        assert_eq!(p.ignore_size, 3);
+    }
+
+    #[test]
+    fn frequency_partition_covers_all_rows() {
+        let p = frequency_partition(&df(), 0, "decade", 10).unwrap().unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.ignore_size, 0);
+        let total: usize = p.sets.iter().map(|s| s.size).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn numeric_partition_bins() {
+        let p = numeric_partition(&df(), 0, "loudness", 4).unwrap().unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.kind, PartitionKind::NumericBins);
+        assert_eq!(p.ignore_size, 0);
+        assert_eq!(p.n_sets(), 4);
+        // labels are intervals
+        assert!(p.sets[0].label.starts_with('['));
+    }
+
+    #[test]
+    fn numeric_partition_rejects_strings() {
+        assert!(numeric_partition(&df(), 0, "decade", 4).unwrap().is_none());
+    }
+
+    #[test]
+    fn many_to_one_finds_decade() {
+        let ps = many_to_one_partitions(&df(), 0, "year", 5, 1).unwrap();
+        assert_eq!(ps.len(), 1);
+        let p = &ps[0];
+        assert_eq!(p.kind, PartitionKind::ManyToOne { via: "decade".to_string() });
+        assert_eq!(p.attr, "year");
+        p.validate().unwrap();
+        // 3 decades → 3 sets
+        assert_eq!(p.n_sets(), 3);
+        let labels: Vec<&str> = p.sets.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&"1990s"));
+    }
+
+    #[test]
+    fn many_to_one_rejects_non_fd() {
+        // year → loudness is not a function: 1991 maps to three different
+        // loudness values, so no many-to-one via 'loudness' exists.
+        let ps = many_to_one_partitions(&df(), 0, "year", 5, 1).unwrap();
+        assert!(ps
+            .iter()
+            .all(|p| !matches!(&p.kind, PartitionKind::ManyToOne { via } if via == "loudness")));
+    }
+
+    #[test]
+    fn many_to_one_accepts_key_columns() {
+        // A unique-valued column functionally determines everything, so it
+        // has a many-to-one partition via any strictly coarser column —
+        // Conditions 1–2 of §3.5 verbatim.
+        let ps = many_to_one_partitions(&df(), 0, "loudness", 5, 1).unwrap();
+        assert!(ps
+            .iter()
+            .any(|p| matches!(&p.kind, PartitionKind::ManyToOne { via } if via == "decade")));
+    }
+
+    #[test]
+    fn many_to_one_rejects_same_cardinality() {
+        // A ↔ B bijection is not strictly coarser.
+        let d = DataFrame::new(vec![
+            Column::from_ints("a", vec![1, 2, 3]),
+            Column::from_ints("b", vec![10, 20, 30]),
+        ])
+        .unwrap();
+        assert!(many_to_one_partitions(&d, 0, "a", 5, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn nulls_go_to_ignore_set() {
+        let d = DataFrame::new(vec![Column::from_opt_ints(
+            "x",
+            vec![Some(1), None, Some(1), Some(2)],
+        )])
+        .unwrap();
+        let p = frequency_partition(&d, 0, "x", 5).unwrap().unwrap();
+        assert_eq!(p.ignore_size, 1);
+        assert_eq!(p.assignment[1], IGNORE);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_column_yields_none() {
+        let d = DataFrame::new(vec![Column::from_opt_ints("x", vec![None, None])]).unwrap();
+        assert!(frequency_partition(&d, 0, "x", 5).unwrap().is_none());
+        assert!(numeric_partition(&d, 0, "x", 5).unwrap().is_none());
+    }
+
+    #[test]
+    fn build_partitions_for_attr_combines_methods() {
+        let ps = build_partitions_for_attr(&df(), 0, "year", &[2, 5], 1).unwrap();
+        // year: frequency ×2, numeric ×2, many-to-one(decade) ×2
+        assert_eq!(ps.len(), 6);
+        for p in &ps {
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn rows_of_set_materializes() {
+        let p = frequency_partition(&df(), 0, "decade", 3).unwrap().unwrap();
+        let idx_1990s = p.sets.iter().position(|s| s.label == "1990s").unwrap() as u32;
+        let rows = p.rows_of_set(idx_1990s);
+        assert_eq!(rows, vec![0, 1, 2, 6]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Notebook-style exploration sessions (§3.1's EDA model).
+//!
+//! The paper frames FEDEX inside a notebook loop: the analyst runs a query
+//! over a previously-obtained dataframe, reads the explanation, and decides
+//! the next step. [`Session`] materializes that loop: it owns a table
+//! catalog, runs SQL steps against it, explains each step, records the
+//! history, and lets step outputs be saved as new tables for follow-up
+//! queries.
+//!
+//! ```
+//! use fedex_core::session::Session;
+//! use fedex_core::Fedex;
+//! use fedex_frame::{Column, DataFrame};
+//!
+//! let songs = DataFrame::new(vec![
+//!     Column::from_ints("popularity", vec![80, 20, 75, 10, 90, 15]),
+//!     Column::from_strs("decade", vec!["2010s", "1970s", "2010s", "1970s", "2010s", "1980s"]),
+//! ]).unwrap();
+//!
+//! let mut session = Session::new(Fedex::new());
+//! session.register("songs", songs);
+//! let entry = session.run("SELECT * FROM songs WHERE popularity > 65").unwrap();
+//! assert_eq!(entry.step.output.n_rows(), 3);
+//! assert_eq!(session.history().len(), 1);
+//! ```
+
+use fedex_query::{parse_query, Catalog, ExploratoryStep};
+
+use crate::explain::{Explanation, Fedex};
+use crate::ExplainError;
+use crate::Result;
+
+/// One executed-and-explained step of a session.
+#[derive(Debug, Clone)]
+pub struct SessionEntry {
+    /// The SQL text as submitted.
+    pub sql: String,
+    /// The executed step (inputs, operation, output, provenance).
+    pub step: ExploratoryStep,
+    /// FEDEX's explanations for the step.
+    pub explanations: Vec<Explanation>,
+    /// The catalog name the output was saved under, when saved.
+    pub saved_as: Option<String>,
+}
+
+/// An interactive exploration session: catalog + explainer + history.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    catalog: Catalog,
+    fedex: Fedex,
+    history: Vec<SessionEntry>,
+}
+
+impl Session {
+    /// Start a session with the given explainer configuration.
+    pub fn new(fedex: Fedex) -> Self {
+        Session { catalog: Catalog::new(), fedex, history: Vec::new() }
+    }
+
+    /// Register (or replace) a table.
+    pub fn register(&mut self, name: impl Into<String>, df: fedex_frame::DataFrame) {
+        self.catalog.register(name, df);
+    }
+
+    /// The current table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Run one exploratory step and explain it; the entry is appended to
+    /// the history and returned.
+    pub fn run(&mut self, sql: &str) -> Result<&SessionEntry> {
+        self.run_inner(sql, None)
+    }
+
+    /// [`Session::run`], additionally saving the step's output dataframe
+    /// in the catalog under `name` so later queries can build on it.
+    pub fn run_and_save(&mut self, sql: &str, name: impl Into<String>) -> Result<&SessionEntry> {
+        self.run_inner(sql, Some(name.into()))
+    }
+
+    fn run_inner(&mut self, sql: &str, save_as: Option<String>) -> Result<&SessionEntry> {
+        let step = parse_query(sql)
+            .map_err(ExplainError::from)?
+            .to_step(&self.catalog)
+            .map_err(ExplainError::from)?;
+        let explanations = self.fedex.explain(&step)?;
+        if let Some(name) = &save_as {
+            self.catalog.register(name.clone(), step.output.clone());
+        }
+        self.history.push(SessionEntry {
+            sql: sql.to_string(),
+            step,
+            explanations,
+            saved_as: save_as,
+        });
+        Ok(self.history.last().expect("just pushed"))
+    }
+
+    /// All executed steps, in order.
+    pub fn history(&self) -> &[SessionEntry] {
+        &self.history
+    }
+
+    /// The most recent step, if any.
+    pub fn last(&self) -> Option<&SessionEntry> {
+        self.history.last()
+    }
+
+    /// Render the most recent step's explanations as terminal text.
+    pub fn render_last(&self, width: usize) -> String {
+        match self.last() {
+            None => "(no steps executed)".to_string(),
+            Some(entry) if entry.explanations.is_empty() => {
+                format!("{}\n(no explanation: nothing deviates)", entry.sql)
+            }
+            Some(entry) => {
+                format!("{}\n{}", entry.sql, crate::explain::render_all(&entry.explanations, width))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedex_frame::{Column, DataFrame};
+
+    fn songs() -> DataFrame {
+        let mut decade = Vec::new();
+        let mut pop = Vec::new();
+        let mut year = Vec::new();
+        for i in 0..120i64 {
+            let d = if i % 4 == 0 { "2010s" } else { "1970s" };
+            decade.push(d);
+            pop.push(if d == "2010s" { 70 + i % 25 } else { 20 + i % 30 });
+            year.push(if d == "2010s" { 2010 + i % 8 } else { 1970 + i % 8 });
+        }
+        DataFrame::new(vec![
+            Column::from_strs("decade", decade),
+            Column::from_ints("popularity", pop),
+            Column::from_ints("year", year),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn session_runs_and_records_history() {
+        let mut s = Session::new(Fedex::new());
+        s.register("songs", songs());
+        let entry = s.run("SELECT * FROM songs WHERE popularity > 65").unwrap();
+        assert_eq!(entry.step.inputs[0].n_rows(), 120);
+        assert!(!entry.explanations.is_empty());
+        assert!(entry.saved_as.is_none());
+
+        s.run("SELECT mean(popularity) FROM songs GROUP BY decade").unwrap();
+        assert_eq!(s.history().len(), 2);
+        assert!(s.last().unwrap().sql.contains("GROUP BY"));
+    }
+
+    #[test]
+    fn saved_outputs_are_queryable() {
+        let mut s = Session::new(Fedex::new());
+        s.register("songs", songs());
+        s.run_and_save("SELECT * FROM songs WHERE popularity > 65", "popular").unwrap();
+        // Chain a second step over the saved output.
+        let entry = s.run("SELECT * FROM popular WHERE year > 2012").unwrap();
+        assert!(entry.step.inputs[0].n_rows() < 120);
+        assert_eq!(s.history().len(), 2);
+        assert_eq!(s.history()[0].saved_as.as_deref(), Some("popular"));
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let mut s = Session::new(Fedex::new());
+        s.register("songs", songs());
+        assert!(s.run("SELEKT * FROM songs").is_err());
+        assert!(s.run("SELECT * FROM nope WHERE x > 1").is_err());
+        assert!(s.history().is_empty(), "failed steps are not recorded");
+    }
+
+    #[test]
+    fn render_last_formats() {
+        let mut s = Session::new(Fedex::new());
+        assert!(s.render_last(40).contains("no steps"));
+        s.register("songs", songs());
+        s.run("SELECT * FROM songs WHERE popularity > 65").unwrap();
+        let text = s.render_last(40);
+        assert!(text.contains("popularity > 65"));
+        assert!(text.contains("Explanation 1"));
+    }
+}

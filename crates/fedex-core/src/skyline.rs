@@ -1,0 +1,105 @@
+//! The skyline operator (§3.6) over (interestingness, standardized
+//! contribution) pairs, plus the optional weighted top-k post-ranking.
+
+/// Indices of the skyline (Pareto-maximal) points of `points`, where each
+/// point is `(interestingness, standardized contribution)`.
+///
+/// Following the paper's definition, a point is kept unless some other
+/// point is *strictly* greater in **both** coordinates; the result is the
+/// maximal such subset. Indices are returned in input order.
+pub fn skyline_indices(points: &[(f64, f64)]) -> Vec<usize> {
+    let n = points.len();
+    let mut keep = Vec::with_capacity(n);
+    'outer: for i in 0..n {
+        let (xi, yi) = points[i];
+        for (j, &(xj, yj)) in points.iter().enumerate() {
+            if j != i && xj > xi && yj > yi {
+                continue 'outer; // dominated
+            }
+        }
+        keep.push(i);
+    }
+    keep
+}
+
+/// Weighted score `(W_I · I + W_C · C̄) / (W_I + W_C)` used to rank skyline
+/// explanations when the caller asks for a top-k cut (§3.7).
+pub fn weighted_score(interestingness: f64, std_contribution: f64, w_i: f64, w_c: f64) -> f64 {
+    if w_i + w_c == 0.0 {
+        return 0.0;
+    }
+    (w_i * interestingness + w_c * std_contribution) / (w_i + w_c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_skyline() {
+        assert_eq!(skyline_indices(&[(0.5, 1.0)]), vec![0]);
+    }
+
+    #[test]
+    fn dominated_points_removed() {
+        // (0.9, 2.0) dominates (0.5, 1.0); (0.1, 3.0) survives on y.
+        let pts = [(0.9, 2.0), (0.5, 1.0), (0.1, 3.0)];
+        assert_eq!(skyline_indices(&pts), vec![0, 2]);
+    }
+
+    #[test]
+    fn ties_are_kept() {
+        // Domination is strict in *both* coordinates, so a point tied with
+        // its better in one coordinate survives.
+        let pts = [(0.5, 1.0), (0.5, 2.0), (0.6, 1.0)];
+        let sky = skyline_indices(&pts);
+        assert_eq!(sky, vec![0, 1, 2]);
+        // Identical points both survive (neither strictly dominates).
+        let pts = [(0.5, 1.0), (0.5, 1.0)];
+        assert_eq!(skyline_indices(&pts), vec![0, 1]);
+        // But a point strictly below in both goes away.
+        let pts = [(0.5, 1.0), (0.6, 2.0)];
+        assert_eq!(skyline_indices(&pts), vec![1]);
+    }
+
+    #[test]
+    fn skyline_is_non_dominated_and_maximal() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = (i as f64 * 37.0) % 10.0;
+                let y = (i as f64 * 53.0) % 7.0;
+                (x, y)
+            })
+            .collect();
+        let sky = skyline_indices(&pts);
+        // Non-dominated:
+        for &i in &sky {
+            for (j, &(xj, yj)) in pts.iter().enumerate() {
+                if j != i {
+                    assert!(!(xj > pts[i].0 && yj > pts[i].1));
+                }
+            }
+        }
+        // Maximal: every excluded point is dominated by someone.
+        for i in 0..pts.len() {
+            if !sky.contains(&i) {
+                assert!(pts
+                    .iter()
+                    .enumerate()
+                    .any(|(j, &(xj, yj))| j != i && xj > pts[i].0 && yj > pts[i].1));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(skyline_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn weighted_score_balances() {
+        assert!((weighted_score(1.0, 0.0, 1.0, 1.0) - 0.5).abs() < 1e-12);
+        assert!((weighted_score(0.4, 2.0, 3.0, 1.0) - (0.4 * 3.0 + 2.0) / 4.0).abs() < 1e-12);
+        assert_eq!(weighted_score(1.0, 1.0, 0.0, 0.0), 0.0);
+    }
+}

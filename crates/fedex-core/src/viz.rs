@@ -1,0 +1,245 @@
+//! Visualizations for explanations.
+//!
+//! The paper renders explanations as Matplotlib charts inside notebooks;
+//! this crate produces the same information as a structured [`Chart`]
+//! (serializable to JSON) plus a Unicode bar-chart renderer for terminals.
+//! Exceptionality explanations use a side-by-side before/after bar chart
+//! (Fig. 2a); diversity explanations use a bar chart of the aggregated
+//! value per set-of-rows with a mean line (Fig. 2b).
+
+/// Chart flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChartKind {
+    /// Before/after frequency bars (exceptionality explanations).
+    BeforeAfterBars,
+    /// One value bar per set with an overall-mean rule (diversity
+    /// explanations).
+    ValueBars,
+}
+
+/// One bar of a chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// Category label (the set-of-rows label).
+    pub label: String,
+    /// Primary value: frequency-before (%) or the aggregated value.
+    pub value: f64,
+    /// Secondary value for before/after charts: frequency-after (%).
+    pub after: Option<f64>,
+    /// Whether this is the explained set `R` (drawn highlighted/green).
+    pub highlighted: bool,
+}
+
+/// A complete captioned chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chart {
+    /// Chart flavor.
+    pub kind: ChartKind,
+    /// X-axis label (the partition attribute).
+    pub x_label: String,
+    /// Y-axis label (frequency % or the aggregate description).
+    pub y_label: String,
+    /// Bars in display order.
+    pub bars: Vec<Bar>,
+    /// Overall mean rule (diversity charts).
+    pub mean_line: Option<f64>,
+}
+
+impl Chart {
+    /// Render as a Unicode horizontal bar chart, `width` cells wide.
+    pub fn render_text(&self, width: usize) -> String {
+        let width = width.max(10);
+        let label_w = self.bars.iter().map(|b| b.label.chars().count()).max().unwrap_or(0).min(24);
+        let mut lo = 0.0f64;
+        let mut hi = f64::MIN;
+        for b in &self.bars {
+            lo = lo.min(b.value).min(b.after.unwrap_or(b.value));
+            hi = hi.max(b.value).max(b.after.unwrap_or(b.value));
+        }
+        if let Some(m) = self.mean_line {
+            lo = lo.min(m);
+            hi = hi.max(m);
+        }
+        if hi <= lo {
+            hi = lo + 1.0;
+        }
+        let span = hi - lo;
+        let cells = |v: f64| -> usize { (((v - lo) / span) * width as f64).round() as usize };
+
+        let mut out = String::new();
+        out.push_str(&format!("{} by {}\n", self.y_label, self.x_label));
+        for b in &self.bars {
+            let mark = if b.highlighted { '▶' } else { ' ' };
+            match self.kind {
+                ChartKind::BeforeAfterBars => {
+                    let after = b.after.unwrap_or(0.0);
+                    out.push_str(&format!(
+                        "{mark}{:label_w$} before |{:<width$}| {:.1}%\n",
+                        b.label,
+                        "█".repeat(cells(b.value)),
+                        b.value,
+                    ));
+                    out.push_str(&format!(
+                        " {:label_w$} after  |{:<width$}| {:.1}%\n",
+                        "",
+                        "▓".repeat(cells(after)),
+                        after,
+                    ));
+                }
+                ChartKind::ValueBars => {
+                    out.push_str(&format!(
+                        "{mark}{:label_w$} |{:<width$}| {:.3}\n",
+                        b.label,
+                        "█".repeat(cells(b.value)),
+                        b.value,
+                    ));
+                }
+            }
+        }
+        if let Some(m) = self.mean_line {
+            out.push_str(&format!(" {:label_w$} mean = {:.3}\n", "", m));
+        }
+        out
+    }
+
+    /// Serialize the chart to a JSON object (hand-rolled emitter — the
+    /// explanation payload is small and flat).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!(
+            "\"kind\":\"{}\",",
+            match self.kind {
+                ChartKind::BeforeAfterBars => "before_after_bars",
+                ChartKind::ValueBars => "value_bars",
+            }
+        ));
+        s.push_str(&format!("\"x_label\":{},", json_string(&self.x_label)));
+        s.push_str(&format!("\"y_label\":{},", json_string(&self.y_label)));
+        match self.mean_line {
+            Some(m) => s.push_str(&format!("\"mean_line\":{},", json_number(m))),
+            None => s.push_str("\"mean_line\":null,"),
+        }
+        s.push_str("\"bars\":[");
+        for (i, b) in self.bars.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"label\":{},\"value\":{},\"after\":{},\"highlighted\":{}}}",
+                json_string(&b.label),
+                json_number(b.value),
+                b.after.map_or("null".to_string(), json_number),
+                b.highlighted,
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Escape a string for JSON.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a float as a JSON number (finite; NaN/inf become null).
+pub fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        Chart {
+            kind: ChartKind::BeforeAfterBars,
+            x_label: "decade".into(),
+            y_label: "Frequency (%)".into(),
+            bars: vec![
+                Bar { label: "2010s".into(), value: 3.5, after: Some(61.0), highlighted: true },
+                Bar { label: "1990s".into(), value: 20.0, after: Some(12.0), highlighted: false },
+            ],
+            mean_line: None,
+        }
+    }
+
+    #[test]
+    fn renders_highlight_marker() {
+        let text = chart().render_text(30);
+        assert!(text.contains('▶'));
+        assert!(text.contains("61.0%"));
+        assert!(text.contains("decade"));
+    }
+
+    #[test]
+    fn value_bars_render_mean_line() {
+        let c = Chart {
+            kind: ChartKind::ValueBars,
+            x_label: "decade".into(),
+            y_label: "mean loudness".into(),
+            bars: vec![Bar {
+                label: "1990s".into(),
+                value: -10.7,
+                after: None,
+                highlighted: true,
+            }],
+            mean_line: Some(-8.7),
+        };
+        let text = c.render_text(20);
+        assert!(text.contains("mean = -8.700"));
+    }
+
+    #[test]
+    fn json_round_shape() {
+        let j = chart().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"kind\":\"before_after_bars\""));
+        assert!(j.contains("\"label\":\"2010s\""));
+        assert!(j.contains("\"highlighted\":true"));
+        assert!(j.contains("\"after\":61"));
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn json_number_handles_nonfinite() {
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(1.5), "1.5");
+    }
+
+    #[test]
+    fn degenerate_chart_renders() {
+        let c = Chart {
+            kind: ChartKind::ValueBars,
+            x_label: "x".into(),
+            y_label: "y".into(),
+            bars: vec![],
+            mean_line: None,
+        };
+        let text = c.render_text(10);
+        assert!(text.contains("y by x"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Synthetic Credit-Card-Customers ("Bank") dataset (§4.1, dataset 2).
+//!
+//! Single table, 10,127 rows × 21 columns by default, using the paper's
+//! column names (Appendix A queries 11–15, 26–30). Planted patterns for the
+//! churn-analysis task of §4.2:
+//!
+//! * attrited customers were **inactive more months** and show a **drop in
+//!   transaction count Q4 vs Q1**;
+//! * attrited customers have **lower transaction amounts**;
+//! * low-income ("Less than $40K") customers attrite more;
+//! * `Credit_Limit` is right-skewed.
+
+use fedex_frame::{Column, DataFrame};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Paper row count for the Credit Card Customers dataset.
+pub const PAPER_ROWS: usize = 10_127;
+
+const INCOME: [&str; 5] =
+    ["Less than $40K", "$40K - $60K", "$60K - $80K", "$80K - $120K", "$120K +"];
+const EDUCATION: [&str; 6] =
+    ["High School", "Graduate", "Uneducated", "College", "Post-Graduate", "Doctorate"];
+const MARITAL: [&str; 3] = ["Married", "Single", "Divorced"];
+const CARD: [&str; 4] = ["Blue", "Silver", "Gold", "Platinum"];
+
+/// Generate the Bank dataset with `n_rows` customers.
+pub fn generate(n_rows: usize, seed: u64) -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut attrition_flag = Vec::with_capacity(n_rows);
+    let mut customer_age = Vec::with_capacity(n_rows);
+    let mut gender = Vec::with_capacity(n_rows);
+    let mut dependent_count = Vec::with_capacity(n_rows);
+    let mut education_level = Vec::with_capacity(n_rows);
+    let mut marital_status = Vec::with_capacity(n_rows);
+    let mut income_category = Vec::with_capacity(n_rows);
+    let mut card_category = Vec::with_capacity(n_rows);
+    let mut months_on_book = Vec::with_capacity(n_rows);
+    let mut registered_products_count = Vec::with_capacity(n_rows);
+    let mut months_inactive = Vec::with_capacity(n_rows);
+    let mut contacts_count = Vec::with_capacity(n_rows);
+    let mut credit_limit = Vec::with_capacity(n_rows);
+    let mut revolving_bal = Vec::with_capacity(n_rows);
+    let mut open_to_buy = Vec::with_capacity(n_rows);
+    let mut amt_change = Vec::with_capacity(n_rows);
+    let mut transitions_amount = Vec::with_capacity(n_rows);
+    let mut trans_count = Vec::with_capacity(n_rows);
+    let mut count_change = Vec::with_capacity(n_rows);
+    let mut credit_used = Vec::with_capacity(n_rows);
+    let mut utilization = Vec::with_capacity(n_rows);
+
+    for _ in 0..n_rows {
+        let income_idx = {
+            // Low income more common.
+            let u: f64 = rng.gen();
+            if u < 0.35 {
+                0
+            } else if u < 0.55 {
+                1
+            } else if u < 0.72 {
+                2
+            } else if u < 0.90 {
+                3
+            } else {
+                4
+            }
+        };
+        // Churn probability planted: higher for low income.
+        let p_attrite = if income_idx == 0 { 0.26 } else { 0.12 };
+        let attrited = rng.gen::<f64>() < p_attrite;
+
+        let age = rng.gen_range(22..74i64);
+        let inactive = if attrited {
+            rng.gen_range(3..7i64)
+        } else {
+            rng.gen_range(0..4i64)
+        };
+        let t_amount = if attrited {
+            800.0 + rng.gen::<f64>() * 2_500.0
+        } else {
+            2_500.0 + rng.gen::<f64>() * 9_000.0
+        };
+        let t_count = if attrited { rng.gen_range(10..45i64) } else { rng.gen_range(35..140i64) };
+        let cnt_change = if attrited {
+            // Counting dropped in Q4 vs Q1 → high positive "change" score.
+            0.7 + rng.gen::<f64>() * 0.6
+        } else {
+            0.2 + rng.gen::<f64>() * 0.6
+        };
+        // Right-skewed credit limit.
+        let climit = 1_500.0 + rng.gen::<f64>().powi(6) * 33_000.0;
+        let used = (rng.gen::<f64>() * 0.9 * climit).min(climit);
+
+        attrition_flag.push(if attrited { "Attrited Customer" } else { "Existing Customer" });
+        customer_age.push(age);
+        gender.push(if rng.gen::<f64>() < 0.53 { "F" } else { "M" });
+        dependent_count.push(rng.gen_range(0..6i64));
+        education_level.push(EDUCATION[crate::spotify::zipf_index(&mut rng, EDUCATION.len())]);
+        marital_status.push(MARITAL[crate::spotify::zipf_index(&mut rng, MARITAL.len())]);
+        income_category.push(INCOME[income_idx]);
+        card_category.push(CARD[crate::spotify::zipf_index(&mut rng, CARD.len())]);
+        months_on_book.push(rng.gen_range(12..60i64));
+        registered_products_count.push(rng.gen_range(1..7i64));
+        months_inactive.push(inactive);
+        contacts_count.push(rng.gen_range(0..7i64));
+        credit_limit.push(climit);
+        revolving_bal.push(rng.gen::<f64>() * 2_500.0);
+        open_to_buy.push((climit - used).max(0.0));
+        amt_change.push(0.4 + rng.gen::<f64>() * 1.2);
+        transitions_amount.push(t_amount);
+        trans_count.push(t_count);
+        count_change.push(cnt_change);
+        credit_used.push(used);
+        utilization.push((used / climit).clamp(0.0, 1.0));
+    }
+
+    DataFrame::new(vec![
+        Column::from_strs("Attrition_Flag", attrition_flag),
+        Column::from_ints("Customer_Age", customer_age),
+        Column::from_strs("Gender", gender),
+        Column::from_ints("Dependent_count", dependent_count),
+        Column::from_strs("Education_Level", education_level),
+        Column::from_strs("Marital_Status", marital_status),
+        Column::from_strs("Income_Category", income_category),
+        Column::from_strs("Card_Category", card_category),
+        Column::from_ints("Months_on_book", months_on_book),
+        Column::from_ints("Registered_Products_Count", registered_products_count),
+        Column::from_ints("Months_Inactive_Count_Last_Year", months_inactive),
+        Column::from_ints("Contacts_Count_12_mon", contacts_count),
+        Column::from_floats("Credit_Limit", credit_limit),
+        Column::from_floats("Total_Revolving_Bal", revolving_bal),
+        Column::from_floats("Avg_Open_To_Buy", open_to_buy),
+        Column::from_floats("Total_Amt_Chng_Q4_Q1", amt_change),
+        Column::from_floats("Total_Transitions_Amount", transitions_amount),
+        Column::from_ints("Total_Trans_Ct", trans_count),
+        Column::from_floats("Total_Count_Change_Q4_vs_Q1", count_change),
+        Column::from_floats("Credit_Used", credit_used),
+        Column::from_floats("Avg_Utilization_Ratio", utilization),
+    ])
+    .expect("bank schema is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedex_stats::descriptive::skewness;
+
+    #[test]
+    fn shape_and_columns() {
+        let df = generate(1_500, 11);
+        assert_eq!(df.n_rows(), 1_500);
+        assert_eq!(df.n_cols(), 21);
+        for c in [
+            "Attrition_Flag",
+            "Total_Count_Change_Q4_vs_Q1",
+            "Months_Inactive_Count_Last_Year",
+            "Income_Category",
+            "Credit_Used",
+            "Total_Transitions_Amount",
+            "Registered_Products_Count",
+        ] {
+            assert!(df.has_column(c), "missing {c}");
+        }
+    }
+
+    #[test]
+    fn planted_churn_patterns() {
+        let df = generate(8_000, 12);
+        let flag = df.column("Attrition_Flag").unwrap();
+        let inactive = df.column("Months_Inactive_Count_Last_Year").unwrap();
+        let amount = df.column("Total_Transitions_Amount").unwrap();
+        let (mut i_a, mut n_a, mut i_e, mut n_e) = (0.0, 0.0, 0.0, 0.0);
+        let (mut t_a, mut t_e) = (0.0, 0.0);
+        for i in 0..df.n_rows() {
+            let attr = flag.get(i).to_string() == "Attrited Customer";
+            let inc = inactive.get(i).as_f64().unwrap();
+            let amt = amount.get(i).as_f64().unwrap();
+            if attr {
+                i_a += inc;
+                t_a += amt;
+                n_a += 1.0;
+            } else {
+                i_e += inc;
+                t_e += amt;
+                n_e += 1.0;
+            }
+        }
+        assert!(n_a > 100.0, "expect a meaningful attrited population");
+        assert!(i_a / n_a > i_e / n_e + 1.0, "attrited more inactive");
+        assert!(t_a / n_a < t_e / n_e - 1_000.0, "attrited transact less");
+    }
+
+    #[test]
+    fn credit_limit_skewed() {
+        let df = generate(8_000, 13);
+        let g1 = skewness(&df.column("Credit_Limit").unwrap().numeric_values()).unwrap();
+        assert!(g1 > 1.5, "credit limit skewness {g1}");
+    }
+
+    #[test]
+    fn low_income_churn_higher() {
+        let df = generate(8_000, 14);
+        let flag = df.column("Attrition_Flag").unwrap();
+        let income = df.column("Income_Category").unwrap();
+        let (mut low_attr, mut low_n, mut rest_attr, mut rest_n) = (0.0, 0.0, 0.0, 0.0);
+        for i in 0..df.n_rows() {
+            let is_low = income.get(i).to_string() == "Less than $40K";
+            let attr = flag.get(i).to_string() == "Attrited Customer";
+            if is_low {
+                low_n += 1.0;
+                if attr {
+                    low_attr += 1.0;
+                }
+            } else {
+                rest_n += 1.0;
+                if attr {
+                    rest_attr += 1.0;
+                }
+            }
+        }
+        assert!(low_attr / low_n > 1.5 * (rest_attr / rest_n));
+    }
+}

@@ -1,0 +1,30 @@
+//! # fedex-data
+//!
+//! Synthetic datasets, the experiment query workload, and the oracle
+//! grader for the FEDEX reproduction (VLDB 2022, §4.1–4.2).
+//!
+//! The paper evaluates on three Kaggle datasets that cannot be shipped;
+//! this crate generates seeded synthetic equivalents with the same schemas,
+//! row counts, column skew, and — crucially — *planted* ground-truth
+//! patterns, so that experiments can check not only how fast explanations
+//! are produced but whether they are the *right* ones:
+//!
+//! * [`spotify`] — 174,389 × 20 song-popularity table;
+//! * [`bank`] — 10,127 × 21 credit-card-customers table;
+//! * [`products`] — 9,977 × 16 products, 3,049,913 × 17 sales, plus
+//!   `counties`/`stores` dimensions and the `products_sales` join view;
+//! * [`queries`] — the 30 queries of Tables 2–3, parsed and runnable;
+//! * [`oracle`] — the deterministic grader standing in for the user
+//!   studies.
+
+pub mod bank;
+pub mod oracle;
+pub mod products;
+pub mod queries;
+pub mod spotify;
+
+pub use oracle::{grade, planted_insights, simulate_insight_session, Artifact, Grade};
+pub use queries::{
+    build_workbench, queries_where, query_by_id, run_query, Dataset, DatasetScale, QueryKind,
+    QuerySpec, Workbench, QUERIES,
+};

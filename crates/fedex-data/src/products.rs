@@ -1,0 +1,325 @@
+//! Synthetic Products-and-Sales dataset (§4.1, dataset 3).
+//!
+//! Four tables mirroring the paper's beverage-sales warehouse:
+//!
+//! * `products` — 9,977 rows × 16 columns by default;
+//! * `sales` — 3,049,913 rows × 17 columns by default (size-configurable;
+//!   the scalability experiments upsample to 10M as in §4.1);
+//! * `counties` and `stores` — the join dimensions of queries 2–3;
+//! * `products_sales` — the materialized inner-join view referenced by the
+//!   group-by workload, with `products_` / `sales_` column prefixes.
+//!
+//! Planted patterns: small (`liter_size ≤ 500`) bottles concentrate in the
+//! "Miniatures" category; 12-packs concentrate in the "Beer" category; one
+//! county ("Polk") dominates sales; `sale total` is extremely right-skewed
+//! (the paper reports top-1 skew ≈ 206).
+
+use fedex_frame::{Column, DataFrame};
+use fedex_query::ops::inner_join;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Paper row counts.
+pub const PAPER_PRODUCT_ROWS: usize = 9_977;
+/// Paper row count for the sales table.
+pub const PAPER_SALES_ROWS: usize = 3_049_913;
+
+const CATEGORIES: [&str; 8] = [
+    "Whiskey", "Vodka", "Rum", "Tequila", "Beer", "Wine", "Liqueur", "Miniatures",
+];
+const VENDORS: [&str; 14] = [
+    "Diageo", "Pernod", "Bacardi", "Heaven Hill", "Sazerac", "Jim Beam", "Brown-Forman",
+    "Constellation", "Gallo", "Luxco", "Proximo", "Campari", "Remy", "McCormick",
+];
+const COUNTIES: [&str; 12] = [
+    "Polk", "Linn", "Scott", "Johnson", "Black Hawk", "Woodbury", "Dubuque", "Story",
+    "Dallas", "Pottawattamie", "Clinton", "Cerro Gordo",
+];
+const REGIONS: [&str; 4] = ["Central", "East", "West", "North"];
+const CITIES: [&str; 10] = [
+    "Des Moines", "Cedar Rapids", "Davenport", "Iowa City", "Waterloo", "Sioux City",
+    "Dubuque", "Ames", "Ankeny", "Council Bluffs",
+];
+
+/// Generate the `products` table with `n_rows` products.
+pub fn generate_products(n_rows: usize, seed: u64) -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut item = Vec::with_capacity(n_rows);
+    let mut name = Vec::with_capacity(n_rows);
+    let mut vendor = Vec::with_capacity(n_rows);
+    let mut vendor_id = Vec::with_capacity(n_rows);
+    let mut category_name = Vec::with_capacity(n_rows);
+    let mut category_id = Vec::with_capacity(n_rows);
+    let mut pack = Vec::with_capacity(n_rows);
+    let mut inner_pack = Vec::with_capacity(n_rows);
+    let mut bottle_size = Vec::with_capacity(n_rows);
+    let mut liter_size = Vec::with_capacity(n_rows);
+    let mut proof = Vec::with_capacity(n_rows);
+    let mut price = Vec::with_capacity(n_rows);
+    let mut cost = Vec::with_capacity(n_rows);
+    let mut upc = Vec::with_capacity(n_rows);
+    let mut shelf = Vec::with_capacity(n_rows);
+    let mut state = Vec::with_capacity(n_rows);
+
+    for i in 0..n_rows {
+        let cat = crate::spotify::zipf_index(&mut rng, CATEGORIES.len());
+        let cat_name = CATEGORIES[cat];
+        // Planted: miniatures are small bottles; beer comes in 12-packs.
+        let (ls, pk) = match cat_name {
+            "Miniatures" => (50 + 50 * rng.gen_range(0..9i64), rng.gen_range(1..4i64) * 6),
+            "Beer" => (330 + rng.gen_range(0..3i64) * 110, 12),
+            _ => (750 + rng.gen_range(0..6i64) * 250, [1, 6, 12, 24][rng.gen_range(0..4usize)]),
+        };
+        let c = 3.0 + rng.gen::<f64>().powi(2) * 60.0;
+        item.push(100_000 + i as i64);
+        name.push(format!("{} No. {:05}", cat_name, i));
+        let v = crate::spotify::zipf_index(&mut rng, VENDORS.len());
+        vendor.push(VENDORS[v]);
+        vendor_id.push(v as i64 + 1);
+        category_name.push(cat_name);
+        category_id.push(cat as i64 + 1);
+        pack.push(pk);
+        inner_pack.push(if pk >= 12 { 6 } else { 1 });
+        bottle_size.push(ls);
+        liter_size.push(ls);
+        proof.push(rng.gen_range(0..101i64));
+        price.push(c * 1.5);
+        cost.push(c);
+        upc.push(rng.gen_range(10_000_000..99_999_999i64));
+        shelf.push(if rng.gen::<f64>() < 0.5 { "top" } else { "bottom" });
+        state.push("IA");
+    }
+
+    DataFrame::new(vec![
+        Column::from_ints("item", item),
+        Column::from_strs("name", name),
+        Column::from_strs("vendor", vendor),
+        Column::from_ints("vendor_id", vendor_id),
+        Column::from_strs("category_name", category_name),
+        Column::from_ints("category_id", category_id),
+        Column::from_ints("pack", pack),
+        Column::from_ints("inner_pack", inner_pack),
+        Column::from_ints("bottle_size", bottle_size),
+        Column::from_ints("liter_size", liter_size),
+        Column::from_ints("proof", proof),
+        Column::from_floats("price", price),
+        Column::from_floats("cost", cost),
+        Column::from_ints("upc", upc),
+        Column::from_strs("shelf", shelf),
+        Column::from_strs("state", state),
+    ])
+    .expect("products schema is consistent")
+}
+
+/// Generate the `sales` table with `n_rows` sale records over the given
+/// products table.
+pub fn generate_sales(products: &DataFrame, n_rows: usize, seed: u64) -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let n_products = products.n_rows();
+    let p_item = products.column("item").expect("products has item");
+    let p_cat = products.column("category_name").expect("category");
+    let p_vendor = products.column("vendor").expect("vendor");
+    let p_pack = products.column("pack").expect("pack");
+    let p_liter = products.column("liter_size").expect("liter");
+    let p_price = products.column("price").expect("price");
+
+    let mut item = Vec::with_capacity(n_rows);
+    let mut store = Vec::with_capacity(n_rows);
+    let mut county = Vec::with_capacity(n_rows);
+    let mut vendor = Vec::with_capacity(n_rows);
+    let mut category_name = Vec::with_capacity(n_rows);
+    let mut date = Vec::with_capacity(n_rows);
+    let mut year = Vec::with_capacity(n_rows);
+    let mut month = Vec::with_capacity(n_rows);
+    let mut quantity = Vec::with_capacity(n_rows);
+    let mut total = Vec::with_capacity(n_rows);
+    let mut pack = Vec::with_capacity(n_rows);
+    let mut liter_size = Vec::with_capacity(n_rows);
+    let mut bottle_quantity = Vec::with_capacity(n_rows);
+    let mut state_bottle_retail = Vec::with_capacity(n_rows);
+    let mut state_bottle_cost = Vec::with_capacity(n_rows);
+    let mut bottles_sold = Vec::with_capacity(n_rows);
+    let mut volume_sold = Vec::with_capacity(n_rows);
+
+    for _ in 0..n_rows {
+        // Popular products sell more (zipf over product index).
+        let pi = (rng.gen::<f64>().powi(3) * n_products as f64) as usize % n_products;
+        let q = 1 + (rng.gen::<f64>().powi(3) * 40.0) as i64;
+        let unit = p_price.get(pi).as_f64().unwrap_or(10.0);
+        // Extremely right-skewed totals.
+        let boost = if rng.gen::<f64>() < 0.001 { 400.0 } else { 1.0 };
+        let t = unit * q as f64 * boost;
+        let c = crate::spotify::zipf_index(&mut rng, COUNTIES.len());
+        let y = 2015 + rng.gen_range(0..6i64);
+        let m = rng.gen_range(1..13i64);
+
+        item.push(p_item.get(pi).as_i64().unwrap());
+        store.push(2_000 + rng.gen_range(0..400i64));
+        county.push(COUNTIES[c]);
+        vendor.push(p_vendor.get(pi).to_string());
+        category_name.push(p_cat.get(pi).to_string());
+        date.push(format!("{y:04}-{m:02}-{:02}", rng.gen_range(1..29)));
+        year.push(y);
+        month.push(m);
+        quantity.push(q);
+        total.push(t);
+        pack.push(p_pack.get(pi).as_i64().unwrap());
+        liter_size.push(p_liter.get(pi).as_i64().unwrap());
+        bottle_quantity.push(rng.gen_range(1..25i64));
+        state_bottle_retail.push(unit);
+        state_bottle_cost.push(unit / 1.5);
+        bottles_sold.push(q * 2);
+        volume_sold.push(q as f64 * p_liter.get(pi).as_f64().unwrap_or(500.0) / 1000.0);
+    }
+
+    DataFrame::new(vec![
+        Column::from_ints("item", item),
+        Column::from_ints("store", store),
+        Column::from_strs("county", county),
+        Column::from_strs("vendor", vendor),
+        Column::from_strs("category_name", category_name),
+        Column::from_strs("date", date),
+        Column::from_ints("year", year),
+        Column::from_ints("month", month),
+        Column::from_ints("quantity", quantity),
+        Column::from_floats("total", total),
+        Column::from_ints("pack", pack),
+        Column::from_ints("liter_size", liter_size),
+        Column::from_ints("bottle_quantity", bottle_quantity),
+        Column::from_floats("state_bottle_retail", state_bottle_retail),
+        Column::from_floats("state_bottle_cost", state_bottle_cost),
+        Column::from_ints("bottles_sold", bottles_sold),
+        Column::from_floats("volume_sold", volume_sold),
+    ])
+    .expect("sales schema is consistent")
+}
+
+/// Generate the `counties` dimension table (one row per county).
+pub fn generate_counties(seed: u64) -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+    let mut county = Vec::new();
+    let mut population = Vec::new();
+    let mut region = Vec::new();
+    for (i, c) in COUNTIES.iter().enumerate() {
+        county.push(*c);
+        population.push(20_000 + (rng.gen::<f64>().powi(2) * 480_000.0) as i64);
+        region.push(REGIONS[i % REGIONS.len()]);
+    }
+    DataFrame::new(vec![
+        Column::from_strs("county", county),
+        Column::from_ints("population", population),
+        Column::from_strs("region", region),
+    ])
+    .expect("counties schema is consistent")
+}
+
+/// Generate the `stores` dimension table.
+pub fn generate_stores(n_rows: usize, seed: u64) -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(3));
+    let mut store = Vec::with_capacity(n_rows);
+    let mut store_name = Vec::with_capacity(n_rows);
+    let mut city = Vec::with_capacity(n_rows);
+    let mut county = Vec::with_capacity(n_rows);
+    let mut zipcode = Vec::with_capacity(n_rows);
+    for i in 0..n_rows {
+        store.push(2_000 + i as i64);
+        store_name.push(format!("Store #{:03}", i));
+        city.push(CITIES[rng.gen_range(0..CITIES.len())]);
+        county.push(COUNTIES[crate::spotify::zipf_index(&mut rng, COUNTIES.len())]);
+        zipcode.push(50_000 + rng.gen_range(0..999i64));
+    }
+    DataFrame::new(vec![
+        Column::from_ints("store", store),
+        Column::from_strs("store_name", store_name),
+        Column::from_strs("city", city),
+        Column::from_strs("county", county),
+        Column::from_ints("zipcode", zipcode),
+    ])
+    .expect("stores schema is consistent")
+}
+
+/// Materialize the `products_sales` inner-join view with the paper's
+/// `products_` / `sales_` column prefixes.
+pub fn products_sales_view(products: &DataFrame, sales: &DataFrame) -> DataFrame {
+    inner_join(products, sales, "item", "item", "products", "sales")
+        .expect("products⋈sales is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedex_stats::descriptive::skewness;
+
+    #[test]
+    fn shapes() {
+        let p = generate_products(500, 21);
+        assert_eq!(p.n_rows(), 500);
+        assert_eq!(p.n_cols(), 16);
+        let s = generate_sales(&p, 3_000, 21);
+        assert_eq!(s.n_rows(), 3_000);
+        assert_eq!(s.n_cols(), 17);
+        let c = generate_counties(21);
+        assert_eq!(c.n_cols(), 3);
+        let st = generate_stores(100, 21);
+        assert_eq!(st.n_cols(), 5);
+    }
+
+    #[test]
+    fn sales_reference_valid_products() {
+        let p = generate_products(300, 22);
+        let s = generate_sales(&p, 2_000, 22);
+        let view = products_sales_view(&p, &s);
+        // Every sale matches exactly one product, so the view has exactly
+        // the sales rows.
+        assert_eq!(view.n_rows(), s.n_rows());
+        assert!(view.has_column("products_pack"));
+        assert!(view.has_column("sales_liter_size"));
+        assert!(view.has_column("sales_vendor"));
+    }
+
+    #[test]
+    fn totals_are_extremely_skewed() {
+        let p = generate_products(500, 23);
+        let s = generate_sales(&p, 50_000, 23);
+        let g1 = skewness(&s.column("total").unwrap().numeric_values()).unwrap();
+        assert!(g1 > 10.0, "total skewness {g1}");
+    }
+
+    #[test]
+    fn planted_miniature_pattern() {
+        let p = generate_products(2_000, 24);
+        let liter = p.column("liter_size").unwrap();
+        let cat = p.column("category_name").unwrap();
+        let mut small_mini = 0.0;
+        let mut small = 0.0;
+        for i in 0..p.n_rows() {
+            if liter.get(i).as_i64().unwrap() <= 500 {
+                small += 1.0;
+                if cat.get(i).to_string() == "Miniatures" {
+                    small_mini += 1.0;
+                }
+            }
+        }
+        assert!(small > 0.0);
+        assert!(small_mini / small > 0.2, "miniatures share {}", small_mini / small);
+    }
+
+    #[test]
+    fn county_distribution_skewed() {
+        let p = generate_products(200, 25);
+        let s = generate_sales(&p, 20_000, 25);
+        let counts = s.column("county").unwrap().value_counts();
+        let max = counts.values().max().copied().unwrap() as f64;
+        let min = counts.values().min().copied().unwrap() as f64;
+        assert!(max / min > 3.0, "county skew {max}/{min}");
+    }
+
+    #[test]
+    fn determinism() {
+        let p1 = generate_products(100, 9);
+        let p2 = generate_products(100, 9);
+        for i in [0, 50, 99] {
+            assert_eq!(p1.row(i).unwrap(), p2.row(i).unwrap());
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! The experiment workload: the 30 queries of Tables 2–3 (Appendix A),
+//! expressed in the SQL subset of `fedex-query` against the synthetic
+//! catalog.
+//!
+//! Two mechanical adaptations from the paper's text (documented in
+//! DESIGN.md): bare `count(item)` over the `products_sales` join view uses
+//! the view's prefixed column (`sales_item`), and query 18's garbled
+//! `products_sales_pack` is read as `products_pack`.
+
+use fedex_frame::DataFrame;
+use fedex_query::{parse_query, Catalog, ExploratoryStep, QueryError};
+
+use crate::{bank, products, spotify};
+
+/// Which dataset a query targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Spotify song-popularity table.
+    Spotify,
+    /// Credit-Card Customers ("Bank") table.
+    Bank,
+    /// Products & Sales warehouse.
+    Products,
+}
+
+impl Dataset {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Spotify => "Spotify",
+            Dataset::Bank => "Bank",
+            Dataset::Products => "Products",
+        }
+    }
+}
+
+/// Query category, as split by the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Filter (Table 2, exceptionality).
+    Filter,
+    /// Join (Table 2, exceptionality).
+    Join,
+    /// Group-by (Table 3, diversity).
+    GroupBy,
+}
+
+/// One catalogued query.
+#[derive(Debug, Clone, Copy)]
+pub struct QuerySpec {
+    /// Paper reference number (1–30).
+    pub id: u8,
+    /// Target dataset.
+    pub dataset: Dataset,
+    /// Category.
+    pub kind: QueryKind,
+    /// SQL text.
+    pub sql: &'static str,
+}
+
+/// All 30 queries of Tables 2–3.
+pub const QUERIES: [QuerySpec; 30] = [
+    // ---- Table 2: join & filter -------------------------------------
+    QuerySpec {
+        id: 1,
+        dataset: Dataset::Products,
+        kind: QueryKind::Join,
+        sql: "SELECT * FROM products INNER JOIN sales ON products.item = sales.item;",
+    },
+    QuerySpec {
+        id: 2,
+        dataset: Dataset::Products,
+        kind: QueryKind::Join,
+        sql: "SELECT * FROM counties INNER JOIN sales ON counties.county = sales.county;",
+    },
+    QuerySpec {
+        id: 3,
+        dataset: Dataset::Products,
+        kind: QueryKind::Join,
+        sql: "SELECT * FROM stores INNER JOIN sales ON stores.store = sales.store;",
+    },
+    QuerySpec {
+        id: 4,
+        dataset: Dataset::Products,
+        kind: QueryKind::Filter,
+        sql: "SELECT * FROM products_sales WHERE sales_liter_size <= 500;",
+    },
+    QuerySpec {
+        id: 5,
+        dataset: Dataset::Products,
+        kind: QueryKind::Filter,
+        sql: "SELECT * FROM products_sales WHERE sales_pack == 12;",
+    },
+    QuerySpec {
+        id: 6,
+        dataset: Dataset::Spotify,
+        kind: QueryKind::Filter,
+        sql: "SELECT * FROM spotify WHERE popularity > 65;",
+    },
+    QuerySpec {
+        id: 7,
+        dataset: Dataset::Spotify,
+        kind: QueryKind::Filter,
+        sql: "SELECT * FROM spotify WHERE year > 1990;",
+    },
+    QuerySpec {
+        id: 8,
+        dataset: Dataset::Spotify,
+        kind: QueryKind::Filter,
+        sql: "SELECT * FROM spotify WHERE loudness > -12;",
+    },
+    QuerySpec {
+        id: 9,
+        dataset: Dataset::Spotify,
+        kind: QueryKind::Filter,
+        sql: "SELECT * FROM spotify WHERE duration_minutes < 3;",
+    },
+    QuerySpec {
+        id: 10,
+        dataset: Dataset::Spotify,
+        kind: QueryKind::Filter,
+        sql: "SELECT * FROM spotify WHERE tempo > 100;",
+    },
+    QuerySpec {
+        id: 11,
+        dataset: Dataset::Bank,
+        kind: QueryKind::Filter,
+        sql: "SELECT * FROM Bank WHERE Attrition_Flag != 'Existing Customer';",
+    },
+    QuerySpec {
+        id: 12,
+        dataset: Dataset::Bank,
+        kind: QueryKind::Filter,
+        sql: "SELECT * FROM [SELECT * FROM Bank WHERE Attrition_Flag != 'Existing Customer'] \
+              WHERE Total_Count_Change_Q4_vs_Q1 > 0.75;",
+    },
+    QuerySpec {
+        id: 13,
+        dataset: Dataset::Bank,
+        kind: QueryKind::Filter,
+        sql: "SELECT * FROM Bank WHERE Months_Inactive_Count_Last_Year > 2;",
+    },
+    QuerySpec {
+        id: 14,
+        dataset: Dataset::Bank,
+        kind: QueryKind::Filter,
+        sql: "SELECT * FROM Bank WHERE Customer_Age < 30;",
+    },
+    QuerySpec {
+        id: 15,
+        dataset: Dataset::Bank,
+        kind: QueryKind::Filter,
+        sql: "SELECT * FROM Bank WHERE Income_Category == \"Less than $40K\";",
+    },
+    // ---- Table 3: group-by ------------------------------------------
+    QuerySpec {
+        id: 16,
+        dataset: Dataset::Products,
+        kind: QueryKind::GroupBy,
+        sql: "SELECT count(sales_item) FROM products_sales GROUP BY sales_vendor;",
+    },
+    QuerySpec {
+        id: 17,
+        dataset: Dataset::Products,
+        kind: QueryKind::GroupBy,
+        sql: "SELECT count(sales_item) FROM products_sales \
+              GROUP BY sales_county, sales_category_name;",
+    },
+    QuerySpec {
+        id: 18,
+        dataset: Dataset::Products,
+        kind: QueryKind::GroupBy,
+        sql: "SELECT count(sales_item) FROM products_sales GROUP BY products_pack;",
+    },
+    QuerySpec {
+        id: 19,
+        dataset: Dataset::Products,
+        kind: QueryKind::GroupBy,
+        sql: "SELECT mean(sales_total), mean(sales_pack) FROM products_sales \
+              GROUP BY sales_bottle_quantity;",
+    },
+    QuerySpec {
+        id: 20,
+        dataset: Dataset::Products,
+        kind: QueryKind::GroupBy,
+        sql: "SELECT mean(products_bottle_size) FROM products_sales \
+              GROUP BY products_pack, products_inner_pack;",
+    },
+    QuerySpec {
+        id: 21,
+        dataset: Dataset::Spotify,
+        kind: QueryKind::GroupBy,
+        sql: "SELECT mean(popularity), max(popularity), min(popularity) FROM spotify \
+              GROUP BY year;",
+    },
+    QuerySpec {
+        id: 22,
+        dataset: Dataset::Spotify,
+        kind: QueryKind::GroupBy,
+        sql: "SELECT mean(danceability), max(danceability), mean(instrumentalness), \
+              max(instrumentalness), mean(liveness) FROM spotify GROUP BY year;",
+    },
+    QuerySpec {
+        id: 23,
+        dataset: Dataset::Spotify,
+        kind: QueryKind::GroupBy,
+        sql: "SELECT mean(danceability), mean(popularity) FROM spotify GROUP BY key;",
+    },
+    QuerySpec {
+        id: 24,
+        dataset: Dataset::Spotify,
+        kind: QueryKind::GroupBy,
+        sql: "SELECT max(duration_minutes), mean(duration_minutes) FROM spotify \
+              GROUP BY decade;",
+    },
+    QuerySpec {
+        id: 25,
+        dataset: Dataset::Spotify,
+        kind: QueryKind::GroupBy,
+        sql: "SELECT mean(loudness), mean(liveness), mean(tempo) FROM spotify \
+              GROUP BY mode, key;",
+    },
+    QuerySpec {
+        id: 26,
+        dataset: Dataset::Bank,
+        kind: QueryKind::GroupBy,
+        sql: "SELECT mean(Credit_Used), mean(Total_Transitions_Amount) FROM Bank \
+              GROUP BY Marital_Status, Income_Category;",
+    },
+    QuerySpec {
+        id: 27,
+        dataset: Dataset::Bank,
+        kind: QueryKind::GroupBy,
+        sql: "SELECT count FROM Bank GROUP BY Marital_Status, Gender, Education_Level;",
+    },
+    QuerySpec {
+        id: 28,
+        dataset: Dataset::Bank,
+        kind: QueryKind::GroupBy,
+        sql: "SELECT mean(Credit_Used), mean(Total_Transitions_Amount) FROM Bank \
+              GROUP BY Marital_Status;",
+    },
+    QuerySpec {
+        id: 29,
+        dataset: Dataset::Bank,
+        kind: QueryKind::GroupBy,
+        sql: "SELECT mean(Customer_Age) FROM Bank GROUP BY Gender, Income_Category;",
+    },
+    QuerySpec {
+        id: 30,
+        dataset: Dataset::Bank,
+        kind: QueryKind::GroupBy,
+        sql: "SELECT count FROM Bank GROUP BY Registered_Products_Count, Attrition_Flag;",
+    },
+];
+
+/// Queries of one dataset and/or kind.
+pub fn queries_where(
+    dataset: Option<Dataset>,
+    kind: Option<QueryKind>,
+) -> Vec<&'static QuerySpec> {
+    QUERIES
+        .iter()
+        .filter(|q| dataset.is_none_or(|d| q.dataset == d))
+        .filter(|q| {
+            kind.is_none_or(|k| {
+                q.kind == k
+                    || (k == QueryKind::Filter && q.kind == QueryKind::Join)
+                        && matches!(kind, Some(QueryKind::Filter))
+            })
+        })
+        .collect()
+}
+
+/// Query by paper id.
+pub fn query_by_id(id: u8) -> Option<&'static QuerySpec> {
+    QUERIES.iter().find(|q| q.id == id)
+}
+
+/// Row counts used to instantiate the catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetScale {
+    /// Spotify table rows.
+    pub spotify_rows: usize,
+    /// Bank table rows.
+    pub bank_rows: usize,
+    /// Products table rows.
+    pub product_rows: usize,
+    /// Sales table rows.
+    pub sales_rows: usize,
+    /// Stores dimension rows.
+    pub store_rows: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl DatasetScale {
+    /// Small scale for unit/integration tests (fractions of a second).
+    pub fn small() -> Self {
+        DatasetScale {
+            spotify_rows: 4_000,
+            bank_rows: 2_000,
+            product_rows: 400,
+            sales_rows: 10_000,
+            store_rows: 150,
+            seed: 42,
+        }
+    }
+
+    /// Medium scale for experiment smoke runs.
+    pub fn medium() -> Self {
+        DatasetScale {
+            spotify_rows: 40_000,
+            bank_rows: 10_127,
+            product_rows: 2_000,
+            sales_rows: 150_000,
+            store_rows: 400,
+            seed: 42,
+        }
+    }
+
+    /// The paper's full row counts (§4.1).
+    pub fn paper() -> Self {
+        DatasetScale {
+            spotify_rows: spotify::PAPER_ROWS,
+            bank_rows: bank::PAPER_ROWS,
+            product_rows: products::PAPER_PRODUCT_ROWS,
+            sales_rows: products::PAPER_SALES_ROWS,
+            store_rows: 400,
+            seed: 42,
+        }
+    }
+}
+
+/// Generated tables for all three datasets.
+#[derive(Debug, Clone)]
+pub struct Workbench {
+    /// Table catalog usable with [`parse_query`]'s `to_step`.
+    pub catalog: Catalog,
+    /// Spotify table (also registered in the catalog).
+    pub spotify: DataFrame,
+    /// Bank table.
+    pub bank: DataFrame,
+    /// Products table.
+    pub products: DataFrame,
+    /// Sales table.
+    pub sales: DataFrame,
+}
+
+/// Generate all tables at the given scale and register them in a catalog.
+pub fn build_workbench(scale: &DatasetScale) -> Workbench {
+    let spotify_df = spotify::generate(scale.spotify_rows, scale.seed);
+    let bank_df = bank::generate(scale.bank_rows, scale.seed);
+    let products_df = products::generate_products(scale.product_rows, scale.seed);
+    let sales_df = products::generate_sales(&products_df, scale.sales_rows, scale.seed);
+    let counties_df = products::generate_counties(scale.seed);
+    let stores_df = products::generate_stores(scale.store_rows, scale.seed);
+    let view = products::products_sales_view(&products_df, &sales_df);
+
+    let mut catalog = Catalog::new();
+    catalog.register("spotify", spotify_df.clone());
+    catalog.register("Bank", bank_df.clone());
+    catalog.register("products", products_df.clone());
+    catalog.register("sales", sales_df.clone());
+    catalog.register("counties", counties_df);
+    catalog.register("stores", stores_df);
+    catalog.register("products_sales", view);
+
+    Workbench { catalog, spotify: spotify_df, bank: bank_df, products: products_df, sales: sales_df }
+}
+
+/// Parse and execute a catalogued query as an [`ExploratoryStep`].
+pub fn run_query(
+    spec: &QuerySpec,
+    catalog: &Catalog,
+) -> std::result::Result<ExploratoryStep, QueryError> {
+    parse_query(spec.sql)?.to_step(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_parse() {
+        for q in &QUERIES {
+            assert!(parse_query(q.sql).is_ok(), "query {} failed to parse: {}", q.id, q.sql);
+        }
+    }
+
+    #[test]
+    fn catalog_lookup() {
+        assert_eq!(query_by_id(6).unwrap().dataset, Dataset::Spotify);
+        assert!(query_by_id(31).is_none());
+        assert_eq!(queries_where(Some(Dataset::Bank), None).len(), 10);
+        assert_eq!(queries_where(None, Some(QueryKind::GroupBy)).len(), 15);
+        assert_eq!(queries_where(None, None).len(), 30);
+    }
+
+    #[test]
+    fn all_queries_execute_at_small_scale() {
+        let wb = build_workbench(&DatasetScale {
+            spotify_rows: 800,
+            bank_rows: 500,
+            product_rows: 150,
+            sales_rows: 2_000,
+            store_rows: 80,
+            seed: 1,
+        });
+        for q in &QUERIES {
+            let step = run_query(q, &wb.catalog)
+                .unwrap_or_else(|e| panic!("query {} failed: {e}", q.id));
+            assert!(
+                step.output.n_cols() > 0,
+                "query {} produced no columns",
+                q.id
+            );
+        }
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let s = DatasetScale::small();
+        let m = DatasetScale::medium();
+        let p = DatasetScale::paper();
+        assert!(s.sales_rows < m.sales_rows && m.sales_rows < p.sales_rows);
+    }
+}

@@ -1,0 +1,144 @@
+//! Row-oriented dataframe construction.
+//!
+//! [`DataFrameBuilder`] accepts heterogeneous rows of [`Value`]s, infers a
+//! column type per slot (widening `Int ∨ Float → Float`, any other mix →
+//! `Str`), and produces a columnar [`DataFrame`]. Used by the CSV reader and
+//! the synthetic dataset generators.
+
+use crate::column::Column;
+use crate::error::FrameError;
+use crate::frame::DataFrame;
+use crate::schema::DType;
+use crate::value::Value;
+use crate::Result;
+
+/// Incremental, row-oriented builder for [`DataFrame`].
+#[derive(Debug, Clone)]
+pub struct DataFrameBuilder {
+    names: Vec<String>,
+    /// Column-major staging area of boxed values.
+    cells: Vec<Vec<Value>>,
+}
+
+impl DataFrameBuilder {
+    /// Start a builder with the given column names.
+    pub fn new<S: Into<String>>(names: Vec<S>) -> Self {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        let cells = names.iter().map(|_| Vec::new()).collect();
+        DataFrameBuilder { names, cells }
+    }
+
+    /// Number of buffered rows.
+    pub fn n_rows(&self) -> usize {
+        self.cells.first().map_or(0, Vec::len)
+    }
+
+    /// Append one row; its arity must match the column count.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.names.len() {
+            return Err(FrameError::LengthMismatch {
+                expected: self.names.len(),
+                got: row.len(),
+                column: "<row>".to_string(),
+            });
+        }
+        for (slot, v) in self.cells.iter_mut().zip(row) {
+            slot.push(v);
+        }
+        Ok(())
+    }
+
+    /// Infer the dtype of one staged column: unify all non-null dtypes, and
+    /// default all-null columns to `Str`.
+    fn infer_dtype(values: &[Value]) -> DType {
+        let mut acc: Option<DType> = None;
+        for v in values {
+            if let Some(d) = DType::of_value(v) {
+                acc = Some(match acc {
+                    None => d,
+                    Some(prev) => DType::unify(prev, d),
+                });
+            }
+        }
+        acc.unwrap_or(DType::Str)
+    }
+
+    /// Finish the builder, coercing each staged column to its inferred type.
+    ///
+    /// A column whose inferred type is `Str` stringifies any stray non-string
+    /// values so mixed input never fails here.
+    pub fn finish(self) -> Result<DataFrame> {
+        let mut columns = Vec::with_capacity(self.names.len());
+        for (name, values) in self.names.into_iter().zip(self.cells) {
+            let dtype = Self::infer_dtype(&values);
+            let col = if dtype == DType::Str {
+                let coerced: Vec<Value> = values
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Null | Value::Str(_) => v,
+                        other => Value::str(other.to_string()),
+                    })
+                    .collect();
+                Column::from_values(name, DType::Str, &coerced)?
+            } else {
+                Column::from_values(name, dtype, &values)?
+            };
+            columns.push(col);
+        }
+        DataFrame::new(columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_typed_columns() {
+        let mut b = DataFrameBuilder::new(vec!["i", "f", "s"]);
+        b.push_row(vec![Value::Int(1), Value::Float(0.5), Value::str("a")]).unwrap();
+        b.push_row(vec![Value::Int(2), Value::Float(1.5), Value::str("b")]).unwrap();
+        let df = b.finish().unwrap();
+        assert_eq!(df.column("i").unwrap().dtype(), DType::Int);
+        assert_eq!(df.column("f").unwrap().dtype(), DType::Float);
+        assert_eq!(df.column("s").unwrap().dtype(), DType::Str);
+    }
+
+    #[test]
+    fn mixed_int_float_widens() {
+        let mut b = DataFrameBuilder::new(vec!["x"]);
+        b.push_row(vec![Value::Int(1)]).unwrap();
+        b.push_row(vec![Value::Float(2.5)]).unwrap();
+        let df = b.finish().unwrap();
+        assert_eq!(df.column("x").unwrap().dtype(), DType::Float);
+        assert_eq!(df.get(0, "x").unwrap(), Value::Float(1.0));
+    }
+
+    #[test]
+    fn mixed_types_stringify() {
+        let mut b = DataFrameBuilder::new(vec!["x"]);
+        b.push_row(vec![Value::Int(1)]).unwrap();
+        b.push_row(vec![Value::str("two")]).unwrap();
+        let df = b.finish().unwrap();
+        assert_eq!(df.column("x").unwrap().dtype(), DType::Str);
+        assert_eq!(df.get(0, "x").unwrap(), Value::str("1"));
+    }
+
+    #[test]
+    fn nulls_preserved_and_all_null_defaults_to_str() {
+        let mut b = DataFrameBuilder::new(vec!["x", "y"]);
+        b.push_row(vec![Value::Null, Value::Null]).unwrap();
+        b.push_row(vec![Value::Int(1), Value::Null]).unwrap();
+        let df = b.finish().unwrap();
+        assert_eq!(df.column("x").unwrap().dtype(), DType::Int);
+        assert_eq!(df.column("x").unwrap().null_count(), 1);
+        assert_eq!(df.column("y").unwrap().dtype(), DType::Str);
+        assert_eq!(df.column("y").unwrap().null_count(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut b = DataFrameBuilder::new(vec!["a", "b"]);
+        assert!(b.push_row(vec![Value::Int(1)]).is_err());
+    }
+}

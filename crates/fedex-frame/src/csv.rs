@@ -1,0 +1,259 @@
+//! CSV reading and writing.
+//!
+//! A small RFC-4180-style parser (quoted fields, embedded commas/quotes/
+//! newlines) plus type inference via [`DataFrameBuilder`]. Empty fields read
+//! as nulls. Good enough to round-trip every dataset this project generates.
+
+use std::fs;
+use std::path::Path;
+
+use crate::builder::DataFrameBuilder;
+use crate::error::FrameError;
+use crate::frame::DataFrame;
+use crate::value::Value;
+use crate::Result;
+
+/// Parse one CSV record starting at byte `pos`; returns the fields and the
+/// position just past the record's line terminator.
+fn parse_record(input: &str, mut pos: usize, line: usize) -> Result<(Vec<String>, usize)> {
+    let bytes = input.as_bytes();
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        if in_quotes {
+            match c {
+                b'"' => {
+                    if bytes.get(pos + 1) == Some(&b'"') {
+                        field.push('"');
+                        pos += 2;
+                    } else {
+                        in_quotes = false;
+                        pos += 1;
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8 is copied byte-correctly via char
+                    // boundaries of the source string.
+                    let ch_len = utf8_len(c);
+                    field.push_str(&input[pos..pos + ch_len]);
+                    pos += ch_len;
+                }
+            }
+        } else {
+            match c {
+                b'"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                        pos += 1;
+                    } else {
+                        return Err(FrameError::Csv {
+                            line,
+                            message: "unexpected quote inside unquoted field".to_string(),
+                        });
+                    }
+                }
+                b',' => {
+                    fields.push(std::mem::take(&mut field));
+                    pos += 1;
+                }
+                b'\r' => {
+                    pos += 1;
+                    if bytes.get(pos) == Some(&b'\n') {
+                        pos += 1;
+                    }
+                    fields.push(field);
+                    return Ok((fields, pos));
+                }
+                b'\n' => {
+                    pos += 1;
+                    fields.push(field);
+                    return Ok((fields, pos));
+                }
+                _ => {
+                    let ch_len = utf8_len(c);
+                    field.push_str(&input[pos..pos + ch_len]);
+                    pos += ch_len;
+                }
+            }
+        }
+    }
+    if in_quotes {
+        return Err(FrameError::Csv { line, message: "unterminated quoted field".to_string() });
+    }
+    fields.push(field);
+    Ok((fields, pos))
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Interpret one CSV text field as a [`Value`]: empty → null, then int,
+/// float, bool, falling back to string.
+fn infer_value(field: &str) -> Value {
+    if field.is_empty() {
+        return Value::Null;
+    }
+    if let Ok(i) = field.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = field.parse::<f64>() {
+        return Value::Float(f);
+    }
+    match field {
+        "true" | "True" | "TRUE" => Value::Bool(true),
+        "false" | "False" | "FALSE" => Value::Bool(false),
+        _ => Value::str(field),
+    }
+}
+
+/// Parse CSV text (first record is the header) into a dataframe.
+pub fn read_csv_str(input: &str) -> Result<DataFrame> {
+    if input.is_empty() {
+        return Ok(DataFrame::empty());
+    }
+    let (header, mut pos) = parse_record(input, 0, 1)?;
+    let n_cols = header.len();
+    let mut builder = DataFrameBuilder::new(header);
+    let mut line = 2;
+    while pos < input.len() {
+        let (fields, next) = parse_record(input, pos, line)?;
+        pos = next;
+        // A trailing newline yields one empty singleton record; skip it.
+        if fields.len() == 1 && fields[0].is_empty() && pos >= input.len() {
+            break;
+        }
+        if fields.len() != n_cols {
+            return Err(FrameError::Csv {
+                line,
+                message: format!("expected {n_cols} fields, found {}", fields.len()),
+            });
+        }
+        builder.push_row(fields.iter().map(|f| infer_value(f)).collect())?;
+        line += 1;
+    }
+    builder.finish()
+}
+
+/// Read a CSV file into a dataframe.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<DataFrame> {
+    let text = fs::read_to_string(path)?;
+    read_csv_str(&text)
+}
+
+fn escape_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serialize a dataframe to CSV text (header + records, `\n` terminated).
+pub fn write_csv_string(df: &DataFrame) -> String {
+    let mut out = String::new();
+    let names = df.column_names();
+    for (i, n) in names.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&escape_field(n));
+    }
+    out.push('\n');
+    for r in 0..df.n_rows() {
+        for (i, col) in df.columns().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let v = col.get(r);
+            if !v.is_null() {
+                out.push_str(&escape_field(&v.to_string()));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a dataframe to a CSV file.
+pub fn write_csv(df: &DataFrame, path: impl AsRef<Path>) -> Result<()> {
+    fs::write(path, write_csv_string(df))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DType;
+
+    #[test]
+    fn parses_simple_csv() {
+        let df = read_csv_str("a,b,c\n1,2.5,x\n2,3.5,y\n").unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.column("a").unwrap().dtype(), DType::Int);
+        assert_eq!(df.column("b").unwrap().dtype(), DType::Float);
+        assert_eq!(df.column("c").unwrap().dtype(), DType::Str);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let df = read_csv_str("name,x\n\"hello, world\",1\n\"say \"\"hi\"\"\",2\n").unwrap();
+        assert_eq!(df.get(0, "name").unwrap(), Value::str("hello, world"));
+        assert_eq!(df.get(1, "name").unwrap(), Value::str("say \"hi\""));
+    }
+
+    #[test]
+    fn empty_fields_become_null() {
+        let df = read_csv_str("a,b\n1,\n,2\n").unwrap();
+        assert_eq!(df.column("a").unwrap().null_count(), 1);
+        assert_eq!(df.column("b").unwrap().null_count(), 1);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let df = read_csv_str("a,b\r\n1,x\r\n2,y\r\n").unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.get(1, "b").unwrap(), Value::str("y"));
+    }
+
+    #[test]
+    fn field_count_mismatch_is_error() {
+        let err = read_csv_str("a,b\n1\n").unwrap_err();
+        assert!(matches!(err, FrameError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(read_csv_str("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let src = "a,b,s\n1,1.5,x\n2,,\"q,z\"\n";
+        let df = read_csv_str(src).unwrap();
+        let text = write_csv_string(&df);
+        let df2 = read_csv_str(&text).unwrap();
+        assert_eq!(df2.n_rows(), df.n_rows());
+        assert_eq!(df2.get(1, "s").unwrap(), Value::str("q,z"));
+        assert_eq!(df2.column("b").unwrap().null_count(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let df = read_csv_str("").unwrap();
+        assert_eq!(df.n_cols(), 0);
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let df = read_csv_str("a\n1\n2").unwrap();
+        assert_eq!(df.n_rows(), 2);
+    }
+}

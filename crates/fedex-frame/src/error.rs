@@ -1,0 +1,83 @@
+//! Error type for dataframe operations.
+
+use std::fmt;
+
+/// Errors produced by dataframe construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A referenced column does not exist in the dataframe.
+    ColumnNotFound(String),
+    /// Two columns in the same dataframe share a name.
+    DuplicateColumn(String),
+    /// Columns passed to a dataframe have differing lengths.
+    LengthMismatch { expected: usize, got: usize, column: String },
+    /// An operation required a different column type.
+    TypeMismatch { column: String, expected: &'static str, got: &'static str },
+    /// A row index was out of bounds.
+    IndexOutOfBounds { index: usize, len: usize },
+    /// Two schemas were expected to be compatible but are not.
+    SchemaMismatch(String),
+    /// CSV parsing failed.
+    Csv { line: usize, message: String },
+    /// I/O failure (file read/write). Carries the rendered error message.
+    Io(String),
+    /// Catch-all for invalid arguments.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+            FrameError::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
+            FrameError::LengthMismatch { expected, got, column } => write!(
+                f,
+                "column {column:?} has length {got}, expected {expected}"
+            ),
+            FrameError::TypeMismatch { column, expected, got } => write!(
+                f,
+                "column {column:?} has type {got}, expected {expected}"
+            ),
+            FrameError::IndexOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for length {len}")
+            }
+            FrameError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            FrameError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            FrameError::Io(msg) => write!(f, "io error: {msg}"),
+            FrameError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_column_not_found() {
+        let e = FrameError::ColumnNotFound("year".into());
+        assert_eq!(e.to_string(), "column not found: \"year\"");
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = FrameError::LengthMismatch { expected: 3, got: 2, column: "a".into() };
+        assert!(e.to_string().contains("length 2"));
+        assert!(e.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: FrameError = io.into();
+        assert!(matches!(e, FrameError::Io(_)));
+    }
+}

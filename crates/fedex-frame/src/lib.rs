@@ -1,0 +1,44 @@
+//! # fedex-frame
+//!
+//! A small column-oriented dataframe engine: the substrate on which the
+//! FEDEX explainability framework (VLDB 2022) operates. The paper's
+//! reference implementation uses Pandas; this crate provides the equivalent
+//! operations needed by FEDEX — typed columns with null support,
+//! dictionary-encoded strings, row selection (`take` / `filter`), column
+//! projection, vertical stacking, and CSV I/O.
+//!
+//! The engine is deliberately minimal but production-grade: columnar
+//! storage, no per-row boxing on hot paths, and dictionary-encoded strings
+//! so that group-by keys and the multi-million-row Sales table stay cheap.
+//!
+//! ```
+//! use fedex_frame::{DataFrame, Column, Value};
+//!
+//! let df = DataFrame::new(vec![
+//!     Column::from_ints("year", vec![1991, 2014, 1992]),
+//!     Column::from_floats("loudness", vec![-11.07, -7.83, -10.69]),
+//! ]).unwrap();
+//! assert_eq!(df.n_rows(), 3);
+//! assert_eq!(df.column("year").unwrap().get(1), Value::Int(2014));
+//! ```
+
+pub mod builder;
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod frame;
+pub mod print;
+pub mod schema;
+pub mod transform;
+pub mod value;
+
+pub use builder::DataFrameBuilder;
+pub use column::{Column, ColumnData, StrColumn};
+pub use csv::{read_csv, read_csv_str, write_csv, write_csv_string};
+pub use error::FrameError;
+pub use frame::DataFrame;
+pub use schema::{DType, Field, Schema};
+pub use value::Value;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, FrameError>;

@@ -1,0 +1,130 @@
+//! Human-readable table rendering for dataframes.
+
+use std::fmt;
+
+use crate::frame::DataFrame;
+
+/// Maximum rows rendered by `Display`; larger frames are elided in the
+/// middle like Pandas does.
+const DISPLAY_ROWS: usize = 10;
+/// Maximum rendered width of one cell.
+const MAX_CELL: usize = 24;
+
+fn clip(s: &str) -> String {
+    if s.chars().count() <= MAX_CELL {
+        s.to_string()
+    } else {
+        let head: String = s.chars().take(MAX_CELL - 1).collect();
+        format!("{head}…")
+    }
+}
+
+/// Render a dataframe as an aligned text table, eliding rows past `max_rows`.
+pub fn render_table(df: &DataFrame, max_rows: usize) -> String {
+    let names = df.column_names();
+    if names.is_empty() {
+        return "(empty dataframe: 0 columns)".to_string();
+    }
+    let n = df.n_rows();
+    let shown: Vec<usize> = if n <= max_rows {
+        (0..n).collect()
+    } else {
+        let head = max_rows / 2;
+        let tail = max_rows - head;
+        (0..head).chain(n - tail..n).collect()
+    };
+    let elided = n > max_rows;
+
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown.len() + 1);
+    cells.push(names.iter().map(|s| clip(s)).collect());
+    for &r in &shown {
+        cells.push(df.columns().iter().map(|c| clip(&c.get(r).to_string())).collect());
+    }
+
+    let mut widths = vec![0usize; names.len()];
+    for row in &cells {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+
+    let mut out = String::new();
+    let fmt_row = |row: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            let pad = widths[i].saturating_sub(cell.chars().count());
+            line.extend(std::iter::repeat_n(' ', pad));
+        }
+        line.trim_end().to_string()
+    };
+
+    out.push_str(&fmt_row(&cells[0]));
+    out.push('\n');
+    let total_width: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total_width));
+    out.push('\n');
+    for (k, row) in cells[1..].iter().enumerate() {
+        if elided && k == max_rows / 2 {
+            out.push_str("...\n");
+        }
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out.push_str(&format!("[{} rows x {} columns]", n, names.len()));
+    out
+}
+
+impl fmt::Display for DataFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&render_table(self, DISPLAY_ROWS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn renders_small_frame() {
+        let df = DataFrame::new(vec![
+            Column::from_ints("year", vec![1991, 2014]),
+            Column::from_strs("decade", vec!["1990s", "2010s"]),
+        ])
+        .unwrap();
+        let s = df.to_string();
+        assert!(s.contains("year"));
+        assert!(s.contains("2010s"));
+        assert!(s.contains("[2 rows x 2 columns]"));
+    }
+
+    #[test]
+    fn elides_long_frames() {
+        let df =
+            DataFrame::new(vec![Column::from_ints("x", (0..100).collect())]).unwrap();
+        let s = render_table(&df, 6);
+        assert!(s.contains("..."));
+        assert!(s.contains("[100 rows x 1 columns]"));
+        // head and tail shown
+        assert!(s.contains('0'));
+        assert!(s.contains("99"));
+    }
+
+    #[test]
+    fn clips_wide_cells() {
+        let long = "x".repeat(100);
+        let df = DataFrame::new(vec![Column::from_strs("s", vec![long.as_str()])]).unwrap();
+        let s = df.to_string();
+        assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn empty_frame_renders() {
+        let s = DataFrame::empty().to_string();
+        assert!(s.contains("empty dataframe"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Column types and dataframe schemas.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// Boolean column.
+    Bool,
+    /// 64-bit integer column.
+    Int,
+    /// 64-bit float column.
+    Float,
+    /// Dictionary-encoded string column.
+    Str,
+}
+
+impl DType {
+    /// True for `Int` and `Float` columns (the ones numeric binning and
+    /// diversity measures apply to).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DType::Int | DType::Float)
+    }
+
+    /// Static name, used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::Bool => "bool",
+            DType::Int => "int",
+            DType::Float => "float",
+            DType::Str => "str",
+        }
+    }
+
+    /// The dtype a [`Value`] naturally carries, or `None` for nulls.
+    pub fn of_value(v: &Value) -> Option<DType> {
+        match v {
+            Value::Null => None,
+            Value::Bool(_) => Some(DType::Bool),
+            Value::Int(_) => Some(DType::Int),
+            Value::Float(_) => Some(DType::Float),
+            Value::Str(_) => Some(DType::Str),
+        }
+    }
+
+    /// Least upper bound of two dtypes for type inference: `Int ∨ Float =
+    /// Float`; any other mixed pair widens to `Str`.
+    pub fn unify(a: DType, b: DType) -> DType {
+        if a == b {
+            a
+        } else if a.is_numeric() && b.is_numeric() {
+            DType::Float
+        } else {
+            DType::Str
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named, typed column slot in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub dtype: DType,
+}
+
+impl Field {
+    /// Build a field.
+    pub fn new(name: impl Into<String>, dtype: DType) -> Self {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// Ordered list of fields describing a dataframe.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Position of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// True when both schemas have the same names and types in the same
+    /// order (required by `union`).
+    pub fn same_layout(&self, other: &Schema) -> bool {
+        self.fields.len() == other.fields.len()
+            && self
+                .fields
+                .iter()
+                .zip(&other.fields)
+                .all(|(a, b)| a.name == b.name && a.dtype == b.dtype)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.dtype)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_widens_numeric() {
+        assert_eq!(DType::unify(DType::Int, DType::Float), DType::Float);
+        assert_eq!(DType::unify(DType::Int, DType::Int), DType::Int);
+        assert_eq!(DType::unify(DType::Int, DType::Str), DType::Str);
+        assert_eq!(DType::unify(DType::Bool, DType::Str), DType::Str);
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(vec![
+            Field::new("a", DType::Int),
+            Field::new("b", DType::Str),
+        ]);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert_eq!(s.field("a").unwrap().dtype, DType::Int);
+        assert_eq!(s.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn same_layout_checks_order() {
+        let s1 = Schema::new(vec![Field::new("a", DType::Int), Field::new("b", DType::Str)]);
+        let s2 = Schema::new(vec![Field::new("b", DType::Str), Field::new("a", DType::Int)]);
+        assert!(!s1.same_layout(&s2));
+        assert!(s1.same_layout(&s1.clone()));
+    }
+
+    #[test]
+    fn display_schema() {
+        let s = Schema::new(vec![Field::new("a", DType::Int)]);
+        assert_eq!(s.to_string(), "[a: int]");
+    }
+}

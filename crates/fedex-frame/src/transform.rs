@@ -1,0 +1,175 @@
+//! Dataframe transformations beyond row selection: multi-key sorting and
+//! summary statistics (`describe`).
+
+use crate::column::Column;
+use crate::frame::DataFrame;
+use crate::schema::DType;
+use crate::value::Value;
+use crate::Result;
+
+impl DataFrame {
+    /// Stable sort by one or more `(column, ascending)` keys. Nulls order
+    /// first (they are the smallest [`Value`]).
+    pub fn sort_by(&self, keys: &[(&str, bool)]) -> Result<DataFrame> {
+        let key_cols: Vec<(&Column, bool)> = keys
+            .iter()
+            .map(|(name, asc)| self.column(name).map(|c| (c, *asc)))
+            .collect::<Result<_>>()?;
+        let mut indices: Vec<usize> = (0..self.n_rows()).collect();
+        indices.sort_by(|&a, &b| {
+            for (col, asc) in &key_cols {
+                let ord = col.get(a).cmp(&col.get(b));
+                let ord = if *asc { ord } else { ord.reverse() };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self.take(&indices)
+    }
+
+    /// Per-column summary statistics, Pandas-`describe()`-style: one row
+    /// per source column with `count`, `nulls`, `distinct`, and (for
+    /// numeric columns) `mean`, `std`, `min`, `max`.
+    pub fn describe(&self) -> DataFrame {
+        let mut names = Vec::new();
+        let mut counts = Vec::new();
+        let mut nulls = Vec::new();
+        let mut distinct = Vec::new();
+        let mut means = Vec::new();
+        let mut stds = Vec::new();
+        let mut mins = Vec::new();
+        let mut maxs = Vec::new();
+        for col in self.columns() {
+            names.push(col.name().to_string());
+            let null_count = col.null_count();
+            counts.push((col.len() - null_count) as i64);
+            nulls.push(null_count as i64);
+            distinct.push(col.n_distinct() as i64);
+            if col.dtype().is_numeric() || col.dtype() == DType::Bool {
+                let xs = col.numeric_values();
+                let n = xs.len() as f64;
+                if xs.is_empty() {
+                    means.push(None);
+                    stds.push(None);
+                    mins.push(None);
+                    maxs.push(None);
+                } else {
+                    let mean = xs.iter().sum::<f64>() / n;
+                    let var = if xs.len() > 1 {
+                        xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+                    } else {
+                        0.0
+                    };
+                    means.push(Some(mean));
+                    stds.push(Some(var.sqrt()));
+                    mins.push(Some(xs.iter().cloned().fold(f64::INFINITY, f64::min)));
+                    maxs.push(Some(xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)));
+                }
+            } else {
+                means.push(None);
+                stds.push(None);
+                mins.push(None);
+                maxs.push(None);
+            }
+        }
+        DataFrame::new(vec![
+            Column::from_strs("column", names),
+            Column::from_ints("count", counts),
+            Column::from_ints("nulls", nulls),
+            Column::from_ints("distinct", distinct),
+            Column::from_opt_floats("mean", means),
+            Column::from_opt_floats("std", stds),
+            Column::from_opt_floats("min", mins),
+            Column::from_opt_floats("max", maxs),
+        ])
+        .expect("describe schema is consistent")
+    }
+
+    /// The distinct non-null values of a column, sorted ascending.
+    pub fn distinct_values(&self, column: &str) -> Result<Vec<Value>> {
+        let col = self.column(column)?;
+        let mut vals: Vec<Value> = col.value_counts().into_keys().collect();
+        vals.sort();
+        Ok(vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            Column::from_strs("g", vec!["b", "a", "b", "a"]),
+            Column::from_opt_ints("x", vec![Some(3), Some(1), None, Some(2)]),
+            Column::from_floats("y", vec![0.5, 1.5, 2.5, 3.5]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn sort_single_key_ascending() {
+        let s = df().sort_by(&[("x", true)]).unwrap();
+        // Null first, then 1, 2, 3.
+        assert_eq!(s.get(0, "x").unwrap(), Value::Null);
+        assert_eq!(s.get(1, "x").unwrap(), Value::Int(1));
+        assert_eq!(s.get(3, "x").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn sort_multi_key_with_direction() {
+        let s = df().sort_by(&[("g", true), ("y", false)]).unwrap();
+        assert_eq!(s.get(0, "g").unwrap(), Value::str("a"));
+        assert_eq!(s.get(0, "y").unwrap(), Value::Float(3.5));
+        assert_eq!(s.get(1, "y").unwrap(), Value::Float(1.5));
+        assert_eq!(s.get(2, "g").unwrap(), Value::str("b"));
+        assert_eq!(s.get(2, "y").unwrap(), Value::Float(2.5));
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let d = DataFrame::new(vec![
+            Column::from_ints("k", vec![1, 1, 1]),
+            Column::from_ints("orig", vec![0, 1, 2]),
+        ])
+        .unwrap();
+        let s = d.sort_by(&[("k", true)]).unwrap();
+        for i in 0..3 {
+            assert_eq!(s.get(i, "orig").unwrap(), Value::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn sort_unknown_column_errors() {
+        assert!(df().sort_by(&[("nope", true)]).is_err());
+    }
+
+    #[test]
+    fn describe_summarizes() {
+        let d = df().describe();
+        assert_eq!(d.n_rows(), 3);
+        assert_eq!(
+            d.column_names(),
+            vec!["column", "count", "nulls", "distinct", "mean", "std", "min", "max"]
+        );
+        // Row for "x": 3 non-null, 1 null, mean 2.
+        let row = (0..3).find(|&i| d.get(i, "column").unwrap() == Value::str("x")).unwrap();
+        assert_eq!(d.get(row, "count").unwrap(), Value::Int(3));
+        assert_eq!(d.get(row, "nulls").unwrap(), Value::Int(1));
+        assert!((d.get(row, "mean").unwrap().as_f64().unwrap() - 2.0).abs() < 1e-12);
+        // String column has no numeric stats.
+        let row = (0..3).find(|&i| d.get(i, "column").unwrap() == Value::str("g")).unwrap();
+        assert!(d.get(row, "mean").unwrap().is_null());
+        assert_eq!(d.get(row, "distinct").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn distinct_values_sorted() {
+        let vals = df().distinct_values("g").unwrap();
+        assert_eq!(vals, vec![Value::str("a"), Value::str("b")]);
+        let vals = df().distinct_values("x").unwrap();
+        assert_eq!(vals, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+}

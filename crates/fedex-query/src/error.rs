@@ -1,0 +1,76 @@
+//! Error type for query planning and execution.
+
+use std::fmt;
+
+use fedex_frame::FrameError;
+
+/// Errors produced by expression evaluation, operations, and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// An underlying dataframe error.
+    Frame(FrameError),
+    /// An expression was applied to incompatible operand types.
+    ExprType { context: String },
+    /// The operation received the wrong number of input dataframes.
+    ArityMismatch { op: &'static str, expected: &'static str, got: usize },
+    /// A group-by aggregate referenced a non-numeric column.
+    NonNumericAggregate { column: String },
+    /// SQL parse failure at a byte offset.
+    Parse { offset: usize, message: String },
+    /// A table referenced in `FROM` is not registered in the catalog.
+    UnknownTable(String),
+    /// Catch-all for invalid arguments.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Frame(e) => write!(f, "{e}"),
+            QueryError::ExprType { context } => write!(f, "type error in expression: {context}"),
+            QueryError::ArityMismatch { op, expected, got } => {
+                write!(f, "{op} expects {expected} input dataframe(s), got {got}")
+            }
+            QueryError::NonNumericAggregate { column } => {
+                write!(f, "cannot aggregate non-numeric column {column:?}")
+            }
+            QueryError::Parse { offset, message } => {
+                write!(f, "parse error at offset {offset}: {message}")
+            }
+            QueryError::UnknownTable(t) => write!(f, "unknown table: {t:?}"),
+            QueryError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for QueryError {
+    fn from(e: FrameError) -> Self {
+        QueryError::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_frame_error() {
+        let e: QueryError = FrameError::ColumnNotFound("x".into()).into();
+        assert!(e.to_string().contains("column not found"));
+    }
+
+    #[test]
+    fn parse_error_display() {
+        let e = QueryError::Parse { offset: 12, message: "expected FROM".into() };
+        assert!(e.to_string().contains("offset 12"));
+    }
+}

@@ -1,0 +1,383 @@
+//! Predicate and scalar expressions over dataframe rows.
+//!
+//! [`Expr`] is a small AST used for filter predicates (and join conditions
+//! in the parser). Null semantics follow SQL: any comparison or arithmetic
+//! with a null operand yields null, and a null predicate excludes the row.
+
+use fedex_frame::{DataFrame, Value};
+
+use crate::error::QueryError;
+use crate::Result;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=` / `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// Logical conjunction.
+    And,
+    /// Logical disjunction.
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// Expression AST node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a column by name.
+    Col(String),
+    /// Literal value.
+    Lit(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    fn binary(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(self), right: Box::new(rhs) }
+    }
+
+    /// `self == rhs`
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Eq, rhs)
+    }
+    /// `self != rhs`
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Ne, rhs)
+    }
+    /// `self < rhs`
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Lt, rhs)
+    }
+    /// `self <= rhs`
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Le, rhs)
+    }
+    /// `self > rhs`
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Gt, rhs)
+    }
+    /// `self >= rhs`
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Ge, rhs)
+    }
+    /// `self AND rhs`
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::And, rhs)
+    }
+    /// `self OR rhs`
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Or, rhs)
+    }
+    /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// All column names referenced by the expression.
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Col(c) => out.push(c),
+            Expr::Lit(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Not(e) => e.collect_columns(out),
+        }
+    }
+
+    /// Evaluate the expression for every row of `df`, producing one boxed
+    /// value per row.
+    pub fn eval(&self, df: &DataFrame) -> Result<Vec<Value>> {
+        let n = df.n_rows();
+        match self {
+            Expr::Col(name) => {
+                let col = df.column(name)?;
+                Ok((0..n).map(|i| col.get(i)).collect())
+            }
+            Expr::Lit(v) => Ok(vec![v.clone(); n]),
+            Expr::Not(inner) => {
+                let vals = inner.eval(df)?;
+                Ok(vals
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Bool(b) => Value::Bool(!b),
+                        Value::Null => Value::Null,
+                        _ => Value::Null,
+                    })
+                    .collect())
+            }
+            Expr::Binary { op, left, right } => {
+                let l = left.eval(df)?;
+                let r = right.eval(df)?;
+                let mut out = Vec::with_capacity(n);
+                for (a, b) in l.into_iter().zip(r) {
+                    out.push(apply_binop(*op, a, b)?);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Evaluate the expression as a row mask: `true` where the predicate
+    /// holds, `false` on `false` *or null* (SQL three-valued semantics).
+    pub fn eval_mask(&self, df: &DataFrame) -> Result<Vec<bool>> {
+        Ok(self
+            .eval(df)?
+            .into_iter()
+            .map(|v| matches!(v, Value::Bool(true)))
+            .collect())
+    }
+}
+
+fn apply_binop(op: BinOp, a: Value, b: Value) -> Result<Value> {
+    use BinOp::*;
+    if a.is_null() || b.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        Eq => Ok(Value::Bool(a == b)),
+        Ne => Ok(Value::Bool(a != b)),
+        Lt | Le | Gt | Ge => {
+            // Comparing a string to a number is a type error (a real bug in
+            // the caller's predicate), not a silent false.
+            let comparable = matches!(
+                (&a, &b),
+                (Value::Str(_), Value::Str(_))
+                    | (Value::Bool(_), Value::Bool(_))
+                    | (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
+            );
+            if !comparable {
+                return Err(QueryError::ExprType {
+                    context: format!("cannot compare {a} {} {b}", op.symbol()),
+                });
+            }
+            let ord = a.cmp(&b);
+            Ok(Value::Bool(match op {
+                Lt => ord.is_lt(),
+                Le => ord.is_le(),
+                Gt => ord.is_gt(),
+                Ge => ord.is_ge(),
+                _ => unreachable!(),
+            }))
+        }
+        And | Or => match (&a, &b) {
+            (Value::Bool(x), Value::Bool(y)) => {
+                Ok(Value::Bool(if op == And { *x && *y } else { *x || *y }))
+            }
+            _ => Err(QueryError::ExprType {
+                context: format!("{} requires boolean operands, got {a} and {b}", op.symbol()),
+            }),
+        },
+        Add | Sub | Mul | Div => {
+            let (x, y) = match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => {
+                    return Err(QueryError::ExprType {
+                        context: "arithmetic requires numeric operands".to_string(),
+                    })
+                }
+            };
+            let r = match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => {
+                    if y == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    x / y
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(r))
+        }
+    }
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Col(c) => write!(f, "{c}"),
+            Expr::Lit(Value::Str(s)) => write!(f, "'{s}'"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            Expr::Not(e) => write!(f, "NOT {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedex_frame::Column;
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            Column::from_ints("pop", vec![70, 20, 80]),
+            Column::from_floats("tempo", vec![100.5, 90.0, 120.0]),
+            Column::from_strs("genre", vec!["rock", "pop", "rock"]),
+            Column::from_opt_ints("year", vec![Some(1990), None, Some(2010)]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn comparison_mask() {
+        let mask = Expr::col("pop").gt(Expr::lit(65i64)).eval_mask(&df()).unwrap();
+        assert_eq!(mask, vec![true, false, true]);
+    }
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        let mask = Expr::col("tempo").ge(Expr::lit(100i64)).eval_mask(&df()).unwrap();
+        assert_eq!(mask, vec![true, false, true]);
+    }
+
+    #[test]
+    fn string_equality() {
+        let mask = Expr::col("genre").eq(Expr::lit("rock")).eval_mask(&df()).unwrap();
+        assert_eq!(mask, vec![true, false, true]);
+        let mask = Expr::col("genre").ne(Expr::lit("rock")).eval_mask(&df()).unwrap();
+        assert_eq!(mask, vec![false, true, false]);
+    }
+
+    #[test]
+    fn null_propagates_and_excludes() {
+        let mask = Expr::col("year").gt(Expr::lit(1980i64)).eval_mask(&df()).unwrap();
+        assert_eq!(mask, vec![true, false, true]);
+    }
+
+    #[test]
+    fn and_or_not() {
+        let e = Expr::col("pop")
+            .gt(Expr::lit(10i64))
+            .and(Expr::col("genre").eq(Expr::lit("rock")));
+        assert_eq!(e.eval_mask(&df()).unwrap(), vec![true, false, true]);
+
+        let e = Expr::col("pop").lt(Expr::lit(30i64)).or(Expr::col("pop").gt(Expr::lit(75i64)));
+        assert_eq!(e.eval_mask(&df()).unwrap(), vec![false, true, true]);
+
+        let e = Expr::col("genre").eq(Expr::lit("rock")).not();
+        assert_eq!(e.eval_mask(&df()).unwrap(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::Binary {
+            op: BinOp::Mul,
+            left: Box::new(Expr::col("tempo")),
+            right: Box::new(Expr::lit(2.0)),
+        };
+        let vals = e.eval(&df()).unwrap();
+        assert_eq!(vals[0], Value::Float(201.0));
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            left: Box::new(Expr::col("pop")),
+            right: Box::new(Expr::lit(1i64)),
+        };
+        assert_eq!(e.eval(&df()).unwrap()[0], Value::Float(71.0));
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        let e = Expr::col("genre").gt(Expr::lit(5i64));
+        assert!(e.eval_mask(&df()).is_err());
+        let e = Expr::col("pop").and(Expr::col("pop"));
+        assert!(e.eval(&df()).is_err());
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let e = Expr::Binary {
+            op: BinOp::Div,
+            left: Box::new(Expr::lit(1.0)),
+            right: Box::new(Expr::lit(0.0)),
+        };
+        assert_eq!(e.eval(&df()).unwrap()[0], Value::Null);
+    }
+
+    #[test]
+    fn missing_column_error() {
+        assert!(Expr::col("nope").eval(&df()).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_collects() {
+        let e = Expr::col("a").gt(Expr::lit(1i64)).and(Expr::col("b").eq(Expr::col("c")));
+        assert_eq!(e.referenced_columns(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn display_round_readable() {
+        let e = Expr::col("pop").gt(Expr::lit(65i64));
+        assert_eq!(e.to_string(), "(pop > 65)");
+        let e = Expr::col("g").eq(Expr::lit("x"));
+        assert_eq!(e.to_string(), "(g == 'x')");
+    }
+}

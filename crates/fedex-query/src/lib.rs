@@ -1,0 +1,27 @@
+//! # fedex-query
+//!
+//! EDA operations for the FEDEX explainability framework (VLDB 2022):
+//! filter, group-by (+ aggregates), inner join, and union — the four
+//! exploratory operations of §3.1 — plus:
+//!
+//! * an expression AST ([`Expr`]) for filter predicates;
+//! * [`ExploratoryStep`]: the triple `Q = (D_in, q, d_out)` of the paper,
+//!   with the ability to *re-run* the operation on an input with a
+//!   set-of-rows removed (the intervention of Def. 3.3);
+//! * a parser for the SQL subset used by the paper's query workload
+//!   (Tables 2–3), including nested `FROM [subquery]` steps.
+
+pub mod error;
+pub mod expr;
+pub mod ops;
+pub mod parser;
+pub mod step;
+
+pub use error::QueryError;
+pub use expr::{BinOp, Expr};
+pub use ops::{AggFunc, Aggregate, Operation, Provenance};
+pub use parser::{parse_query, Catalog, ParsedQuery};
+pub use step::ExploratoryStep;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, QueryError>;

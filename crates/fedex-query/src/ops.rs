@@ -1,0 +1,672 @@
+//! The four EDA operations of §3.1: filter, group-by, join, union.
+//!
+//! [`Operation`] is the specification `q` of an exploratory step; applying
+//! it to input dataframes is [`Operation::apply`]. Group-by supports an
+//! optional pre-filter so that steps like *"select avg(loudness) from d0
+//! where year >= 1990 group by year"* form a single re-runnable operation
+//! (required by the intervention-based contribution of Def. 3.3).
+
+use std::collections::HashMap;
+
+use fedex_frame::{Column, ColumnData, DataFrame, DType, Value};
+
+use crate::error::QueryError;
+use crate::expr::Expr;
+use crate::Result;
+
+/// Aggregate functions supported by group-by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Row count per group (column-independent).
+    Count,
+    /// Sum of a numeric column.
+    Sum,
+    /// Arithmetic mean of a numeric column.
+    Mean,
+    /// Minimum of a numeric column.
+    Min,
+    /// Maximum of a numeric column.
+    Max,
+}
+
+impl AggFunc {
+    /// Lower-case name used in output column labels (`mean_loudness`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Mean => "mean",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// One aggregate in a group-by: a function over a source column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Aggregate {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Source column in the input dataframe; `None` only for `Count`.
+    pub column: Option<String>,
+}
+
+impl Aggregate {
+    /// `count` (of rows) or `count(column)` — both count non-null rows of
+    /// the column when one is given.
+    pub fn count(column: Option<&str>) -> Self {
+        Aggregate { func: AggFunc::Count, column: column.map(str::to_string) }
+    }
+    /// `mean(column)`
+    pub fn mean(column: &str) -> Self {
+        Aggregate { func: AggFunc::Mean, column: Some(column.to_string()) }
+    }
+    /// `sum(column)`
+    pub fn sum(column: &str) -> Self {
+        Aggregate { func: AggFunc::Sum, column: Some(column.to_string()) }
+    }
+    /// `min(column)`
+    pub fn min(column: &str) -> Self {
+        Aggregate { func: AggFunc::Min, column: Some(column.to_string()) }
+    }
+    /// `max(column)`
+    pub fn max(column: &str) -> Self {
+        Aggregate { func: AggFunc::Max, column: Some(column.to_string()) }
+    }
+
+    /// Output column label, e.g. `mean_loudness` or plain `count`.
+    pub fn output_name(&self) -> String {
+        match &self.column {
+            Some(c) => format!("{}_{}", self.func.name(), c),
+            None => self.func.name().to_string(),
+        }
+    }
+
+    /// The input column this aggregate reads (None for bare `count`).
+    pub fn source_column(&self) -> Option<&str> {
+        self.column.as_deref()
+    }
+}
+
+/// Specification of an exploratory operation `q`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operation {
+    /// Keep rows satisfying the predicate. One input.
+    Filter {
+        /// Row predicate.
+        predicate: Expr,
+    },
+    /// Group rows and aggregate. One input. The optional `pre_filter` is
+    /// applied before grouping so the whole step re-runs under intervention.
+    GroupBy {
+        /// Optional filter applied before grouping.
+        pre_filter: Option<Expr>,
+        /// Grouping key columns (in output order).
+        keys: Vec<String>,
+        /// Aggregates (in output order).
+        aggs: Vec<Aggregate>,
+    },
+    /// Inner equi-join of exactly two inputs. Output columns are prefixed
+    /// `"{left_prefix}_"` / `"{right_prefix}_"` (matching the paper's
+    /// `products_sales` view naming).
+    Join {
+        /// Join key in the left input.
+        left_on: String,
+        /// Join key in the right input.
+        right_on: String,
+        /// Prefix for left output columns.
+        left_prefix: String,
+        /// Prefix for right output columns.
+        right_prefix: String,
+    },
+    /// Concatenate all inputs (same schema layout required). Two or more
+    /// inputs.
+    Union,
+}
+
+impl Operation {
+    /// Filter operation.
+    pub fn filter(predicate: Expr) -> Self {
+        Operation::Filter { predicate }
+    }
+
+    /// Plain group-by (no pre-filter).
+    pub fn group_by(keys: Vec<&str>, aggs: Vec<Aggregate>) -> Self {
+        Operation::GroupBy {
+            pre_filter: None,
+            keys: keys.into_iter().map(str::to_string).collect(),
+            aggs,
+        }
+    }
+
+    /// Group-by with a filter applied first.
+    pub fn filtered_group_by(pre_filter: Expr, keys: Vec<&str>, aggs: Vec<Aggregate>) -> Self {
+        Operation::GroupBy {
+            pre_filter: Some(pre_filter),
+            keys: keys.into_iter().map(str::to_string).collect(),
+            aggs,
+        }
+    }
+
+    /// Inner join operation.
+    pub fn join(left_on: &str, right_on: &str, left_prefix: &str, right_prefix: &str) -> Self {
+        Operation::Join {
+            left_on: left_on.to_string(),
+            right_on: right_on.to_string(),
+            left_prefix: left_prefix.to_string(),
+            right_prefix: right_prefix.to_string(),
+        }
+    }
+
+    /// Short human-readable label ("filter", "group-by", ...).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Operation::Filter { .. } => "filter",
+            Operation::GroupBy { .. } => "group-by",
+            Operation::Join { .. } => "join",
+            Operation::Union => "union",
+        }
+    }
+
+    /// Number of input dataframes the operation requires: exact for
+    /// filter/group-by/join; union accepts `>= 2`.
+    pub fn check_arity(&self, got: usize) -> Result<()> {
+        let ok = match self {
+            Operation::Filter { .. } | Operation::GroupBy { .. } => got == 1,
+            Operation::Join { .. } => got == 2,
+            Operation::Union => got >= 2,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(QueryError::ArityMismatch {
+                op: self.kind_name(),
+                expected: match self {
+                    Operation::Filter { .. } | Operation::GroupBy { .. } => "1",
+                    Operation::Join { .. } => "2",
+                    Operation::Union => ">=2",
+                },
+                got,
+            })
+        }
+    }
+
+    /// Apply the operation to input dataframes, producing the output
+    /// dataframe `d_out`.
+    pub fn apply(&self, inputs: &[DataFrame]) -> Result<DataFrame> {
+        Ok(self.apply_traced(inputs)?.0)
+    }
+
+    /// Apply the operation and additionally report row [`Provenance`] —
+    /// which input rows produced which output rows. Provenance is what lets
+    /// FEDEX compute the intervention `q(D_in − R)` of Def. 3.3
+    /// incrementally instead of re-running `q` per set-of-rows.
+    pub fn apply_traced(&self, inputs: &[DataFrame]) -> Result<(DataFrame, Provenance)> {
+        self.check_arity(inputs.len())?;
+        match self {
+            Operation::Filter { predicate } => {
+                let mask = predicate.eval_mask(&inputs[0])?;
+                let kept: Vec<usize> =
+                    mask.iter().enumerate().filter_map(|(i, &k)| k.then_some(i)).collect();
+                let out = inputs[0].take(&kept)?;
+                Ok((out, Provenance::Filter { kept }))
+            }
+            Operation::GroupBy { pre_filter, keys, aggs } => {
+                let pass: Option<Vec<bool>> = match pre_filter {
+                    Some(f) => Some(f.eval_mask(&inputs[0])?),
+                    None => None,
+                };
+                group_by_traced(&inputs[0], pass.as_deref(), keys, aggs)
+            }
+            Operation::Join { left_on, right_on, left_prefix, right_prefix } => {
+                inner_join_traced(
+                    &inputs[0],
+                    &inputs[1],
+                    left_on,
+                    right_on,
+                    left_prefix,
+                    right_prefix,
+                )
+            }
+            Operation::Union => {
+                let mut acc = inputs[0].clone();
+                let mut sources: Vec<(usize, usize)> =
+                    (0..inputs[0].n_rows()).map(|r| (0, r)).collect();
+                for (k, df) in inputs[1..].iter().enumerate() {
+                    acc = acc.vstack(df)?;
+                    sources.extend((0..df.n_rows()).map(|r| (k + 1, r)));
+                }
+                Ok((acc, Provenance::Union { source_of_row: sources }))
+            }
+        }
+    }
+}
+
+/// Row-level provenance of one operation application: how output rows map
+/// back to input rows.
+#[derive(Debug, Clone)]
+pub enum Provenance {
+    /// `kept[i]` is the input row that became output row `i`.
+    Filter {
+        /// Input row index per output row.
+        kept: Vec<usize>,
+    },
+    /// Group-by: per *input* row, the output group it landed in (`None`
+    /// when dropped by the pre-filter).
+    GroupBy {
+        /// Group id per input row.
+        group_of_row: Vec<Option<u32>>,
+        /// Number of output groups.
+        n_groups: usize,
+    },
+    /// Join: per output row, the contributing row on each side.
+    Join {
+        /// Left input row per output row.
+        left_rows: Vec<usize>,
+        /// Right input row per output row.
+        right_rows: Vec<usize>,
+    },
+    /// Union: per output row, `(input index, row within that input)`.
+    Union {
+        /// Source of each output row.
+        source_of_row: Vec<(usize, usize)>,
+    },
+}
+
+/// Hash-group the rows of `df` by `keys` and evaluate `aggs` per group.
+///
+/// Group order is the first-appearance order of each key combination,
+/// making results deterministic.
+pub fn group_by(df: &DataFrame, keys: &[String], aggs: &[Aggregate]) -> Result<DataFrame> {
+    Ok(group_by_traced(df, None, keys, aggs)?.0)
+}
+
+/// [`group_by`] with an optional row-pass mask (the group-by pre-filter)
+/// and provenance output.
+pub fn group_by_traced(
+    df: &DataFrame,
+    pass: Option<&[bool]>,
+    keys: &[String],
+    aggs: &[Aggregate],
+) -> Result<(DataFrame, Provenance)> {
+    if keys.is_empty() {
+        return Err(QueryError::InvalidArgument("group-by requires at least one key".into()));
+    }
+    let key_cols: Vec<&Column> =
+        keys.iter().map(|k| df.column(k)).collect::<std::result::Result<_, _>>()?;
+
+    // Group assignment: map each (passing) row to a group id.
+    let n = df.n_rows();
+    let passes = |i: usize| pass.is_none_or(|m| m[i]);
+    let mut group_of_row: Vec<Option<u32>> = Vec::with_capacity(n);
+    let mut group_rows: Vec<Vec<usize>> = Vec::new();
+    let mut first_row_of_group: Vec<usize> = Vec::new();
+
+    if key_cols.len() == 1 {
+        // Fast path: single key hashed by its native representation.
+        match key_cols[0].data() {
+            ColumnData::Str(s) => {
+                let mut map: HashMap<u32, u32> = HashMap::new();
+                for i in 0..n {
+                    if !passes(i) {
+                        group_of_row.push(None);
+                        continue;
+                    }
+                    let code = s.code(i);
+                    let gid = *map.entry(code).or_insert_with(|| {
+                        group_rows.push(Vec::new());
+                        first_row_of_group.push(i);
+                        (group_rows.len() - 1) as u32
+                    });
+                    group_of_row.push(Some(gid));
+                    group_rows[gid as usize].push(i);
+                }
+            }
+            ColumnData::Int(v) => {
+                let mut map: HashMap<Option<i64>, u32> = HashMap::new();
+                for (i, key) in v.iter().enumerate() {
+                    if !passes(i) {
+                        group_of_row.push(None);
+                        continue;
+                    }
+                    let gid = *map.entry(*key).or_insert_with(|| {
+                        group_rows.push(Vec::new());
+                        first_row_of_group.push(i);
+                        (group_rows.len() - 1) as u32
+                    });
+                    group_of_row.push(Some(gid));
+                    group_rows[gid as usize].push(i);
+                }
+            }
+            _ => group_generic(
+                &key_cols,
+                n,
+                &passes,
+                &mut group_of_row,
+                &mut group_rows,
+                &mut first_row_of_group,
+            ),
+        }
+    } else {
+        group_generic(
+            &key_cols,
+            n,
+            &passes,
+            &mut group_of_row,
+            &mut group_rows,
+            &mut first_row_of_group,
+        );
+    }
+
+    // Key output columns: the key value of each group's first row.
+    let mut out_cols: Vec<Column> = Vec::with_capacity(keys.len() + aggs.len());
+    for kc in &key_cols {
+        out_cols.push(kc.take(&first_row_of_group));
+    }
+
+    // Aggregate output columns.
+    for agg in aggs {
+        out_cols.push(eval_aggregate(df, agg, &group_rows)?);
+    }
+    let n_groups = group_rows.len();
+    Ok((DataFrame::new(out_cols)?, Provenance::GroupBy { group_of_row, n_groups }))
+}
+
+fn group_generic(
+    key_cols: &[&Column],
+    n: usize,
+    passes: &dyn Fn(usize) -> bool,
+    group_of_row: &mut Vec<Option<u32>>,
+    group_rows: &mut Vec<Vec<usize>>,
+    first_row_of_group: &mut Vec<usize>,
+) {
+    let mut map: HashMap<Vec<Value>, u32> = HashMap::new();
+    for i in 0..n {
+        if !passes(i) {
+            group_of_row.push(None);
+            continue;
+        }
+        let key: Vec<Value> = key_cols.iter().map(|c| c.get(i)).collect();
+        let gid = *map.entry(key).or_insert_with(|| {
+            group_rows.push(Vec::new());
+            first_row_of_group.push(i);
+            (group_rows.len() - 1) as u32
+        });
+        group_of_row.push(Some(gid));
+        group_rows[gid as usize].push(i);
+    }
+}
+
+fn eval_aggregate(df: &DataFrame, agg: &Aggregate, group_rows: &[Vec<usize>]) -> Result<Column> {
+    let name = agg.output_name();
+    match (&agg.func, agg.source_column()) {
+        (AggFunc::Count, None) => {
+            let counts: Vec<i64> = group_rows.iter().map(|g| g.len() as i64).collect();
+            Ok(Column::from_ints(name, counts))
+        }
+        (AggFunc::Count, Some(col_name)) => {
+            let col = df.column(col_name)?;
+            let counts: Vec<i64> = group_rows
+                .iter()
+                .map(|g| g.iter().filter(|&&i| !col.get(i).is_null()).count() as i64)
+                .collect();
+            Ok(Column::from_ints(name, counts))
+        }
+        (func, Some(col_name)) => {
+            let col = df.column(col_name)?;
+            if !col.dtype().is_numeric() && col.dtype() != DType::Bool {
+                return Err(QueryError::NonNumericAggregate { column: col_name.to_string() });
+            }
+            let mut out: Vec<Option<f64>> = Vec::with_capacity(group_rows.len());
+            for g in group_rows {
+                let vals = g.iter().filter_map(|&i| col.get(i).as_f64());
+                let v = match func {
+                    AggFunc::Sum => Some(vals.sum::<f64>()),
+                    AggFunc::Mean => {
+                        let (mut s, mut c) = (0.0, 0usize);
+                        for v in vals {
+                            s += v;
+                            c += 1;
+                        }
+                        if c == 0 {
+                            None
+                        } else {
+                            Some(s / c as f64)
+                        }
+                    }
+                    AggFunc::Min => vals.fold(None, |acc: Option<f64>, v| {
+                        Some(acc.map_or(v, |a| a.min(v)))
+                    }),
+                    AggFunc::Max => vals.fold(None, |acc: Option<f64>, v| {
+                        Some(acc.map_or(v, |a| a.max(v)))
+                    }),
+                    AggFunc::Count => unreachable!("handled above"),
+                };
+                out.push(v);
+            }
+            Ok(Column::from_opt_floats(name, out))
+        }
+        (func, None) => Err(QueryError::InvalidArgument(format!(
+            "aggregate {} requires a column",
+            func.name()
+        ))),
+    }
+}
+
+/// Inner hash equi-join. Null keys never match (SQL semantics). Output
+/// columns are `"{prefix}_{name}"` for every input column, left first.
+pub fn inner_join(
+    left: &DataFrame,
+    right: &DataFrame,
+    left_on: &str,
+    right_on: &str,
+    left_prefix: &str,
+    right_prefix: &str,
+) -> Result<DataFrame> {
+    Ok(inner_join_traced(left, right, left_on, right_on, left_prefix, right_prefix)?.0)
+}
+
+/// [`inner_join`] with provenance output.
+pub fn inner_join_traced(
+    left: &DataFrame,
+    right: &DataFrame,
+    left_on: &str,
+    right_on: &str,
+    left_prefix: &str,
+    right_prefix: &str,
+) -> Result<(DataFrame, Provenance)> {
+    let lk = left.column(left_on)?;
+    let rk = right.column(right_on)?;
+
+    // Build side: hash the right input.
+    let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
+    for i in 0..right.n_rows() {
+        let v = rk.get(i);
+        if !v.is_null() {
+            table.entry(v).or_default().push(i);
+        }
+    }
+    let mut left_idx: Vec<usize> = Vec::new();
+    let mut right_idx: Vec<usize> = Vec::new();
+    for i in 0..left.n_rows() {
+        let v = lk.get(i);
+        if v.is_null() {
+            continue;
+        }
+        if let Some(matches) = table.get(&v) {
+            for &j in matches {
+                left_idx.push(i);
+                right_idx.push(j);
+            }
+        }
+    }
+
+    let mut cols: Vec<Column> = Vec::with_capacity(left.n_cols() + right.n_cols());
+    for c in left.columns() {
+        cols.push(c.take(&left_idx).renamed(format!("{left_prefix}_{}", c.name())));
+    }
+    for c in right.columns() {
+        cols.push(c.take(&right_idx).renamed(format!("{right_prefix}_{}", c.name())));
+    }
+    Ok((DataFrame::new(cols)?, Provenance::Join { left_rows: left_idx, right_rows: right_idx }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn songs() -> DataFrame {
+        DataFrame::new(vec![
+            Column::from_ints("year", vec![1991, 1991, 2014, 2014, 2013]),
+            Column::from_floats("loudness", vec![-11.0, -11.2, -7.8, -8.0, -8.2]),
+            Column::from_strs("decade", vec!["1990s", "1990s", "2010s", "2010s", "2010s"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_applies_predicate() {
+        let op = Operation::filter(Expr::col("year").gt(Expr::lit(2000i64)));
+        let out = op.apply(&[songs()]).unwrap();
+        assert_eq!(out.n_rows(), 3);
+    }
+
+    #[test]
+    fn group_by_single_key_mean() {
+        let op = Operation::group_by(vec!["year"], vec![Aggregate::mean("loudness")]);
+        let out = op.apply(&[songs()]).unwrap();
+        assert_eq!(out.n_rows(), 3);
+        assert_eq!(out.column_names(), vec!["year", "mean_loudness"]);
+        // group order = first appearance: 1991, 2014, 2013
+        assert_eq!(out.get(0, "year").unwrap(), Value::Int(1991));
+        assert!((out.get(0, "mean_loudness").unwrap().as_f64().unwrap() - (-11.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_by_str_key_count() {
+        let op = Operation::group_by(vec!["decade"], vec![Aggregate::count(None)]);
+        let out = op.apply(&[songs()]).unwrap();
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.get(0, "count").unwrap(), Value::Int(2));
+        assert_eq!(out.get(1, "count").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn group_by_multi_key() {
+        let op = Operation::group_by(vec!["decade", "year"], vec![Aggregate::max("loudness")]);
+        let out = op.apply(&[songs()]).unwrap();
+        assert_eq!(out.n_rows(), 3);
+        assert_eq!(out.column_names(), vec!["decade", "year", "max_loudness"]);
+    }
+
+    #[test]
+    fn group_by_min_max_sum() {
+        let op = Operation::group_by(
+            vec!["decade"],
+            vec![
+                Aggregate::min("loudness"),
+                Aggregate::max("loudness"),
+                Aggregate::sum("loudness"),
+            ],
+        );
+        let out = op.apply(&[songs()]).unwrap();
+        assert_eq!(out.get(0, "min_loudness").unwrap(), Value::Float(-11.2));
+        assert_eq!(out.get(0, "max_loudness").unwrap(), Value::Float(-11.0));
+        assert!((out.get(1, "sum_loudness").unwrap().as_f64().unwrap() - (-24.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filtered_group_by_runs_as_one_step() {
+        let op = Operation::filtered_group_by(
+            Expr::col("year").ge(Expr::lit(2014i64)),
+            vec!["year"],
+            vec![Aggregate::mean("loudness")],
+        );
+        let out = op.apply(&[songs()]).unwrap();
+        assert_eq!(out.n_rows(), 1);
+        assert_eq!(out.get(0, "year").unwrap(), Value::Int(2014));
+    }
+
+    #[test]
+    fn group_by_rejects_string_aggregate() {
+        let op = Operation::group_by(vec!["year"], vec![Aggregate::mean("decade")]);
+        assert!(matches!(
+            op.apply(&[songs()]),
+            Err(QueryError::NonNumericAggregate { .. })
+        ));
+    }
+
+    #[test]
+    fn count_column_skips_nulls() {
+        let df = DataFrame::new(vec![
+            Column::from_strs("g", vec!["a", "a", "b"]),
+            Column::from_opt_ints("x", vec![Some(1), None, Some(2)]),
+        ])
+        .unwrap();
+        let op = Operation::group_by(vec!["g"], vec![Aggregate::count(Some("x"))]);
+        let out = op.apply(&[df]).unwrap();
+        assert_eq!(out.get(0, "count_x").unwrap(), Value::Int(1));
+        assert_eq!(out.get(1, "count_x").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn join_matches_and_prefixes() {
+        let products = DataFrame::new(vec![
+            Column::from_ints("item", vec![1, 2, 3]),
+            Column::from_strs("name", vec!["cola", "juice", "water"]),
+        ])
+        .unwrap();
+        let sales = DataFrame::new(vec![
+            Column::from_ints("item", vec![1, 1, 3, 9]),
+            Column::from_floats("total", vec![5.0, 6.0, 2.0, 1.0]),
+        ])
+        .unwrap();
+        let op = Operation::join("item", "item", "products", "sales");
+        let out = op.apply(&[products, sales]).unwrap();
+        assert_eq!(out.n_rows(), 3); // item 9 unmatched, item 1 matched twice
+        assert_eq!(
+            out.column_names(),
+            vec!["products_item", "products_name", "sales_item", "sales_total"]
+        );
+    }
+
+    #[test]
+    fn join_null_keys_never_match() {
+        let l = DataFrame::new(vec![Column::from_opt_ints("k", vec![None, Some(1)])]).unwrap();
+        let r = DataFrame::new(vec![Column::from_opt_ints("k", vec![None, Some(1)])]).unwrap();
+        let op = Operation::join("k", "k", "l", "r");
+        let out = op.apply(&[l, r]).unwrap();
+        assert_eq!(out.n_rows(), 1);
+    }
+
+    #[test]
+    fn union_stacks() {
+        let op = Operation::Union;
+        let out = op.apply(&[songs(), songs()]).unwrap();
+        assert_eq!(out.n_rows(), 10);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let op = Operation::filter(Expr::col("x").gt(Expr::lit(0i64)));
+        assert!(matches!(
+            op.apply(&[songs(), songs()]),
+            Err(QueryError::ArityMismatch { .. })
+        ));
+        assert!(Operation::Union.apply(&[songs()]).is_err());
+    }
+
+    #[test]
+    fn empty_group_by_keys_rejected() {
+        let op = Operation::GroupBy { pre_filter: None, keys: vec![], aggs: vec![] };
+        assert!(op.apply(&[songs()]).is_err());
+    }
+
+    #[test]
+    fn filter_to_empty_result() {
+        let op = Operation::filter(Expr::col("year").gt(Expr::lit(9999i64)));
+        let out = op.apply(&[songs()]).unwrap();
+        assert_eq!(out.n_rows(), 0);
+        assert_eq!(out.n_cols(), 3);
+    }
+}

@@ -1,0 +1,144 @@
+//! Equal-frequency binning — the numeric-based row partition of §3.5.
+//!
+//! Rows are divided into `n` bins such that each bin holds (as close as
+//! possible to) the same number of rows, with ties on equal values kept in
+//! the same bin so that the partition respects value equality.
+
+/// A half-open value interval `[lo, hi]` with the rows it contains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bin {
+    /// Smallest value in the bin.
+    pub lo: f64,
+    /// Largest value in the bin.
+    pub hi: f64,
+    /// Indices (into the caller's row universe) of rows in this bin.
+    pub rows: Vec<usize>,
+}
+
+impl Bin {
+    /// Human-readable interval label, e.g. `"[1990, 1999]"`.
+    pub fn label(&self) -> String {
+        format!("[{}, {}]", trim_float(self.lo), trim_float(self.hi))
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Partition `values` (paired with their original row indices) into at most
+/// `n_bins` equal-frequency bins.
+///
+/// * NaNs must be filtered out by the caller.
+/// * Equal values never straddle a bin boundary, so the result can have
+///   fewer than `n_bins` bins when the data is heavily tied.
+/// * Returns an empty vector when `values` is empty or `n_bins == 0`.
+pub fn equal_frequency_bins(values: &[(usize, f64)], n_bins: usize) -> Vec<Bin> {
+    if values.is_empty() || n_bins == 0 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<(usize, f64)> = values.to_vec();
+    sorted.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+    let n = sorted.len();
+    let n_bins = n_bins.min(n);
+    let target = n as f64 / n_bins as f64;
+
+    let mut bins: Vec<Bin> = Vec::with_capacity(n_bins);
+    let mut start = 0usize;
+    for b in 0..n_bins {
+        if start >= n {
+            break;
+        }
+        // Ideal end of this bin, then extended to the end of any value tie.
+        let mut end = if b + 1 == n_bins { n } else { (((b + 1) as f64) * target).round() as usize };
+        end = end.clamp(start + 1, n);
+        while end < n && sorted[end].1 == sorted[end - 1].1 {
+            end += 1;
+        }
+        let rows: Vec<usize> = sorted[start..end].iter().map(|&(i, _)| i).collect();
+        bins.push(Bin { lo: sorted[start].1, hi: sorted[end - 1].1, rows });
+        start = end;
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn indexed(xs: &[f64]) -> Vec<(usize, f64)> {
+        xs.iter().copied().enumerate().collect()
+    }
+
+    #[test]
+    fn splits_evenly() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let bins = equal_frequency_bins(&indexed(&xs), 5);
+        assert_eq!(bins.len(), 5);
+        for b in &bins {
+            assert_eq!(b.rows.len(), 20);
+        }
+        // Partition covers everything exactly once.
+        let mut all: Vec<usize> = bins.iter().flat_map(|b| b.rows.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ties_stay_together() {
+        // 50 copies of 1.0 and 50 of 2.0 with 4 requested bins: values must
+        // not straddle boundaries, so we get exactly 2 bins.
+        let xs: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 2.0 }).collect();
+        let bins = equal_frequency_bins(&indexed(&xs), 4);
+        assert!(bins.len() <= 2, "ties must merge bins, got {}", bins.len());
+        for b in &bins {
+            assert!(b.lo == b.hi);
+        }
+    }
+
+    #[test]
+    fn intervals_are_ordered_and_disjoint() {
+        let xs: Vec<f64> = (0..37).map(|i| (i * 7 % 37) as f64).collect();
+        let bins = equal_frequency_bins(&indexed(&xs), 5);
+        for w in bins.windows(2) {
+            assert!(w[0].hi < w[1].lo, "bins must be value-disjoint");
+        }
+    }
+
+    #[test]
+    fn more_bins_than_values() {
+        let xs = [3.0, 1.0, 2.0];
+        let bins = equal_frequency_bins(&indexed(&xs), 10);
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[0].lo, 1.0);
+        assert_eq!(bins[2].hi, 3.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(equal_frequency_bins(&[], 5).is_empty());
+        assert!(equal_frequency_bins(&indexed(&[1.0]), 0).is_empty());
+    }
+
+    #[test]
+    fn label_formats() {
+        let b = Bin { lo: 1990.0, hi: 1999.0, rows: vec![] };
+        assert_eq!(b.label(), "[1990, 1999]");
+        let b = Bin { lo: 0.25, hi: 0.75, rows: vec![] };
+        assert_eq!(b.label(), "[0.250, 0.750]");
+    }
+
+    #[test]
+    fn preserves_original_indices() {
+        let values = vec![(10, 5.0), (20, 1.0), (30, 3.0)];
+        let bins = equal_frequency_bins(&values, 3);
+        assert_eq!(bins[0].rows, vec![20]);
+        assert_eq!(bins[1].rows, vec![30]);
+        assert_eq!(bins[2].rows, vec![10]);
+    }
+}

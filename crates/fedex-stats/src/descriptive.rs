@@ -1,0 +1,138 @@
+//! Descriptive statistics over `f64` slices.
+//!
+//! Conventions match the paper: the coefficient of variation (Eq. 2) uses
+//! the *sample* standard deviation (`n − 1` denominator), and skewness is
+//! the Fisher–Pearson standardized moment coefficient referenced in §4.1.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Sample variance (`n − 1` denominator); `None` when fewer than 2 values.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Some(ss / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation; `None` when fewer than 2 values.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Coefficient of variation `s / |x̄|` — the diversity measure of Eq. 2.
+///
+/// The paper's formula divides by the mean; we use the absolute mean so that
+/// negative-valued columns (e.g. loudness in dB) still produce a positive
+/// diversity score, matching the worked example in §3.2 (CV of 'loudness' ≈
+/// 0.13 despite a negative mean). Returns `None` for fewer than 2 values or
+/// a zero mean.
+pub fn coefficient_of_variation(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    if m == 0.0 {
+        return None;
+    }
+    Some(std_dev(xs)? / m.abs())
+}
+
+/// Fisher–Pearson standardized moment coefficient `g1 = m3 / m2^{3/2}`
+/// (population moments). `None` when fewer than 2 values or zero variance.
+pub fn skewness(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let n = xs.len() as f64;
+    let m2: f64 = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n;
+    let m3: f64 = xs.iter().map(|x| (x - m).powi(3)).sum::<f64>() / n;
+    if m2 == 0.0 {
+        return None;
+    }
+    Some(m3 / m2.powf(1.5))
+}
+
+/// Mean and sample standard deviation in one pass over the data.
+///
+/// Used by the standardized-contribution computation (§3.6), which
+/// normalizes a set-of-rows' contribution against its partition peers.
+pub fn mean_and_std(xs: &[f64]) -> (f64, f64) {
+    let m = mean(xs).unwrap_or(0.0);
+    let s = std_dev(xs).unwrap_or(0.0);
+    (m, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert!(close(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn variance_is_sample_variance() {
+        // Known: sample variance of [2,4,4,4,5,5,7,9] with n-1 = 32/7
+        let v = variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!(close(v, 32.0 / 7.0));
+        assert_eq!(variance(&[1.0]), None);
+    }
+
+    #[test]
+    fn cv_handles_negative_mean() {
+        // Loudness-like data: negative values, CV must still be positive.
+        let xs = [-11.0, -8.0, -10.7, -8.2];
+        let cv = coefficient_of_variation(&xs).unwrap();
+        assert!(cv > 0.0);
+    }
+
+    #[test]
+    fn cv_scale_invariant() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let scaled: Vec<f64> = xs.iter().map(|x| x * 7.5).collect();
+        assert!(close(
+            coefficient_of_variation(&xs).unwrap(),
+            coefficient_of_variation(&scaled).unwrap()
+        ));
+    }
+
+    #[test]
+    fn cv_zero_mean_is_none() {
+        assert_eq!(coefficient_of_variation(&[-1.0, 1.0]), None);
+    }
+
+    #[test]
+    fn skewness_signs() {
+        // Right-skewed data → positive skewness.
+        let right = [1.0, 1.0, 1.0, 2.0, 3.0, 10.0];
+        assert!(skewness(&right).unwrap() > 0.0);
+        // Symmetric data → ~0 skewness.
+        let sym = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(skewness(&sym).unwrap().abs() < 1e-9);
+        // Constant data → None.
+        assert_eq!(skewness(&[3.0, 3.0, 3.0]), None);
+    }
+
+    #[test]
+    fn mean_and_std_degenerate() {
+        let (m, s) = mean_and_std(&[]);
+        assert_eq!(m, 0.0);
+        assert_eq!(s, 0.0);
+        let (m, s) = mean_and_std(&[5.0]);
+        assert_eq!(m, 5.0);
+        assert_eq!(s, 0.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Two-sample Kolmogorov–Smirnov statistic over value-frequency
+//! distributions — the *exceptionality* interestingness measure (Eq. 1).
+//!
+//! Following §3.2 of the paper, a column's probability distribution is the
+//! relative frequency of its values. The KS statistic between two columns is
+//! the maximum absolute difference of the two cumulative distribution
+//! functions, evaluated over the sorted union of distinct values. Numeric
+//! values sort numerically, strings lexicographically; any totally-ordered
+//! key type works.
+
+use std::collections::BTreeMap;
+
+/// A discrete distribution over totally-ordered keys, stored as counts.
+#[derive(Debug, Clone)]
+pub struct ValueDistribution<K: Ord> {
+    counts: BTreeMap<K, u64>,
+    total: u64,
+}
+
+impl<K: Ord> Default for ValueDistribution<K> {
+    fn default() -> Self {
+        ValueDistribution { counts: BTreeMap::new(), total: 0 }
+    }
+}
+
+impl<K: Ord> ValueDistribution<K> {
+    /// Empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation of `key`.
+    pub fn add(&mut self, key: K) {
+        self.add_n(key, 1);
+    }
+
+    /// Record `n` observations of `key`.
+    pub fn add_n(&mut self, key: K, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(key).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct keys.
+    pub fn n_distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The two-sample KS statistic between `self` and `other`, in `[0, 1]`.
+    ///
+    /// Returns 0.0 when either distribution is empty (an empty filter result
+    /// provides no evidence of deviation — and Algorithm 1 will produce no
+    /// explanation for it anyway, since every contribution will be 0).
+    pub fn ks(&self, other: &ValueDistribution<K>) -> f64 {
+        if self.total == 0 || other.total == 0 {
+            return 0.0;
+        }
+        let ta = self.total as f64;
+        let tb = other.total as f64;
+        let mut ia = self.counts.iter().peekable();
+        let mut ib = other.counts.iter().peekable();
+        let mut cdf_a = 0.0f64;
+        let mut cdf_b = 0.0f64;
+        let mut max_diff = 0.0f64;
+        // Merge-walk the union of sorted keys, advancing both CDFs.
+        loop {
+            match (ia.peek(), ib.peek()) {
+                (Some((ka, _)), Some((kb, _))) => {
+                    if ka < kb {
+                        let (_, n) = ia.next().unwrap();
+                        cdf_a += *n as f64 / ta;
+                    } else if kb < ka {
+                        let (_, n) = ib.next().unwrap();
+                        cdf_b += *n as f64 / tb;
+                    } else {
+                        let (_, na) = ia.next().unwrap();
+                        let (_, nb) = ib.next().unwrap();
+                        cdf_a += *na as f64 / ta;
+                        cdf_b += *nb as f64 / tb;
+                    }
+                }
+                (Some(_), None) => {
+                    let (_, n) = ia.next().unwrap();
+                    cdf_a += *n as f64 / ta;
+                }
+                (None, Some(_)) => {
+                    let (_, n) = ib.next().unwrap();
+                    cdf_b += *n as f64 / tb;
+                }
+                (None, None) => break,
+            }
+            let diff = (cdf_a - cdf_b).abs();
+            if diff > max_diff {
+                max_diff = diff;
+            }
+        }
+        max_diff.clamp(0.0, 1.0)
+    }
+}
+
+impl<K: Ord> FromIterator<K> for ValueDistribution<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let mut d = ValueDistribution::new();
+        for k in iter {
+            d.add(k);
+        }
+        d
+    }
+}
+
+/// KS between two `f64` samples (each value weight 1). Convenience for
+/// numeric columns; NaNs are skipped.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    let da: ValueDistribution<u64> =
+        a.iter().filter(|x| !x.is_nan()).map(|x| ordered_bits(*x)).collect();
+    let db: ValueDistribution<u64> =
+        b.iter().filter(|x| !x.is_nan()).map(|x| ordered_bits(*x)).collect();
+    da.ks(&db)
+}
+
+/// KS between two count vectors aligned over the same ordered key universe:
+/// `pairs[i] = (count_a, count_b)` for the i-th smallest key.
+pub fn ks_from_counts(pairs: &[(u64, u64)]) -> f64 {
+    let ta: u64 = pairs.iter().map(|p| p.0).sum();
+    let tb: u64 = pairs.iter().map(|p| p.1).sum();
+    if ta == 0 || tb == 0 {
+        return 0.0;
+    }
+    let mut cdf_a = 0.0;
+    let mut cdf_b = 0.0;
+    let mut max_diff: f64 = 0.0;
+    for &(na, nb) in pairs {
+        cdf_a += na as f64 / ta as f64;
+        cdf_b += nb as f64 / tb as f64;
+        max_diff = max_diff.max((cdf_a - cdf_b).abs());
+    }
+    max_diff.clamp(0.0, 1.0)
+}
+
+/// Map an `f64` to a `u64` key whose unsigned order equals the float's
+/// numeric order (standard sign-flip trick).
+fn ordered_bits(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ks_identical_is_zero() {
+        let a = [1.0, 2.0, 3.0, 2.0];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_is_one() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 20.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_symmetric() {
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let b = [2.0, 3.0, 4.0];
+        assert!((ks_statistic(&a, &b) - ks_statistic(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_known_value() {
+        // a: uniform on {1,2}; b: all 1 → CDFs: at 1: 0.5 vs 1.0 → D=0.5
+        let a = [1.0, 2.0];
+        let b = [1.0, 1.0];
+        assert!((ks_statistic(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_empty_is_zero() {
+        assert_eq!(ks_statistic(&[], &[1.0]), 0.0);
+        assert_eq!(ks_statistic(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn string_keys() {
+        let mut a = ValueDistribution::new();
+        a.add_n("x", 9);
+        a.add_n("y", 1);
+        let mut b = ValueDistribution::new();
+        b.add_n("x", 1);
+        b.add_n("y", 9);
+        // CDF at "x": 0.9 vs 0.1 → D = 0.8
+        assert!((a.ks(&b) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_floats_order_correctly() {
+        // ordered_bits must sort -2 < -1 < 0 < 1
+        let a = [-2.0, -1.0];
+        let b = [0.0, 1.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_counts_matches_distribution() {
+        // keys: 1,2,3 with counts a=(5,3,2), b=(1,1,8)
+        let pairs = [(5, 1), (3, 1), (2, 8)];
+        let d = ks_from_counts(&pairs);
+        let mut a = ValueDistribution::new();
+        a.add_n(1, 5);
+        a.add_n(2, 3);
+        a.add_n(3, 2);
+        let mut b = ValueDistribution::new();
+        b.add_n(1, 1);
+        b.add_n(2, 1);
+        b.add_n(3, 8);
+        assert!((d - a.ks(&b)).abs() < 1e-12);
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn filter_shift_detected() {
+        // Popular-song scenario in miniature: filtering concentrates mass on
+        // high values; KS should be substantial.
+        let before: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let after: Vec<f64> = (0..30).map(|i| 8.0 + (i % 2) as f64).collect();
+        let d = ks_statistic(&before, &after);
+        assert!(d >= 0.7, "expected strong deviation, got {d}");
+    }
+}

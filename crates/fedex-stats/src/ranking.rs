@@ -1,0 +1,163 @@
+//! Rank-quality metrics used by the accuracy experiments of §4.3:
+//! precision@k [64], Kendall-Tau distance [37], and nDCG [35].
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Precision@k between a ground-truth list and a predicted list: the
+/// fraction of the top-`k` predicted items that appear in the top-`k` of
+/// the ground truth. `k` is clamped to the shorter list; returns 1.0 when
+/// both lists are empty (nothing to get wrong).
+pub fn precision_at_k<T: Eq + Hash>(truth: &[T], predicted: &[T], k: usize) -> f64 {
+    let k = k.min(truth.len()).min(predicted.len());
+    if k == 0 {
+        return if truth.is_empty() && predicted.is_empty() { 1.0 } else { 0.0 };
+    }
+    let truth_top: std::collections::HashSet<&T> = truth[..k].iter().collect();
+    let hits = predicted[..k].iter().filter(|p| truth_top.contains(p)).count();
+    hits as f64 / k as f64
+}
+
+/// Kendall-Tau distance between two rankings: the number of item pairs
+/// ordered differently by the two rankings.
+///
+/// Items appearing in only one ranking are placed after all ranked items of
+/// the other (a standard convention for top-k lists); ties in that virtual
+/// tail are not counted as discordant.
+pub fn kendall_tau_distance<T: Eq + Hash>(a: &[T], b: &[T]) -> usize {
+    // Union of items with positions in each ranking (missing = len, i.e.
+    // "after everything").
+    let pos_a: HashMap<&T, usize> = a.iter().enumerate().map(|(i, x)| (x, i)).collect();
+    let pos_b: HashMap<&T, usize> = b.iter().enumerate().map(|(i, x)| (x, i)).collect();
+    let mut items: Vec<&T> = a.iter().collect();
+    for x in b {
+        if !pos_a.contains_key(x) {
+            items.push(x);
+        }
+    }
+    let rank = |pos: &HashMap<&T, usize>, x: &T, default: usize| -> usize {
+        pos.get(x).copied().unwrap_or(default)
+    };
+    let mut discordant = 0usize;
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let (xa, ya) = (rank(&pos_a, items[i], a.len()), rank(&pos_a, items[j], a.len()));
+            let (xb, yb) = (rank(&pos_b, items[i], b.len()), rank(&pos_b, items[j], b.len()));
+            // Skip pairs tied in either ranking (both in a virtual tail).
+            if xa == ya || xb == yb {
+                continue;
+            }
+            if (xa < ya) != (xb < yb) {
+                discordant += 1;
+            }
+        }
+    }
+    discordant
+}
+
+/// Normalized discounted cumulative gain of a predicted ranking, given the
+/// graded relevance of each predicted item (in predicted order).
+///
+/// `ideal` is the relevance of the best possible ranking (typically the
+/// same grades sorted descending); when `ideal` is empty, the predicted
+/// grades sorted descending are used. Returns 1.0 for an empty prediction
+/// with empty ideal.
+pub fn ndcg(predicted_gains: &[f64], ideal: &[f64]) -> f64 {
+    let dcg = |gains: &[f64]| -> f64 {
+        gains
+            .iter()
+            .enumerate()
+            .map(|(i, g)| g / ((i + 2) as f64).log2())
+            .sum()
+    };
+    let ideal_sorted: Vec<f64>;
+    let ideal = if ideal.is_empty() {
+        let mut s = predicted_gains.to_vec();
+        s.sort_by(|a, b| b.total_cmp(a));
+        ideal_sorted = s;
+        &ideal_sorted[..]
+    } else {
+        ideal
+    };
+    let idcg = dcg(ideal);
+    if idcg == 0.0 {
+        return 1.0;
+    }
+    (dcg(predicted_gains) / idcg).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_identical_lists() {
+        assert_eq!(precision_at_k(&["a", "b", "c"], &["a", "b", "c"], 3), 1.0);
+    }
+
+    #[test]
+    fn precision_order_insensitive_within_k() {
+        assert_eq!(precision_at_k(&["a", "b", "c"], &["c", "a", "b"], 3), 1.0);
+    }
+
+    #[test]
+    fn precision_partial_overlap() {
+        assert!((precision_at_k(&["a", "b", "c"], &["a", "x", "y"], 3) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_clamps_k() {
+        assert_eq!(precision_at_k(&["a"], &["a", "b", "c"], 3), 1.0);
+        assert_eq!(precision_at_k::<&str>(&[], &[], 3), 1.0);
+        assert_eq!(precision_at_k(&["a"], &[], 3), 0.0);
+    }
+
+    #[test]
+    fn kendall_identical_is_zero() {
+        assert_eq!(kendall_tau_distance(&[1, 2, 3, 4], &[1, 2, 3, 4]), 0);
+    }
+
+    #[test]
+    fn kendall_reversed_is_max() {
+        // 4 items → 6 pairs, all discordant.
+        assert_eq!(kendall_tau_distance(&[1, 2, 3, 4], &[4, 3, 2, 1]), 6);
+    }
+
+    #[test]
+    fn kendall_single_swap() {
+        assert_eq!(kendall_tau_distance(&[1, 2, 3], &[2, 1, 3]), 1);
+    }
+
+    #[test]
+    fn kendall_disjoint_items() {
+        // "a" before "b" in ranking 1; in ranking 2 only "b" exists so "a"
+        // sits in the tail → discordant.
+        assert_eq!(kendall_tau_distance(&["a", "b"], &["b"]), 1);
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking() {
+        assert!((ndcg(&[3.0, 2.0, 1.0], &[]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_worst_ranking_below_one() {
+        let v = ndcg(&[1.0, 2.0, 3.0], &[]);
+        assert!(v < 1.0);
+        assert!(v > 0.0);
+    }
+
+    #[test]
+    fn ndcg_degenerate() {
+        assert_eq!(ndcg(&[], &[]), 1.0);
+        assert_eq!(ndcg(&[0.0, 0.0], &[]), 1.0);
+    }
+
+    #[test]
+    fn ndcg_with_explicit_ideal() {
+        let v = ndcg(&[2.0, 3.0], &[3.0, 2.0]);
+        assert!(v < 1.0);
+        let v2 = ndcg(&[3.0, 2.0], &[3.0, 2.0]);
+        assert!((v2 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the statistics substrate.
+
+use fedex_stats::binning::equal_frequency_bins;
+use fedex_stats::descriptive::{coefficient_of_variation, mean, skewness, std_dev, variance};
+use fedex_stats::ks::{ks_statistic, ValueDistribution};
+use fedex_stats::ranking::{kendall_tau_distance, ndcg, precision_at_k};
+use fedex_stats::sampling::uniform_sample_indices;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ks_bounds_and_identities(
+        a in proptest::collection::vec(-100i32..100, 1..80),
+        b in proptest::collection::vec(-100i32..100, 1..80),
+    ) {
+        let af: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+        let bf: Vec<f64> = b.iter().map(|&x| x as f64).collect();
+        let d = ks_statistic(&af, &bf);
+        prop_assert!((0.0..=1.0).contains(&d));
+        // Identity of indiscernibles (same sample → 0) and symmetry.
+        prop_assert!(ks_statistic(&af, &af) < 1e-12);
+        prop_assert!((d - ks_statistic(&bf, &af)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_scale_of_counts_invariant(
+        counts in proptest::collection::vec((0u32..50, 0u32..50), 1..30),
+        k in 2u64..5,
+    ) {
+        // Multiplying all counts of one side by k leaves KS unchanged
+        // (relative frequencies are what matter).
+        let mut d1 = ValueDistribution::new();
+        let mut d2 = ValueDistribution::new();
+        let mut d2k = ValueDistribution::new();
+        for (i, &(ca, cb)) in counts.iter().enumerate() {
+            d1.add_n(i, ca as u64);
+            d2.add_n(i, cb as u64);
+            d2k.add_n(i, cb as u64 * k);
+        }
+        prop_assert!((d1.ks(&d2) - d1.ks(&d2k)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn descriptive_stats_sane(xs in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+        let m = mean(&xs).unwrap();
+        let mn = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mx = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= mn - 1e-9 && m <= mx + 1e-9);
+        prop_assert!(variance(&xs).unwrap() >= -1e-9);
+        prop_assert!(std_dev(&xs).unwrap() >= 0.0);
+        if let Some(cv) = coefficient_of_variation(&xs) {
+            prop_assert!(cv >= 0.0);
+        }
+        // Shift invariance of variance.
+        let shifted: Vec<f64> = xs.iter().map(|x| x + 17.0).collect();
+        prop_assert!((variance(&xs).unwrap() - variance(&shifted).unwrap()).abs()
+            < 1e-6 * variance(&xs).unwrap().max(1.0));
+    }
+
+    #[test]
+    fn skewness_sign_flips_under_negation(xs in proptest::collection::vec(-100f64..100.0, 3..60)) {
+        if let Some(g) = skewness(&xs) {
+            let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+            let gn = skewness(&neg).unwrap();
+            prop_assert!((g + gn).abs() < 1e-6 * g.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn bins_partition_rows(xs in proptest::collection::vec(-1000f64..1000.0, 1..120), n in 1usize..12) {
+        let indexed: Vec<(usize, f64)> = xs.iter().copied().enumerate().collect();
+        let bins = equal_frequency_bins(&indexed, n);
+        let mut all: Vec<usize> = bins.iter().flat_map(|b| b.rows.iter().copied()).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..xs.len()).collect::<Vec<_>>());
+        // Interval endpoints honour the data.
+        for b in &bins {
+            prop_assert!(b.lo <= b.hi);
+            for &r in &b.rows {
+                prop_assert!(xs[r] >= b.lo && xs[r] <= b.hi);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_indices_valid(n in 1usize..500, k in 0usize..600, seed in any::<u64>()) {
+        let s = uniform_sample_indices(n, k, seed);
+        prop_assert_eq!(s.len(), k.min(n));
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), s.len(), "indices must be distinct");
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn ranking_metrics_bounds(
+        a in proptest::collection::vec(0u8..20, 0..12),
+        b in proptest::collection::vec(0u8..20, 0..12),
+        k in 1usize..5,
+    ) {
+        let mut a = a;
+        a.dedup();
+        let mut b = b;
+        b.dedup();
+        let p = precision_at_k(&a, &b, k);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let kt = kendall_tau_distance(&a, &b);
+        let union = a.len() + b.len(); // loose bound on pairs
+        prop_assert!(kt <= union * union);
+        // Self-comparison is perfect.
+        prop_assert_eq!(kendall_tau_distance(&a, &a), 0);
+        prop_assert!((precision_at_k(&a, &a, k) - 1.0).abs() < 1e-12 || a.is_empty());
+    }
+
+    #[test]
+    fn ndcg_bounds(gains in proptest::collection::vec(0f64..10.0, 0..12)) {
+        let v = ndcg(&gains, &[]);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        // Sorted-descending gains are ideal.
+        let mut sorted = gains.clone();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        prop_assert!((ndcg(&sorted, &[]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,55 @@
+//! A notebook-style exploration session (§3.1's EDA loop): run a chain of
+//! SQL steps, read FEDEX's explanation after each, and build follow-up
+//! queries on saved step outputs — plus the §3.8 custom-measure extension.
+//!
+//! ```sh
+//! cargo run --release --example notebook_session
+//! ```
+
+use fedex::core::{Fedex, FedexConfig, Session, Surprisingness};
+use fedex::data::{build_workbench, DatasetScale};
+use fedex::query::parse_query;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wb = build_workbench(&DatasetScale { spotify_rows: 20_000, ..DatasetScale::small() });
+
+    // A quick look at the data before exploring (describe / sort_by are
+    // dataframe utilities, not FEDEX features).
+    println!("Schema summary (first rows):\n{}\n", wb.spotify.describe().head(6));
+
+    let mut session = Session::new(Fedex::with_config(FedexConfig {
+        sample_size: Some(5_000),
+        top_k_explanations: Some(1),
+        ..Default::default()
+    }));
+    session.register("spotify", wb.spotify.clone());
+
+    // Step 1: what makes songs popular? Save the result for drill-down.
+    session.run_and_save("SELECT * FROM spotify WHERE popularity > 65", "popular")?;
+    println!("{}\n", session.render_last(44));
+
+    // Step 2: drill into the saved output — are popular songs recent?
+    session.run("SELECT mean(loudness), mean(danceability) FROM popular GROUP BY decade")?;
+    println!("{}\n", session.render_last(44));
+
+    println!(
+        "session history: {} steps ({} saved)",
+        session.history().len(),
+        session.history().iter().filter(|e| e.saved_as.is_some()).count()
+    );
+
+    // §3.8: re-explain step 1 under a custom interestingness measure.
+    let step = parse_query("SELECT * FROM spotify WHERE popularity > 65")?
+        .to_step(session.catalog())?;
+    let fedex = Fedex::with_config(FedexConfig {
+        set_counts: vec![5],
+        top_k_columns: 2,
+        top_k_explanations: Some(1),
+        ..Default::default()
+    });
+    println!("\n━━━ same step under the custom 'surprisingness' measure ━━━");
+    for e in fedex.explain_with_measure(&step, &Surprisingness)? {
+        println!("\n{}", e.render_text(44));
+    }
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Quickstart: explain a filter step on a small hand-made dataframe.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fedex::core::FedexConfig;
+use fedex::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A miniature song table. The pattern to discover: the popular songs
+    // are the 2010s songs.
+    let songs = DataFrame::new(vec![
+        Column::from_strs(
+            "decade",
+            vec![
+                "2010s", "2010s", "2010s", "2010s", "1990s", "1990s", "1980s", "1980s", "1970s",
+                "1970s", "2010s", "1990s",
+            ],
+        ),
+        Column::from_ints("popularity", vec![81, 77, 90, 70, 35, 20, 25, 40, 15, 30, 85, 28]),
+        Column::from_floats(
+            "loudness",
+            vec![-7.1, -6.8, -7.4, -7.0, -12.3, -12.8, -9.9, -10.2, -10.8, -11.0, -6.9, -12.1],
+        ),
+    ])?;
+    println!("Input dataframe:\n{songs}\n");
+
+    // The exploratory step: keep popular songs.
+    let op = Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64)));
+    let step = ExploratoryStep::run(vec![songs], op)?;
+    println!("Filter output ({} rows):\n{}\n", step.output.n_rows(), step.output);
+
+    // Ask FEDEX why the result is interesting (keep the top 2).
+    let fedex = Fedex::with_config(FedexConfig {
+        top_k_explanations: Some(2),
+        ..Default::default()
+    });
+    let explanations = fedex.explain(&step)?;
+    println!("{} explanation(s):\n", explanations.len());
+    for (i, e) in explanations.iter().enumerate() {
+        println!("── Explanation {} ──", i + 1);
+        println!("{}\n", e.render_text(40));
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! # fedex
+//!
+//! Facade crate for **FEDEX-rs**, a Rust reproduction of
+//! *"FEDEX: An Explainability Framework for Data Exploration Steps"*
+//! (Deutch, Gilad, Milo, Mualem, Somech — VLDB 2022).
+//!
+//! FEDEX explains each exploratory step (filter / group-by / join / union) a
+//! data scientist performs on a dataframe, by scoring the *interestingness*
+//! of output columns and the *contribution* of semantically-related
+//! sets-of-rows of the input, then returning the skyline of candidates as
+//! captioned visualizations.
+//!
+//! This crate re-exports the whole workspace; most users want
+//! [`prelude`]:
+//!
+//! ```
+//! use fedex::prelude::*;
+//!
+//! let df = DataFrame::new(vec![
+//!     Column::from_ints("popularity", vec![70, 20, 80, 10, 90, 15, 75, 5]),
+//!     Column::from_strs("decade", vec![
+//!         "2010s", "1970s", "2010s", "1970s", "2010s", "1980s", "2010s", "1980s",
+//!     ]),
+//! ]).unwrap();
+//!
+//! // Explain the step "filter popularity > 65".
+//! let op = Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64)));
+//! let step = ExploratoryStep::run(vec![df], op).unwrap();
+//! let explanations = Fedex::new().explain(&step).unwrap();
+//! assert!(!explanations.is_empty());
+//! ```
+
+pub use fedex_baselines as baselines;
+pub use fedex_core as core;
+pub use fedex_data as data;
+pub use fedex_frame as frame;
+pub use fedex_query as query;
+pub use fedex_stats as stats;
+
+/// One-stop imports for typical use of the library.
+pub mod prelude {
+    pub use fedex_core::{
+        Explanation, Fedex, FedexConfig, InterestingnessKind, PartitionKind,
+    };
+    pub use fedex_frame::{Column, DataFrame, DType, Value};
+    pub use fedex_query::{ExploratoryStep, Expr, Operation};
+}

@@ -1,0 +1,157 @@
+//! Integration tests reproducing the paper's worked examples (§1, §3.2,
+//! §3.4, Example 3.10) on the planted synthetic Spotify data.
+
+use fedex::core::{
+    frequency_partition, standardized, ContributionComputer, Fedex, InterestingnessKind, Sample,
+};
+use fedex::data::{build_workbench, DatasetScale};
+use fedex::query::{parse_query, ExploratoryStep};
+
+fn workbench() -> fedex::data::Workbench {
+    build_workbench(&DatasetScale {
+        spotify_rows: 20_000,
+        bank_rows: 500,
+        product_rows: 100,
+        sales_rows: 1_000,
+        store_rows: 50,
+        seed: 42,
+    })
+}
+
+fn popular_filter_step(wb: &fedex::data::Workbench) -> ExploratoryStep {
+    parse_query("SELECT * FROM spotify WHERE popularity > 65;")
+        .unwrap()
+        .to_step(&wb.catalog)
+        .unwrap()
+}
+
+/// Example 3.2: for the `popularity > 65` filter, 'decade' is among the
+/// most interesting columns (the paper reports decade 0.56, year 0.54,
+/// loudness 0.41 — ordering matters, not the absolute values).
+#[test]
+fn example_3_2_decade_is_most_interesting() {
+    let wb = workbench();
+    let step = popular_filter_step(&wb);
+    let scores = Fedex::new().interesting_columns(&step).unwrap();
+    assert!(!scores.is_empty());
+    let top3: Vec<&str> = scores.iter().take(3).map(|(c, _)| c.as_str()).collect();
+    assert!(
+        top3.contains(&"decade") || top3.contains(&"year"),
+        "expected decade/year among top columns, got {top3:?} (scores {scores:?})"
+    );
+    // All exceptionality scores live in [0, 1].
+    assert!(scores.iter().all(|(_, s)| (0.0..=1.0).contains(s)));
+}
+
+/// Example 3.4: the contribution of the 2010s set to the 'decade' column
+/// is positive and the largest in its partition.
+#[test]
+fn example_3_4_contribution_of_2010s() {
+    let wb = workbench();
+    let step = popular_filter_step(&wb);
+    let computer = ContributionComputer::new(&step, InterestingnessKind::Exceptionality);
+    let partition = frequency_partition(&step.inputs[0], 0, "decade", 10).unwrap().unwrap();
+    let raw = computer.contributions(&partition, "decade").unwrap().unwrap();
+
+    let idx_2010s = partition.sets.iter().position(|s| s.label == "2010s").unwrap();
+    assert!(raw[idx_2010s] > 0.0, "2010s contribution {}", raw[idx_2010s]);
+    let best = raw
+        .iter()
+        .take(partition.n_sets())
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap()
+        .0;
+    assert_eq!(best, idx_2010s, "2010s must contribute most; raw = {raw:?}");
+
+    // Standardized contribution of the winner is positive and maximal.
+    let std = standardized(&raw);
+    assert!(std[idx_2010s] > 0.0);
+}
+
+/// Fig. 2a end-to-end: the filter's explanation highlights the 2010s and
+/// its caption follows the paper's template.
+#[test]
+fn fig_2a_filter_explanation() {
+    let wb = workbench();
+    let step = popular_filter_step(&wb);
+    let explanations = Fedex::new().explain(&step).unwrap();
+    let e = explanations
+        .iter()
+        .find(|e| e.column == "decade" && e.set_label == "2010s")
+        .expect("the planted 2010s explanation must be on the skyline");
+    assert!(e.caption.contains("significant change in distribution"));
+    assert!(e.caption.contains("'decade'"));
+    assert!(e.caption.contains("2010s"));
+    assert!(e.chart.bars.iter().any(|b| b.highlighted && b.label == "2010s"));
+    // After-frequency of the highlighted set must exceed its before.
+    let bar = e.chart.bars.iter().find(|b| b.highlighted).unwrap();
+    assert!(bar.after.unwrap() > bar.value);
+}
+
+/// Fig. 2b end-to-end: the group-by explanation highlights the quiet
+/// 1990s via the year → decade many-to-one partition.
+#[test]
+fn fig_2b_group_by_explanation() {
+    let wb = workbench();
+    let step = parse_query(
+        "SELECT mean(loudness), mean(danceability) FROM spotify WHERE year >= 1990 GROUP BY year;",
+    )
+    .unwrap()
+    .to_step(&wb.catalog)
+    .unwrap();
+    let explanations = Fedex::new().explain(&step).unwrap();
+    assert!(!explanations.is_empty());
+    let e = explanations
+        .iter()
+        .find(|e| e.column == "mean_loudness" && e.set_label.contains("1990"))
+        .unwrap_or_else(|| {
+            panic!(
+                "expected a 1990s loudness explanation, got {:?}",
+                explanations
+                    .iter()
+                    .map(|e| (&e.column, &e.set_label))
+                    .collect::<Vec<_>>()
+            )
+        });
+    assert_eq!(e.measure, InterestingnessKind::Diversity);
+    assert!(e.caption.contains("significant diversity"));
+    assert!(e.caption.contains("lower than the mean"), "caption: {}", e.caption);
+}
+
+/// §3.3: the diversity measure on group-by steps can produce negative
+/// contributions, and such sets never become explanations.
+#[test]
+fn negative_contributions_never_explained() {
+    let wb = workbench();
+    let step = parse_query("SELECT mean(loudness) FROM spotify GROUP BY year;")
+        .unwrap()
+        .to_step(&wb.catalog)
+        .unwrap();
+    let explanations = Fedex::new().explain(&step).unwrap();
+    for e in &explanations {
+        assert!(e.contribution > 0.0, "explanation with C = {}", e.contribution);
+    }
+}
+
+/// Interestingness via sampling tracks the exact score (§3.7).
+#[test]
+fn sampling_interestingness_close_to_exact() {
+    let wb = workbench();
+    let step = popular_filter_step(&wb);
+    let exact = fedex::core::score_column(
+        &step,
+        "decade",
+        InterestingnessKind::Exceptionality,
+        &Sample::full(1),
+    )
+    .unwrap()
+    .unwrap();
+    let sampled_fedex = Fedex::sampling(5_000);
+    let scores = sampled_fedex.interesting_columns(&step).unwrap();
+    let sampled = scores.iter().find(|(c, _)| c == "decade").unwrap().1;
+    assert!(
+        (exact - sampled).abs() < 0.05,
+        "exact {exact:.3} vs 5K-sampled {sampled:.3}"
+    );
+}

@@ -1,0 +1,139 @@
+//! Property-based integration tests over the whole pipeline: random small
+//! dataframes and operations must uphold the paper's definitional
+//! invariants (Defs. 3.3, 3.8, §3.6).
+
+use fedex::core::{
+    build_partitions_for_attr, standardized, ContributionComputer, Fedex, InterestingnessKind,
+    IGNORE,
+};
+use fedex::frame::{Column, DataFrame};
+use fedex::query::{Aggregate, ExploratoryStep, Expr, Operation};
+use proptest::prelude::*;
+
+/// A random small dataframe: a categorical group column, a low-cardinality
+/// int column, and a float measure.
+fn arb_frame() -> impl Strategy<Value = DataFrame> {
+    let row = (0u8..4, 0i64..6, -50i64..50);
+    proptest::collection::vec(row, 4..60).prop_map(|rows| {
+        let cats = ["a", "b", "c", "d"];
+        DataFrame::new(vec![
+            Column::from_strs("g", rows.iter().map(|r| cats[r.0 as usize]).collect()),
+            Column::from_ints("k", rows.iter().map(|r| r.1).collect()),
+            Column::from_floats("v", rows.iter().map(|r| r.2 as f64 / 3.0).collect()),
+        ])
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Def. 3.8: every partition is a disjoint cover of the input rows.
+    #[test]
+    fn partitions_are_disjoint_covers(df in arb_frame(), n in 2usize..8) {
+        for attr in ["g", "k", "v"] {
+            let parts = build_partitions_for_attr(&df, 0, attr, &[n], 7).unwrap();
+            for p in parts {
+                p.validate().unwrap();
+                prop_assert_eq!(p.assignment.len(), df.n_rows());
+                let covered: usize =
+                    p.sets.iter().map(|s| s.size).sum::<usize>() + p.ignore_size;
+                prop_assert_eq!(covered, df.n_rows());
+            }
+        }
+    }
+
+    /// Def. 3.3: incremental contribution equals the literal re-run, for
+    /// filter steps under exceptionality.
+    #[test]
+    fn filter_contribution_matches_rerun(df in arb_frame(), threshold in -10i64..10) {
+        let op = Operation::filter(Expr::col("k").gt(Expr::lit(threshold)));
+        let step = ExploratoryStep::run(vec![df], op).unwrap();
+        let cc = ContributionComputer::new(&step, InterestingnessKind::Exceptionality);
+        for p in build_partitions_for_attr(&step.inputs[0], 0, "g", &[3], 7).unwrap() {
+            if let Some(fast) = cc.contributions(&p, "v").unwrap() {
+                for s in 0..p.n_sets() {
+                    let rows = p.rows_of_set(s as u32);
+                    let slow = cc.contribution_by_rerun(0, &rows, "v").unwrap().unwrap();
+                    prop_assert!((fast[s] - slow).abs() < 1e-9,
+                        "set {}: fast {} vs rerun {}", s, fast[s], slow);
+                }
+            }
+        }
+    }
+
+    /// Def. 3.3 for group-by steps under diversity, including the
+    /// ignore-set slot.
+    #[test]
+    fn groupby_contribution_matches_rerun(df in arb_frame()) {
+        let op = Operation::group_by(vec!["g"], vec![Aggregate::mean("v")]);
+        let step = ExploratoryStep::run(vec![df], op).unwrap();
+        let cc = ContributionComputer::new(&step, InterestingnessKind::Diversity);
+        for p in build_partitions_for_attr(&step.inputs[0], 0, "k", &[3], 7).unwrap() {
+            if let Some(fast) = cc.contributions(&p, "mean_v").unwrap() {
+                for (slot, &c_fast) in fast.iter().enumerate() {
+                    let code = if slot == p.n_sets() { IGNORE } else { slot as u32 };
+                    let rows: Vec<usize> = p
+                        .assignment
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &a)| (a == code).then_some(i))
+                        .collect();
+                    let slow =
+                        cc.contribution_by_rerun(0, &rows, "mean_v").unwrap().unwrap();
+                    prop_assert!((c_fast - slow).abs() < 1e-9,
+                        "slot {}: fast {} vs rerun {}", slot, c_fast, slow);
+                }
+            }
+        }
+    }
+
+    /// §3.6: standardization is mean-zero and order-preserving.
+    #[test]
+    fn standardization_properties(raw in proptest::collection::vec(-1.0f64..1.0, 2..12)) {
+        let z = standardized(&raw);
+        prop_assert_eq!(z.len(), raw.len());
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        prop_assert!(mean.abs() < 1e-9);
+        for i in 0..raw.len() {
+            for j in 0..raw.len() {
+                if raw[i] < raw[j] {
+                    prop_assert!(z[i] <= z[j] + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// End-to-end sanity on random data: explanations (when any) have
+    /// positive contribution, non-empty artifacts, and a non-dominated
+    /// score pair.
+    #[test]
+    fn explanations_well_formed_on_random_data(df in arb_frame(), threshold in -10i64..10) {
+        let op = Operation::filter(Expr::col("k").gt(Expr::lit(threshold)));
+        let step = ExploratoryStep::run(vec![df], op).unwrap();
+        let ex = Fedex::new().explain(&step).unwrap();
+        for e in &ex {
+            prop_assert!(e.contribution > 0.0);
+            prop_assert!(!e.caption.is_empty());
+            prop_assert!(!e.set_rows.is_empty());
+            prop_assert!(e.set_rows.iter().all(|&r| r < step.inputs[0].n_rows()));
+        }
+        for a in &ex {
+            for b in &ex {
+                prop_assert!(!(b.interestingness > a.interestingness
+                    && b.std_contribution > a.std_contribution));
+            }
+        }
+    }
+
+    /// The identity filter never produces explanations (§3.3: no positive
+    /// contribution without deviation).
+    #[test]
+    fn identity_filter_produces_nothing(df in arb_frame()) {
+        let op = Operation::filter(Expr::col("k").ge(Expr::lit(-1000i64)));
+        let step = ExploratoryStep::run(vec![df], op).unwrap();
+        let ex = Fedex::new().explain(&step).unwrap();
+        prop_assert!(ex.is_empty(), "identity filter explained: {:?}",
+            ex.iter().map(|e| (&e.column, &e.set_label)).collect::<Vec<_>>());
+    }
+}
