@@ -8,8 +8,8 @@
 //! explanations with no contributing sets-of-rows, which is exactly what
 //! the §4.2 user study found less useful.
 
-use fedex_core::{score_all_columns, InterestingnessKind, Sample};
-use fedex_core::{ExplainError, Fedex};
+use fedex_core::pipeline::{PipelineContext, ScoreColumns, Stage};
+use fedex_core::{ExplainError, Fedex, FedexConfig, InterestingnessKind};
 use fedex_query::ExploratoryStep;
 
 /// A column-level explanation: "column `A` is what changed most".
@@ -36,17 +36,31 @@ impl IoExplanation {
 }
 
 /// Rank output columns by interestingness and return the top `k`.
+///
+/// Runs the pipeline's ScoreColumns stage alone — IO is literally "FEDEX
+/// step 1 and nothing else". Predicate columns are *not* excluded: unlike
+/// FEDEX, the baseline has no tautology rule.
 pub fn explain(
     step: &ExploratoryStep,
     k: usize,
 ) -> std::result::Result<Vec<IoExplanation>, ExplainError> {
+    let config = FedexConfig::default();
+    let ctx = PipelineContext::new(step, &config);
     let kind = Fedex::new().measure_for(step);
-    let mut scores = score_all_columns(step, kind, &Sample::full(step.inputs.len()))?;
-    scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    Ok(scores
+    let stage = ScoreColumns {
+        scorer: fedex_core::pipeline::Scorer::Builtin,
+        exclude_predicate_columns: false,
+    };
+    let scored = stage.run(&ctx, ())?;
+    Ok(scored
+        .scores
         .into_iter()
         .take(k)
-        .map(|(column, score)| IoExplanation { column, measure: kind, score })
+        .map(|(column, score)| IoExplanation {
+            column,
+            measure: kind,
+            score,
+        })
         .collect())
 }
 

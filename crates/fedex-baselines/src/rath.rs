@@ -89,8 +89,12 @@ fn squash(z: f64) -> f64 {
 
 /// Aggregate series of `measure` by `dimension`.
 fn series(df: &DataFrame, dimension: &str, measure: &str, agg: AggFunc) -> Vec<(Value, f64)> {
-    let Ok(dim) = df.column(dimension) else { return Vec::new() };
-    let Ok(mea) = df.column(measure) else { return Vec::new() };
+    let Ok(dim) = df.column(dimension) else {
+        return Vec::new();
+    };
+    let Ok(mea) = df.column(measure) else {
+        return Vec::new();
+    };
     let mut acc: HashMap<Value, (f64, u64)> = HashMap::new();
     for i in 0..df.n_rows() {
         let d = dim.get(i);
@@ -135,16 +139,30 @@ fn outstanding(series: &[(Value, f64)]) -> Option<(InsightKind, f64, String)> {
     if sd == 0.0 {
         return None;
     }
-    let (max_i, max_v) =
-        vals.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, v)| (i, *v))?;
-    let (min_i, min_v) =
-        vals.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, v)| (i, *v))?;
+    let (max_i, max_v) = vals
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, v)| (i, *v))?;
+    let (min_i, min_v) = vals
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, v)| (i, *v))?;
     let z_max = (max_v - mean) / sd;
     let z_min = (mean - min_v) / sd;
     if z_max >= z_min {
-        Some((InsightKind::OutstandingFirst, squash(z_max), series[max_i].0.to_string()))
+        Some((
+            InsightKind::OutstandingFirst,
+            squash(z_max),
+            series[max_i].0.to_string(),
+        ))
     } else {
-        Some((InsightKind::OutstandingLast, squash(z_min), series[min_i].0.to_string()))
+        Some((
+            InsightKind::OutstandingLast,
+            squash(z_min),
+            series[min_i].0.to_string(),
+        ))
     }
 }
 
@@ -175,7 +193,9 @@ pub fn extract_insights(df: &DataFrame, k: usize) -> Vec<Insight> {
     const MAX_DIM_CARD: usize = 128;
     let mut out = Vec::new();
     for dim in df.schema().fields() {
-        let Ok(dim_col) = df.column(&dim.name) else { continue };
+        let Ok(dim_col) = df.column(&dim.name) else {
+            continue;
+        };
         let card = dim_col.n_distinct();
         if !(2..=MAX_DIM_CARD).contains(&card) {
             continue;
@@ -228,7 +248,11 @@ mod tests {
         let mut county = Vec::new();
         let mut total = Vec::new();
         for i in 0..300 {
-            county.push(if i % 3 != 2 { "Polk" } else { ["Linn", "Scott"][i % 2] });
+            county.push(if i % 3 != 2 {
+                "Polk"
+            } else {
+                ["Linn", "Scott"][i % 2]
+            });
             total.push(10.0);
         }
         let df = DataFrame::new(vec![
@@ -248,7 +272,10 @@ mod tests {
     #[test]
     fn finds_trend() {
         let years: Vec<i64> = (0..200).map(|i| 1990 + (i % 20)).collect();
-        let vals: Vec<f64> = years.iter().map(|y| (*y - 1990) as f64 * 2.0 + 5.0).collect();
+        let vals: Vec<f64> = years
+            .iter()
+            .map(|y| (*y - 1990) as f64 * 2.0 + 5.0)
+            .collect();
         let df = DataFrame::new(vec![
             Column::from_ints("year", years),
             Column::from_floats("loudness", vals),
@@ -280,7 +307,9 @@ mod tests {
         ])
         .unwrap();
         let insights = extract_insights(&df, 10);
-        assert!(insights.iter().all(|i| i.agg != AggFunc::Mean || i.score < 0.5));
+        assert!(insights
+            .iter()
+            .all(|i| i.agg != AggFunc::Mean || i.score < 0.5));
     }
 
     #[test]
@@ -293,6 +322,9 @@ mod tests {
             score: 0.9,
             subject: Some("Polk".into()),
         };
-        assert_eq!(i.describe(), "sum(total) of county=Polk is outstanding-first");
+        assert_eq!(
+            i.describe(),
+            "sum(total) of county=Polk is outstanding-first"
+        );
     }
 }

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use fedex_frame::{DataFrame, DType, Value};
+use fedex_frame::{DType, DataFrame, Value};
 use fedex_query::{AggFunc, Aggregate, Operation};
 
 /// Maximum dimension cardinality SeeDB will consider (standard pruning —
@@ -35,7 +35,12 @@ pub struct SeeDbView {
 impl SeeDbView {
     /// Human-readable view description, e.g. `mean(tempo) by decade`.
     pub fn describe(&self) -> String {
-        format!("{}({}) by {}", self.agg.name(), self.measure, self.dimension)
+        format!(
+            "{}({}) by {}",
+            self.agg.name(),
+            self.measure,
+            self.dimension
+        )
     }
 }
 
@@ -92,14 +97,20 @@ fn kl_deviation(target: &HashMap<Value, f64>, reference: &HashMap<Value, f64>) -
     }
     let eps = 1e-9;
     let collect = |m: &HashMap<Value, f64>| -> Vec<f64> {
-        let vals: Vec<f64> =
-            keys.iter().map(|k| m.get(k).copied().unwrap_or(0.0).abs() + eps).collect();
+        let vals: Vec<f64> = keys
+            .iter()
+            .map(|k| m.get(k).copied().unwrap_or(0.0).abs() + eps)
+            .collect();
         let total: f64 = vals.iter().sum();
         vals.into_iter().map(|v| v / total).collect()
     };
     let p = collect(target);
     let q = collect(reference);
-    p.iter().zip(&q).map(|(a, b)| a * (a / b).ln()).sum::<f64>().max(0.0)
+    p.iter()
+        .zip(&q)
+        .map(|(a, b)| a * (a / b).ln())
+        .sum::<f64>()
+        .max(0.0)
 }
 
 /// Recommend the top-`k` deviating views of `target` w.r.t. `reference`.
@@ -112,7 +123,9 @@ pub fn recommend(reference: &DataFrame, target: &DataFrame, k: usize) -> Vec<See
         // Prune on the *reference* cardinality: the target may have
         // collapsed to one value (that collapse is the deviation SeeDB
         // should flag, not a reason to skip the dimension).
-        let Ok(dim_col) = reference.column(&dim_field.name) else { continue };
+        let Ok(dim_col) = reference.column(&dim_field.name) else {
+            continue;
+        };
         if dim_col.n_distinct() > MAX_DIMENSION_CARDINALITY || dim_col.n_distinct() < 2 {
             continue;
         }
@@ -144,10 +157,7 @@ pub fn recommend(reference: &DataFrame, target: &DataFrame, k: usize) -> Vec<See
 /// Run SeeDB on an exploratory step: target = output, reference = the
 /// first input. Returns `None` for group-by steps (schema mismatch), as in
 /// the paper's §4.2.
-pub fn recommend_for_step(
-    step: &fedex_query::ExploratoryStep,
-    k: usize,
-) -> Option<Vec<SeeDbView>> {
+pub fn recommend_for_step(step: &fedex_query::ExploratoryStep, k: usize) -> Option<Vec<SeeDbView>> {
     if matches!(step.op, Operation::GroupBy { .. }) {
         return None;
     }
@@ -156,7 +166,10 @@ pub fn recommend_for_step(
 
 /// The aggregate spec of a view, for rendering.
 pub fn view_aggregate(view: &SeeDbView) -> Aggregate {
-    Aggregate { func: view.agg, column: Some(view.measure.clone()) }
+    Aggregate {
+        func: view.agg,
+        column: Some(view.measure.clone()),
+    }
 }
 
 #[cfg(test)]

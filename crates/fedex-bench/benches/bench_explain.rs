@@ -1,10 +1,16 @@
 //! Criterion micro-benchmarks of the end-to-end explanation pipeline:
 //! exact FEDEX vs FEDEX-Sampling on each operation type (the per-query
-//! costs behind Figs. 9–10).
+//! costs behind Figs. 9–10), plus serial vs parallel execution of the
+//! staged pipeline engine on the large synthetic Spotify workload.
+//!
+//! Set `FEDEX_BENCH_SCALE_ROWS` (default 200 000; the recorded
+//! `BENCH_seed.json` baseline uses 1 000 000) to change the scale-group
+//! row count, and `CRITERION_JSON=path` to record measurements.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fedex_core::Fedex;
+use fedex_core::{ExecutionMode, Fedex};
 use fedex_data::{build_workbench, query_by_id, run_query, DatasetScale};
+use fedex_query::{ExploratoryStep, Expr, Operation};
 
 fn bench_explain(c: &mut Criterion) {
     let wb = build_workbench(&DatasetScale {
@@ -26,7 +32,7 @@ fn bench_explain(c: &mut Criterion) {
     ];
 
     let mut group = c.benchmark_group("explain");
-    group.sample_size(10);
+    group.sample_size(3);
     for (name, qid) in cases {
         let step = run_query(query_by_id(qid).unwrap(), &wb.catalog).unwrap();
         group.bench_with_input(BenchmarkId::new("exact", name), &step, |b, step| {
@@ -41,5 +47,38 @@ fn bench_explain(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_explain);
+/// Serial vs parallel staged pipeline on the large Spotify filter
+/// workload. On a multi-core machine the parallel mode speeds up the
+/// ScoreColumns / PartitionRows / Contribute stages, which dominate
+/// end-to-end time; on a single core both modes take the same path.
+fn bench_scale(c: &mut Criterion) {
+    let rows: usize = std::env::var("FEDEX_BENCH_SCALE_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    let spotify = fedex_data::spotify::generate(rows, 3);
+    let step = ExploratoryStep::run(
+        vec![spotify],
+        Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
+    )
+    .expect("scale workload runs");
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group(format!("explain-scale/{rows}-rows/{cores}-cores"));
+    group.sample_size(1);
+    for (name, mode) in [
+        ("serial", ExecutionMode::Serial),
+        ("parallel", ExecutionMode::Parallel),
+    ] {
+        group.bench_function(name, |b| {
+            let fedex = Fedex::new().with_execution(mode);
+            b.iter(|| fedex.explain(&step).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explain, bench_scale);
 criterion_main!(benches);

@@ -66,7 +66,9 @@ fn bench_contribution(c: &mut Criterion) {
         Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
     )
     .unwrap();
-    let partition = frequency_partition(&step.inputs[0], 0, "decade", 10).unwrap().unwrap();
+    let partition = frequency_partition(&step.inputs[0], 0, "decade", 10)
+        .unwrap()
+        .unwrap();
     let cc = ContributionComputer::new(&step, InterestingnessKind::Exceptionality);
 
     let mut group = c.benchmark_group("contribution");
@@ -80,7 +82,9 @@ fn bench_contribution(c: &mut Criterion) {
         b.iter(|| {
             for s in 0..partition.n_sets() {
                 let rows = partition.rows_of_set(s as u32);
-                cc.contribution_by_rerun(0, &rows, "decade").unwrap().unwrap();
+                cc.contribution_by_rerun(0, &rows, "decade")
+                    .unwrap()
+                    .unwrap();
             }
         });
     });
@@ -99,15 +103,23 @@ fn bench_partitions(c: &mut Criterion) {
     let mut group = c.benchmark_group("partitions");
     group.sample_size(10);
     group.bench_function("frequency/decade-50k", |b| {
-        b.iter(|| frequency_partition(&wb.spotify, 0, "decade", 10).unwrap().unwrap());
+        b.iter(|| {
+            frequency_partition(&wb.spotify, 0, "decade", 10)
+                .unwrap()
+                .unwrap()
+        });
     });
     group.bench_function("many-to-one-mining/year-50k", |b| {
-        b.iter(|| {
-            fedex_core::many_to_one_partitions(&wb.spotify, 0, "year", 10, 1).unwrap()
-        });
+        b.iter(|| fedex_core::many_to_one_partitions(&wb.spotify, 0, "year", 10, 1).unwrap());
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_ks, bench_operations, bench_contribution, bench_partitions);
+criterion_group!(
+    benches,
+    bench_ks,
+    bench_operations,
+    bench_contribution,
+    bench_partitions
+);
 criterion_main!(benches);

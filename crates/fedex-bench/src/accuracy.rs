@@ -74,12 +74,18 @@ pub fn accuracy_vs_sample_size(wb: &Workbench, sample_sizes: &[usize]) -> Vec<Ac
     // (step, exact skyline) per usable query.
     let mut ground: Vec<GroundTruth> = Vec::new();
     for id in &queries {
-        let Some(spec) = fedex_data::query_by_id(*id) else { continue };
+        let Some(spec) = fedex_data::query_by_id(*id) else {
+            continue;
+        };
         if !matches!(spec.dataset, Dataset::Spotify | Dataset::Products) {
             continue;
         }
-        let Ok(step) = run_query(spec, &wb.catalog) else { continue };
-        let Ok(exact) = Fedex::new().explain(&step) else { continue };
+        let Ok(step) = run_query(spec, &wb.catalog) else {
+            continue;
+        };
+        let Ok(exact) = Fedex::new().explain(&step) else {
+            continue;
+        };
         if !exact.is_empty() {
             ground.push((step, exact));
         }
@@ -118,7 +124,10 @@ pub fn accuracy_vs_rows(
 ) -> Vec<AccuracyPoint> {
     let mut out = Vec::new();
     for &rows in row_counts {
-        let scale = DatasetScale { sales_rows: rows, ..*base };
+        let scale = DatasetScale {
+            sales_rows: rows,
+            ..*base
+        };
         let wb = build_workbench(&scale);
         let mut acc = (0.0, 0.0, 0.0);
         let mut n = 0usize;
@@ -126,8 +135,12 @@ pub fn accuracy_vs_rows(
             if spec.kind == QueryKind::GroupBy {
                 continue;
             }
-            let Ok(step) = run_query(spec, &wb.catalog) else { continue };
-            let Ok(exact) = Fedex::new().explain(&step) else { continue };
+            let Ok(step) = run_query(spec, &wb.catalog) else {
+                continue;
+            };
+            let Ok(exact) = Fedex::new().explain(&step) else {
+                continue;
+            };
             if let Some((p, kt, nd)) = compare_against_exact(&step, &exact, sample_size) {
                 acc.0 += p;
                 acc.1 += kt;
@@ -150,8 +163,13 @@ pub fn accuracy_vs_rows(
 
 /// Render accuracy points as a text table.
 pub fn render_accuracy(points: &[AccuracyPoint], param_name: &str, title: &str) -> String {
-    let mut t =
-        TextTable::new(vec![param_name, "precision@3", "kendall-tau", "nDCG", "queries"]);
+    let mut t = TextTable::new(vec![
+        param_name,
+        "precision@3",
+        "kendall-tau",
+        "nDCG",
+        "queries",
+    ]);
     for p in points {
         t.row(vec![
             p.param.to_string(),
@@ -163,7 +181,6 @@ pub fn render_accuracy(points: &[AccuracyPoint], param_name: &str, title: &str) 
     }
     format!("{title}\n{}", t.render())
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -187,7 +204,11 @@ mod tests {
         assert_eq!(pts.len(), 2);
         // A sample covering everything must be perfect.
         let full = &pts[1];
-        assert!((full.precision - 1.0).abs() < 1e-9, "precision {}", full.precision);
+        assert!(
+            (full.precision - 1.0).abs() < 1e-9,
+            "precision {}",
+            full.precision
+        );
         assert!(full.kendall < 1e-9);
         assert!((full.ndcg - 1.0).abs() < 1e-9);
         // A tiny sample is no better than the full one.

@@ -61,7 +61,10 @@ fn run_target(target: &str, scale: &DatasetScale, wb: &Workbench) -> Result<(), 
         "tables" => println!("{}", tables::run_all_queries(wb)),
         "fig3" => {
             let rows = quality::quality_study(wb, None);
-            println!("{}", quality::render_quality(&rows, "Fig. 3 — oracle-graded user study"));
+            println!(
+                "{}",
+                quality::render_quality(&rows, "Fig. 3 — oracle-graded user study")
+            );
         }
         "fig4" => println!("{}", quality::generation_time(wb)),
         "fig5" => println!("{}", quality::insight_sessions(8)),
@@ -69,10 +72,7 @@ fn run_target(target: &str, scale: &DatasetScale, wb: &Workbench) -> Result<(), 
             let rows = quality::quality_study(wb, Some(quality::AUGMENTED_CAPTION_QUALITY));
             println!(
                 "{}",
-                quality::render_quality(
-                    &rows,
-                    "Fig. 6 — baselines augmented with expert captions"
-                )
+                quality::render_quality(&rows, "Fig. 6 — baselines augmented with expert captions")
             );
         }
         "fig7" => {
@@ -114,10 +114,16 @@ fn run_target(target: &str, scale: &DatasetScale, wb: &Workbench) -> Result<(), 
             for ds in [Dataset::Bank, Dataset::Spotify, Dataset::Products] {
                 let rows = match ds {
                     Dataset::Bank => dedup(
-                        sw.fig10_rows.iter().map(|&r| r.min(scale.bank_rows)).collect(),
+                        sw.fig10_rows
+                            .iter()
+                            .map(|&r| r.min(scale.bank_rows))
+                            .collect(),
                     ),
                     Dataset::Spotify => dedup(
-                        sw.fig10_rows.iter().map(|&r| r.min(scale.spotify_rows)).collect(),
+                        sw.fig10_rows
+                            .iter()
+                            .map(|&r| r.min(scale.spotify_rows))
+                            .collect(),
                     ),
                     Dataset::Products => sw.fig10_rows.clone(),
                 };
@@ -137,9 +143,9 @@ fn run_target(target: &str, scale: &DatasetScale, wb: &Workbench) -> Result<(), 
             println!("{}", sets::render_sets(&pts));
         }
         "all" => {
-            for t in
-                ["tables", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"]
-            {
+            for t in [
+                "tables", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            ] {
                 run_target(t, scale, wb)?;
             }
         }

@@ -27,14 +27,26 @@ pub const AUGMENTED_CAPTION_QUALITY: f64 = 0.5;
 /// The three §4.2 notebooks.
 pub fn study_notebooks() -> Vec<StudySpec> {
     vec![
-        StudySpec { dataset: Dataset::Spotify, query_ids: vec![6, 7, 21, 22] },
-        StudySpec { dataset: Dataset::Bank, query_ids: vec![11, 12, 13, 27] },
-        StudySpec { dataset: Dataset::Products, query_ids: vec![1, 5, 16, 17, 18] },
+        StudySpec {
+            dataset: Dataset::Spotify,
+            query_ids: vec![6, 7, 21, 22],
+        },
+        StudySpec {
+            dataset: Dataset::Bank,
+            query_ids: vec![11, 12, 13, 27],
+        },
+        StudySpec {
+            dataset: Dataset::Products,
+            query_ids: vec![1, 5, 16, 17, 18],
+        },
     ]
 }
 
 fn queries_of(spec: &StudySpec) -> Vec<&'static QuerySpec> {
-    spec.query_ids.iter().filter_map(|&id| fedex_data::query_by_id(id)).collect()
+    spec.query_ids
+        .iter()
+        .filter_map(|&id| fedex_data::query_by_id(id))
+        .collect()
 }
 
 /// One Fig. 3 measurement: average grades of one system on one dataset.
@@ -58,13 +70,24 @@ pub struct QualityRow {
 pub fn quality_study(wb: &Workbench, caption_boost: Option<f64>) -> Vec<QualityRow> {
     let mut out = Vec::new();
     for spec in study_notebooks() {
-        let systems: [System; 5] =
-            [System::Expert, System::Fedex, System::Io, System::SeeDb, System::Rath];
+        let systems: [System; 5] = [
+            System::Expert,
+            System::Fedex,
+            System::Io,
+            System::SeeDb,
+            System::Rath,
+        ];
         for system in systems {
-            let mut acc = Grade { coherency: 0.0, insight: 0.0, usefulness: 0.0 };
+            let mut acc = Grade {
+                coherency: 0.0,
+                insight: 0.0,
+                usefulness: 0.0,
+            };
             let mut n = 0usize;
             for q in queries_of(&spec) {
-                let Ok(step) = run_query(q, &wb.catalog) else { continue };
+                let Ok(step) = run_query(q, &wb.catalog) else {
+                    continue;
+                };
                 let boost = match system {
                     System::SeeDb | System::Rath => caption_boost,
                     _ => None,
@@ -90,7 +113,12 @@ pub fn quality_study(wb: &Workbench, caption_boost: Option<f64>) -> Vec<QualityR
                 acc.insight /= n as f64;
                 acc.usefulness /= n as f64;
             }
-            out.push(QualityRow { dataset: spec.dataset, system, grade: acc, graded_steps: n });
+            out.push(QualityRow {
+                dataset: spec.dataset,
+                system,
+                grade: acc,
+                graded_steps: n,
+            });
         }
     }
     out
@@ -99,7 +127,13 @@ pub fn quality_study(wb: &Workbench, caption_boost: Option<f64>) -> Vec<QualityR
 /// Render Fig. 3 (or Fig. 6 with a boost) as a text table.
 pub fn render_quality(rows: &[QualityRow], title: &str) -> String {
     let mut t = TextTable::new(vec![
-        "dataset", "system", "coherency", "insight", "usefulness", "avg", "steps",
+        "dataset",
+        "system",
+        "coherency",
+        "insight",
+        "usefulness",
+        "avg",
+        "steps",
     ]);
     for r in rows {
         t.row(vec![
@@ -120,7 +154,9 @@ pub fn generation_time(wb: &Workbench) -> String {
     let mut t = TextTable::new(vec!["dataset", "query", "fedex (s)", "expert (s)"]);
     for spec in study_notebooks() {
         for q in queries_of(&spec) {
-            let Ok(step) = run_query(q, &wb.catalog) else { continue };
+            let Ok(step) = run_query(q, &wb.catalog) else {
+                continue;
+            };
             let fedex = run_system(System::FedexSampling, &step, spec.dataset, None);
             let expert = run_system(System::Expert, &step, spec.dataset, None);
             t.row(vec![
@@ -131,14 +167,20 @@ pub fn generation_time(wb: &Workbench) -> String {
             ]);
         }
     }
-    format!("Fig. 4 — explanation generation time (expert modelled at 7 min)\n{}", t.render())
+    format!(
+        "Fig. 4 — explanation generation time (expert modelled at 7 min)\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 5: insights found in a 10-minute session, assisted vs not,
 /// averaged over `participants` simulated participants.
 pub fn insight_sessions(participants: u32) -> String {
-    let mut t =
-        TextTable::new(vec!["dataset", "with FEDEX (avg insights)", "without (avg insights)"]);
+    let mut t = TextTable::new(vec![
+        "dataset",
+        "with FEDEX (avg insights)",
+        "without (avg insights)",
+    ]);
     for ds in [Dataset::Bank, Dataset::Spotify] {
         let mut with = 0u32;
         let mut without = 0u32;
@@ -152,7 +194,10 @@ pub fn insight_sessions(participants: u32) -> String {
             format!("{:.1}", without as f64 / participants as f64),
         ]);
     }
-    format!("Fig. 5 — assisted vs unassisted EDA (10-minute sessions)\n{}", t.render())
+    format!(
+        "Fig. 5 — assisted vs unassisted EDA (10-minute sessions)\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]
@@ -181,10 +226,17 @@ mod tests {
         // each of IO / SeeDB / RATH on the average grade.
         for ds in [Dataset::Spotify, Dataset::Bank, Dataset::Products] {
             let get = |s: System| {
-                rows.iter().find(|r| r.dataset == ds && r.system == s).unwrap().grade.mean()
+                rows.iter()
+                    .find(|r| r.dataset == ds && r.system == s)
+                    .unwrap()
+                    .grade
+                    .mean()
             };
             let fedex = get(System::Fedex);
-            assert!(get(System::Expert) >= fedex - 0.8, "{ds:?}: expert vs fedex");
+            assert!(
+                get(System::Expert) >= fedex - 0.8,
+                "{ds:?}: expert vs fedex"
+            );
             for s in [System::Io, System::SeeDb, System::Rath] {
                 let other = rows
                     .iter()
@@ -211,7 +263,10 @@ mod tests {
         let (fedex, _) = bank(System::Fedex);
         let (seedb, n_seedb) = bank(System::SeeDb);
         if n_seedb > 0 {
-            assert!(fedex > seedb, "fedex {fedex:.2} vs augmented seedb {seedb:.2}");
+            assert!(
+                fedex > seedb,
+                "fedex {fedex:.2} vs augmented seedb {seedb:.2}"
+            );
         }
     }
 

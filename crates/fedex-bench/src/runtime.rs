@@ -35,12 +35,24 @@ fn column_sweep_queries(dataset: Dataset) -> Vec<(&'static str, &'static str)> {
             ("spotify", "SELECT * FROM spotify WHERE year > 1990;"),
         ],
         Dataset::Bank => vec![
-            ("Bank", "SELECT * FROM Bank WHERE Attrition_Flag != 'Existing Customer';"),
-            ("Bank", "SELECT * FROM Bank WHERE Months_Inactive_Count_Last_Year > 2;"),
+            (
+                "Bank",
+                "SELECT * FROM Bank WHERE Attrition_Flag != 'Existing Customer';",
+            ),
+            (
+                "Bank",
+                "SELECT * FROM Bank WHERE Months_Inactive_Count_Last_Year > 2;",
+            ),
         ],
         Dataset::Products => vec![
-            ("products_sales", "SELECT * FROM products_sales WHERE sales_liter_size <= 500;"),
-            ("products_sales", "SELECT * FROM products_sales WHERE sales_pack == 12;"),
+            (
+                "products_sales",
+                "SELECT * FROM products_sales WHERE sales_liter_size <= 500;",
+            ),
+            (
+                "products_sales",
+                "SELECT * FROM products_sales WHERE sales_pack == 12;",
+            ),
         ],
     }
 }
@@ -50,7 +62,12 @@ fn required_columns(sql: &str) -> Vec<String> {
     let parsed = parse_query(sql).expect("catalogued query parses");
     parsed
         .where_clause
-        .map(|w| w.referenced_columns().iter().map(|s| s.to_string()).collect())
+        .map(|w| {
+            w.referenced_columns()
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        })
         .unwrap_or_default()
 }
 
@@ -111,7 +128,9 @@ fn sweep_columns(
     let n_total = required.len() + others.len();
     // Measure at ~5 growing column counts.
     let checkpoints: Vec<usize> = {
-        let mut cs: Vec<usize> = (1..=4).map(|i| required.len() + i * others.len() / 4).collect();
+        let mut cs: Vec<usize> = (1..=4)
+            .map(|i| required.len() + i * others.len() / 4)
+            .collect();
         cs.dedup();
         cs.retain(|&c| c <= n_total);
         cs
@@ -120,7 +139,12 @@ fn sweep_columns(
     let mut out = Vec::new();
     for &n_cols in &checkpoints {
         let mut cols: Vec<&str> = required.iter().map(String::as_str).collect();
-        cols.extend(others.iter().take(n_cols - required.len()).map(String::as_str));
+        cols.extend(
+            others
+                .iter()
+                .take(n_cols - required.len())
+                .map(String::as_str),
+        );
         let projected = full.select(&cols).expect("projection of existing columns");
         let mut catalog = Catalog::new();
         catalog.register(table_name, projected);
@@ -143,7 +167,10 @@ fn sweep_columns(
             }
             seconds.push((system, if n > 0 { Some(total / n as f64) } else { None }));
         }
-        out.push(RuntimePoint { param: n_cols, seconds });
+        out.push(RuntimePoint {
+            param: n_cols,
+            seconds,
+        });
     }
     out
 }
@@ -159,9 +186,18 @@ pub fn runtime_vs_rows(
     let mut out = Vec::new();
     for &rows in row_counts {
         let scale = match dataset {
-            Dataset::Spotify => DatasetScale { spotify_rows: rows, ..*base },
-            Dataset::Bank => DatasetScale { bank_rows: rows, ..*base },
-            Dataset::Products => DatasetScale { sales_rows: rows, ..*base },
+            Dataset::Spotify => DatasetScale {
+                spotify_rows: rows,
+                ..*base
+            },
+            Dataset::Bank => DatasetScale {
+                bank_rows: rows,
+                ..*base
+            },
+            Dataset::Products => DatasetScale {
+                sales_rows: rows,
+                ..*base
+            },
         };
         let wb = build_workbench(&scale);
         let specs: Vec<_> = fedex_data::queries_where(Some(dataset), None)
@@ -170,11 +206,18 @@ pub fn runtime_vs_rows(
             .collect();
 
         let mut seconds = Vec::new();
-        for system in [System::Fedex, System::FedexSampling, System::SeeDb, System::Rath] {
+        for system in [
+            System::Fedex,
+            System::FedexSampling,
+            System::SeeDb,
+            System::Rath,
+        ] {
             let mut total = 0.0;
             let mut n = 0;
             for spec in &specs {
-                let Ok(step) = run_query(spec, &wb.catalog) else { continue };
+                let Ok(step) = run_query(spec, &wb.catalog) else {
+                    continue;
+                };
                 if system == System::Rath && rows > RATH_MAX_ROWS {
                     continue;
                 }
@@ -184,7 +227,10 @@ pub fn runtime_vs_rows(
             }
             seconds.push((system, if n > 0 { Some(total / n as f64) } else { None }));
         }
-        out.push(RuntimePoint { param: rows, seconds });
+        out.push(RuntimePoint {
+            param: rows,
+            seconds,
+        });
     }
     out
 }
@@ -198,8 +244,10 @@ pub fn time_step_only(step: &ExploratoryStep) -> f64 {
 
 /// Render runtime points as a text table.
 pub fn render_runtime(points: &[RuntimePoint], param_name: &str, title: &str) -> String {
-    let systems: Vec<System> =
-        points.first().map(|p| p.seconds.iter().map(|(s, _)| *s).collect()).unwrap_or_default();
+    let systems: Vec<System> = points
+        .first()
+        .map(|p| p.seconds.iter().map(|(s, _)| *s).collect())
+        .unwrap_or_default();
     let mut header = vec![param_name.to_string()];
     header.extend(systems.iter().map(|s| format!("{} (s)", s.name())));
     let mut t = TextTable::new(header);
@@ -257,7 +305,10 @@ mod tests {
         let pts = runtime_vs_rows(Dataset::Bank, &tiny_scale(), &[200, 400]);
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[0].param, 200);
-        let has_fedex = pts[0].seconds.iter().any(|(s, v)| *s == System::Fedex && v.is_some());
+        let has_fedex = pts[0]
+            .seconds
+            .iter()
+            .any(|(s, v)| *s == System::Fedex && v.is_some());
         assert!(has_fedex);
     }
 

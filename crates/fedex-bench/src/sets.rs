@@ -31,28 +31,46 @@ pub fn contribution_vs_sets(wb: &Workbench, set_counts: &[usize]) -> Vec<SetsPoi
     };
     let mut out = Vec::new();
     for qid in [1u8, 7u8] {
-        let Some(spec) = fedex_data::query_by_id(qid) else { continue };
-        let Ok(step) = run_query(spec, &wb.catalog) else { continue };
+        let Some(spec) = fedex_data::query_by_id(qid) else {
+            continue;
+        };
+        let Ok(step) = run_query(spec, &wb.catalog) else {
+            continue;
+        };
         // Fix the column: the most interesting one for this step.
         let fedex = Fedex::with_config(FedexConfig {
             sample_size: Some(5_000),
             ..Default::default()
         });
-        let Ok(scores) = fedex.interesting_columns(&step) else { continue };
-        let Some((column, _)) = scores.first().cloned() else { continue };
-        let Some((input_idx, src)) = step.source_of_output_column(&column) else { continue };
+        let Ok(scores) = fedex.interesting_columns(&step) else {
+            continue;
+        };
+        let Some((column, _)) = scores.first().cloned() else {
+            continue;
+        };
+        let Some((input_idx, src)) = step.source_of_output_column(&column) else {
+            continue;
+        };
         let computer = ContributionComputer::new(&step, InterestingnessKind::Exceptionality);
         for &n in set_counts {
             let input = &step.inputs[input_idx];
             let partition = numeric_partition(input, input_idx, &src, n)
                 .ok()
                 .flatten()
-                .or_else(|| frequency_partition(input, input_idx, &src, n).ok().flatten());
+                .or_else(|| {
+                    frequency_partition(input, input_idx, &src, n)
+                        .ok()
+                        .flatten()
+                });
             let max_contribution = partition
                 .and_then(|p| computer.contributions(&p, &column).ok().flatten())
                 .map(|raw| raw.into_iter().fold(0.0f64, f64::max))
                 .unwrap_or(0.0);
-            out.push(SetsPoint { query_id: qid, n_sets: n, max_contribution });
+            out.push(SetsPoint {
+                query_id: qid,
+                n_sets: n,
+                max_contribution,
+            });
         }
     }
     out
@@ -68,7 +86,10 @@ pub fn render_sets(points: &[SetsPoint]) -> String {
             format!("{:.4}", p.max_contribution),
         ]);
     }
-    format!("Fig. 11 — contribution vs number of sets-of-rows (queries 1 & 7)\n{}", t.render())
+    format!(
+        "Fig. 11 — contribution vs number of sets-of-rows (queries 1 & 7)\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -48,7 +48,13 @@ impl System {
 
     /// All automatic systems (everything but Expert).
     pub fn automatic() -> [System; 5] {
-        [System::Fedex, System::FedexSampling, System::Io, System::SeeDb, System::Rath]
+        [
+            System::Fedex,
+            System::FedexSampling,
+            System::Io,
+            System::SeeDb,
+            System::Rath,
+        ]
     }
 }
 
@@ -121,7 +127,12 @@ pub fn run_system(
                 .first()
                 .map(|e| format!("{} ⇐ {}={}", e.column, e.partition_attr, e.set_label))
                 .unwrap_or_else(|| "(no explanation)".to_string());
-            SystemRun { system, duration, artifacts, summary }
+            SystemRun {
+                system,
+                duration,
+                artifacts,
+                summary,
+            }
         }
         System::Io => {
             let (result, duration) = timed(|| io_explain(step, 3));
@@ -141,7 +152,12 @@ pub fn run_system(
                 .first()
                 .map(|e| e.describe())
                 .unwrap_or_else(|| "(no explanation)".to_string());
-            SystemRun { system, duration, artifacts, summary }
+            SystemRun {
+                system,
+                duration,
+                artifacts,
+                summary,
+            }
         }
         System::SeeDb => {
             let (views, duration) = timed(|| recommend_for_step(step, 3));
@@ -161,7 +177,12 @@ pub fn run_system(
                 .first()
                 .map(|v| v.describe())
                 .unwrap_or_else(|| "(unsupported)".to_string());
-            SystemRun { system, duration, artifacts, summary }
+            SystemRun {
+                system,
+                duration,
+                artifacts,
+                summary,
+            }
         }
         System::Rath => {
             let (insights, duration) = timed(|| extract_insights(&step.output, 5));
@@ -180,7 +201,12 @@ pub fn run_system(
                 .first()
                 .map(|i| i.describe())
                 .unwrap_or_else(|| "(no insight)".to_string());
-            SystemRun { system, duration, artifacts, summary }
+            SystemRun {
+                system,
+                duration,
+                artifacts,
+                summary,
+            }
         }
         System::Expert => {
             // The expert writes the planted insight up by hand; the paper
@@ -233,7 +259,10 @@ mod tests {
     fn fedex_artifact_explains_step() {
         let step = small_step();
         let run = run_system(System::Fedex, &step, Dataset::Spotify, None);
-        let a = run.artifact().cloned().expect("fedex explains the planted filter");
+        let a = run
+            .artifact()
+            .cloned()
+            .expect("fedex explains the planted filter");
         assert!(a.explains_step);
         assert!(a.has_visual);
         assert!(a.column.is_some());

@@ -10,7 +10,15 @@ use crate::util::{secs, timed, TextTable};
 /// summary table.
 pub fn run_all_queries(wb: &Workbench) -> String {
     let mut t = TextTable::new(vec![
-        "q#", "dataset", "kind", "rows in", "rows out", "top column", "I", "top set", "C̄",
+        "q#",
+        "dataset",
+        "kind",
+        "rows in",
+        "rows out",
+        "top column",
+        "I",
+        "top set",
+        "C̄",
         "time (s)",
     ]);
     let fedex = Fedex::sampling(5_000);
@@ -18,7 +26,11 @@ pub fn run_all_queries(wb: &Workbench) -> String {
         let step = match run_query(spec, &wb.catalog) {
             Ok(s) => s,
             Err(e) => {
-                t.row(vec![spec.id.to_string(), spec.dataset.name().to_string(), format!("{e}")]);
+                t.row(vec![
+                    spec.id.to_string(),
+                    spec.dataset.name().to_string(),
+                    format!("{e}"),
+                ]);
                 continue;
             }
         };
@@ -38,7 +50,12 @@ pub fn run_all_queries(wb: &Workbench) -> String {
             spec.id.to_string(),
             spec.dataset.name().to_string(),
             format!("{:?}", spec.kind),
-            step.inputs.iter().map(|d| d.n_rows()).max().unwrap_or(0).to_string(),
+            step.inputs
+                .iter()
+                .map(|d| d.n_rows())
+                .max()
+                .unwrap_or(0)
+                .to_string(),
             step.output.n_rows().to_string(),
             col,
             i_score,
@@ -47,7 +64,10 @@ pub fn run_all_queries(wb: &Workbench) -> String {
             secs(d),
         ]);
     }
-    format!("Tables 2–3 — the 30-query workload under FEDEX-Sampling (5K)\n{}", t.render())
+    format!(
+        "Tables 2–3 — the 30-query workload under FEDEX-Sampling (5K)\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -35,7 +35,10 @@ pub struct TextTable {
 impl TextTable {
     /// Start a table with the given header.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (padded/truncated to the header width).

@@ -8,6 +8,7 @@
 //! fedex explain --table songs=songs.csv \
 //!               --sql "SELECT * FROM songs WHERE popularity > 65" \
 //!               [--sample 5000] [--top 2] [--json] [--width 44]
+//!               [--exec serial|parallel|N] [--trace]
 //! fedex schema  --table songs=songs.csv
 //! fedex demo
 //! ```
@@ -18,7 +19,7 @@
 
 use std::fmt::Write as _;
 
-use fedex_core::{render_all, to_json_array, Fedex, FedexConfig};
+use fedex_core::{render_all, to_json_array, ExecutionMode, Fedex, FedexConfig};
 use fedex_frame::read_csv;
 use fedex_query::{parse_query, Catalog};
 
@@ -39,6 +40,10 @@ pub enum Command {
         json: bool,
         /// Chart width in cells.
         width: usize,
+        /// Pipeline execution mode (serial, parallel, or a thread count).
+        exec: ExecutionMode,
+        /// Print per-stage wall-clock timings to stderr-style trailer.
+        trace: bool,
     },
     /// Print the inferred schema of the given tables.
     Schema {
@@ -56,6 +61,7 @@ pub const USAGE: &str = "\
 usage:
   fedex explain --table <name=path.csv> [--table ...] --sql <query>
                 [--sample N] [--top K] [--json] [--width N]
+                [--exec serial|parallel|N] [--trace]
   fedex schema  --table <name=path.csv> [--table ...]
   fedex demo
   fedex help
@@ -104,9 +110,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut top = None;
             let mut json = false;
             let mut width = 44usize;
+            let mut exec = ExecutionMode::default();
+            let mut trace = false;
             let mut i = 1;
             let need = |i: usize, flag: &str, args: &[String]| -> Result<String, CliError> {
-                args.get(i).cloned().ok_or_else(|| CliError(format!("{flag} needs a value")))
+                args.get(i)
+                    .cloned()
+                    .ok_or_else(|| CliError(format!("{flag} needs a value")))
             };
             while i < args.len() {
                 match args[i].as_str() {
@@ -135,6 +145,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         );
                     }
                     "--json" => json = true,
+                    "--trace" => trace = true,
+                    "--exec" => {
+                        i += 1;
+                        let spec = need(i, "--exec", args)?;
+                        exec = ExecutionMode::parse(&spec).ok_or_else(|| {
+                            CliError(format!(
+                                "--exec expects serial, parallel, or a thread count, got {spec:?}"
+                            ))
+                        })?;
+                    }
                     "--width" => {
                         i += 1;
                         width = need(i, "--width", args)?
@@ -152,10 +172,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 Ok(Command::Schema { tables })
             } else {
                 let sql = sql.ok_or_else(|| CliError("--sql is required".into()))?;
-                Ok(Command::Explain { tables, sql, sample, top, json, width })
+                Ok(Command::Explain {
+                    tables,
+                    sql,
+                    sample,
+                    top,
+                    json,
+                    width,
+                    exec,
+                    trace,
+                })
             }
         }
-        other => Err(CliError(format!("unknown command {other:?} (try `fedex help`)"))),
+        other => Err(CliError(format!(
+            "unknown command {other:?} (try `fedex help`)"
+        ))),
     }
 }
 
@@ -177,16 +208,20 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let mut out = String::new();
             for (name, _) in &tables {
                 let df = catalog.get(name).map_err(|e| CliError(e.to_string()))?;
-                let _ = writeln!(
-                    out,
-                    "{name}: {} rows, schema {}",
-                    df.n_rows(),
-                    df.schema()
-                );
+                let _ = writeln!(out, "{name}: {} rows, schema {}", df.n_rows(), df.schema());
             }
             Ok(out)
         }
-        Command::Explain { tables, sql, sample, top, json, width } => {
+        Command::Explain {
+            tables,
+            sql,
+            sample,
+            top,
+            json,
+            width,
+            exec,
+            trace,
+        } => {
             let catalog = load_catalog(&tables)?;
             let step = parse_query(&sql)
                 .map_err(|e| CliError(format!("parsing query: {e}")))?
@@ -195,19 +230,59 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let fedex = Fedex::with_config(FedexConfig {
                 sample_size: sample,
                 top_k_explanations: top,
+                execution: exec,
                 ..Default::default()
             });
-            let explanations =
-                fedex.explain(&step).map_err(|e| CliError(format!("explaining: {e}")))?;
-            if json {
-                Ok(to_json_array(&explanations))
-            } else if explanations.is_empty() {
-                Ok("no explanation: no set-of-rows positively contributes to any \
-                    interesting column"
-                    .to_string())
+            let (explanations, stage_reports) = if trace {
+                fedex
+                    .explain_traced(&step)
+                    .map_err(|e| CliError(format!("explaining: {e}")))?
             } else {
-                Ok(render_all(&explanations, width))
+                (
+                    fedex
+                        .explain(&step)
+                        .map_err(|e| CliError(format!("explaining: {e}")))?,
+                    Vec::new(),
+                )
+            };
+            if json {
+                // Keep --json machine-parseable: with --trace the output
+                // becomes one object embedding the trace, never a JSON
+                // array followed by loose text.
+                let explanations_json = to_json_array(&explanations);
+                return Ok(if trace {
+                    format!(
+                        "{{\"explanations\":{},\"trace\":[{}]}}",
+                        explanations_json,
+                        stage_reports
+                            .iter()
+                            .map(|r| format!(
+                                "{{\"stage\":\"{}\",\"micros\":{},\"items\":{}}}",
+                                r.stage,
+                                r.elapsed.as_micros(),
+                                r.items
+                            ))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    )
+                } else {
+                    explanations_json
+                });
             }
+            let mut out = if explanations.is_empty() {
+                "no explanation: no set-of-rows positively contributes to any \
+                    interesting column"
+                    .to_string()
+            } else {
+                render_all(&explanations, width)
+            };
+            if trace {
+                out.push_str("\n-- pipeline trace --\n");
+                for r in &stage_reports {
+                    let _ = writeln!(out, "{}", r.describe());
+                }
+            }
+            Ok(out)
         }
         Command::Demo => {
             let spotify = fedex_data::spotify::generate(10_000, 42);
@@ -222,8 +297,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 top_k_explanations: Some(2),
                 ..Default::default()
             });
-            let explanations =
-                fedex.explain(&step).map_err(|e| CliError(format!("explaining: {e}")))?;
+            let explanations = fedex
+                .explain(&step)
+                .map_err(|e| CliError(format!("explaining: {e}")))?;
             Ok(format!(
                 "demo: SELECT * FROM spotify WHERE popularity > 65 \
                  ({} → {} rows)\n\n{}",
@@ -246,18 +322,42 @@ mod tests {
     #[test]
     fn parses_explain() {
         let cmd = parse_args(&s(&[
-            "explain", "--table", "songs=x.csv", "--sql", "SELECT * FROM songs WHERE a > 1",
-            "--sample", "5000", "--top", "2", "--json", "--width", "60",
+            "explain",
+            "--table",
+            "songs=x.csv",
+            "--sql",
+            "SELECT * FROM songs WHERE a > 1",
+            "--sample",
+            "5000",
+            "--top",
+            "2",
+            "--json",
+            "--width",
+            "60",
+            "--exec",
+            "serial",
+            "--trace",
         ]))
         .unwrap();
         match cmd {
-            Command::Explain { tables, sql, sample, top, json, width } => {
+            Command::Explain {
+                tables,
+                sql,
+                sample,
+                top,
+                json,
+                width,
+                exec,
+                trace,
+            } => {
                 assert_eq!(tables, vec![("songs".to_string(), "x.csv".to_string())]);
                 assert!(sql.contains("WHERE"));
                 assert_eq!(sample, Some(5000));
                 assert_eq!(top, Some(2));
                 assert!(json);
                 assert_eq!(width, 60);
+                assert_eq!(exec, ExecutionMode::Serial);
+                assert!(trace);
             }
             other => panic!("{other:?}"),
         }
@@ -271,6 +371,10 @@ mod tests {
         assert!(parse_args(&s(&["explain", "--table", "a=b.csv", "--frob"])).is_err());
         assert!(parse_args(&s(&["wat"])).is_err());
         assert!(parse_args(&s(&["explain", "--table"])).is_err()); // dangling value
+        assert!(parse_args(&s(&[
+            "explain", "--table", "a=b.csv", "--sql", "q", "--exec", "wat"
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -303,9 +407,27 @@ mod tests {
             top: Some(1),
             json: false,
             width: 40,
+            exec: ExecutionMode::Serial,
+            trace: true,
         };
         let out = run(cmd).unwrap();
         assert!(out.contains("Explanation 1"), "{out}");
+
+        // JSON with --trace embeds the trace in one parseable object.
+        let cmd = Command::Explain {
+            tables: vec![("songs".to_string(), path.to_string_lossy().into_owned())],
+            sql: "SELECT * FROM songs WHERE popularity > 65".to_string(),
+            sample: None,
+            top: Some(1),
+            json: true,
+            width: 40,
+            exec: ExecutionMode::Serial,
+            trace: true,
+        };
+        let out = run(cmd).unwrap();
+        assert!(out.starts_with('{') && out.ends_with('}'), "{out}");
+        assert!(out.contains("\"explanations\":["));
+        assert!(out.contains("\"trace\":[{\"stage\":\"ScoreColumns\""));
 
         // And the JSON path.
         let cmd = Command::Explain {
@@ -315,6 +437,8 @@ mod tests {
             top: Some(1),
             json: true,
             width: 40,
+            exec: ExecutionMode::Threads(2),
+            trace: false,
         };
         let out = run(cmd).unwrap();
         assert!(out.starts_with('[') && out.ends_with(']'));

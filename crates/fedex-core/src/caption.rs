@@ -16,7 +16,11 @@ pub fn exceptionality_caption(
     before_pct: f64,
     after_pct: f64,
 ) -> String {
-    let direction = if after_pct >= before_pct { "more" } else { "less" };
+    let direction = if after_pct >= before_pct {
+        "more"
+    } else {
+        "less"
+    };
     let ratio = if after_pct >= before_pct {
         if before_pct > 0.0 {
             after_pct / before_pct
@@ -53,14 +57,22 @@ pub fn diversity_caption(
     z: f64,
     overall_mean: f64,
 ) -> String {
-    let (adj, dir) = if z < 0.0 { ("low", "lower") } else { ("high", "higher") };
+    let (adj, dir) = if z < 0.0 {
+        ("low", "lower")
+    } else {
+        ("high", "higher")
+    };
     format!(
         "See that the column '{column}' presents a significant diversity. \
          In particular, groups with '{partition_attr}'='{set_label}' (highlighted) have a \
          relatively {adj} '{column}' value: {:.1} standard deviation{} {dir} than the mean \
          ({overall_mean:.1}).",
         z.abs(),
-        if (z.abs() - 1.0).abs() < 0.05 { "" } else { "s" },
+        if (z.abs() - 1.0).abs() < 0.05 {
+            ""
+        } else {
+            "s"
+        },
     )
 }
 
@@ -108,7 +120,10 @@ mod tests {
         let c = diversity_caption("loudness", "decade", "1990s", -1.2, -8.7);
         assert!(c.contains("significant diversity"));
         assert!(c.contains("'decade'='1990s'"));
-        assert!(c.contains("1.2 standard deviations lower than the mean (-8.7)"), "{c}");
+        assert!(
+            c.contains("1.2 standard deviations lower than the mean (-8.7)"),
+            "{c}"
+        );
     }
 
     #[test]

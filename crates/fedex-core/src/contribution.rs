@@ -175,7 +175,10 @@ impl<'a> ContributionComputer<'a> {
                             }
                         }
                     }
-                    Provenance::Join { left_rows, right_rows } => {
+                    Provenance::Join {
+                        left_rows,
+                        right_rows,
+                    } => {
                         let side = if p_idx == 0 { left_rows } else { right_rows };
                         for (out_row, &in_row) in side.iter().enumerate() {
                             let v = out_col.get(out_row);
@@ -206,8 +209,13 @@ impl<'a> ContributionComputer<'a> {
         column: &str,
     ) -> Result<Option<Vec<f64>>> {
         let step = self.step;
-        let (Operation::GroupBy { aggs, .. }, Provenance::GroupBy { group_of_row, n_groups }) =
-            (&step.op, &step.provenance)
+        let (
+            Operation::GroupBy { aggs, .. },
+            Provenance::GroupBy {
+                group_of_row,
+                n_groups,
+            },
+        ) = (&step.op, &step.provenance)
         else {
             // Diversity contribution outside group-by: fall back to rerun
             // per set (rare — non-default configuration).
@@ -304,9 +312,7 @@ impl<'a> ContributionComputer<'a> {
                             AggFunc::Sum => values.push(tot_sum[g] - vsum[idx(s, g)]),
                             AggFunc::Mean => {
                                 if rem_count > 0 {
-                                    values.push(
-                                        (tot_sum[g] - vsum[idx(s, g)]) / rem_count as f64,
-                                    );
+                                    values.push((tot_sum[g] - vsum[idx(s, g)]) / rem_count as f64);
                                 }
                             }
                             AggFunc::Min | AggFunc::Max => {
@@ -349,7 +355,11 @@ impl<'a> ContributionComputer<'a> {
         let n_slots = Self::n_slots(partition);
         let mut out = Vec::with_capacity(n_slots);
         for s in 0..n_slots {
-            let code = if s == partition.n_sets() { IGNORE } else { s as u32 };
+            let code = if s == partition.n_sets() {
+                IGNORE
+            } else {
+                s as u32
+            };
             let rows: Vec<usize> = partition
                 .assignment
                 .iter()
@@ -382,13 +392,19 @@ impl<'a> ContributionComputer<'a> {
         };
         // Build the reduced step.
         let keep = step.inputs[input_idx].complement_indices(set_rows);
-        let reduced_input = step.inputs[input_idx].take(&keep).map_err(crate::ExplainError::from)?;
+        let reduced_input = step.inputs[input_idx]
+            .take(&keep)
+            .map_err(crate::ExplainError::from)?;
         let mut inputs: Vec<DataFrame> = step.inputs.clone();
         inputs[input_idx] = reduced_input;
         let reduced_step = ExploratoryStep::run(inputs, step.op.clone())?;
-        let reduced =
-            score_column(&reduced_step, column, self.kind, &Sample::full(step.inputs.len()))?
-                .unwrap_or(0.0);
+        let reduced = score_column(
+            &reduced_step,
+            column,
+            self.kind,
+            &Sample::full(step.inputs.len()),
+        )?
+        .unwrap_or(0.0);
         Ok(Some(base - reduced))
     }
 }
@@ -417,11 +433,26 @@ mod tests {
         let mut loud = Vec::new();
         for i in 0..40i64 {
             let (y, d, p, l) = if i < 10 {
-                (2010 + (i % 5), "2010s", 70 + (i % 20), -7.0 - 0.05 * i as f64)
+                (
+                    2010 + (i % 5),
+                    "2010s",
+                    70 + (i % 20),
+                    -7.0 - 0.05 * i as f64,
+                )
             } else if i < 20 {
-                (1990 + (i % 8), "1990s", 30 + (i % 30), -11.0 - 0.05 * i as f64)
+                (
+                    1990 + (i % 8),
+                    "1990s",
+                    30 + (i % 30),
+                    -11.0 - 0.05 * i as f64,
+                )
             } else {
-                (1970 + (i % 10), "1970s", 20 + (i % 40), -9.0 - 0.05 * i as f64)
+                (
+                    1970 + (i % 10),
+                    "1970s",
+                    20 + (i % 40),
+                    -9.0 - 0.05 * i as f64,
+                )
             };
             years.push(y);
             decades.push(d);
@@ -449,11 +480,16 @@ mod tests {
     fn incremental_matches_rerun_filter() {
         let step = filter_step();
         let cc = ContributionComputer::new(&step, InterestingnessKind::Exceptionality);
-        let p = frequency_partition(&step.inputs[0], 0, "decade", 3).unwrap().unwrap();
+        let p = frequency_partition(&step.inputs[0], 0, "decade", 3)
+            .unwrap()
+            .unwrap();
         let fast = cc.contributions(&p, "decade").unwrap().unwrap();
         for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
             let rows = p.rows_of_set(s as u32);
-            let c_slow = cc.contribution_by_rerun(0, &rows, "decade").unwrap().unwrap();
+            let c_slow = cc
+                .contribution_by_rerun(0, &rows, "decade")
+                .unwrap()
+                .unwrap();
             assert!(
                 (c_fast - c_slow).abs() < 1e-9,
                 "set {s}: fast {c_fast} vs rerun {c_slow}"
@@ -466,7 +502,9 @@ mod tests {
         // Partition on 'decade', contribution to column 'year'.
         let step = filter_step();
         let cc = ContributionComputer::new(&step, InterestingnessKind::Exceptionality);
-        let p = frequency_partition(&step.inputs[0], 0, "decade", 3).unwrap().unwrap();
+        let p = frequency_partition(&step.inputs[0], 0, "decade", 3)
+            .unwrap()
+            .unwrap();
         let fast = cc.contributions(&p, "year").unwrap().unwrap();
         for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
             let rows = p.rows_of_set(s as u32);
@@ -479,7 +517,9 @@ mod tests {
     fn dominant_set_has_top_contribution() {
         let step = filter_step();
         let cc = ContributionComputer::new(&step, InterestingnessKind::Exceptionality);
-        let p = frequency_partition(&step.inputs[0], 0, "decade", 3).unwrap().unwrap();
+        let p = frequency_partition(&step.inputs[0], 0, "decade", 3)
+            .unwrap()
+            .unwrap();
         let c = cc.contributions(&p, "decade").unwrap().unwrap();
         // The filter keeps mostly 2010s rows; removing them should hurt the
         // deviation most.
@@ -514,7 +554,10 @@ mod tests {
         let fast = cc.contributions(&p, "mean_loudness").unwrap().unwrap();
         for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
             let rows = p.rows_of_set(s as u32);
-            let c_slow = cc.contribution_by_rerun(0, &rows, "mean_loudness").unwrap().unwrap();
+            let c_slow = cc
+                .contribution_by_rerun(0, &rows, "mean_loudness")
+                .unwrap()
+                .unwrap();
             assert!(
                 (c_fast - c_slow).abs() < 1e-9,
                 "set {s}: fast {c_fast} vs rerun {c_slow}"
@@ -538,7 +581,9 @@ mod tests {
         )
         .unwrap();
         let cc = ContributionComputer::new(&step, InterestingnessKind::Diversity);
-        let p = numeric_partition(&step.inputs[0], 0, "popularity", 4).unwrap().unwrap();
+        let p = numeric_partition(&step.inputs[0], 0, "popularity", 4)
+            .unwrap()
+            .unwrap();
         for col in ["count", "sum_popularity", "min_loudness", "max_loudness"] {
             let fast = cc.contributions(&p, col).unwrap().unwrap();
             for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
@@ -573,20 +618,30 @@ mod tests {
 
         // Partition the left side by category; measure contribution to a
         // right-side column.
-        let p = frequency_partition(&step.inputs[0], 0, "cat", 2).unwrap().unwrap();
+        let p = frequency_partition(&step.inputs[0], 0, "cat", 2)
+            .unwrap()
+            .unwrap();
         let fast = cc.contributions(&p, "s_total").unwrap().unwrap();
         for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
             let rows = p.rows_of_set(s as u32);
-            let c_slow = cc.contribution_by_rerun(0, &rows, "s_total").unwrap().unwrap();
+            let c_slow = cc
+                .contribution_by_rerun(0, &rows, "s_total")
+                .unwrap()
+                .unwrap();
             assert!((c_fast - c_slow).abs() < 1e-9);
         }
 
         // Partition the right side; contribution to a left-side column.
-        let p = numeric_partition(&step.inputs[1], 1, "total", 3).unwrap().unwrap();
+        let p = numeric_partition(&step.inputs[1], 1, "total", 3)
+            .unwrap()
+            .unwrap();
         let fast = cc.contributions(&p, "p_cat").unwrap().unwrap();
         for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
             let rows = p.rows_of_set(s as u32);
-            let c_slow = cc.contribution_by_rerun(1, &rows, "p_cat").unwrap().unwrap();
+            let c_slow = cc
+                .contribution_by_rerun(1, &rows, "p_cat")
+                .unwrap()
+                .unwrap();
             assert!((c_fast - c_slow).abs() < 1e-9);
         }
     }
@@ -597,11 +652,16 @@ mod tests {
         let b = spotify_like();
         let step = ExploratoryStep::run(vec![a, b], Operation::Union).unwrap();
         let cc = ContributionComputer::new(&step, InterestingnessKind::Exceptionality);
-        let p = frequency_partition(&step.inputs[1], 1, "decade", 3).unwrap().unwrap();
+        let p = frequency_partition(&step.inputs[1], 1, "decade", 3)
+            .unwrap()
+            .unwrap();
         let fast = cc.contributions(&p, "decade").unwrap().unwrap();
         for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
             let rows = p.rows_of_set(s as u32);
-            let c_slow = cc.contribution_by_rerun(1, &rows, "decade").unwrap().unwrap();
+            let c_slow = cc
+                .contribution_by_rerun(1, &rows, "decade")
+                .unwrap()
+                .unwrap();
             assert!((c_fast - c_slow).abs() < 1e-9);
         }
     }
@@ -649,7 +709,10 @@ mod tests {
         .unwrap();
         let cc = ContributionComputer::new(&step, InterestingnessKind::Diversity);
         let c = cc.contribution_by_rerun(0, &[1], "sum_v").unwrap().unwrap();
-        assert!(c > 0.0, "removing one (x,1) must decrease diversity, C = {c}");
+        assert!(
+            c > 0.0,
+            "removing one (x,1) must decrease diversity, C = {c}"
+        );
     }
 
     #[test]
@@ -661,7 +724,11 @@ mod tests {
         let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
         assert!(mean.abs() < 1e-12);
         assert_eq!(
-            z.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0,
+            z.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0,
             0
         );
         // Degenerate: identical contributions → all zeros.
@@ -683,11 +750,16 @@ mod tests {
         )
         .unwrap();
         let cc = ContributionComputer::new(&step, InterestingnessKind::Diversity);
-        let p = frequency_partition(&step.inputs[0], 0, "k", 3).unwrap().unwrap();
+        let p = frequency_partition(&step.inputs[0], 0, "k", 3)
+            .unwrap()
+            .unwrap();
         let fast = cc.contributions(&p, "mean_v").unwrap().unwrap();
         for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
             let rows = p.rows_of_set(s as u32);
-            let c_slow = cc.contribution_by_rerun(0, &rows, "mean_v").unwrap().unwrap();
+            let c_slow = cc
+                .contribution_by_rerun(0, &rows, "mean_v")
+                .unwrap()
+                .unwrap();
             assert!((c_fast - c_slow).abs() < 1e-9, "set {s}");
         }
     }

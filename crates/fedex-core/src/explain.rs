@@ -1,34 +1,22 @@
-//! Algorithm 1: the FEDEX explanation-generation pipeline.
+//! The FEDEX explainer facade.
 //!
-//! 1. Score the interestingness of every output column (sampled when
-//!    FEDEX-Sampling is enabled) and keep the top-k columns.
-//! 2. Partition every input dataframe with the §3.5 methods, for each
-//!    configured set count.
-//! 3. Compute the contribution of every set-of-rows to every interesting
-//!    column (incrementally, via [`ContributionComputer`]); keep candidates
-//!    with positive contribution and standardize within each partition.
-//! 4. Take the skyline of (interestingness, standardized contribution) and
-//!    rank it by the weighted score; render each survivor as a captioned
-//!    chart.
+//! Algorithm 1 itself lives in [`crate::pipeline`] as five explicit,
+//! data-parallel stages (ScoreColumns → PartitionRows → Contribute →
+//! Skyline → Present) with typed intermediate artifacts. This module
+//! keeps the user-facing surface: [`FedexConfig`], [`Explanation`], the
+//! [`CustomMeasure`] extension point, and the thin [`Fedex`] orchestrator
+//! that wires a [`crate::pipeline::ExplainPipeline`] per call.
 
-use fedex_frame::Value;
-use fedex_query::{ExploratoryStep, Operation, Provenance};
-use fedex_stats::descriptive::mean_and_std;
-use fedex_stats::sampling::uniform_sample_indices;
+use fedex_query::ExploratoryStep;
 
-use crate::caption::{diversity_caption, exceptionality_caption};
-use crate::contribution::{standardized, ContributionComputer};
-use crate::error::ExplainError;
-use crate::interestingness::{score_all_columns, InterestingnessKind, Sample};
-use crate::partition::{build_partitions_for_attr, PartitionKind, RowPartition};
-use crate::skyline::{skyline_indices, weighted_score};
-use crate::viz::{json_number, json_string, Bar, Chart, ChartKind};
+use crate::interestingness::InterestingnessKind;
+use crate::partition::{PartitionKind, RowPartition};
+use crate::pipeline::{
+    ExecutionMode, ExplainPipeline, PartitionRows, PipelineContext, ScoreColumns, Stage,
+    StageReport,
+};
+use crate::viz::{json_number, json_string, Chart};
 use crate::Result;
-
-/// Per-partition contribution callback used by the shared pipeline tail:
-/// given a partition and an output column, return the raw contribution per
-/// slot (or `None` when the measure does not apply).
-type ContributionFn<'a> = dyn Fn(&RowPartition, &str) -> Result<Option<Vec<f64>>> + 'a;
 
 /// A user-defined interestingness measure (§3.8, "general interestingness
 /// functions").
@@ -71,6 +59,10 @@ pub struct FedexConfig {
     pub w_contribution: f64,
     /// Force a measure instead of the per-operation default (§3.8).
     pub measure_override: Option<InterestingnessKind>,
+    /// How the pipeline's data-parallel stages execute (serial, one
+    /// worker per core, or a fixed thread count). Results are identical
+    /// under every mode.
+    pub execution: ExecutionMode,
 }
 
 impl Default for FedexConfig {
@@ -85,6 +77,7 @@ impl Default for FedexConfig {
             w_interestingness: 1.0,
             w_contribution: 1.0,
             measure_override: None,
+            execution: ExecutionMode::default(),
         }
     }
 }
@@ -160,13 +153,20 @@ pub struct Fedex {
 impl Fedex {
     /// Exact FEDEX with default configuration.
     pub fn new() -> Self {
-        Fedex { config: FedexConfig::default() }
+        Fedex {
+            config: FedexConfig::default(),
+        }
     }
 
     /// FEDEX-Sampling with the given interestingness sample size (the
     /// paper's recommended size is 5 000).
     pub fn sampling(sample_size: usize) -> Self {
-        Fedex { config: FedexConfig { sample_size: Some(sample_size), ..Default::default() } }
+        Fedex {
+            config: FedexConfig {
+                sample_size: Some(sample_size),
+                ..Default::default()
+            },
+        }
     }
 
     /// Custom configuration.
@@ -174,40 +174,22 @@ impl Fedex {
         Fedex { config }
     }
 
+    /// This explainer with a different [`ExecutionMode`].
+    pub fn with_execution(mut self, execution: ExecutionMode) -> Self {
+        self.config.execution = execution;
+        self
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &FedexConfig {
         &self.config
     }
 
-    /// Build the per-input sampling masks.
-    fn build_sample(&self, step: &ExploratoryStep) -> Sample {
-        let Some(k) = self.config.sample_size else {
-            return Sample::full(step.inputs.len());
-        };
-        let masks = step
-            .inputs
-            .iter()
-            .enumerate()
-            .map(|(i, df)| {
-                let n = df.n_rows();
-                if n <= k {
-                    None
-                } else {
-                    let mut mask = vec![false; n];
-                    for idx in uniform_sample_indices(n, k, self.config.seed.wrapping_add(i as u64))
-                    {
-                        mask[idx] = true;
-                    }
-                    Some(mask)
-                }
-            })
-            .collect();
-        Sample { input_masks: masks }
-    }
-
     /// The measure used for this step.
     pub fn measure_for(&self, step: &ExploratoryStep) -> InterestingnessKind {
-        self.config.measure_override.unwrap_or_else(|| InterestingnessKind::default_for(&step.op))
+        self.config
+            .measure_override
+            .unwrap_or_else(|| InterestingnessKind::default_for(&step.op))
     }
 
     /// Step 1 of Algorithm 1: interestingness scores of the output columns,
@@ -219,115 +201,45 @@ impl Fedex {
     /// `popularity > 65` are 'decade', 'year', 'loudness' — not
     /// 'popularity' itself.
     pub fn interesting_columns(&self, step: &ExploratoryStep) -> Result<Vec<(String, f64)>> {
-        let kind = self.measure_for(step);
-        let sample = self.build_sample(step);
-        let mut scores = score_all_columns(step, kind, &sample)?;
-        if let Operation::Filter { predicate } = &step.op {
-            let excluded = predicate.referenced_columns();
-            scores.retain(|(c, _)| !excluded.contains(&c.as_str()));
-        }
-        if let Some(targets) = &self.config.target_columns {
-            for t in targets {
-                if !step.output.has_column(t) {
-                    return Err(ExplainError::UnknownColumn(t.clone()));
-                }
-            }
-            scores.retain(|(c, _)| targets.iter().any(|t| t == c));
-        }
-        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        Ok(scores)
+        let ctx = PipelineContext::new(step, &self.config);
+        Ok(ScoreColumns::builtin().run(&ctx, ())?.scores)
     }
 
-    /// Step 2 of Algorithm 1: all row partitions of all inputs.
-    ///
-    /// Partitions that assign rows identically are deduplicated: a
-    /// many-to-one partition of `A` via `B` equals the frequency partition
-    /// of `B` itself, and near-unique columns (ids, names) would otherwise
-    /// spawn one such duplicate per functionally-dependent column. The
-    /// many-to-one labelling is preferred when both arise (it carries the
-    /// finer attribute, as in Example 3.9).
-    ///
-    /// Partitions *defined on a predicate column* of a filter (or group-by
-    /// pre-filter) are excluded: the set "rows with popularity ∈ [65, 100]"
-    /// explaining the step `popularity > 65` is a tautology — removing the
-    /// rows the filter selects trivially destroys any deviation.
+    /// Step 2 of Algorithm 1: all row partitions of all inputs,
+    /// deduplicated (see [`PartitionRows`]).
     pub fn build_partitions(&self, step: &ExploratoryStep) -> Result<Vec<RowPartition>> {
-        let predicate_cols: Vec<&str> = match &step.op {
-            Operation::Filter { predicate } => predicate.referenced_columns(),
-            Operation::GroupBy { pre_filter: Some(f), .. } => f.referenced_columns(),
-            _ => Vec::new(),
-        };
-        let mut out: Vec<RowPartition> = Vec::new();
-        let mut seen: std::collections::HashSet<(usize, String, &'static str, usize)> =
-            std::collections::HashSet::new();
-        for (idx, input) in step.inputs.iter().enumerate() {
-            for field in input.schema().fields() {
-                if idx == 0 && predicate_cols.contains(&field.name.as_str()) {
-                    continue;
-                }
-                for p in build_partitions_for_attr(
-                    input,
-                    idx,
-                    &field.name,
-                    &self.config.set_counts,
-                    self.config.seed,
-                )? {
-                    if idx == 0 && predicate_cols.contains(&p.defining_column()) {
-                        continue;
-                    }
-                    let family = match &p.kind {
-                        PartitionKind::NumericBins => "bins",
-                        _ => "values",
-                    };
-                    let key = (idx, p.defining_column().to_string(), family, p.n_sets());
-                    if seen.insert(key) {
-                        out.push(p);
-                    }
-                }
-            }
-        }
-        Ok(out)
+        let ctx = PipelineContext::new(step, &self.config);
+        Ok(PartitionRows { extra: Vec::new() }
+            .run(&ctx, Default::default())?
+            .partitions)
     }
 
     /// Run the full pipeline and return the ranked skyline explanations.
     pub fn explain(&self, step: &ExploratoryStep) -> Result<Vec<Explanation>> {
-        self.explain_with_partitions(step, Vec::new())
+        ExplainPipeline::new(step, &self.config).run()
+    }
+
+    /// [`Fedex::explain`], additionally reporting per-stage wall-clock
+    /// timings.
+    pub fn explain_traced(
+        &self,
+        step: &ExploratoryStep,
+    ) -> Result<(Vec<Explanation>, Vec<StageReport>)> {
+        ExplainPipeline::new(step, &self.config).run_traced()
     }
 
     /// [`Fedex::explain`] with additional user-defined partitions (§3.8,
     /// "custom partitioning of rows"). The extra partitions must satisfy
-    /// Def. 3.8 over the step's inputs (validated here); they are used
-    /// *alongside* the automatically mined ones.
+    /// Def. 3.8 over the step's inputs (validated by the PartitionRows
+    /// stage); they are used *alongside* the automatically mined ones.
     pub fn explain_with_partitions(
         &self,
         step: &ExploratoryStep,
         extra_partitions: Vec<RowPartition>,
     ) -> Result<Vec<Explanation>> {
-        let kind = self.measure_for(step);
-        let scores = self.interesting_columns(step)?;
-        let top: Vec<(String, f64)> =
-            scores.into_iter().take(self.config.top_k_columns.max(1)).collect();
-        if top.is_empty() {
-            return Ok(Vec::new());
-        }
-        let mut partitions = self.build_partitions(step)?;
-        for p in extra_partitions {
-            p.validate()?;
-            if p.input_idx >= step.inputs.len()
-                || p.assignment.len() != step.inputs[p.input_idx].n_rows()
-            {
-                return Err(ExplainError::InvalidConfig(format!(
-                    "custom partition on {:?} does not match input {}",
-                    p.attr, p.input_idx
-                )));
-            }
-            partitions.push(p);
-        }
-        let computer = ContributionComputer::new(step, kind);
-        let contribute = |partition: &RowPartition, column: &str| {
-            computer.contributions(partition, column)
-        };
-        self.finish_explain(step, kind, &top, &partitions, &contribute)
+        ExplainPipeline::new(step, &self.config)
+            .with_extra_partitions(extra_partitions)
+            .run()
     }
 
     /// [`Fedex::explain`] under a user-supplied interestingness measure
@@ -339,340 +251,21 @@ impl Fedex {
         step: &ExploratoryStep,
         measure: &dyn CustomMeasure,
     ) -> Result<Vec<Explanation>> {
-        // Score every output column under the custom measure.
-        let mut scores: Vec<(String, f64)> = Vec::new();
-        for field in step.output.schema().fields() {
-            if let Some(s) = measure.score(step, &field.name)? {
-                if s.is_finite() {
-                    scores.push((field.name.clone(), s));
-                }
-            }
-        }
-        if let Some(targets) = &self.config.target_columns {
-            scores.retain(|(c, _)| targets.iter().any(|t| t == c));
-        }
-        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        let top: Vec<(String, f64)> =
-            scores.into_iter().take(self.config.top_k_columns.max(1)).collect();
-        if top.is_empty() {
-            return Ok(Vec::new());
-        }
-        let partitions = self.build_partitions(step)?;
-        // Def. 3.3 verbatim: remove each set, re-run, re-score.
-        let contribute = |partition: &RowPartition, column: &str| -> Result<Option<Vec<f64>>> {
-            let Some(base) = measure.score(step, column)? else { return Ok(None) };
-            let n_slots = ContributionComputer::n_slots(partition);
-            let mut out = Vec::with_capacity(n_slots);
-            for slot in 0..n_slots {
-                let code = if slot == partition.n_sets() {
-                    crate::partition::IGNORE
-                } else {
-                    slot as u32
-                };
-                let rows: Vec<usize> = partition
-                    .assignment
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, &a)| (a == code).then_some(i))
-                    .collect();
-                let keep = step.inputs[partition.input_idx].complement_indices(&rows);
-                let reduced = step.inputs[partition.input_idx]
-                    .take(&keep)
-                    .map_err(ExplainError::from)?;
-                let mut inputs = step.inputs.clone();
-                inputs[partition.input_idx] = reduced;
-                let reduced_step = ExploratoryStep::run(inputs, step.op.clone())?;
-                let reduced_score = measure.score(&reduced_step, column)?.unwrap_or(0.0);
-                out.push(base - reduced_score);
-            }
-            Ok(Some(out))
-        };
-        let render_kind = self.measure_for(step);
-        self.finish_explain(step, render_kind, &top, &partitions, &contribute)
+        ExplainPipeline::new(step, &self.config)
+            .with_measure(measure)
+            .run()
     }
-
-    /// Shared back half of Algorithm 1: candidates → skyline → ranking →
-    /// rendering.
-    fn finish_explain(
-        &self,
-        step: &ExploratoryStep,
-        kind: InterestingnessKind,
-        top: &[(String, f64)],
-        partitions: &[RowPartition],
-        contribute: &ContributionFn<'_>,
-    ) -> Result<Vec<Explanation>> {
-        // Candidate accumulation: (partition idx, slot, column idx, raw C,
-        // standardized C̄).
-        struct Candidate {
-            part: usize,
-            slot: usize,
-            col: usize,
-            raw: f64,
-            std: f64,
-        }
-        let mut candidates: Vec<Candidate> = Vec::new();
-        for (pi, partition) in partitions.iter().enumerate() {
-            for (ci, (column, _)) in top.iter().enumerate() {
-                let Some(raw) = contribute(partition, column)? else {
-                    continue;
-                };
-                let std = standardized(&raw);
-                // The ignore-set (last slot, when present) participates in
-                // standardization but never becomes a candidate.
-                for slot in 0..partition.n_sets() {
-                    if raw[slot] > 0.0 {
-                        candidates.push(Candidate {
-                            part: pi,
-                            slot,
-                            col: ci,
-                            raw: raw[slot],
-                            std: std[slot],
-                        });
-                    }
-                }
-            }
-        }
-        if candidates.is_empty() {
-            return Ok(Vec::new());
-        }
-
-        // Skyline over (I_A, C̄).
-        let points: Vec<(f64, f64)> =
-            candidates.iter().map(|c| (top[c.col].1, c.std)).collect();
-        let sky = skyline_indices(&points);
-
-        // Weighted ranking + dedup of equivalent explanations (the same
-        // set label can arise from several partitions, e.g. n=5 and n=10).
-        let mut ranked: Vec<&Candidate> = sky.iter().map(|&i| &candidates[i]).collect();
-        ranked.sort_by(|a, b| {
-            let sa = weighted_score(
-                top[a.col].1,
-                a.std,
-                self.config.w_interestingness,
-                self.config.w_contribution,
-            );
-            let sb = weighted_score(
-                top[b.col].1,
-                b.std,
-                self.config.w_interestingness,
-                self.config.w_contribution,
-            );
-            sb.total_cmp(&sa)
-        });
-        let mut seen: Vec<(String, String, String)> = Vec::new();
-        let mut out = Vec::new();
-        for cand in ranked {
-            let partition = &partitions[cand.part];
-            let column = &top[cand.col].0;
-            let key = (
-                column.clone(),
-                partition.attr.clone(),
-                partition.sets[cand.slot].label.clone(),
-            );
-            if seen.contains(&key) {
-                continue;
-            }
-            seen.push(key);
-            out.push(self.render_explanation(
-                step,
-                kind,
-                partition,
-                cand.slot,
-                column,
-                top[cand.col].1,
-                cand.raw,
-                cand.std,
-            )?);
-            if let Some(k) = self.config.top_k_explanations {
-                if out.len() >= k {
-                    break;
-                }
-            }
-        }
-        Ok(out)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn render_explanation(
-        &self,
-        step: &ExploratoryStep,
-        kind: InterestingnessKind,
-        partition: &RowPartition,
-        slot: usize,
-        column: &str,
-        interestingness: f64,
-        raw: f64,
-        std: f64,
-    ) -> Result<Explanation> {
-        let set_label = partition.sets[slot].label.clone();
-        let (caption, chart) = match kind {
-            InterestingnessKind::Exceptionality => {
-                let (bars, before, after) = exceptionality_chart(step, partition, slot)?;
-                (
-                    exceptionality_caption(column, &set_label, before, after),
-                    Chart {
-                        kind: ChartKind::BeforeAfterBars,
-                        x_label: partition.defining_column().to_string(),
-                        y_label: "Frequency (%)".to_string(),
-                        bars,
-                        mean_line: None,
-                    },
-                )
-            }
-            InterestingnessKind::Diversity => {
-                let (bars, z, mean) = diversity_chart(step, partition, slot, column)?;
-                (
-                    diversity_caption(column, partition.defining_column(), &set_label, z, mean),
-                    Chart {
-                        kind: ChartKind::ValueBars,
-                        x_label: partition.defining_column().to_string(),
-                        y_label: format!("'{column}' per set"),
-                        bars,
-                        mean_line: Some(mean),
-                    },
-                )
-            }
-        };
-        Ok(Explanation {
-            column: column.to_string(),
-            measure: kind,
-            interestingness,
-            set_label,
-            partition_attr: partition.attr.clone(),
-            partition_kind: partition.kind.clone(),
-            input_idx: partition.input_idx,
-            set_rows: partition.rows_of_set(slot as u32),
-            contribution: raw,
-            std_contribution: std,
-            score: weighted_score(
-                interestingness,
-                std,
-                self.config.w_interestingness,
-                self.config.w_contribution,
-            ),
-            caption,
-            chart,
-        })
-    }
-}
-
-/// Per-set output attribution counts: how many output rows trace back to
-/// each slot of the partition.
-fn attribution_counts(step: &ExploratoryStep, partition: &RowPartition) -> Vec<u64> {
-    let n_slots = ContributionComputer::n_slots(partition);
-    let slot_of = |code: u32| -> usize {
-        if code == crate::partition::IGNORE {
-            partition.n_sets()
-        } else {
-            code as usize
-        }
-    };
-    let mut counts = vec![0u64; n_slots.max(1)];
-    match &step.provenance {
-        Provenance::Filter { kept } => {
-            for &in_row in kept {
-                counts[slot_of(partition.assignment[in_row])] += 1;
-            }
-        }
-        Provenance::Join { left_rows, right_rows } => {
-            let side = if partition.input_idx == 0 { left_rows } else { right_rows };
-            for &in_row in side {
-                counts[slot_of(partition.assignment[in_row])] += 1;
-            }
-        }
-        Provenance::Union { source_of_row } => {
-            for &(src_input, src_row) in source_of_row {
-                if src_input == partition.input_idx {
-                    counts[slot_of(partition.assignment[src_row])] += 1;
-                }
-            }
-        }
-        Provenance::GroupBy { .. } => {}
-    }
-    counts
-}
-
-/// Build the before/after frequency bars for an exceptionality explanation;
-/// returns `(bars, before% of the chosen set, after%)`.
-fn exceptionality_chart(
-    step: &ExploratoryStep,
-    partition: &RowPartition,
-    slot: usize,
-) -> Result<(Vec<Bar>, f64, f64)> {
-    let n_in = step.inputs[partition.input_idx].n_rows().max(1) as f64;
-    let n_out = step.output.n_rows().max(1) as f64;
-    let attributed = attribution_counts(step, partition);
-    let mut bars = Vec::with_capacity(partition.n_sets());
-    let mut chosen = (0.0, 0.0);
-    for (s, meta) in partition.sets.iter().enumerate() {
-        let before = 100.0 * meta.size as f64 / n_in;
-        let after = 100.0 * attributed[s] as f64 / n_out;
-        if s == slot {
-            chosen = (before, after);
-        }
-        bars.push(Bar {
-            label: meta.label.clone(),
-            value: before,
-            after: Some(after),
-            highlighted: s == slot,
-        });
-    }
-    Ok((bars, chosen.0, chosen.1))
-}
-
-/// Build the per-set aggregated-value bars for a diversity explanation;
-/// returns `(bars, z-score of the chosen set, overall mean)`.
-fn diversity_chart(
-    step: &ExploratoryStep,
-    partition: &RowPartition,
-    slot: usize,
-    column: &str,
-) -> Result<(Vec<Bar>, f64, f64)> {
-    let out_col = step.output.column(column)?;
-    let values = out_col.numeric_values();
-    let (mean_all, std_all) = mean_and_std(&values);
-
-    // Weight each output group's value by the share of its rows in each
-    // set; for partitions coarser than the grouping (e.g. many-to-one
-    // year → decade) this is exactly the per-set mean of its groups.
-    let n_slots = ContributionComputer::n_slots(partition);
-    let mut wsum = vec![0.0f64; n_slots];
-    let mut wcnt = vec![0.0f64; n_slots];
-    if let Provenance::GroupBy { group_of_row, .. } = &step.provenance {
-        let slot_of = |code: u32| -> usize {
-            if code == crate::partition::IGNORE {
-                partition.n_sets()
-            } else {
-                code as usize
-            }
-        };
-        for (row, g) in group_of_row.iter().enumerate() {
-            let Some(g) = g else { continue };
-            if let Some(v) = out_col.get(*g as usize).as_f64() {
-                let s = slot_of(partition.assignment[row]);
-                wsum[s] += v;
-                wcnt[s] += 1.0;
-            }
-        }
-    }
-    let mut bars = Vec::with_capacity(partition.n_sets());
-    let mut chosen_value = mean_all;
-    for (s, meta) in partition.sets.iter().enumerate() {
-        let v = if wcnt[s] > 0.0 { wsum[s] / wcnt[s] } else { 0.0 };
-        if s == slot {
-            chosen_value = v;
-        }
-        bars.push(Bar { label: meta.label.clone(), value: v, after: None, highlighted: s == slot });
-    }
-    let z = if std_all > 0.0 { (chosen_value - mean_all) / std_all } else { 0.0 };
-    Ok((bars, z, mean_all))
 }
 
 /// Pretty-print a list of explanations (convenience for notebooks/CLIs).
 pub fn render_all(explanations: &[Explanation], width: usize) -> String {
     let mut out = String::new();
     for (i, e) in explanations.iter().enumerate() {
-        out.push_str(&format!("── Explanation {} ──\n{}\n", i + 1, e.render_text(width)));
+        out.push_str(&format!(
+            "── Explanation {} ──\n{}\n",
+            i + 1,
+            e.render_text(width)
+        ));
     }
     out
 }
@@ -690,13 +283,10 @@ pub fn to_json_array(explanations: &[Explanation]) -> String {
     s
 }
 
-// Silence an unused-import warning path for Value (used in doctests).
-#[allow(unused)]
-fn _value_witness(v: Value) {}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ExplainError;
     use fedex_frame::{Column, DataFrame};
     use fedex_query::{Aggregate, Expr, Operation};
 
@@ -714,8 +304,16 @@ mod tests {
                 2 => (1970 + (i % 10), "1970s"),
                 _ => (1980 + (i % 10), "1980s"),
             };
-            let pop = if d == "2010s" { 70 + (i % 25) } else { 20 + (i % 30) };
-            let l = if d == "1990s" { -12.0 + 0.01 * (i % 7) as f64 } else { -7.0 - 0.01 * (i % 9) as f64 };
+            let pop = if d == "2010s" {
+                70 + (i % 25)
+            } else {
+                20 + (i % 30)
+            };
+            let l = if d == "1990s" {
+                -12.0 + 0.01 * (i % 7) as f64
+            } else {
+                -7.0 - 0.01 * (i % 9) as f64
+            };
             years.push(y);
             decades.push(d);
             pops.push(pop);
@@ -749,11 +347,15 @@ mod tests {
         assert!(!top.chart.bars.is_empty());
         // The planted pattern must surface: some explanation of the
         // 'decade' column highlights the 2010s set.
-        let found = ex.iter().any(|e| e.column == "decade" && e.set_label.contains("2010s"));
+        let found = ex
+            .iter()
+            .any(|e| e.column == "decade" && e.set_label.contains("2010s"));
         assert!(
             found,
             "explanations: {:?}",
-            ex.iter().map(|e| (&e.column, &e.set_label)).collect::<Vec<_>>()
+            ex.iter()
+                .map(|e| (&e.column, &e.set_label))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -767,7 +369,10 @@ mod tests {
         let ex = Fedex::new().explain(&step).unwrap();
         assert!(!ex.is_empty());
         let loudness_ex = ex.iter().find(|e| e.column == "mean_loudness");
-        assert!(loudness_ex.is_some(), "expected an explanation for mean_loudness");
+        assert!(
+            loudness_ex.is_some(),
+            "expected an explanation for mean_loudness"
+        );
         let e = loudness_ex.unwrap();
         assert_eq!(e.measure, InterestingnessKind::Diversity);
         // The quiet decade should be the highlighted set on some
@@ -775,8 +380,65 @@ mod tests {
         let found_1990s = ex
             .iter()
             .any(|e| e.column == "mean_loudness" && e.set_label.contains("1990"));
-        assert!(found_1990s, "explanations: {:?}",
-            ex.iter().map(|e| (&e.column, &e.set_label)).collect::<Vec<_>>());
+        assert!(
+            found_1990s,
+            "explanations: {:?}",
+            ex.iter()
+                .map(|e| (&e.column, &e.set_label))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn serial_and_parallel_explanations_are_identical() {
+        for op in [
+            Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
+            Operation::group_by(vec!["year"], vec![Aggregate::mean("loudness")]),
+        ] {
+            let step = ExploratoryStep::run(vec![spotify_like()], op).unwrap();
+            let serial = Fedex::new()
+                .with_execution(ExecutionMode::Serial)
+                .explain(&step)
+                .unwrap();
+            let threads = Fedex::new()
+                .with_execution(ExecutionMode::Threads(4))
+                .explain(&step)
+                .unwrap();
+            assert_eq!(serial.len(), threads.len());
+            for (a, b) in serial.iter().zip(&threads) {
+                assert_eq!(a.column, b.column);
+                assert_eq!(a.set_label, b.set_label);
+                assert_eq!(a.interestingness.to_bits(), b.interestingness.to_bits());
+                assert_eq!(a.contribution.to_bits(), b.contribution.to_bits());
+                assert_eq!(a.std_contribution.to_bits(), b.std_contribution.to_bits());
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                assert_eq!(a.caption, b.caption);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_run_reports_all_stages() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
+        )
+        .unwrap();
+        let (ex, trace) = Fedex::new().explain_traced(&step).unwrap();
+        assert!(!ex.is_empty());
+        let names: Vec<&str> = trace.iter().map(|r| r.stage).collect();
+        assert_eq!(
+            names,
+            vec![
+                "ScoreColumns",
+                "PartitionRows",
+                "Contribute",
+                "Skyline",
+                "Present"
+            ]
+        );
+        assert_eq!(trace.last().unwrap().items, ex.len());
+        assert!(trace.iter().all(|r| !r.describe().is_empty()));
     }
 
     #[test]
@@ -809,7 +471,10 @@ mod tests {
             target_columns: Some(vec!["nope".to_string()]),
             ..Default::default()
         });
-        assert!(matches!(bad.explain(&step), Err(ExplainError::UnknownColumn(_))));
+        assert!(matches!(
+            bad.explain(&step),
+            Err(ExplainError::UnknownColumn(_))
+        ));
     }
 
     #[test]

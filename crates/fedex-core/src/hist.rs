@@ -74,7 +74,10 @@ impl ValueHist {
 
     /// Iterate `(value, count)` in value order, skipping zero counts.
     pub fn iter(&self) -> impl Iterator<Item = (&Value, i64)> + '_ {
-        self.counts.iter().filter(|(_, &c)| c > 0).map(|(v, &c)| (v, c))
+        self.counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
     }
 
     /// The `n` most frequent values, ties broken by value order.
@@ -183,9 +186,13 @@ mod tests {
 
         let reduced_in = Column::from_ints("x", vec![1, 2, 3, 3, 4]);
         let reduced_out = Column::from_ints("x", vec![3, 3, 4]);
-        let expected = ValueHist::from_column(&reduced_in).ks(&ValueHist::from_column(&reduced_out));
+        let expected =
+            ValueHist::from_column(&reduced_in).ks(&ValueHist::from_column(&reduced_out));
         let got = h_in.ks_sub(&sub_in, &h_out, &sub_out);
-        assert!((got - expected).abs() < 1e-12, "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "got {got}, expected {expected}"
+        );
     }
 
     #[test]

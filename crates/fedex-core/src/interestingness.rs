@@ -55,7 +55,9 @@ pub struct Sample {
 impl Sample {
     /// A sample that uses all rows of every input.
     pub fn full(n_inputs: usize) -> Self {
-        Sample { input_masks: vec![None; n_inputs] }
+        Sample {
+            input_masks: vec![None; n_inputs],
+        }
     }
 
     /// True when input `idx` row `row` is in the sample.
@@ -107,7 +109,10 @@ fn output_hist_sampled(step: &ExploratoryStep, column: &str, sample: &Sample) ->
                 }
             }
         }
-        Provenance::Join { left_rows, right_rows } => {
+        Provenance::Join {
+            left_rows,
+            right_rows,
+        } => {
             for out_row in 0..col.len() {
                 if sample.contains(0, left_rows[out_row]) && sample.contains(1, right_rows[out_row])
                 {
@@ -284,18 +289,20 @@ fn score_exceptionality(
 fn score_diversity(step: &ExploratoryStep, column: &str, sample: &Sample) -> Result<Option<f64>> {
     // Group-by aggregates are recomputed over the sample through
     // provenance; anything else takes the CV of the output column directly.
-    if let (Operation::GroupBy { .. }, Provenance::GroupBy { group_of_row, n_groups }) =
-        (&step.op, &step.provenance)
+    if let (
+        Operation::GroupBy { .. },
+        Provenance::GroupBy {
+            group_of_row,
+            n_groups,
+        },
+    ) = (&step.op, &step.provenance)
     {
         if let Some(agg) = aggregate_of_column(&step.op, column) {
             if !sample.is_full() {
-                let vals = aggregate_over_rows(
-                    &step.inputs[0],
-                    group_of_row,
-                    *n_groups,
-                    agg,
-                    &|i| sample.contains(0, i),
-                )?;
+                let vals =
+                    aggregate_over_rows(&step.inputs[0], group_of_row, *n_groups, agg, &|i| {
+                        sample.contains(0, i)
+                    })?;
                 let xs: Vec<f64> = vals.into_iter().flatten().collect();
                 return Ok(coefficient_of_variation(&xs));
             }
@@ -322,15 +329,35 @@ pub fn score_all_columns(
     kind: InterestingnessKind,
     sample: &Sample,
 ) -> Result<Vec<(String, f64)>> {
-    let mut out = Vec::new();
-    for field in step.output.schema().fields() {
-        if let Some(score) = score_column(step, &field.name, kind, sample)? {
-            if score.is_finite() {
-                out.push((field.name.clone(), score));
-            }
-        }
-    }
-    Ok(out)
+    score_all_columns_with(step, kind, sample, crate::pipeline::ExecutionMode::Serial)
+}
+
+/// [`score_all_columns`] scheduled under an explicit [`ExecutionMode`] —
+/// the kernel behind the pipeline's ScoreColumns stage (columns are
+/// scored independently, so the map parallelizes per column).
+pub fn score_all_columns_with(
+    step: &ExploratoryStep,
+    kind: InterestingnessKind,
+    sample: &Sample,
+    mode: crate::pipeline::ExecutionMode,
+) -> Result<Vec<(String, f64)>> {
+    let fields: Vec<String> = step
+        .output
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.clone())
+        .collect();
+    let per_column =
+        crate::pipeline::try_par_map(mode, &fields, |name| score_column(step, name, kind, sample))?;
+    Ok(fields
+        .into_iter()
+        .zip(per_column)
+        .filter_map(|(name, s)| match s {
+            Some(v) if v.is_finite() => Some((name, v)),
+            _ => None,
+        })
+        .collect())
 }
 
 /// Dispatch on [`Value`] for test helpers (re-exported for the bench crate).
@@ -397,14 +424,18 @@ mod tests {
         )
         .unwrap();
         let sample = Sample::full(1);
-        let decade =
-            score_column(&step, "decade", InterestingnessKind::Exceptionality, &sample)
-                .unwrap()
-                .unwrap();
+        let decade = score_column(
+            &step,
+            "decade",
+            InterestingnessKind::Exceptionality,
+            &sample,
+        )
+        .unwrap()
+        .unwrap();
         // Filter keeps only 2010s rows → maximal deviation on 'decade'.
         assert!(decade > 0.7, "decade KS = {decade}");
-        let scores = score_all_columns(&step, InterestingnessKind::Exceptionality, &sample)
-            .unwrap();
+        let scores =
+            score_all_columns(&step, InterestingnessKind::Exceptionality, &sample).unwrap();
         // Every output column is scored, and all scores are in [0, 1].
         assert_eq!(scores.len(), 4);
         assert!(scores.iter().all(|(_, s)| (0.0..=1.0).contains(s)));
@@ -439,14 +470,22 @@ mod tests {
         )
         .unwrap();
         let sample = Sample::full(1);
-        let d_loud =
-            score_column(&step, "mean_loudness", InterestingnessKind::Diversity, &sample)
-                .unwrap()
-                .unwrap();
-        let d_pop =
-            score_column(&step, "mean_popularity", InterestingnessKind::Diversity, &sample)
-                .unwrap()
-                .unwrap();
+        let d_loud = score_column(
+            &step,
+            "mean_loudness",
+            InterestingnessKind::Diversity,
+            &sample,
+        )
+        .unwrap()
+        .unwrap();
+        let d_pop = score_column(
+            &step,
+            "mean_popularity",
+            InterestingnessKind::Diversity,
+            &sample,
+        )
+        .unwrap()
+        .unwrap();
         assert!(d_loud > 0.0);
         assert!(d_pop > 0.0);
     }
@@ -458,8 +497,13 @@ mod tests {
             Operation::group_by(vec!["decade"], vec![Aggregate::count(None)]),
         )
         .unwrap();
-        let s = score_column(&step, "decade", InterestingnessKind::Diversity, &Sample::full(1))
-            .unwrap();
+        let s = score_column(
+            &step,
+            "decade",
+            InterestingnessKind::Diversity,
+            &Sample::full(1),
+        )
+        .unwrap();
         assert!(s.is_none());
     }
 
@@ -501,12 +545,21 @@ mod tests {
         for i in idx {
             mask[i] = true;
         }
-        let sample = Sample { input_masks: vec![Some(mask)] };
-        let approx =
-            score_column(&step, "decade", InterestingnessKind::Exceptionality, &sample)
-                .unwrap()
-                .unwrap();
-        assert!((exact - approx).abs() < 0.2, "exact {exact} vs approx {approx}");
+        let sample = Sample {
+            input_masks: vec![Some(mask)],
+        };
+        let approx = score_column(
+            &step,
+            "decade",
+            InterestingnessKind::Exceptionality,
+            &sample,
+        )
+        .unwrap()
+        .unwrap();
+        assert!(
+            (exact - approx).abs() < 0.2,
+            "exact {exact} vs approx {approx}"
+        );
     }
 
     #[test]
@@ -514,9 +567,14 @@ mod tests {
         let a = DataFrame::new(vec![Column::from_ints("x", vec![1, 1, 1, 1])]).unwrap();
         let b = DataFrame::new(vec![Column::from_ints("x", vec![9, 9, 9, 9])]).unwrap();
         let step = ExploratoryStep::run(vec![a, b], Operation::Union).unwrap();
-        let s = score_column(&step, "x", InterestingnessKind::Exceptionality, &Sample::full(2))
-            .unwrap()
-            .unwrap();
+        let s = score_column(
+            &step,
+            "x",
+            InterestingnessKind::Exceptionality,
+            &Sample::full(2),
+        )
+        .unwrap()
+        .unwrap();
         // Each input deviates from the 50/50 mix by 0.5.
         assert!((s - 0.5).abs() < 1e-12);
     }
@@ -528,18 +586,16 @@ mod tests {
             Operation::group_by(vec!["decade"], vec![Aggregate::mean("loudness")]),
         )
         .unwrap();
-        let Provenance::GroupBy { group_of_row, n_groups } = &step.provenance else {
+        let Provenance::GroupBy {
+            group_of_row,
+            n_groups,
+        } = &step.provenance
+        else {
             panic!()
         };
         let agg = Aggregate::mean("loudness");
-        let vals = aggregate_over_rows(
-            &step.inputs[0],
-            group_of_row,
-            *n_groups,
-            &agg,
-            &|_| true,
-        )
-        .unwrap();
+        let vals =
+            aggregate_over_rows(&step.inputs[0], group_of_row, *n_groups, &agg, &|_| true).unwrap();
         let out_col = step.output.column("mean_loudness").unwrap();
         for (g, v) in vals.iter().enumerate() {
             let expected = out_col.get(g).as_f64().unwrap();

@@ -21,7 +21,9 @@
 //!    bar-chart visualizations.
 //!
 //! Entry point: [`Fedex::explain`]. The `sample_size` configuration enables
-//! FEDEX-Sampling (§3.7).
+//! FEDEX-Sampling (§3.7). Algorithm 1 executes as an explicit staged
+//! engine — see [`pipeline`] — whose data-parallel stages are controlled
+//! by [`FedexConfig::execution`].
 
 pub mod caption;
 pub mod contribution;
@@ -31,6 +33,7 @@ pub mod hist;
 pub mod interestingness;
 pub mod measures_ext;
 pub mod partition;
+pub mod pipeline;
 pub mod session;
 pub mod skyline;
 pub mod viz;
@@ -38,14 +41,17 @@ pub mod viz;
 pub use contribution::{standardized, ContributionComputer};
 pub use error::ExplainError;
 pub use explain::{render_all, to_json_array, CustomMeasure, Explanation, Fedex, FedexConfig};
-pub use measures_ext::{Compactness, Surprisingness};
-pub use session::{Session, SessionEntry};
 pub use hist::ValueHist;
-pub use interestingness::{score_all_columns, score_column, InterestingnessKind, Sample};
+pub use interestingness::{
+    score_all_columns, score_all_columns_with, score_column, InterestingnessKind, Sample,
+};
+pub use measures_ext::{Compactness, Surprisingness};
 pub use partition::{
     build_partitions_for_attr, frequency_partition, many_to_one_partitions, numeric_partition,
     PartitionKind, RowPartition, SetMeta, IGNORE,
 };
+pub use pipeline::{ExecutionMode, ExplainPipeline, PipelineContext, Stage, StageReport};
+pub use session::{Session, SessionEntry};
 pub use skyline::{skyline_indices, weighted_score};
 pub use viz::{Bar, Chart, ChartKind};
 

@@ -154,14 +154,18 @@ mod tests {
             Operation::filter(Expr::col("v").gt(Expr::lit(10i64))),
         )
         .unwrap();
-        let ex = crate::Fedex::new().explain_with_measure(&step, &Surprisingness).unwrap();
+        let ex = crate::Fedex::new()
+            .explain_with_measure(&step, &Surprisingness)
+            .unwrap();
         // The 'b' group supplies all the large values; removing it must
         // erase the mean shift, so it should be an explanation.
         assert!(!ex.is_empty());
         assert!(
             ex.iter().any(|e| e.set_label == "b"),
             "sets: {:?}",
-            ex.iter().map(|e| (&e.column, &e.set_label)).collect::<Vec<_>>()
+            ex.iter()
+                .map(|e| (&e.column, &e.set_label))
+                .collect::<Vec<_>>()
         );
         for e in &ex {
             assert!(e.contribution > 0.0);

@@ -149,8 +149,11 @@ pub fn frequency_partition(
         return Ok(None);
     }
     let top = hist.top_n(n);
-    let code_of: HashMap<Value, u32> =
-        top.iter().enumerate().map(|(i, (v, _))| (v.clone(), i as u32)).collect();
+    let code_of: HashMap<Value, u32> = top
+        .iter()
+        .enumerate()
+        .map(|(i, (v, _))| (v.clone(), i as u32))
+        .collect();
     let mut assignment = Vec::with_capacity(col.len());
     let mut ignore_size = 0usize;
     for v in col.iter() {
@@ -164,7 +167,10 @@ pub fn frequency_partition(
     }
     let sets = top
         .into_iter()
-        .map(|(v, c)| SetMeta { label: v.to_string(), size: c as usize })
+        .map(|(v, c)| SetMeta {
+            label: v.to_string(),
+            size: c as usize,
+        })
         .collect();
     Ok(Some(RowPartition {
         input_idx,
@@ -209,7 +215,10 @@ pub fn numeric_partition(
         for &row in &bin.rows {
             assignment[row] = s as u32;
         }
-        sets.push(SetMeta { label: bin.label(), size: bin.rows.len() });
+        sets.push(SetMeta {
+            label: bin.label(),
+            size: bin.rows.len(),
+        });
     }
     let ignore_size = assignment.iter().filter(|&&a| a == IGNORE).count();
     Ok(Some(RowPartition {
@@ -260,7 +269,9 @@ pub fn many_to_one_partitions(
         }
         if let Some(mut p) = frequency_partition(df, input_idx, b.name(), n)? {
             p.attr = attr.to_string();
-            p.kind = PartitionKind::ManyToOne { via: b.name().to_string() };
+            p.kind = PartitionKind::ManyToOne {
+                via: b.name().to_string(),
+            };
             out.push(p);
         }
     }
@@ -332,9 +343,14 @@ mod tests {
             Column::from_ints("year", vec![1991, 1992, 1991, 2014, 2013, 2014, 1991, 2020]),
             Column::from_strs(
                 "decade",
-                vec!["1990s", "1990s", "1990s", "2010s", "2010s", "2010s", "1990s", "2020s"],
+                vec![
+                    "1990s", "1990s", "1990s", "2010s", "2010s", "2010s", "1990s", "2020s",
+                ],
             ),
-            Column::from_floats("loudness", vec![-11.0, -10.5, -11.2, -7.8, -8.2, -7.9, -10.9, -6.0]),
+            Column::from_floats(
+                "loudness",
+                vec![-11.0, -10.5, -11.2, -7.8, -8.2, -7.9, -10.9, -6.0],
+            ),
         ])
         .unwrap()
     }
@@ -354,7 +370,9 @@ mod tests {
 
     #[test]
     fn frequency_partition_covers_all_rows() {
-        let p = frequency_partition(&df(), 0, "decade", 10).unwrap().unwrap();
+        let p = frequency_partition(&df(), 0, "decade", 10)
+            .unwrap()
+            .unwrap();
         p.validate().unwrap();
         assert_eq!(p.ignore_size, 0);
         let total: usize = p.sets.iter().map(|s| s.size).sum();
@@ -382,7 +400,12 @@ mod tests {
         let ps = many_to_one_partitions(&df(), 0, "year", 5, 1).unwrap();
         assert_eq!(ps.len(), 1);
         let p = &ps[0];
-        assert_eq!(p.kind, PartitionKind::ManyToOne { via: "decade".to_string() });
+        assert_eq!(
+            p.kind,
+            PartitionKind::ManyToOne {
+                via: "decade".to_string()
+            }
+        );
         assert_eq!(p.attr, "year");
         p.validate().unwrap();
         // 3 decades → 3 sets

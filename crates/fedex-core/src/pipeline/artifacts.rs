@@ -1,0 +1,75 @@
+//! Typed intermediate artifacts flowing between pipeline stages.
+//!
+//! Each stage consumes the previous stage's artifact by value and wraps it
+//! (no clones), so the chain
+//! `ScoredColumns → Partitioned → Contributed → Ranked → Vec<Explanation>`
+//! is fully typed: a stage can only run after everything it needs exists.
+
+use crate::partition::RowPartition;
+
+/// Output of the **ScoreColumns** stage: interestingness of every
+/// applicable output column (Algorithm 1, step 1).
+#[derive(Debug, Clone, Default)]
+pub struct ScoredColumns {
+    /// All applicable `(column, I_A(Q))` pairs, sorted by score descending
+    /// (ties broken by column name) — after predicate-column exclusion and
+    /// target-column restriction.
+    pub scores: Vec<(String, f64)>,
+    /// The `top_k_columns` cut of `scores`: the columns for which
+    /// contributions are computed (the greedy step-1 cut of §4.3).
+    pub top: Vec<(String, f64)>,
+}
+
+/// Output of the **Partition** stage: mined (and user-supplied) row
+/// partitions of every input (Algorithm 1, step 2).
+#[derive(Debug, Clone, Default)]
+pub struct Partitioned {
+    /// Upstream artifact, passed through.
+    pub scored: ScoredColumns,
+    /// All candidate partitions, deduplicated.
+    pub partitions: Vec<RowPartition>,
+}
+
+/// One explanation candidate: a `(set-of-rows, column)` pair with its raw
+/// and standardized contribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Index into [`Partitioned::partitions`].
+    pub partition: usize,
+    /// Set index within that partition (never the ignore-set).
+    pub slot: usize,
+    /// Index into [`ScoredColumns::top`].
+    pub column: usize,
+    /// Raw contribution `C(R, A, Q)` (Def. 3.3).
+    pub raw: f64,
+    /// Standardized contribution `C̄(R, A)` (§3.6).
+    pub std: f64,
+}
+
+/// Output of the **Contribute** stage: all candidates with positive raw
+/// contribution (Algorithm 1, step 3).
+#[derive(Debug, Clone, Default)]
+pub struct Contributed {
+    /// Upstream artifact, passed through.
+    pub scored: ScoredColumns,
+    /// Upstream partitions, passed through.
+    pub partitions: Vec<RowPartition>,
+    /// Positive-contribution candidates, in deterministic
+    /// (partition, column, slot) order.
+    pub candidates: Vec<Candidate>,
+}
+
+/// Output of the **Skyline** stage: the non-dominated candidates ranked by
+/// weighted score (Algorithm 1, step 4).
+#[derive(Debug, Clone, Default)]
+pub struct Ranked {
+    /// Upstream artifact, passed through.
+    pub scored: ScoredColumns,
+    /// Upstream partitions, passed through.
+    pub partitions: Vec<RowPartition>,
+    /// Upstream candidates, passed through.
+    pub candidates: Vec<Candidate>,
+    /// Indices into `candidates`: the skyline, sorted by weighted score
+    /// descending (stable, so input order breaks ties deterministically).
+    pub order: Vec<usize>,
+}

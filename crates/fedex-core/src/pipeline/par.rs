@@ -1,0 +1,177 @@
+//! Data-parallel execution of pipeline stages.
+//!
+//! The build environment has no crates.io access, so `rayon` cannot be a
+//! dependency; this module provides the small slice-parallel subset the
+//! pipeline needs on top of `std::thread::scope`, with the same
+//! determinism contract a rayon `par_iter().map().collect()` would give:
+//! **results are returned in input order**, so serial and parallel
+//! execution produce bit-identical pipelines.
+//!
+//! Work distribution is dynamic (an atomic cursor over the item list), so
+//! uneven per-item cost — e.g. contribution over partitions of very
+//! different set counts — balances across workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How pipeline stages execute their data-parallel loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Single-threaded: plain iteration on the calling thread.
+    Serial,
+    /// One worker per available core (`std::thread::available_parallelism`).
+    #[default]
+    Parallel,
+    /// Exactly this many workers.
+    Threads(usize),
+}
+
+impl ExecutionMode {
+    /// Number of worker threads this mode resolves to on this machine.
+    pub fn threads(self) -> usize {
+        match self {
+            ExecutionMode::Serial => 1,
+            ExecutionMode::Parallel => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            ExecutionMode::Threads(n) => n.max(1),
+        }
+    }
+
+    /// Parse a CLI-style spec: `"serial"`, `"parallel"`, or a thread count.
+    pub fn parse(spec: &str) -> Option<ExecutionMode> {
+        match spec {
+            "serial" => Some(ExecutionMode::Serial),
+            "parallel" | "auto" => Some(ExecutionMode::Parallel),
+            n => n.parse::<usize>().ok().map(ExecutionMode::Threads),
+        }
+    }
+}
+
+/// Order-preserving parallel map over a slice.
+///
+/// Semantically identical to `items.iter().map(f).collect()`; `mode`
+/// only chooses how the work is scheduled. Worker panics propagate to the
+/// caller.
+pub fn par_map<T, R, F>(mode: ExecutionMode, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = mode.threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pipeline worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in buckets.drain(..).flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("par_map covered every index"))
+        .collect()
+}
+
+/// [`par_map`] over fallible work: returns the first error in **input
+/// order** (not completion order), so error selection is deterministic.
+pub fn try_par_map<T, R, E, F>(mode: ExecutionMode, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    par_map(mode, items, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for mode in [
+            ExecutionMode::Serial,
+            ExecutionMode::Parallel,
+            ExecutionMode::Threads(7),
+        ] {
+            let out = par_map(mode, &items, |&x| x * 2);
+            assert_eq!(
+                out,
+                items.iter().map(|x| x * 2).collect::<Vec<_>>(),
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_on_uneven_work() {
+        let items: Vec<u64> = (0..64).collect();
+        let f = |&x: &u64| -> u64 {
+            // Uneven cost per item.
+            (0..(x % 7) * 1000).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+        };
+        assert_eq!(
+            par_map(ExecutionMode::Serial, &items, f),
+            par_map(ExecutionMode::Threads(5), &items, f)
+        );
+    }
+
+    #[test]
+    fn try_par_map_reports_first_error_by_index() {
+        let items: Vec<i32> = (0..100).collect();
+        let r = try_par_map(ExecutionMode::Threads(4), &items, |&x| {
+            if x % 30 == 29 {
+                Err(x)
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(r, Err(29));
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(ExecutionMode::Parallel, &empty, |&x| x).is_empty());
+        assert_eq!(
+            par_map(ExecutionMode::Parallel, &[41u8], |&x| x + 1),
+            vec![42]
+        );
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(ExecutionMode::parse("serial"), Some(ExecutionMode::Serial));
+        assert_eq!(
+            ExecutionMode::parse("parallel"),
+            Some(ExecutionMode::Parallel)
+        );
+        assert_eq!(ExecutionMode::parse("8"), Some(ExecutionMode::Threads(8)));
+        assert_eq!(ExecutionMode::parse("bogus"), None);
+        assert_eq!(ExecutionMode::Threads(0).threads(), 1);
+        assert_eq!(ExecutionMode::Serial.threads(), 1);
+    }
+}

@@ -1,0 +1,648 @@
+//! The five stages of Algorithm 1.
+//!
+//! Each stage is a plain struct implementing [`Stage`]; stage-specific
+//! knobs (custom measure, user partitions) live on the struct, while
+//! everything shared rides in the [`PipelineContext`].
+
+use fedex_query::{ExploratoryStep, Operation, Provenance};
+use fedex_stats::descriptive::mean_and_std;
+
+use crate::caption::{diversity_caption, exceptionality_caption};
+use crate::contribution::{standardized, ContributionComputer};
+use crate::error::ExplainError;
+use crate::explain::{CustomMeasure, Explanation};
+use crate::interestingness::{score_all_columns_with, InterestingnessKind};
+use crate::partition::{build_partitions_for_attr, PartitionKind, RowPartition, IGNORE};
+use crate::skyline::{skyline_indices, weighted_score};
+use crate::viz::{Bar, Chart, ChartKind};
+use crate::Result;
+
+use super::artifacts::{Candidate, Contributed, Partitioned, Ranked, ScoredColumns};
+use super::par::try_par_map;
+use super::{PipelineContext, Stage};
+
+// ================================================== 1. ScoreColumns ====
+
+/// How the ScoreColumns stage scores a column.
+pub enum Scorer<'m> {
+    /// The paper's per-operation measures (exceptionality / diversity),
+    /// scored data-parallel over output columns.
+    Builtin,
+    /// A user-supplied measure (§3.8). Trait objects carry no `Sync`
+    /// bound, so this path scores serially.
+    Custom(&'m dyn CustomMeasure),
+}
+
+/// Step 1 of Algorithm 1: interestingness of every output column.
+///
+/// Columns referenced by a filter predicate are excluded under the
+/// builtin scorer: the filter *constructs* their deviation, so explaining
+/// them is a tautology (cf. Example 3.2, where the top columns for
+/// `popularity > 65` are 'decade', 'year', 'loudness' — not 'popularity').
+pub struct ScoreColumns<'m> {
+    /// Scoring back-end.
+    pub scorer: Scorer<'m>,
+    /// Exclude filter-predicate columns (the FEDEX tautology rule).
+    /// Baselines that *want* predicate columns ranked — e.g. the
+    /// Interestingness-Only baseline — turn this off.
+    pub exclude_predicate_columns: bool,
+}
+
+impl ScoreColumns<'static> {
+    /// The paper's default scoring stage.
+    pub fn builtin() -> Self {
+        ScoreColumns {
+            scorer: Scorer::Builtin,
+            exclude_predicate_columns: true,
+        }
+    }
+}
+
+impl<'m> ScoreColumns<'m> {
+    /// Scoring under a user-supplied measure (§3.8).
+    pub fn custom(measure: &'m dyn CustomMeasure) -> Self {
+        ScoreColumns {
+            scorer: Scorer::Custom(measure),
+            exclude_predicate_columns: false,
+        }
+    }
+}
+
+impl Stage for ScoreColumns<'_> {
+    type Input = ();
+    type Output = ScoredColumns;
+
+    fn name(&self) -> &'static str {
+        "ScoreColumns"
+    }
+
+    fn run(&self, ctx: &PipelineContext<'_>, _input: ()) -> Result<ScoredColumns> {
+        let step = ctx.step;
+        let mut scores: Vec<(String, f64)> = match &self.scorer {
+            Scorer::Builtin => {
+                let mut out = score_all_columns_with(step, ctx.kind, ctx.sample(), ctx.mode())?;
+                if self.exclude_predicate_columns {
+                    if let Operation::Filter { predicate } = &step.op {
+                        let excluded = predicate.referenced_columns();
+                        out.retain(|(c, _)| !excluded.contains(&c.as_str()));
+                    }
+                }
+                if let Some(targets) = &ctx.config.target_columns {
+                    for t in targets {
+                        if !step.output.has_column(t) {
+                            return Err(ExplainError::UnknownColumn(t.clone()));
+                        }
+                    }
+                    out.retain(|(c, _)| targets.iter().any(|t| t == c));
+                }
+                out
+            }
+            Scorer::Custom(measure) => {
+                let mut out = Vec::new();
+                for field in step.output.schema().fields() {
+                    if let Some(s) = measure.score(step, &field.name)? {
+                        if s.is_finite() {
+                            out.push((field.name.clone(), s));
+                        }
+                    }
+                }
+                if let Some(targets) = &ctx.config.target_columns {
+                    out.retain(|(c, _)| targets.iter().any(|t| t == c));
+                }
+                out
+            }
+        };
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let top = scores
+            .iter()
+            .take(ctx.config.top_k_columns.max(1))
+            .cloned()
+            .collect();
+        Ok(ScoredColumns { scores, top })
+    }
+}
+
+// ================================================== 2. PartitionRows ===
+
+/// Step 2 of Algorithm 1: mine the §3.5 row partitions of every input,
+/// data-parallel over `(input, attribute)` pairs.
+///
+/// Partitions that assign rows identically are deduplicated: a
+/// many-to-one partition of `A` via `B` equals the frequency partition of
+/// `B` itself, and near-unique columns (ids, names) would otherwise spawn
+/// one such duplicate per functionally-dependent column. The many-to-one
+/// labelling is preferred when both arise (it carries the finer
+/// attribute, as in Example 3.9).
+///
+/// Partitions *defined on a predicate column* of a filter (or group-by
+/// pre-filter) are excluded: the set "rows with popularity ∈ [65, 100]"
+/// explaining the step `popularity > 65` is a tautology.
+pub struct PartitionRows {
+    /// User-defined partitions used alongside the mined ones (§3.8);
+    /// validated against Def. 3.8 and the step's inputs.
+    pub extra: Vec<RowPartition>,
+}
+
+impl Stage for PartitionRows {
+    type Input = ScoredColumns;
+    type Output = Partitioned;
+
+    fn name(&self) -> &'static str {
+        "PartitionRows"
+    }
+
+    fn run(&self, ctx: &PipelineContext<'_>, scored: ScoredColumns) -> Result<Partitioned> {
+        let step = ctx.step;
+        let predicate_cols: Vec<&str> = match &step.op {
+            Operation::Filter { predicate } => predicate.referenced_columns(),
+            Operation::GroupBy {
+                pre_filter: Some(f),
+                ..
+            } => f.referenced_columns(),
+            _ => Vec::new(),
+        };
+
+        // Work list in deterministic (input, schema) order.
+        let mut attrs: Vec<(usize, String)> = Vec::new();
+        for (idx, input) in step.inputs.iter().enumerate() {
+            for field in input.schema().fields() {
+                if idx == 0 && predicate_cols.contains(&field.name.as_str()) {
+                    continue;
+                }
+                attrs.push((idx, field.name.clone()));
+            }
+        }
+
+        let mined: Vec<Vec<RowPartition>> = try_par_map(ctx.mode(), &attrs, |(idx, attr)| {
+            build_partitions_for_attr(
+                &step.inputs[*idx],
+                *idx,
+                attr,
+                &ctx.config.set_counts,
+                ctx.config.seed,
+            )
+        })?;
+
+        let mut partitions: Vec<RowPartition> = Vec::new();
+        let mut seen: std::collections::HashSet<(usize, String, &'static str, usize)> =
+            std::collections::HashSet::new();
+        for p in mined.into_iter().flatten() {
+            if p.input_idx == 0 && predicate_cols.contains(&p.defining_column()) {
+                continue;
+            }
+            let family = match &p.kind {
+                PartitionKind::NumericBins => "bins",
+                _ => "values",
+            };
+            let key = (
+                p.input_idx,
+                p.defining_column().to_string(),
+                family,
+                p.n_sets(),
+            );
+            if seen.insert(key) {
+                partitions.push(p);
+            }
+        }
+
+        for p in &self.extra {
+            p.validate()?;
+            if p.input_idx >= step.inputs.len()
+                || p.assignment.len() != step.inputs[p.input_idx].n_rows()
+            {
+                return Err(ExplainError::InvalidConfig(format!(
+                    "custom partition on {:?} does not match input {}",
+                    p.attr, p.input_idx
+                )));
+            }
+            partitions.push(p.clone());
+        }
+        Ok(Partitioned { scored, partitions })
+    }
+}
+
+// ==================================================== 3. Contribute ====
+
+/// How the Contribute stage computes per-set contributions.
+pub enum Contributor<'m> {
+    /// The provenance-based incremental kernels of
+    /// [`ContributionComputer`], data-parallel over partitions.
+    Incremental,
+    /// Literal Def. 3.3 re-runs under a user-supplied measure (§3.8).
+    /// Trait objects carry no `Sync` bound, so this path runs serially —
+    /// it is the slow path by construction anyway.
+    Custom(&'m dyn CustomMeasure),
+}
+
+/// Step 3 of Algorithm 1: contribution of every set-of-rows to every
+/// top-scored column; candidates are kept when the raw contribution is
+/// positive, and standardized within their partition.
+pub struct Contribute<'m> {
+    /// Contribution back-end.
+    pub contributor: Contributor<'m>,
+}
+
+/// All positive-contribution candidates of one partition, in
+/// (column, slot) order. `contributions` yields the per-slot raw
+/// contributions of one column, or `None` when the measure does not apply.
+fn candidates_of_partition(
+    top: &[(String, f64)],
+    partition: &RowPartition,
+    mut contributions: impl FnMut(&str) -> Result<Option<Vec<f64>>>,
+) -> Result<Vec<(usize, usize, f64, f64)>> {
+    let mut out = Vec::new();
+    for (ci, (column, _)) in top.iter().enumerate() {
+        let Some(raw) = contributions(column)? else {
+            continue;
+        };
+        let std = standardized(&raw);
+        // The ignore-set (last slot, when present) participates in
+        // standardization but never becomes a candidate.
+        for slot in 0..partition.n_sets() {
+            if raw[slot] > 0.0 {
+                out.push((ci, slot, raw[slot], std[slot]));
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl Stage for Contribute<'_> {
+    type Input = Partitioned;
+    type Output = Contributed;
+
+    fn name(&self) -> &'static str {
+        "Contribute"
+    }
+
+    fn run(&self, ctx: &PipelineContext<'_>, input: Partitioned) -> Result<Contributed> {
+        let Partitioned { scored, partitions } = input;
+        let computer = ContributionComputer::new(ctx.step, ctx.kind);
+        let per_partition: Vec<Vec<(usize, usize, f64, f64)>> = match &self.contributor {
+            Contributor::Incremental => try_par_map(ctx.mode(), &partitions, |p| {
+                candidates_of_partition(&scored.top, p, |column| computer.contributions(p, column))
+            })?,
+            // Serial: `&dyn CustomMeasure` is not `Sync`.
+            Contributor::Custom(measure) => partitions
+                .iter()
+                .map(|p| {
+                    candidates_of_partition(&scored.top, p, |column| {
+                        custom_contributions(ctx.step, *measure, p, column)
+                    })
+                })
+                .collect::<Result<_>>()?,
+        };
+        let mut candidates = Vec::new();
+        for (pi, partial) in per_partition.into_iter().enumerate() {
+            for (ci, slot, raw, std) in partial {
+                candidates.push(Candidate {
+                    partition: pi,
+                    slot,
+                    column: ci,
+                    raw,
+                    std,
+                });
+            }
+        }
+        Ok(Contributed {
+            scored,
+            partitions,
+            candidates,
+        })
+    }
+}
+
+/// Ground-truth contribution under a custom measure: remove each set,
+/// re-run the operation, re-score (Def. 3.3 verbatim).
+fn custom_contributions(
+    step: &ExploratoryStep,
+    measure: &dyn CustomMeasure,
+    partition: &RowPartition,
+    column: &str,
+) -> Result<Option<Vec<f64>>> {
+    let Some(base) = measure.score(step, column)? else {
+        return Ok(None);
+    };
+    let n_slots = ContributionComputer::n_slots(partition);
+    let mut out = Vec::with_capacity(n_slots);
+    for slot in 0..n_slots {
+        let code = if slot == partition.n_sets() {
+            IGNORE
+        } else {
+            slot as u32
+        };
+        let rows: Vec<usize> = partition
+            .assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == code).then_some(i))
+            .collect();
+        let keep = step.inputs[partition.input_idx].complement_indices(&rows);
+        let reduced = step.inputs[partition.input_idx]
+            .take(&keep)
+            .map_err(ExplainError::from)?;
+        let mut inputs = step.inputs.clone();
+        inputs[partition.input_idx] = reduced;
+        let reduced_step = ExploratoryStep::run(inputs, step.op.clone())?;
+        let reduced_score = measure.score(&reduced_step, column)?.unwrap_or(0.0);
+        out.push(base - reduced_score);
+    }
+    Ok(Some(out))
+}
+
+// ======================================================= 4. Skyline ====
+
+/// Step 4 of Algorithm 1: the skyline of `(I_A, C̄)` pairs, ranked by the
+/// weighted score of §3.7.
+pub struct Skyline;
+
+impl Stage for Skyline {
+    type Input = Contributed;
+    type Output = Ranked;
+
+    fn name(&self) -> &'static str {
+        "Skyline"
+    }
+
+    fn run(&self, ctx: &PipelineContext<'_>, input: Contributed) -> Result<Ranked> {
+        let Contributed {
+            scored,
+            partitions,
+            candidates,
+        } = input;
+        let points: Vec<(f64, f64)> = candidates
+            .iter()
+            .map(|c| (scored.top[c.column].1, c.std))
+            .collect();
+        let mut order = skyline_indices(&points);
+        let score_of = |i: usize| {
+            weighted_score(
+                scored.top[candidates[i].column].1,
+                candidates[i].std,
+                ctx.config.w_interestingness,
+                ctx.config.w_contribution,
+            )
+        };
+        // Stable sort: equal weighted scores keep candidate order, which is
+        // itself deterministic, so the full pipeline is reproducible.
+        order.sort_by(|&a, &b| score_of(b).total_cmp(&score_of(a)));
+        Ok(Ranked {
+            scored,
+            partitions,
+            candidates,
+            order,
+        })
+    }
+}
+
+// ======================================================= 5. Present ====
+
+/// Step 5 of Algorithm 1 (§3.7): deduplicate equivalent explanations,
+/// render captions and charts, and apply the optional top-k cut.
+pub struct Present;
+
+impl Stage for Present {
+    type Input = Ranked;
+    type Output = Vec<Explanation>;
+
+    fn name(&self) -> &'static str {
+        "Present"
+    }
+
+    fn run(&self, ctx: &PipelineContext<'_>, input: Ranked) -> Result<Vec<Explanation>> {
+        let Ranked {
+            scored,
+            partitions,
+            candidates,
+            order,
+        } = input;
+        // Dedup of equivalent explanations: the same set label can arise
+        // from several partitions (e.g. set counts 5 and 10).
+        let mut seen: Vec<(String, String, String)> = Vec::new();
+        let mut out = Vec::new();
+        for idx in order {
+            let cand = &candidates[idx];
+            let partition = &partitions[cand.partition];
+            let column = &scored.top[cand.column].0;
+            let key = (
+                column.clone(),
+                partition.attr.clone(),
+                partition.sets[cand.slot].label.clone(),
+            );
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            out.push(render_explanation(
+                ctx,
+                partition,
+                cand.slot,
+                column,
+                scored.top[cand.column].1,
+                cand.raw,
+                cand.std,
+            )?);
+            if let Some(k) = ctx.config.top_k_explanations {
+                if out.len() >= k {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Render one candidate as a captioned chart.
+fn render_explanation(
+    ctx: &PipelineContext<'_>,
+    partition: &RowPartition,
+    slot: usize,
+    column: &str,
+    interestingness: f64,
+    raw: f64,
+    std: f64,
+) -> Result<Explanation> {
+    let step = ctx.step;
+    let kind = ctx.kind;
+    let set_label = partition.sets[slot].label.clone();
+    let (caption, chart) = match kind {
+        InterestingnessKind::Exceptionality => {
+            let (bars, before, after) = exceptionality_chart(step, partition, slot)?;
+            (
+                exceptionality_caption(column, &set_label, before, after),
+                Chart {
+                    kind: ChartKind::BeforeAfterBars,
+                    x_label: partition.defining_column().to_string(),
+                    y_label: "Frequency (%)".to_string(),
+                    bars,
+                    mean_line: None,
+                },
+            )
+        }
+        InterestingnessKind::Diversity => {
+            let (bars, z, mean) = diversity_chart(step, partition, slot, column)?;
+            (
+                diversity_caption(column, partition.defining_column(), &set_label, z, mean),
+                Chart {
+                    kind: ChartKind::ValueBars,
+                    x_label: partition.defining_column().to_string(),
+                    y_label: format!("'{column}' per set"),
+                    bars,
+                    mean_line: Some(mean),
+                },
+            )
+        }
+    };
+    Ok(Explanation {
+        column: column.to_string(),
+        measure: kind,
+        interestingness,
+        set_label,
+        partition_attr: partition.attr.clone(),
+        partition_kind: partition.kind.clone(),
+        input_idx: partition.input_idx,
+        set_rows: partition.rows_of_set(slot as u32),
+        contribution: raw,
+        std_contribution: std,
+        score: weighted_score(
+            interestingness,
+            std,
+            ctx.config.w_interestingness,
+            ctx.config.w_contribution,
+        ),
+        caption,
+        chart,
+    })
+}
+
+/// Per-set output attribution counts: how many output rows trace back to
+/// each slot of the partition.
+fn attribution_counts(step: &ExploratoryStep, partition: &RowPartition) -> Vec<u64> {
+    let n_slots = ContributionComputer::n_slots(partition);
+    let slot_of = |code: u32| -> usize {
+        if code == IGNORE {
+            partition.n_sets()
+        } else {
+            code as usize
+        }
+    };
+    let mut counts = vec![0u64; n_slots.max(1)];
+    match &step.provenance {
+        Provenance::Filter { kept } => {
+            for &in_row in kept {
+                counts[slot_of(partition.assignment[in_row])] += 1;
+            }
+        }
+        Provenance::Join {
+            left_rows,
+            right_rows,
+        } => {
+            let side = if partition.input_idx == 0 {
+                left_rows
+            } else {
+                right_rows
+            };
+            for &in_row in side {
+                counts[slot_of(partition.assignment[in_row])] += 1;
+            }
+        }
+        Provenance::Union { source_of_row } => {
+            for &(src_input, src_row) in source_of_row {
+                if src_input == partition.input_idx {
+                    counts[slot_of(partition.assignment[src_row])] += 1;
+                }
+            }
+        }
+        Provenance::GroupBy { .. } => {}
+    }
+    counts
+}
+
+/// Build the before/after frequency bars for an exceptionality
+/// explanation; returns `(bars, before% of the chosen set, after%)`.
+fn exceptionality_chart(
+    step: &ExploratoryStep,
+    partition: &RowPartition,
+    slot: usize,
+) -> Result<(Vec<Bar>, f64, f64)> {
+    let n_in = step.inputs[partition.input_idx].n_rows().max(1) as f64;
+    let n_out = step.output.n_rows().max(1) as f64;
+    let attributed = attribution_counts(step, partition);
+    let mut bars = Vec::with_capacity(partition.n_sets());
+    let mut chosen = (0.0, 0.0);
+    for (s, meta) in partition.sets.iter().enumerate() {
+        let before = 100.0 * meta.size as f64 / n_in;
+        let after = 100.0 * attributed[s] as f64 / n_out;
+        if s == slot {
+            chosen = (before, after);
+        }
+        bars.push(Bar {
+            label: meta.label.clone(),
+            value: before,
+            after: Some(after),
+            highlighted: s == slot,
+        });
+    }
+    Ok((bars, chosen.0, chosen.1))
+}
+
+/// Build the per-set aggregated-value bars for a diversity explanation;
+/// returns `(bars, z-score of the chosen set, overall mean)`.
+fn diversity_chart(
+    step: &ExploratoryStep,
+    partition: &RowPartition,
+    slot: usize,
+    column: &str,
+) -> Result<(Vec<Bar>, f64, f64)> {
+    let out_col = step.output.column(column)?;
+    let values = out_col.numeric_values();
+    let (mean_all, std_all) = mean_and_std(&values);
+
+    // Weight each output group's value by the share of its rows in each
+    // set; for partitions coarser than the grouping (e.g. many-to-one
+    // year → decade) this is exactly the per-set mean of its groups.
+    let n_slots = ContributionComputer::n_slots(partition);
+    let mut wsum = vec![0.0f64; n_slots];
+    let mut wcnt = vec![0.0f64; n_slots];
+    if let Provenance::GroupBy { group_of_row, .. } = &step.provenance {
+        let slot_of = |code: u32| -> usize {
+            if code == IGNORE {
+                partition.n_sets()
+            } else {
+                code as usize
+            }
+        };
+        for (row, g) in group_of_row.iter().enumerate() {
+            let Some(g) = g else { continue };
+            if let Some(v) = out_col.get(*g as usize).as_f64() {
+                let s = slot_of(partition.assignment[row]);
+                wsum[s] += v;
+                wcnt[s] += 1.0;
+            }
+        }
+    }
+    let mut bars = Vec::with_capacity(partition.n_sets());
+    let mut chosen_value = mean_all;
+    for (s, meta) in partition.sets.iter().enumerate() {
+        let v = if wcnt[s] > 0.0 {
+            wsum[s] / wcnt[s]
+        } else {
+            0.0
+        };
+        if s == slot {
+            chosen_value = v;
+        }
+        bars.push(Bar {
+            label: meta.label.clone(),
+            value: v,
+            after: None,
+            highlighted: s == slot,
+        });
+    }
+    let z = if std_all > 0.0 {
+        (chosen_value - mean_all) / std_all
+    } else {
+        0.0
+    };
+    Ok((bars, z, mean_all))
+}

@@ -54,7 +54,11 @@ pub struct Session {
 impl Session {
     /// Start a session with the given explainer configuration.
     pub fn new(fedex: Fedex) -> Self {
-        Session { catalog: Catalog::new(), fedex, history: Vec::new() }
+        Session {
+            catalog: Catalog::new(),
+            fedex,
+            history: Vec::new(),
+        }
     }
 
     /// Register (or replace) a table.
@@ -115,7 +119,11 @@ impl Session {
                 format!("{}\n(no explanation: nothing deviates)", entry.sql)
             }
             Some(entry) => {
-                format!("{}\n{}", entry.sql, crate::explain::render_all(&entry.explanations, width))
+                format!(
+                    "{}\n{}",
+                    entry.sql,
+                    crate::explain::render_all(&entry.explanations, width)
+                )
             }
         }
     }
@@ -133,8 +141,16 @@ mod tests {
         for i in 0..120i64 {
             let d = if i % 4 == 0 { "2010s" } else { "1970s" };
             decade.push(d);
-            pop.push(if d == "2010s" { 70 + i % 25 } else { 20 + i % 30 });
-            year.push(if d == "2010s" { 2010 + i % 8 } else { 1970 + i % 8 });
+            pop.push(if d == "2010s" {
+                70 + i % 25
+            } else {
+                20 + i % 30
+            });
+            year.push(if d == "2010s" {
+                2010 + i % 8
+            } else {
+                1970 + i % 8
+            });
         }
         DataFrame::new(vec![
             Column::from_strs("decade", decade),
@@ -153,7 +169,8 @@ mod tests {
         assert!(!entry.explanations.is_empty());
         assert!(entry.saved_as.is_none());
 
-        s.run("SELECT mean(popularity) FROM songs GROUP BY decade").unwrap();
+        s.run("SELECT mean(popularity) FROM songs GROUP BY decade")
+            .unwrap();
         assert_eq!(s.history().len(), 2);
         assert!(s.last().unwrap().sql.contains("GROUP BY"));
     }
@@ -162,7 +179,8 @@ mod tests {
     fn saved_outputs_are_queryable() {
         let mut s = Session::new(Fedex::new());
         s.register("songs", songs());
-        s.run_and_save("SELECT * FROM songs WHERE popularity > 65", "popular").unwrap();
+        s.run_and_save("SELECT * FROM songs WHERE popularity > 65", "popular")
+            .unwrap();
         // Chain a second step over the saved output.
         let entry = s.run("SELECT * FROM popular WHERE year > 2012").unwrap();
         assert!(entry.step.inputs[0].n_rows() < 120);

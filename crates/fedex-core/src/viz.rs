@@ -49,7 +49,13 @@ impl Chart {
     /// Render as a Unicode horizontal bar chart, `width` cells wide.
     pub fn render_text(&self, width: usize) -> String {
         let width = width.max(10);
-        let label_w = self.bars.iter().map(|b| b.label.chars().count()).max().unwrap_or(0).min(24);
+        let label_w = self
+            .bars
+            .iter()
+            .map(|b| b.label.chars().count())
+            .max()
+            .unwrap_or(0)
+            .min(24);
         let mut lo = 0.0f64;
         let mut hi = f64::MIN;
         for b in &self.bars {
@@ -175,8 +181,18 @@ mod tests {
             x_label: "decade".into(),
             y_label: "Frequency (%)".into(),
             bars: vec![
-                Bar { label: "2010s".into(), value: 3.5, after: Some(61.0), highlighted: true },
-                Bar { label: "1990s".into(), value: 20.0, after: Some(12.0), highlighted: false },
+                Bar {
+                    label: "2010s".into(),
+                    value: 3.5,
+                    after: Some(61.0),
+                    highlighted: true,
+                },
+                Bar {
+                    label: "1990s".into(),
+                    value: 20.0,
+                    after: Some(12.0),
+                    highlighted: false,
+                },
             ],
             mean_line: None,
         }

@@ -17,10 +17,21 @@ use rand::{Rng, SeedableRng};
 /// Paper row count for the Credit Card Customers dataset.
 pub const PAPER_ROWS: usize = 10_127;
 
-const INCOME: [&str; 5] =
-    ["Less than $40K", "$40K - $60K", "$60K - $80K", "$80K - $120K", "$120K +"];
-const EDUCATION: [&str; 6] =
-    ["High School", "Graduate", "Uneducated", "College", "Post-Graduate", "Doctorate"];
+const INCOME: [&str; 5] = [
+    "Less than $40K",
+    "$40K - $60K",
+    "$60K - $80K",
+    "$80K - $120K",
+    "$120K +",
+];
+const EDUCATION: [&str; 6] = [
+    "High School",
+    "Graduate",
+    "Uneducated",
+    "College",
+    "Post-Graduate",
+    "Doctorate",
+];
 const MARITAL: [&str; 3] = ["Married", "Single", "Divorced"];
 const CARD: [&str; 4] = ["Blue", "Silver", "Gold", "Platinum"];
 
@@ -81,7 +92,11 @@ pub fn generate(n_rows: usize, seed: u64) -> DataFrame {
         } else {
             2_500.0 + rng.gen::<f64>() * 9_000.0
         };
-        let t_count = if attrited { rng.gen_range(10..45i64) } else { rng.gen_range(35..140i64) };
+        let t_count = if attrited {
+            rng.gen_range(10..45i64)
+        } else {
+            rng.gen_range(35..140i64)
+        };
         let cnt_change = if attrited {
             // Counting dropped in Q4 vs Q1 → high positive "change" score.
             0.7 + rng.gen::<f64>() * 0.6
@@ -92,7 +107,11 @@ pub fn generate(n_rows: usize, seed: u64) -> DataFrame {
         let climit = 1_500.0 + rng.gen::<f64>().powi(6) * 33_000.0;
         let used = (rng.gen::<f64>() * 0.9 * climit).min(climit);
 
-        attrition_flag.push(if attrited { "Attrited Customer" } else { "Existing Customer" });
+        attrition_flag.push(if attrited {
+            "Attrited Customer"
+        } else {
+            "Existing Customer"
+        });
         customer_age.push(age);
         gender.push(if rng.gen::<f64>() < 0.53 { "F" } else { "M" });
         dependent_count.push(rng.gen_range(0..6i64));

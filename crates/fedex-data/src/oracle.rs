@@ -215,12 +215,13 @@ pub fn grade(dataset: Dataset, artifact: &Artifact) -> Grade {
             + 0.5 * artifact.caption_quality
             + 0.3 * f64::from(artifact.has_visual),
     );
-    let usefulness = clamp17(
-        0.3 + 0.25 * coherency
-            + 0.55 * insight
-            + 0.8 * f64::from(artifact.explains_step),
-    );
-    Grade { coherency, insight, usefulness }
+    let usefulness =
+        clamp17(0.3 + 0.25 * coherency + 0.55 * insight + 0.8 * f64::from(artifact.explains_step));
+    Grade {
+        coherency,
+        insight,
+        usefulness,
+    }
 }
 
 /// Simulate one insight-hunting session (Fig. 5): how many *correct,
@@ -273,9 +274,17 @@ mod tests {
     fn expert_scores_near_paper() {
         // Paper: Expert coherency 6.33, insight 5.5, usefulness 5.33.
         let g = grade(Dataset::Spotify, &expert_artifact(Dataset::Spotify));
-        assert!((g.coherency - 6.33).abs() < 0.5, "coherency {}", g.coherency);
+        assert!(
+            (g.coherency - 6.33).abs() < 0.5,
+            "coherency {}",
+            g.coherency
+        );
         assert!((g.insight - 5.5).abs() < 0.8, "insight {}", g.insight);
-        assert!((g.usefulness - 5.33).abs() < 0.8, "usefulness {}", g.usefulness);
+        assert!(
+            (g.usefulness - 5.33).abs() < 0.8,
+            "usefulness {}",
+            g.usefulness
+        );
     }
 
     #[test]
@@ -296,7 +305,12 @@ mod tests {
         };
         let gf = grade(Dataset::Spotify, &fedex);
         let gs = grade(Dataset::Spotify, &seedb);
-        assert!(gf.mean() > gs.mean() + 1.0, "fedex {} vs seedb {}", gf.mean(), gs.mean());
+        assert!(
+            gf.mean() > gs.mean() + 1.0,
+            "fedex {} vs seedb {}",
+            gf.mean(),
+            gs.mean()
+        );
     }
 
     #[test]
@@ -308,7 +322,10 @@ mod tests {
             caption_quality: 0.6,
             explains_step: true,
         };
-        let without_set = Artifact { set_label: None, ..with_set.clone() };
+        let without_set = Artifact {
+            set_label: None,
+            ..with_set.clone()
+        };
         assert!(
             grade(Dataset::Spotify, &with_set).insight
                 > grade(Dataset::Spotify, &without_set).insight

@@ -25,20 +25,57 @@ pub const PAPER_PRODUCT_ROWS: usize = 9_977;
 pub const PAPER_SALES_ROWS: usize = 3_049_913;
 
 const CATEGORIES: [&str; 8] = [
-    "Whiskey", "Vodka", "Rum", "Tequila", "Beer", "Wine", "Liqueur", "Miniatures",
+    "Whiskey",
+    "Vodka",
+    "Rum",
+    "Tequila",
+    "Beer",
+    "Wine",
+    "Liqueur",
+    "Miniatures",
 ];
 const VENDORS: [&str; 14] = [
-    "Diageo", "Pernod", "Bacardi", "Heaven Hill", "Sazerac", "Jim Beam", "Brown-Forman",
-    "Constellation", "Gallo", "Luxco", "Proximo", "Campari", "Remy", "McCormick",
+    "Diageo",
+    "Pernod",
+    "Bacardi",
+    "Heaven Hill",
+    "Sazerac",
+    "Jim Beam",
+    "Brown-Forman",
+    "Constellation",
+    "Gallo",
+    "Luxco",
+    "Proximo",
+    "Campari",
+    "Remy",
+    "McCormick",
 ];
 const COUNTIES: [&str; 12] = [
-    "Polk", "Linn", "Scott", "Johnson", "Black Hawk", "Woodbury", "Dubuque", "Story",
-    "Dallas", "Pottawattamie", "Clinton", "Cerro Gordo",
+    "Polk",
+    "Linn",
+    "Scott",
+    "Johnson",
+    "Black Hawk",
+    "Woodbury",
+    "Dubuque",
+    "Story",
+    "Dallas",
+    "Pottawattamie",
+    "Clinton",
+    "Cerro Gordo",
 ];
 const REGIONS: [&str; 4] = ["Central", "East", "West", "North"];
 const CITIES: [&str; 10] = [
-    "Des Moines", "Cedar Rapids", "Davenport", "Iowa City", "Waterloo", "Sioux City",
-    "Dubuque", "Ames", "Ankeny", "Council Bluffs",
+    "Des Moines",
+    "Cedar Rapids",
+    "Davenport",
+    "Iowa City",
+    "Waterloo",
+    "Sioux City",
+    "Dubuque",
+    "Ames",
+    "Ankeny",
+    "Council Bluffs",
 ];
 
 /// Generate the `products` table with `n_rows` products.
@@ -68,7 +105,10 @@ pub fn generate_products(n_rows: usize, seed: u64) -> DataFrame {
         let (ls, pk) = match cat_name {
             "Miniatures" => (50 + 50 * rng.gen_range(0..9i64), rng.gen_range(1..4i64) * 6),
             "Beer" => (330 + rng.gen_range(0..3i64) * 110, 12),
-            _ => (750 + rng.gen_range(0..6i64) * 250, [1, 6, 12, 24][rng.gen_range(0..4usize)]),
+            _ => (
+                750 + rng.gen_range(0..6i64) * 250,
+                [1, 6, 12, 24][rng.gen_range(0..4usize)],
+            ),
         };
         let c = 3.0 + rng.gen::<f64>().powi(2) * 60.0;
         item.push(100_000 + i as i64);
@@ -86,7 +126,11 @@ pub fn generate_products(n_rows: usize, seed: u64) -> DataFrame {
         price.push(c * 1.5);
         cost.push(c);
         upc.push(rng.gen_range(10_000_000..99_999_999i64));
-        shelf.push(if rng.gen::<f64>() < 0.5 { "top" } else { "bottom" });
+        shelf.push(if rng.gen::<f64>() < 0.5 {
+            "top"
+        } else {
+            "bottom"
+        });
         state.push("IA");
     }
 
@@ -301,7 +345,11 @@ mod tests {
             }
         }
         assert!(small > 0.0);
-        assert!(small_mini / small > 0.2, "miniatures share {}", small_mini / small);
+        assert!(
+            small_mini / small > 0.2,
+            "miniatures share {}",
+            small_mini / small
+        );
     }
 
     #[test]

@@ -255,10 +255,7 @@ pub const QUERIES: [QuerySpec; 30] = [
 ];
 
 /// Queries of one dataset and/or kind.
-pub fn queries_where(
-    dataset: Option<Dataset>,
-    kind: Option<QueryKind>,
-) -> Vec<&'static QuerySpec> {
+pub fn queries_where(dataset: Option<Dataset>, kind: Option<QueryKind>) -> Vec<&'static QuerySpec> {
     QUERIES
         .iter()
         .filter(|q| dataset.is_none_or(|d| q.dataset == d))
@@ -366,7 +363,13 @@ pub fn build_workbench(scale: &DatasetScale) -> Workbench {
     catalog.register("stores", stores_df);
     catalog.register("products_sales", view);
 
-    Workbench { catalog, spotify: spotify_df, bank: bank_df, products: products_df, sales: sales_df }
+    Workbench {
+        catalog,
+        spotify: spotify_df,
+        bank: bank_df,
+        products: products_df,
+        sales: sales_df,
+    }
 }
 
 /// Parse and execute a catalogued query as an [`ExploratoryStep`].
@@ -384,7 +387,12 @@ mod tests {
     #[test]
     fn all_queries_parse() {
         for q in &QUERIES {
-            assert!(parse_query(q.sql).is_ok(), "query {} failed to parse: {}", q.id, q.sql);
+            assert!(
+                parse_query(q.sql).is_ok(),
+                "query {} failed to parse: {}",
+                q.id,
+                q.sql
+            );
         }
     }
 
@@ -408,8 +416,8 @@ mod tests {
             seed: 1,
         });
         for q in &QUERIES {
-            let step = run_query(q, &wb.catalog)
-                .unwrap_or_else(|e| panic!("query {} failed: {e}", q.id));
+            let step =
+                run_query(q, &wb.catalog).unwrap_or_else(|e| panic!("query {} failed: {e}", q.id));
             assert!(
                 step.output.n_cols() > 0,
                 "query {} produced no columns",

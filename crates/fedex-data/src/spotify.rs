@@ -26,13 +26,23 @@ pub fn decade_of(year: i64) -> String {
 }
 
 const GENRES: [&str; 12] = [
-    "pop", "rock", "hip hop", "electronic", "indie", "jazz", "classical", "country", "r&b",
-    "metal", "folk", "latin",
+    "pop",
+    "rock",
+    "hip hop",
+    "electronic",
+    "indie",
+    "jazz",
+    "classical",
+    "country",
+    "r&b",
+    "metal",
+    "folk",
+    "latin",
 ];
 
 const ARTIST_FIRST: [&str; 12] = [
-    "Luna", "Stone", "Echo", "Violet", "Golden", "Midnight", "Neon", "Silver", "Crimson",
-    "Velvet", "Electric", "Paper",
+    "Luna", "Stone", "Echo", "Violet", "Golden", "Midnight", "Neon", "Silver", "Crimson", "Velvet",
+    "Electric", "Paper",
 ];
 const ARTIST_SECOND: [&str; 12] = [
     "Rivers", "Foxes", "Parade", "Theory", "Society", "Machine", "Harbor", "Wolves", "Avenue",
@@ -179,12 +189,14 @@ mod tests {
         assert_eq!(df.n_rows(), 2_000);
         assert_eq!(df.n_cols(), 20);
         let df2 = generate(2_000, 7);
-        assert_eq!(df.get(123, "popularity").unwrap(), df2.get(123, "popularity").unwrap());
+        assert_eq!(
+            df.get(123, "popularity").unwrap(),
+            df2.get(123, "popularity").unwrap()
+        );
         let df3 = generate(2_000, 8);
         // Different seed changes the data (with overwhelming probability).
-        let same = (0..100).all(|i| {
-            df.get(i, "loudness").unwrap() == df3.get(i, "loudness").unwrap()
-        });
+        let same =
+            (0..100).all(|i| df.get(i, "loudness").unwrap() == df3.get(i, "loudness").unwrap());
         assert!(!same);
     }
 

@@ -96,8 +96,10 @@ mod tests {
     #[test]
     fn builds_typed_columns() {
         let mut b = DataFrameBuilder::new(vec!["i", "f", "s"]);
-        b.push_row(vec![Value::Int(1), Value::Float(0.5), Value::str("a")]).unwrap();
-        b.push_row(vec![Value::Int(2), Value::Float(1.5), Value::str("b")]).unwrap();
+        b.push_row(vec![Value::Int(1), Value::Float(0.5), Value::str("a")])
+            .unwrap();
+        b.push_row(vec![Value::Int(2), Value::Float(1.5), Value::str("b")])
+            .unwrap();
         let df = b.finish().unwrap();
         assert_eq!(df.column("i").unwrap().dtype(), DType::Int);
         assert_eq!(df.column("f").unwrap().dtype(), DType::Float);

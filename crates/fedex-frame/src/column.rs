@@ -37,7 +37,11 @@ impl StrColumn {
 
     /// Empty column with row capacity `n`.
     pub fn with_capacity(n: usize) -> Self {
-        StrColumn { codes: Vec::with_capacity(n), dict: Vec::new(), index: HashMap::new() }
+        StrColumn {
+            codes: Vec::with_capacity(n),
+            dict: Vec::new(),
+            index: HashMap::new(),
+        }
     }
 
     /// Number of rows.
@@ -96,7 +100,11 @@ impl StrColumn {
     /// Gather rows at `indices` into a new column sharing the dictionary.
     pub fn take(&self, indices: &[usize]) -> StrColumn {
         let codes = indices.iter().map(|&i| self.codes[i]).collect();
-        StrColumn { codes, dict: self.dict.clone(), index: self.index.clone() }
+        StrColumn {
+            codes,
+            dict: self.dict.clone(),
+            index: self.index.clone(),
+        }
     }
 
     /// Iterator over rows as `Option<&str>`.
@@ -171,12 +179,18 @@ pub struct Column {
 impl Column {
     /// Build a column from a name and payload.
     pub fn new(name: impl Into<String>, data: ColumnData) -> Self {
-        Column { name: name.into(), data }
+        Column {
+            name: name.into(),
+            data,
+        }
     }
 
     /// Non-null integer column.
     pub fn from_ints(name: impl Into<String>, values: Vec<i64>) -> Self {
-        Column::new(name, ColumnData::Int(values.into_iter().map(Some).collect()))
+        Column::new(
+            name,
+            ColumnData::Int(values.into_iter().map(Some).collect()),
+        )
     }
 
     /// Nullable integer column.
@@ -186,7 +200,10 @@ impl Column {
 
     /// Non-null float column.
     pub fn from_floats(name: impl Into<String>, values: Vec<f64>) -> Self {
-        Column::new(name, ColumnData::Float(values.into_iter().map(Some).collect()))
+        Column::new(
+            name,
+            ColumnData::Float(values.into_iter().map(Some).collect()),
+        )
     }
 
     /// Nullable float column.
@@ -196,7 +213,10 @@ impl Column {
 
     /// Non-null boolean column.
     pub fn from_bools(name: impl Into<String>, values: Vec<bool>) -> Self {
-        Column::new(name, ColumnData::Bool(values.into_iter().map(Some).collect()))
+        Column::new(
+            name,
+            ColumnData::Bool(values.into_iter().map(Some).collect()),
+        )
     }
 
     /// Non-null string column.
@@ -361,7 +381,10 @@ impl Column {
             ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Str(v) => ColumnData::Str(v.take(indices)),
         };
-        Column { name: self.name.clone(), data }
+        Column {
+            name: self.name.clone(),
+            data,
+        }
     }
 
     /// Keep rows where `mask` is true. `mask.len()` must equal `self.len()`.
@@ -373,8 +396,11 @@ impl Column {
                 column: self.name.clone(),
             });
         }
-        let indices: Vec<usize> =
-            mask.iter().enumerate().filter_map(|(i, &keep)| keep.then_some(i)).collect();
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i))
+            .collect();
         Ok(self.take(&indices))
     }
 
@@ -384,9 +410,10 @@ impl Column {
         match &self.data {
             ColumnData::Int(v) => v.iter().filter_map(|x| x.map(|i| i as f64)).collect(),
             ColumnData::Float(v) => v.iter().flatten().copied().collect(),
-            ColumnData::Bool(v) => {
-                v.iter().filter_map(|x| x.map(|b| if b { 1.0 } else { 0.0 })).collect()
-            }
+            ColumnData::Bool(v) => v
+                .iter()
+                .filter_map(|x| x.map(|b| if b { 1.0 } else { 0.0 }))
+                .collect(),
             ColumnData::Str(_) => Vec::new(),
         }
     }

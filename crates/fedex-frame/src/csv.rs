@@ -80,7 +80,10 @@ fn parse_record(input: &str, mut pos: usize, line: usize) -> Result<(Vec<String>
         }
     }
     if in_quotes {
-        return Err(FrameError::Csv { line, message: "unterminated quoted field".to_string() });
+        return Err(FrameError::Csv {
+            line,
+            message: "unterminated quoted field".to_string(),
+        });
     }
     fields.push(field);
     Ok((fields, pos))

@@ -10,9 +10,17 @@ pub enum FrameError {
     /// Two columns in the same dataframe share a name.
     DuplicateColumn(String),
     /// Columns passed to a dataframe have differing lengths.
-    LengthMismatch { expected: usize, got: usize, column: String },
+    LengthMismatch {
+        expected: usize,
+        got: usize,
+        column: String,
+    },
     /// An operation required a different column type.
-    TypeMismatch { column: String, expected: &'static str, got: &'static str },
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        got: &'static str,
+    },
     /// A row index was out of bounds.
     IndexOutOfBounds { index: usize, len: usize },
     /// Two schemas were expected to be compatible but are not.
@@ -30,19 +38,23 @@ impl fmt::Display for FrameError {
         match self {
             FrameError::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
             FrameError::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
-            FrameError::LengthMismatch { expected, got, column } => write!(
-                f,
-                "column {column:?} has length {got}, expected {expected}"
-            ),
-            FrameError::TypeMismatch { column, expected, got } => write!(
-                f,
-                "column {column:?} has type {got}, expected {expected}"
-            ),
+            FrameError::LengthMismatch {
+                expected,
+                got,
+                column,
+            } => write!(f, "column {column:?} has length {got}, expected {expected}"),
+            FrameError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(f, "column {column:?} has type {got}, expected {expected}"),
             FrameError::IndexOutOfBounds { index, len } => {
                 write!(f, "row index {index} out of bounds for length {len}")
             }
             FrameError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
-            FrameError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            FrameError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
             FrameError::Io(msg) => write!(f, "io error: {msg}"),
             FrameError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
@@ -69,7 +81,11 @@ mod tests {
 
     #[test]
     fn display_length_mismatch() {
-        let e = FrameError::LengthMismatch { expected: 3, got: 2, column: "a".into() };
+        let e = FrameError::LengthMismatch {
+            expected: 3,
+            got: 2,
+            column: "a".into(),
+        };
         assert!(e.to_string().contains("length 2"));
         assert!(e.to_string().contains("expected 3"));
     }

@@ -43,7 +43,9 @@ impl DataFrame {
 
     /// Dataframe with no columns and no rows.
     pub fn empty() -> Self {
-        DataFrame { columns: Vec::new() }
+        DataFrame {
+            columns: Vec::new(),
+        }
     }
 
     /// Number of rows (0 for a column-less frame).
@@ -63,7 +65,12 @@ impl DataFrame {
 
     /// The schema (names and dtypes, in column order).
     pub fn schema(&self) -> Schema {
-        Schema::new(self.columns.iter().map(|c| Field::new(c.name(), c.dtype())).collect())
+        Schema::new(
+            self.columns
+                .iter()
+                .map(|c| Field::new(c.name(), c.dtype()))
+                .collect(),
+        )
     }
 
     /// Column names in order.
@@ -93,7 +100,10 @@ impl DataFrame {
     pub fn get(&self, row: usize, name: &str) -> Result<Value> {
         let col = self.column(name)?;
         if row >= col.len() {
-            return Err(FrameError::IndexOutOfBounds { index: row, len: col.len() });
+            return Err(FrameError::IndexOutOfBounds {
+                index: row,
+                len: col.len(),
+            });
         }
         Ok(col.get(row))
     }
@@ -101,7 +111,10 @@ impl DataFrame {
     /// A full row as boxed values, in column order.
     pub fn row(&self, i: usize) -> Result<Vec<Value>> {
         if i >= self.n_rows() {
-            return Err(FrameError::IndexOutOfBounds { index: i, len: self.n_rows() });
+            return Err(FrameError::IndexOutOfBounds {
+                index: i,
+                len: self.n_rows(),
+            });
         }
         Ok(self.columns.iter().map(|c| c.get(i)).collect())
     }
@@ -121,7 +134,9 @@ impl DataFrame {
         if let Some(&bad) = indices.iter().find(|&&i| i >= n) {
             return Err(FrameError::IndexOutOfBounds { index: bad, len: n });
         }
-        Ok(DataFrame { columns: self.columns.iter().map(|c| c.take(indices)).collect() })
+        Ok(DataFrame {
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+        })
     }
 
     /// Keep rows where `mask` is true.
@@ -133,8 +148,11 @@ impl DataFrame {
                 column: "<mask>".to_string(),
             });
         }
-        let indices: Vec<usize> =
-            mask.iter().enumerate().filter_map(|(i, &keep)| keep.then_some(i)).collect();
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i))
+            .collect();
         self.take(&indices)
     }
 
@@ -196,7 +214,9 @@ impl DataFrame {
 
     /// First `n` rows.
     pub fn head(&self, n: usize) -> DataFrame {
-        DataFrame { columns: self.columns.iter().map(|c| c.head(n)).collect() }
+        DataFrame {
+            columns: self.columns.iter().map(|c| c.head(n)).collect(),
+        }
     }
 }
 
@@ -275,12 +295,16 @@ mod tests {
 
     #[test]
     fn with_and_without_column() {
-        let d = df().with_column(Column::from_ints("pop", vec![1, 2, 3, 4])).unwrap();
+        let d = df()
+            .with_column(Column::from_ints("pop", vec![1, 2, 3, 4]))
+            .unwrap();
         assert_eq!(d.n_cols(), 4);
         let d = d.without_column("pop").unwrap();
         assert_eq!(d.n_cols(), 3);
         assert!(d.clone().without_column("pop").is_err());
-        assert!(d.with_column(Column::from_ints("year", vec![1, 2, 3, 4])).is_err());
+        assert!(d
+            .with_column(Column::from_ints("year", vec![1, 2, 3, 4]))
+            .is_err());
     }
 
     #[test]

@@ -38,7 +38,12 @@ pub fn render_table(df: &DataFrame, max_rows: usize) -> String {
     let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown.len() + 1);
     cells.push(names.iter().map(|s| clip(s)).collect());
     for &r in &shown {
-        cells.push(df.columns().iter().map(|c| clip(&c.get(r).to_string())).collect());
+        cells.push(
+            df.columns()
+                .iter()
+                .map(|c| clip(&c.get(r).to_string()))
+                .collect(),
+        );
     }
 
     let mut widths = vec![0usize; names.len()];
@@ -104,8 +109,7 @@ mod tests {
 
     #[test]
     fn elides_long_frames() {
-        let df =
-            DataFrame::new(vec![Column::from_ints("x", (0..100).collect())]).unwrap();
+        let df = DataFrame::new(vec![Column::from_ints("x", (0..100).collect())]).unwrap();
         let s = render_table(&df, 6);
         assert!(s.contains("..."));
         assert!(s.contains("[100 rows x 1 columns]"));

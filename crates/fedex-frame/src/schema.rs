@@ -76,7 +76,10 @@ pub struct Field {
 impl Field {
     /// Build a field.
     pub fn new(name: impl Into<String>, dtype: DType) -> Self {
-        Field { name: name.into(), dtype }
+        Field {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -173,8 +176,14 @@ mod tests {
 
     #[test]
     fn same_layout_checks_order() {
-        let s1 = Schema::new(vec![Field::new("a", DType::Int), Field::new("b", DType::Str)]);
-        let s2 = Schema::new(vec![Field::new("b", DType::Str), Field::new("a", DType::Int)]);
+        let s1 = Schema::new(vec![
+            Field::new("a", DType::Int),
+            Field::new("b", DType::Str),
+        ]);
+        let s2 = Schema::new(vec![
+            Field::new("b", DType::Str),
+            Field::new("a", DType::Int),
+        ]);
         assert!(!s1.same_layout(&s2));
         assert!(s1.same_layout(&s1.clone()));
     }

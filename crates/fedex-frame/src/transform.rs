@@ -155,12 +155,16 @@ mod tests {
             vec!["column", "count", "nulls", "distinct", "mean", "std", "min", "max"]
         );
         // Row for "x": 3 non-null, 1 null, mean 2.
-        let row = (0..3).find(|&i| d.get(i, "column").unwrap() == Value::str("x")).unwrap();
+        let row = (0..3)
+            .find(|&i| d.get(i, "column").unwrap() == Value::str("x"))
+            .unwrap();
         assert_eq!(d.get(row, "count").unwrap(), Value::Int(3));
         assert_eq!(d.get(row, "nulls").unwrap(), Value::Int(1));
         assert!((d.get(row, "mean").unwrap().as_f64().unwrap() - 2.0).abs() < 1e-12);
         // String column has no numeric stats.
-        let row = (0..3).find(|&i| d.get(i, "column").unwrap() == Value::str("g")).unwrap();
+        let row = (0..3)
+            .find(|&i| d.get(i, "column").unwrap() == Value::str("g"))
+            .unwrap();
         assert!(d.get(row, "mean").unwrap().is_null());
         assert_eq!(d.get(row, "distinct").unwrap(), Value::Int(2));
     }

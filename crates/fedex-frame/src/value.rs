@@ -212,7 +212,7 @@ mod tests {
 
     #[test]
     fn total_order_across_types() {
-        let mut vs = vec![
+        let mut vs = [
             Value::str("b"),
             Value::Float(1.5),
             Value::Null,

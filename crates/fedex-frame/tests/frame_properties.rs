@@ -21,11 +21,8 @@ fn arb_typed_column(name: &'static str) -> impl Strategy<Value = Column> {
             .prop_map(move |v| Column::from_opt_ints(name, v)),
         proptest::collection::vec(proptest::option::of(-1e9f64..1e9), 1..40)
             .prop_map(move |v| Column::from_opt_floats(name, v)),
-        proptest::collection::vec(
-            proptest::option::of("[a-z]{0,6}".prop_map(|s| s)),
-            1..40
-        )
-        .prop_map(move |v| Column::from_opt_strs(name, v)),
+        proptest::collection::vec(proptest::option::of("[a-z]{0,6}".prop_map(|s| s)), 1..40)
+            .prop_map(move |v| Column::from_opt_strs(name, v)),
     ]
 }
 
@@ -67,7 +64,7 @@ proptest! {
     #[test]
     fn filter_is_take_of_mask_indices(col in arb_typed_column("x"), seed in any::<u64>()) {
         let n = col.len();
-        let mask: Vec<bool> = (0..n).map(|i| (i as u64).wrapping_mul(seed) % 3 != 0).collect();
+        let mask: Vec<bool> = (0..n).map(|i| !(i as u64).wrapping_mul(seed).is_multiple_of(3)).collect();
         let filtered = col.filter(&mask).unwrap();
         let indices: Vec<usize> =
             mask.iter().enumerate().filter_map(|(i, &k)| k.then_some(i)).collect();
@@ -135,7 +132,7 @@ proptest! {
         let col = Column::from_ints("x", (0..n as i64).collect());
         let df = DataFrame::new(vec![col]).unwrap();
         let exclude: Vec<usize> =
-            (0..n).filter(|i| (*i as u64).wrapping_mul(seed) % 2 == 0).collect();
+            (0..n).filter(|i| (*i as u64).wrapping_mul(seed).is_multiple_of(2)).collect();
         let rest = df.complement_indices(&exclude);
         let mut all: Vec<usize> = exclude.iter().copied().chain(rest.iter().copied()).collect();
         all.sort_unstable();

@@ -12,7 +12,11 @@ pub enum QueryError {
     /// An expression was applied to incompatible operand types.
     ExprType { context: String },
     /// The operation received the wrong number of input dataframes.
-    ArityMismatch { op: &'static str, expected: &'static str, got: usize },
+    ArityMismatch {
+        op: &'static str,
+        expected: &'static str,
+        got: usize,
+    },
     /// A group-by aggregate referenced a non-numeric column.
     NonNumericAggregate { column: String },
     /// SQL parse failure at a byte offset.
@@ -70,7 +74,10 @@ mod tests {
 
     #[test]
     fn parse_error_display() {
-        let e = QueryError::Parse { offset: 12, message: "expected FROM".into() };
+        let e = QueryError::Parse {
+            offset: 12,
+            message: "expected FROM".into(),
+        };
         assert!(e.to_string().contains("offset 12"));
     }
 }

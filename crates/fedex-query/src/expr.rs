@@ -89,7 +89,11 @@ impl Expr {
     }
 
     fn binary(self, op: BinOp, rhs: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(self), right: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            left: Box::new(self),
+            right: Box::new(rhs),
+        }
     }
 
     /// `self == rhs`
@@ -208,7 +212,10 @@ fn apply_binop(op: BinOp, a: Value, b: Value) -> Result<Value> {
                 (&a, &b),
                 (Value::Str(_), Value::Str(_))
                     | (Value::Bool(_), Value::Bool(_))
-                    | (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
+                    | (
+                        Value::Int(_) | Value::Float(_),
+                        Value::Int(_) | Value::Float(_)
+                    )
             );
             if !comparable {
                 return Err(QueryError::ExprType {
@@ -289,27 +296,42 @@ mod tests {
 
     #[test]
     fn comparison_mask() {
-        let mask = Expr::col("pop").gt(Expr::lit(65i64)).eval_mask(&df()).unwrap();
+        let mask = Expr::col("pop")
+            .gt(Expr::lit(65i64))
+            .eval_mask(&df())
+            .unwrap();
         assert_eq!(mask, vec![true, false, true]);
     }
 
     #[test]
     fn cross_type_numeric_comparison() {
-        let mask = Expr::col("tempo").ge(Expr::lit(100i64)).eval_mask(&df()).unwrap();
+        let mask = Expr::col("tempo")
+            .ge(Expr::lit(100i64))
+            .eval_mask(&df())
+            .unwrap();
         assert_eq!(mask, vec![true, false, true]);
     }
 
     #[test]
     fn string_equality() {
-        let mask = Expr::col("genre").eq(Expr::lit("rock")).eval_mask(&df()).unwrap();
+        let mask = Expr::col("genre")
+            .eq(Expr::lit("rock"))
+            .eval_mask(&df())
+            .unwrap();
         assert_eq!(mask, vec![true, false, true]);
-        let mask = Expr::col("genre").ne(Expr::lit("rock")).eval_mask(&df()).unwrap();
+        let mask = Expr::col("genre")
+            .ne(Expr::lit("rock"))
+            .eval_mask(&df())
+            .unwrap();
         assert_eq!(mask, vec![false, true, false]);
     }
 
     #[test]
     fn null_propagates_and_excludes() {
-        let mask = Expr::col("year").gt(Expr::lit(1980i64)).eval_mask(&df()).unwrap();
+        let mask = Expr::col("year")
+            .gt(Expr::lit(1980i64))
+            .eval_mask(&df())
+            .unwrap();
         assert_eq!(mask, vec![true, false, true]);
     }
 
@@ -320,7 +342,9 @@ mod tests {
             .and(Expr::col("genre").eq(Expr::lit("rock")));
         assert_eq!(e.eval_mask(&df()).unwrap(), vec![true, false, true]);
 
-        let e = Expr::col("pop").lt(Expr::lit(30i64)).or(Expr::col("pop").gt(Expr::lit(75i64)));
+        let e = Expr::col("pop")
+            .lt(Expr::lit(30i64))
+            .or(Expr::col("pop").gt(Expr::lit(75i64)));
         assert_eq!(e.eval_mask(&df()).unwrap(), vec![false, true, true]);
 
         let e = Expr::col("genre").eq(Expr::lit("rock")).not();
@@ -369,7 +393,9 @@ mod tests {
 
     #[test]
     fn referenced_columns_collects() {
-        let e = Expr::col("a").gt(Expr::lit(1i64)).and(Expr::col("b").eq(Expr::col("c")));
+        let e = Expr::col("a")
+            .gt(Expr::lit(1i64))
+            .and(Expr::col("b").eq(Expr::col("c")));
         assert_eq!(e.referenced_columns(), vec!["a", "b", "c"]);
     }
 

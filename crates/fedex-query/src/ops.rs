@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use fedex_frame::{Column, ColumnData, DataFrame, DType, Value};
+use fedex_frame::{Column, ColumnData, DType, DataFrame, Value};
 
 use crate::error::QueryError;
 use crate::expr::Expr;
@@ -55,23 +55,38 @@ impl Aggregate {
     /// `count` (of rows) or `count(column)` — both count non-null rows of
     /// the column when one is given.
     pub fn count(column: Option<&str>) -> Self {
-        Aggregate { func: AggFunc::Count, column: column.map(str::to_string) }
+        Aggregate {
+            func: AggFunc::Count,
+            column: column.map(str::to_string),
+        }
     }
     /// `mean(column)`
     pub fn mean(column: &str) -> Self {
-        Aggregate { func: AggFunc::Mean, column: Some(column.to_string()) }
+        Aggregate {
+            func: AggFunc::Mean,
+            column: Some(column.to_string()),
+        }
     }
     /// `sum(column)`
     pub fn sum(column: &str) -> Self {
-        Aggregate { func: AggFunc::Sum, column: Some(column.to_string()) }
+        Aggregate {
+            func: AggFunc::Sum,
+            column: Some(column.to_string()),
+        }
     }
     /// `min(column)`
     pub fn min(column: &str) -> Self {
-        Aggregate { func: AggFunc::Min, column: Some(column.to_string()) }
+        Aggregate {
+            func: AggFunc::Min,
+            column: Some(column.to_string()),
+        }
     }
     /// `max(column)`
     pub fn max(column: &str) -> Self {
-        Aggregate { func: AggFunc::Max, column: Some(column.to_string()) }
+        Aggregate {
+            func: AggFunc::Max,
+            column: Some(column.to_string()),
+        }
     }
 
     /// Output column label, e.g. `mean_loudness` or plain `count`.
@@ -206,28 +221,38 @@ impl Operation {
         match self {
             Operation::Filter { predicate } => {
                 let mask = predicate.eval_mask(&inputs[0])?;
-                let kept: Vec<usize> =
-                    mask.iter().enumerate().filter_map(|(i, &k)| k.then_some(i)).collect();
+                let kept: Vec<usize> = mask
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &k)| k.then_some(i))
+                    .collect();
                 let out = inputs[0].take(&kept)?;
                 Ok((out, Provenance::Filter { kept }))
             }
-            Operation::GroupBy { pre_filter, keys, aggs } => {
+            Operation::GroupBy {
+                pre_filter,
+                keys,
+                aggs,
+            } => {
                 let pass: Option<Vec<bool>> = match pre_filter {
                     Some(f) => Some(f.eval_mask(&inputs[0])?),
                     None => None,
                 };
                 group_by_traced(&inputs[0], pass.as_deref(), keys, aggs)
             }
-            Operation::Join { left_on, right_on, left_prefix, right_prefix } => {
-                inner_join_traced(
-                    &inputs[0],
-                    &inputs[1],
-                    left_on,
-                    right_on,
-                    left_prefix,
-                    right_prefix,
-                )
-            }
+            Operation::Join {
+                left_on,
+                right_on,
+                left_prefix,
+                right_prefix,
+            } => inner_join_traced(
+                &inputs[0],
+                &inputs[1],
+                left_on,
+                right_on,
+                left_prefix,
+                right_prefix,
+            ),
             Operation::Union => {
                 let mut acc = inputs[0].clone();
                 let mut sources: Vec<(usize, usize)> =
@@ -236,7 +261,12 @@ impl Operation {
                     acc = acc.vstack(df)?;
                     sources.extend((0..df.n_rows()).map(|r| (k + 1, r)));
                 }
-                Ok((acc, Provenance::Union { source_of_row: sources }))
+                Ok((
+                    acc,
+                    Provenance::Union {
+                        source_of_row: sources,
+                    },
+                ))
             }
         }
     }
@@ -290,10 +320,14 @@ pub fn group_by_traced(
     aggs: &[Aggregate],
 ) -> Result<(DataFrame, Provenance)> {
     if keys.is_empty() {
-        return Err(QueryError::InvalidArgument("group-by requires at least one key".into()));
+        return Err(QueryError::InvalidArgument(
+            "group-by requires at least one key".into(),
+        ));
     }
-    let key_cols: Vec<&Column> =
-        keys.iter().map(|k| df.column(k)).collect::<std::result::Result<_, _>>()?;
+    let key_cols: Vec<&Column> = keys
+        .iter()
+        .map(|k| df.column(k))
+        .collect::<std::result::Result<_, _>>()?;
 
     // Group assignment: map each (passing) row to a group id.
     let n = df.n_rows();
@@ -369,7 +403,13 @@ pub fn group_by_traced(
         out_cols.push(eval_aggregate(df, agg, &group_rows)?);
     }
     let n_groups = group_rows.len();
-    Ok((DataFrame::new(out_cols)?, Provenance::GroupBy { group_of_row, n_groups }))
+    Ok((
+        DataFrame::new(out_cols)?,
+        Provenance::GroupBy {
+            group_of_row,
+            n_groups,
+        },
+    ))
 }
 
 fn group_generic(
@@ -415,7 +455,9 @@ fn eval_aggregate(df: &DataFrame, agg: &Aggregate, group_rows: &[Vec<usize>]) ->
         (func, Some(col_name)) => {
             let col = df.column(col_name)?;
             if !col.dtype().is_numeric() && col.dtype() != DType::Bool {
-                return Err(QueryError::NonNumericAggregate { column: col_name.to_string() });
+                return Err(QueryError::NonNumericAggregate {
+                    column: col_name.to_string(),
+                });
             }
             let mut out: Vec<Option<f64>> = Vec::with_capacity(group_rows.len());
             for g in group_rows {
@@ -503,12 +545,24 @@ pub fn inner_join_traced(
 
     let mut cols: Vec<Column> = Vec::with_capacity(left.n_cols() + right.n_cols());
     for c in left.columns() {
-        cols.push(c.take(&left_idx).renamed(format!("{left_prefix}_{}", c.name())));
+        cols.push(
+            c.take(&left_idx)
+                .renamed(format!("{left_prefix}_{}", c.name())),
+        );
     }
     for c in right.columns() {
-        cols.push(c.take(&right_idx).renamed(format!("{right_prefix}_{}", c.name())));
+        cols.push(
+            c.take(&right_idx)
+                .renamed(format!("{right_prefix}_{}", c.name())),
+        );
     }
-    Ok((DataFrame::new(cols)?, Provenance::Join { left_rows: left_idx, right_rows: right_idx }))
+    Ok((
+        DataFrame::new(cols)?,
+        Provenance::Join {
+            left_rows: left_idx,
+            right_rows: right_idx,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -626,7 +680,12 @@ mod tests {
         assert_eq!(out.n_rows(), 3); // item 9 unmatched, item 1 matched twice
         assert_eq!(
             out.column_names(),
-            vec!["products_item", "products_name", "sales_item", "sales_total"]
+            vec![
+                "products_item",
+                "products_name",
+                "sales_item",
+                "sales_total"
+            ]
         );
     }
 
@@ -658,7 +717,11 @@ mod tests {
 
     #[test]
     fn empty_group_by_keys_rejected() {
-        let op = Operation::GroupBy { pre_filter: None, keys: vec![], aggs: vec![] };
+        let op = Operation::GroupBy {
+            pre_filter: None,
+            keys: vec![],
+            aggs: vec![],
+        };
         assert!(op.apply(&[songs()]).is_err());
     }
 

@@ -46,7 +46,9 @@ impl Catalog {
 
     /// Look up a table by name.
     pub fn get(&self, name: &str) -> Result<&DataFrame> {
-        self.tables.get(name).ok_or_else(|| QueryError::UnknownTable(name.to_string()))
+        self.tables
+            .get(name)
+            .ok_or_else(|| QueryError::UnknownTable(name.to_string()))
     }
 
     /// Registered table names (unordered).
@@ -148,9 +150,7 @@ impl ParsedQuery {
             return ExploratoryStep::run(vec![left_df], op);
         }
         match &self.where_clause {
-            Some(pred) => {
-                ExploratoryStep::run(vec![left_df], Operation::filter(pred.clone()))
-            }
+            Some(pred) => ExploratoryStep::run(vec![left_df], Operation::filter(pred.clone())),
             None => Err(QueryError::InvalidArgument(
                 "query must have a WHERE, GROUP BY, or JOIN to form an exploratory step".into(),
             )),
@@ -193,11 +193,17 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> QueryError {
-        QueryError::Parse { offset: self.pos, message: message.into() }
+        QueryError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn tokenize(mut self) -> Result<Vec<(usize, Tok)>> {
@@ -295,7 +301,9 @@ impl<'a> Lexer<'a> {
                         _ => Tok::Ident(ident),
                     }
                 }
-                other => return Err(self.error(format!("unexpected character {:?}", other as char))),
+                other => {
+                    return Err(self.error(format!("unexpected character {:?}", other as char)))
+                }
             };
             out.push((start, tok));
         }
@@ -325,9 +333,7 @@ impl<'a> Lexer<'a> {
         while self.pos < self.src.len() {
             match self.src[self.pos] {
                 b'0'..=b'9' => self.pos += 1,
-                b'.' if !is_float
-                    && self.src.get(self.pos + 1).is_some_and(u8::is_ascii_digit) =>
-                {
+                b'.' if !is_float && self.src.get(self.pos + 1).is_some_and(u8::is_ascii_digit) => {
                     is_float = true;
                     self.pos += 1;
                 }
@@ -339,9 +345,13 @@ impl<'a> Lexer<'a> {
             return Err(self.error("dangling '-'"));
         }
         if is_float {
-            text.parse::<f64>().map(Tok::Float).map_err(|e| self.error(e.to_string()))
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|e| self.error(e.to_string()))
         } else {
-            text.parse::<i64>().map(Tok::Int).map_err(|e| self.error(e.to_string()))
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|e| self.error(e.to_string()))
         }
     }
 
@@ -352,7 +362,9 @@ impl<'a> Lexer<'a> {
         {
             self.pos += 1;
         }
-        std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string()
+        std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .to_string()
     }
 }
 
@@ -377,7 +389,10 @@ impl Parser {
     }
 
     fn error(&self, message: impl Into<String>) -> QueryError {
-        QueryError::Parse { offset: self.toks[self.pos].0, message: message.into() }
+        QueryError::Parse {
+            offset: self.toks[self.pos].0,
+            message: message.into(),
+        }
     }
 
     fn expect_keyword(&mut self, kw: &str) -> Result<()> {
@@ -404,7 +419,11 @@ impl Parser {
             let right = self.parse_source()?;
             self.expect_keyword("ON")?;
             let (l, r) = self.parse_join_condition(&from, &right)?;
-            join = Some(JoinClause { right, left_on: l, right_on: r });
+            join = Some(JoinClause {
+                right,
+                left_on: l,
+                right_on: r,
+            });
         }
 
         let mut where_clause = None;
@@ -420,7 +439,9 @@ impl Parser {
             loop {
                 match self.next() {
                     Tok::Ident(name) => group_by.push(name),
-                    other => return Err(self.error(format!("expected column name, found {other:?}"))),
+                    other => {
+                        return Err(self.error(format!("expected column name, found {other:?}")))
+                    }
                 }
                 if matches!(self.peek(), Tok::Comma) {
                     self.next();
@@ -432,7 +453,13 @@ impl Parser {
         if matches!(self.peek(), Tok::Semicolon) {
             self.next();
         }
-        Ok(ParsedQuery { select, from, join, where_clause, group_by })
+        Ok(ParsedQuery {
+            select,
+            from,
+            join,
+            where_clause,
+            group_by,
+        })
     }
 
     fn parse_select_list(&mut self) -> Result<SelectList> {
@@ -583,7 +610,11 @@ impl Parser {
                 let op = *op;
                 self.next();
                 let right = self.parse_primary()?;
-                Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) })
+                Ok(Expr::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
             }
             _ => Ok(left),
         }
@@ -681,16 +712,19 @@ mod tests {
         assert_eq!(step.output.n_rows(), 4);
         assert_eq!(
             step.output.column_names(),
-            vec!["year", "mean_popularity", "max_popularity", "min_popularity"]
+            vec![
+                "year",
+                "mean_popularity",
+                "max_popularity",
+                "min_popularity"
+            ]
         );
     }
 
     #[test]
     fn parse_avg_alias_and_where_group_by() {
-        let q = parse_query(
-            "select AVG(loudness) from spotify where year >= 1990 group by year",
-        )
-        .unwrap();
+        let q = parse_query("select AVG(loudness) from spotify where year >= 1990 group by year")
+            .unwrap();
         let step = q.to_step(&catalog()).unwrap();
         assert_eq!(step.output.n_rows(), 3);
         assert!(step.output.has_column("mean_loudness"));
@@ -708,10 +742,8 @@ mod tests {
 
     #[test]
     fn parse_join() {
-        let q = parse_query(
-            "SELECT * FROM products INNER JOIN sales ON products.item=sales.item;",
-        )
-        .unwrap();
+        let q = parse_query("SELECT * FROM products INNER JOIN sales ON products.item=sales.item;")
+            .unwrap();
         let step = q.to_step(&catalog()).unwrap();
         assert_eq!(step.output.n_rows(), 3);
         assert!(step.output.has_column("products_name"));
@@ -720,10 +752,9 @@ mod tests {
 
     #[test]
     fn parse_reversed_join_qualifiers() {
-        let q = parse_query(
-            "SELECT * FROM products INNER JOIN sales ON sales.item = products.item;",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT * FROM products INNER JOIN sales ON sales.item = products.item;")
+                .unwrap();
         let step = q.to_step(&catalog()).unwrap();
         assert_eq!(step.output.n_rows(), 3);
     }
@@ -773,7 +804,10 @@ mod tests {
     #[test]
     fn unknown_table_rejected() {
         let q = parse_query("SELECT * FROM nope WHERE x > 1").unwrap();
-        assert!(matches!(q.to_step(&catalog()), Err(QueryError::UnknownTable(_))));
+        assert!(matches!(
+            q.to_step(&catalog()),
+            Err(QueryError::UnknownTable(_))
+        ));
     }
 
     #[test]
@@ -784,8 +818,7 @@ mod tests {
 
     #[test]
     fn multi_key_group_by() {
-        let q =
-            parse_query("SELECT count FROM spotify GROUP BY year, popularity").unwrap();
+        let q = parse_query("SELECT count FROM spotify GROUP BY year, popularity").unwrap();
         let step = q.to_step(&catalog()).unwrap();
         assert_eq!(step.output.n_cols(), 3);
     }

@@ -26,7 +26,12 @@ impl ExploratoryStep {
     /// Apply `op` to `inputs`, materializing the output.
     pub fn run(inputs: Vec<DataFrame>, op: Operation) -> Result<Self> {
         let (output, provenance) = op.apply_traced(&inputs)?;
-        Ok(ExploratoryStep { inputs, op, output, provenance })
+        Ok(ExploratoryStep {
+            inputs,
+            op,
+            output,
+            provenance,
+        })
     }
 
     /// The input dataframe at `idx`.
@@ -74,7 +79,11 @@ impl ExploratoryStep {
                     None
                 }
             }
-            Operation::Join { left_prefix, right_prefix, .. } => {
+            Operation::Join {
+                left_prefix,
+                right_prefix,
+                ..
+            } => {
                 let lp = format!("{left_prefix}_");
                 let rp = format!("{right_prefix}_");
                 if let Some(stripped) = col.strip_prefix(&lp) {
@@ -164,7 +173,10 @@ mod tests {
             Operation::filter(Expr::col("year").gt(Expr::lit(0i64))),
         )
         .unwrap();
-        assert_eq!(step.source_of_output_column("decade"), Some((0, "decade".into())));
+        assert_eq!(
+            step.source_of_output_column("decade"),
+            Some((0, "decade".into()))
+        );
         assert_eq!(step.source_of_output_column("nope"), None);
     }
 
@@ -178,7 +190,10 @@ mod tests {
             ),
         )
         .unwrap();
-        assert_eq!(step.source_of_output_column("year"), Some((0, "year".into())));
+        assert_eq!(
+            step.source_of_output_column("year"),
+            Some((0, "year".into()))
+        );
         assert_eq!(
             step.source_of_output_column("mean_loudness"),
             Some((0, "loudness".into()))
@@ -203,8 +218,14 @@ mod tests {
             Operation::join("item", "item", "products", "sales"),
         )
         .unwrap();
-        assert_eq!(step.source_of_output_column("products_name"), Some((0, "name".into())));
-        assert_eq!(step.source_of_output_column("sales_total"), Some((1, "total".into())));
+        assert_eq!(
+            step.source_of_output_column("products_name"),
+            Some((0, "name".into()))
+        );
+        assert_eq!(
+            step.source_of_output_column("sales_total"),
+            Some((1, "total".into()))
+        );
         assert_eq!(step.source_of_output_column("unrelated"), None);
     }
 

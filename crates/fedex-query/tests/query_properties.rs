@@ -43,7 +43,9 @@ proptest! {
     fn filter_conjunction_composes(df in arb_frame(), t1 in -20i64..20, t2 in -20i64..20) {
         let p = Expr::col("k").gt(Expr::lit(t1));
         let q = Expr::col("k").le(Expr::lit(t2));
-        let both = Operation::filter(p.clone().and(q.clone())).apply(&[df.clone()]).unwrap();
+        let both = Operation::filter(p.clone().and(q.clone()))
+            .apply(std::slice::from_ref(&df))
+            .unwrap();
         let seq = Operation::filter(q)
             .apply(&[Operation::filter(p).apply(&[df]).unwrap()])
             .unwrap();
@@ -195,7 +197,10 @@ fn value_display_round_trips_through_parser() {
         .unwrap();
         let mut catalog = fedex_query::Catalog::new();
         catalog.register("t", df);
-        let step = fedex_query::parse_query(sql).unwrap().to_step(&catalog).unwrap();
+        let step = fedex_query::parse_query(sql)
+            .unwrap()
+            .to_step(&catalog)
+            .unwrap();
         assert_eq!(step.output.n_rows(), rows, "{sql}");
     }
 }

@@ -55,13 +55,21 @@ pub fn equal_frequency_bins(values: &[(usize, f64)], n_bins: usize) -> Vec<Bin> 
             break;
         }
         // Ideal end of this bin, then extended to the end of any value tie.
-        let mut end = if b + 1 == n_bins { n } else { (((b + 1) as f64) * target).round() as usize };
+        let mut end = if b + 1 == n_bins {
+            n
+        } else {
+            (((b + 1) as f64) * target).round() as usize
+        };
         end = end.clamp(start + 1, n);
         while end < n && sorted[end].1 == sorted[end - 1].1 {
             end += 1;
         }
         let rows: Vec<usize> = sorted[start..end].iter().map(|&(i, _)| i).collect();
-        bins.push(Bin { lo: sorted[start].1, hi: sorted[end - 1].1, rows });
+        bins.push(Bin {
+            lo: sorted[start].1,
+            hi: sorted[end - 1].1,
+            rows,
+        });
         start = end;
     }
     bins
@@ -127,9 +135,17 @@ mod tests {
 
     #[test]
     fn label_formats() {
-        let b = Bin { lo: 1990.0, hi: 1999.0, rows: vec![] };
+        let b = Bin {
+            lo: 1990.0,
+            hi: 1999.0,
+            rows: vec![],
+        };
         assert_eq!(b.label(), "[1990, 1999]");
-        let b = Bin { lo: 0.25, hi: 0.75, rows: vec![] };
+        let b = Bin {
+            lo: 0.25,
+            hi: 0.75,
+            rows: vec![],
+        };
         assert_eq!(b.label(), "[0.250, 0.750]");
     }
 

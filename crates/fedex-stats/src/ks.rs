@@ -19,7 +19,10 @@ pub struct ValueDistribution<K: Ord> {
 
 impl<K: Ord> Default for ValueDistribution<K> {
     fn default() -> Self {
-        ValueDistribution { counts: BTreeMap::new(), total: 0 }
+        ValueDistribution {
+            counts: BTreeMap::new(),
+            total: 0,
+        }
     }
 }
 
@@ -118,10 +121,16 @@ impl<K: Ord> FromIterator<K> for ValueDistribution<K> {
 /// KS between two `f64` samples (each value weight 1). Convenience for
 /// numeric columns; NaNs are skipped.
 pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
-    let da: ValueDistribution<u64> =
-        a.iter().filter(|x| !x.is_nan()).map(|x| ordered_bits(*x)).collect();
-    let db: ValueDistribution<u64> =
-        b.iter().filter(|x| !x.is_nan()).map(|x| ordered_bits(*x)).collect();
+    let da: ValueDistribution<u64> = a
+        .iter()
+        .filter(|x| !x.is_nan())
+        .map(|x| ordered_bits(*x))
+        .collect();
+    let db: ValueDistribution<u64> = b
+        .iter()
+        .filter(|x| !x.is_nan())
+        .map(|x| ordered_bits(*x))
+        .collect();
     da.ks(&db)
 }
 
@@ -145,9 +154,15 @@ pub fn ks_from_counts(pairs: &[(u64, u64)]) -> f64 {
 }
 
 /// Map an `f64` to a `u64` key whose unsigned order equals the float's
-/// numeric order (standard sign-flip trick).
+/// numeric order (standard sign-flip trick). `-0.0` is canonicalized to
+/// `+0.0` first: the two are numerically equal and must share a key, or a
+/// column containing both would show a spurious KS deviation.
 fn ordered_bits(x: f64) -> u64 {
-    let bits = x.to_bits();
+    let bits = if x == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        x.to_bits()
+    };
     if bits >> 63 == 0 {
         bits | (1 << 63)
     } else {

@@ -11,10 +11,17 @@ use std::hash::Hash;
 pub fn precision_at_k<T: Eq + Hash>(truth: &[T], predicted: &[T], k: usize) -> f64 {
     let k = k.min(truth.len()).min(predicted.len());
     if k == 0 {
-        return if truth.is_empty() && predicted.is_empty() { 1.0 } else { 0.0 };
+        return if truth.is_empty() && predicted.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let truth_top: std::collections::HashSet<&T> = truth[..k].iter().collect();
-    let hits = predicted[..k].iter().filter(|p| truth_top.contains(p)).count();
+    let hits = predicted[..k]
+        .iter()
+        .filter(|p| truth_top.contains(p))
+        .count();
     hits as f64 / k as f64
 }
 
@@ -41,8 +48,14 @@ pub fn kendall_tau_distance<T: Eq + Hash>(a: &[T], b: &[T]) -> usize {
     let mut discordant = 0usize;
     for i in 0..items.len() {
         for j in (i + 1)..items.len() {
-            let (xa, ya) = (rank(&pos_a, items[i], a.len()), rank(&pos_a, items[j], a.len()));
-            let (xb, yb) = (rank(&pos_b, items[i], b.len()), rank(&pos_b, items[j], b.len()));
+            let (xa, ya) = (
+                rank(&pos_a, items[i], a.len()),
+                rank(&pos_a, items[j], a.len()),
+            );
+            let (xb, yb) = (
+                rank(&pos_b, items[i], b.len()),
+                rank(&pos_b, items[j], b.len()),
+            );
             // Skip pairs tied in either ranking (both in a virtual tail).
             if xa == ya || xb == yb {
                 continue;

@@ -47,8 +47,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(uniform_sample_indices(500, 50, 7), uniform_sample_indices(500, 50, 7));
-        assert_ne!(uniform_sample_indices(500, 50, 7), uniform_sample_indices(500, 50, 8));
+        assert_eq!(
+            uniform_sample_indices(500, 50, 7),
+            uniform_sample_indices(500, 50, 7)
+        );
+        assert_ne!(
+            uniform_sample_indices(500, 50, 7),
+            uniform_sample_indices(500, 50, 8)
+        );
     }
 
     #[test]
@@ -58,8 +64,9 @@ mod tests {
         let trials = 200;
         let mut hits = [0usize; 3];
         for t in 0..trials {
-            let s: HashSet<usize> =
-                uniform_sample_indices(10_000, 5_000, t as u64).into_iter().collect();
+            let s: HashSet<usize> = uniform_sample_indices(10_000, 5_000, t as u64)
+                .into_iter()
+                .collect();
             for (j, &idx) in [0usize, 5_000, 9_999].iter().enumerate() {
                 if s.contains(&idx) {
                     hits[j] += 1;

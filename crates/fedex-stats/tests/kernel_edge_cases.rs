@@ -1,0 +1,162 @@
+//! Edge-case coverage for the statistics kernels every interestingness
+//! score is built on: two-sample KS, equal-frequency binning, and
+//! `mean_and_std` — on empty, all-null, and NaN-bearing inputs.
+//!
+//! "All-null" enters the kernels as an empty `f64` slice: dataframe
+//! columns drop nulls in `numeric_values()`, so the kernel-level contract
+//! for a fully-null column is the empty-input contract. One test pins
+//! that equivalence end-to-end through `fedex-frame`.
+
+use fedex_frame::Column;
+use fedex_stats::binning::equal_frequency_bins;
+use fedex_stats::descriptive::{coefficient_of_variation, mean, mean_and_std, std_dev, variance};
+use fedex_stats::ks::{ks_statistic, ValueDistribution};
+
+// ------------------------------------------------------------- KS ----
+
+#[test]
+fn ks_empty_inputs_are_no_evidence() {
+    // An empty side provides no evidence of deviation: the measure is 0,
+    // never NaN — Algorithm 1 relies on this for empty filter results.
+    assert_eq!(ks_statistic(&[], &[]), 0.0);
+    assert_eq!(ks_statistic(&[], &[1.0, 2.0]), 0.0);
+    assert_eq!(ks_statistic(&[1.0, 2.0], &[]), 0.0);
+}
+
+#[test]
+fn ks_all_nan_behaves_like_empty() {
+    let nans = [f64::NAN, f64::NAN];
+    assert_eq!(ks_statistic(&nans, &nans), 0.0);
+    assert_eq!(ks_statistic(&nans, &[1.0, 2.0]), 0.0);
+}
+
+#[test]
+fn ks_skips_nans_not_rows() {
+    // NaNs are dropped value-wise; the remaining values still compare.
+    let a = [1.0, f64::NAN, 2.0];
+    let b = [1.0, 2.0];
+    assert!(ks_statistic(&a, &b).abs() < 1e-12);
+    let c = [10.0, f64::NAN, 20.0];
+    assert!((ks_statistic(&a, &c) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn ks_handles_signed_zero_and_infinities() {
+    // -0.0 and +0.0 must land on the same key (numeric order, not bit
+    // order), and infinities must sort to the ends without panicking.
+    assert_eq!(ks_statistic(&[-0.0], &[0.0]), 0.0);
+    let a = [f64::NEG_INFINITY, 0.0];
+    let b = [0.0, f64::INFINITY];
+    let d = ks_statistic(&a, &b);
+    assert!((0.0..=1.0).contains(&d));
+    assert!((d - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn ks_bounded_on_degenerate_distributions() {
+    let empty: ValueDistribution<u64> = ValueDistribution::new();
+    let mut one = ValueDistribution::new();
+    one.add(7u64);
+    assert_eq!(empty.ks(&one), 0.0);
+    assert_eq!(one.ks(&one), 0.0);
+    assert_eq!(empty.total(), 0);
+    assert_eq!(one.n_distinct(), 1);
+}
+
+// -------------------------------------------------------- binning ----
+
+fn indexed(xs: &[f64]) -> Vec<(usize, f64)> {
+    xs.iter().copied().enumerate().collect()
+}
+
+#[test]
+fn bins_of_empty_input_are_empty() {
+    assert!(equal_frequency_bins(&[], 5).is_empty());
+    assert!(equal_frequency_bins(&indexed(&[1.0, 2.0]), 0).is_empty());
+}
+
+#[test]
+fn bins_of_single_value_and_all_ties() {
+    let one = equal_frequency_bins(&indexed(&[4.2]), 3);
+    assert_eq!(one.len(), 1);
+    assert_eq!(one[0].rows, vec![0]);
+    assert_eq!((one[0].lo, one[0].hi), (4.2, 4.2));
+
+    // All-equal values can never straddle a boundary: exactly one bin.
+    let ties = equal_frequency_bins(&indexed(&[7.0; 50]), 4);
+    assert_eq!(ties.len(), 1);
+    assert_eq!(ties[0].rows.len(), 50);
+}
+
+#[test]
+fn bins_more_requested_than_rows() {
+    let bins = equal_frequency_bins(&indexed(&[3.0, 1.0, 2.0]), 10);
+    assert_eq!(bins.len(), 3);
+    let mut all: Vec<usize> = bins.iter().flat_map(|b| b.rows.clone()).collect();
+    all.sort_unstable();
+    assert_eq!(all, vec![0, 1, 2]);
+}
+
+#[test]
+fn bins_still_partition_when_nans_slip_in() {
+    // The production caller (`numeric_partition`) filters NaNs first; if a
+    // future caller forgets, binning must still assign every row exactly
+    // once and not panic — NaNs sort to one end under total order.
+    let xs = [1.0, f64::NAN, 3.0, 2.0, f64::NAN, 5.0];
+    let bins = equal_frequency_bins(&indexed(&xs), 3);
+    let mut all: Vec<usize> = bins.iter().flat_map(|b| b.rows.clone()).collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..xs.len()).collect::<Vec<_>>());
+}
+
+// --------------------------------------------------- descriptives ----
+
+#[test]
+fn mean_and_std_of_empty_is_zero_zero() {
+    // The §3.6 standardization calls this on candidate-contribution
+    // vectors that can be empty; it must yield a harmless (0, 0).
+    assert_eq!(mean_and_std(&[]), (0.0, 0.0));
+}
+
+#[test]
+fn mean_and_std_of_singleton_has_zero_spread() {
+    assert_eq!(mean_and_std(&[3.5]), (3.5, 0.0));
+    assert_eq!(variance(&[3.5]), None);
+    assert_eq!(std_dev(&[3.5]), None);
+}
+
+#[test]
+fn mean_and_std_propagates_nan_loudly() {
+    // NaN inputs poison the result rather than silently biasing it — the
+    // dataframe layer is responsible for dropping nulls before calling.
+    let (m, s) = mean_and_std(&[1.0, f64::NAN, 3.0]);
+    assert!(m.is_nan());
+    assert!(s.is_nan());
+    assert!(mean(&[f64::NAN]).unwrap().is_nan());
+}
+
+#[test]
+fn coefficient_of_variation_edge_cases() {
+    assert_eq!(coefficient_of_variation(&[]), None);
+    assert_eq!(coefficient_of_variation(&[1.0]), None);
+    assert_eq!(coefficient_of_variation(&[-1.0, 1.0]), None); // zero mean
+    let cv = coefficient_of_variation(&[1.0, f64::NAN]).unwrap();
+    assert!(cv.is_nan());
+}
+
+#[test]
+fn all_null_column_reaches_kernels_as_empty_input() {
+    // End-to-end: a fully-null column yields no numeric values, so every
+    // kernel sees the empty slice and returns its documented neutral
+    // value.
+    let col = Column::from_opt_floats("x", vec![None, None, None]);
+    let values = col.numeric_values();
+    assert!(values.is_empty());
+    assert_eq!(mean_and_std(&values), (0.0, 0.0));
+    assert_eq!(ks_statistic(&values, &values), 0.0);
+    assert!(equal_frequency_bins(&indexed(&values), 5).is_empty());
+
+    // A null-bearing (not fully-null) column drops nulls, keeps values.
+    let col = Column::from_opt_floats("x", vec![Some(1.0), None, Some(2.0)]);
+    assert_eq!(col.numeric_values(), vec![1.0, 2.0]);
+}

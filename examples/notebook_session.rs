@@ -11,11 +11,17 @@ use fedex::data::{build_workbench, DatasetScale};
 use fedex::query::parse_query;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let wb = build_workbench(&DatasetScale { spotify_rows: 20_000, ..DatasetScale::small() });
+    let wb = build_workbench(&DatasetScale {
+        spotify_rows: 20_000,
+        ..DatasetScale::small()
+    });
 
     // A quick look at the data before exploring (describe / sort_by are
     // dataframe utilities, not FEDEX features).
-    println!("Schema summary (first rows):\n{}\n", wb.spotify.describe().head(6));
+    println!(
+        "Schema summary (first rows):\n{}\n",
+        wb.spotify.describe().head(6)
+    );
 
     let mut session = Session::new(Fedex::with_config(FedexConfig {
         sample_size: Some(5_000),
@@ -35,12 +41,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "session history: {} steps ({} saved)",
         session.history().len(),
-        session.history().iter().filter(|e| e.saved_as.is_some()).count()
+        session
+            .history()
+            .iter()
+            .filter(|e| e.saved_as.is_some())
+            .count()
     );
 
     // §3.8: re-explain step 1 under a custom interestingness measure.
-    let step = parse_query("SELECT * FROM spotify WHERE popularity > 65")?
-        .to_step(session.catalog())?;
+    let step =
+        parse_query("SELECT * FROM spotify WHERE popularity > 65")?.to_step(session.catalog())?;
     let fedex = Fedex::with_config(FedexConfig {
         set_counts: vec![5],
         top_k_columns: 2,

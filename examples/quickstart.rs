@@ -18,10 +18,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "1970s", "2010s", "1990s",
             ],
         ),
-        Column::from_ints("popularity", vec![81, 77, 90, 70, 35, 20, 25, 40, 15, 30, 85, 28]),
+        Column::from_ints(
+            "popularity",
+            vec![81, 77, 90, 70, 35, 20, 25, 40, 15, 30, 85, 28],
+        ),
         Column::from_floats(
             "loudness",
-            vec![-7.1, -6.8, -7.4, -7.0, -12.3, -12.8, -9.9, -10.2, -10.8, -11.0, -6.9, -12.1],
+            vec![
+                -7.1, -6.8, -7.4, -7.0, -12.3, -12.8, -9.9, -10.2, -10.8, -11.0, -6.9, -12.1,
+            ],
         ),
     ])?;
     println!("Input dataframe:\n{songs}\n");
@@ -29,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The exploratory step: keep popular songs.
     let op = Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64)));
     let step = ExploratoryStep::run(vec![songs], op)?;
-    println!("Filter output ({} rows):\n{}\n", step.output.n_rows(), step.output);
+    println!(
+        "Filter output ({} rows):\n{}\n",
+        step.output.n_rows(),
+        step.output
+    );
 
     // Ask FEDEX why the result is interesting (keep the top 2).
     let fedex = Fedex::with_config(FedexConfig {

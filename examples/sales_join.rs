@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .eval_mask(&wb.sales)?,
     )?;
     let union = ExploratoryStep::run(vec![recent, older], Operation::Union)?;
-    println!("\n━━━ union of recent and older sales ({} rows) ━━━", union.output.n_rows());
+    println!(
+        "\n━━━ union of recent and older sales ({} rows) ━━━",
+        union.output.n_rows()
+    );
     let union_ex = fedex.explain(&union)?;
     match union_ex.first() {
         Some(e) => println!("\n{}", e.render_text(44)),
@@ -61,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Export for a notebook front-end.
     let json = to_json_array(&explanations);
-    println!("\nJSON export of the join explanations ({} bytes):", json.len());
+    println!(
+        "\nJSON export of the join explanations ({} bytes):",
+        json.len()
+    );
     println!("{}", &json[..json.len().min(400)]);
     if json.len() > 400 {
         println!("… (truncated)");

@@ -48,8 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     // Step 1 — what makes songs popular? (query 6 of Table 2)
-    let step1 = parse_query("SELECT * FROM spotify WHERE popularity > 65;")?
-        .to_step(&wb.catalog)?;
+    let step1 =
+        parse_query("SELECT * FROM spotify WHERE popularity > 65;")?.to_step(&wb.catalog)?;
     explain_and_print("Step 1: filter popularity > 65", &step1);
 
     // Step 2 — per-year audio profile of recent songs (the §1 group-by).
@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "SELECT mean(loudness), mean(danceability) FROM spotify WHERE year >= 1990 GROUP BY year;",
     )?
     .to_step(&wb.catalog)?;
-    explain_and_print("Step 2: mean loudness/danceability per year (year ≥ 1990)", &step2);
+    explain_and_print(
+        "Step 2: mean loudness/danceability per year (year ≥ 1990)",
+        &step2,
+    );
 
     Ok(())
 }

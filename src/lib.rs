@@ -40,8 +40,8 @@ pub use fedex_stats as stats;
 /// One-stop imports for typical use of the library.
 pub mod prelude {
     pub use fedex_core::{
-        Explanation, Fedex, FedexConfig, InterestingnessKind, PartitionKind,
+        ExecutionMode, Explanation, Fedex, FedexConfig, InterestingnessKind, PartitionKind,
     };
-    pub use fedex_frame::{Column, DataFrame, DType, Value};
+    pub use fedex_frame::{Column, DType, DataFrame, Value};
     pub use fedex_query::{ExploratoryStep, Expr, Operation};
 }

@@ -53,8 +53,14 @@ fn custom_partition_participates() {
         attr: "year".to_string(),
         kind: PartitionKind::Frequency,
         sets: vec![
-            SetMeta { label: "pre-1970".to_string(), size: old },
-            SetMeta { label: "1970-onwards".to_string(), size: new },
+            SetMeta {
+                label: "pre-1970".to_string(),
+                size: old,
+            },
+            SetMeta {
+                label: "1970-onwards".to_string(),
+                size: new,
+            },
         ],
         assignment,
         ignore_size: 0,
@@ -67,9 +73,12 @@ fn custom_partition_participates() {
     // custom '1970-onwards' set should surface as an explanation for some
     // column.
     assert!(
-        with.iter().any(|e| e.set_label == "1970-onwards" || e.set_label == "pre-1970"),
+        with.iter()
+            .any(|e| e.set_label == "1970-onwards" || e.set_label == "pre-1970"),
         "custom sets absent: {:?}",
-        with.iter().map(|e| (&e.column, &e.set_label)).collect::<Vec<_>>()
+        with.iter()
+            .map(|e| (&e.column, &e.set_label))
+            .collect::<Vec<_>>()
     );
 }
 
@@ -83,22 +92,32 @@ fn invalid_custom_partition_rejected() {
         input_idx: 0,
         attr: "year".to_string(),
         kind: PartitionKind::Frequency,
-        sets: vec![SetMeta { label: "x".to_string(), size: 1 }],
+        sets: vec![SetMeta {
+            label: "x".to_string(),
+            size: 1,
+        }],
         assignment: vec![0u32],
         ignore_size: 0,
     };
-    assert!(Fedex::new().explain_with_partitions(&step, vec![bad]).is_err());
+    assert!(Fedex::new()
+        .explain_with_partitions(&step, vec![bad])
+        .is_err());
 
     // Inconsistent sizes.
     let bad = RowPartition {
         input_idx: 0,
         attr: "year".to_string(),
         kind: PartitionKind::Frequency,
-        sets: vec![SetMeta { label: "x".to_string(), size: 99 }],
+        sets: vec![SetMeta {
+            label: "x".to_string(),
+            size: 99,
+        }],
         assignment: vec![IGNORE; step.inputs[0].n_rows()],
         ignore_size: step.inputs[0].n_rows(),
     };
-    assert!(Fedex::new().explain_with_partitions(&step, vec![bad]).is_err());
+    assert!(Fedex::new()
+        .explain_with_partitions(&step, vec![bad])
+        .is_err());
 }
 
 /// §3.8 "general interestingness functions": the surprisingness measure

@@ -20,9 +20,11 @@ fn workbench() -> fedex::data::Workbench {
 #[test]
 fn generated_datasets_round_trip_through_csv() {
     let wb = workbench();
-    for (name, df) in
-        [("spotify", &wb.spotify), ("bank", &wb.bank), ("products", &wb.products)]
-    {
+    for (name, df) in [
+        ("spotify", &wb.spotify),
+        ("bank", &wb.bank),
+        ("products", &wb.products),
+    ] {
         let text = write_csv_string(df);
         let back = read_csv_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(back.n_rows(), df.n_rows(), "{name} rows");
@@ -46,8 +48,7 @@ fn generated_datasets_round_trip_through_csv() {
 #[test]
 fn explanations_serialize_to_valid_json_shape() {
     let wb = workbench();
-    let step =
-        run_query(fedex::data::query_by_id(6).unwrap(), &wb.catalog).unwrap();
+    let step = run_query(fedex::data::query_by_id(6).unwrap(), &wb.catalog).unwrap();
     let ex = Fedex::new().explain(&step).unwrap();
     assert!(!ex.is_empty());
     let json = to_json_array(&ex);
@@ -57,9 +58,13 @@ fn explanations_serialize_to_valid_json_shape() {
     let closes = json.matches('}').count();
     assert_eq!(opens, closes, "unbalanced braces");
     assert!(json.starts_with('[') && json.ends_with(']'));
-    for key in
-        ["\"column\"", "\"interestingness\"", "\"std_contribution\"", "\"caption\"", "\"chart\""]
-    {
+    for key in [
+        "\"column\"",
+        "\"interestingness\"",
+        "\"std_contribution\"",
+        "\"caption\"",
+        "\"chart\"",
+    ] {
         assert!(json.contains(key), "missing {key}");
     }
     // No raw control characters leaked into strings.

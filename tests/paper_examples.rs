@@ -50,11 +50,24 @@ fn example_3_4_contribution_of_2010s() {
     let wb = workbench();
     let step = popular_filter_step(&wb);
     let computer = ContributionComputer::new(&step, InterestingnessKind::Exceptionality);
-    let partition = frequency_partition(&step.inputs[0], 0, "decade", 10).unwrap().unwrap();
-    let raw = computer.contributions(&partition, "decade").unwrap().unwrap();
+    let partition = frequency_partition(&step.inputs[0], 0, "decade", 10)
+        .unwrap()
+        .unwrap();
+    let raw = computer
+        .contributions(&partition, "decade")
+        .unwrap()
+        .unwrap();
 
-    let idx_2010s = partition.sets.iter().position(|s| s.label == "2010s").unwrap();
-    assert!(raw[idx_2010s] > 0.0, "2010s contribution {}", raw[idx_2010s]);
+    let idx_2010s = partition
+        .sets
+        .iter()
+        .position(|s| s.label == "2010s")
+        .unwrap();
+    assert!(
+        raw[idx_2010s] > 0.0,
+        "2010s contribution {}",
+        raw[idx_2010s]
+    );
     let best = raw
         .iter()
         .take(partition.n_sets())
@@ -83,7 +96,11 @@ fn fig_2a_filter_explanation() {
     assert!(e.caption.contains("significant change in distribution"));
     assert!(e.caption.contains("'decade'"));
     assert!(e.caption.contains("2010s"));
-    assert!(e.chart.bars.iter().any(|b| b.highlighted && b.label == "2010s"));
+    assert!(e
+        .chart
+        .bars
+        .iter()
+        .any(|b| b.highlighted && b.label == "2010s"));
     // After-frequency of the highlighted set must exceed its before.
     let bar = e.chart.bars.iter().find(|b| b.highlighted).unwrap();
     assert!(bar.after.unwrap() > bar.value);
@@ -116,7 +133,11 @@ fn fig_2b_group_by_explanation() {
         });
     assert_eq!(e.measure, InterestingnessKind::Diversity);
     assert!(e.caption.contains("significant diversity"));
-    assert!(e.caption.contains("lower than the mean"), "caption: {}", e.caption);
+    assert!(
+        e.caption.contains("lower than the mean"),
+        "caption: {}",
+        e.caption
+    );
 }
 
 /// §3.3: the diversity measure on group-by steps can produce negative
@@ -130,7 +151,11 @@ fn negative_contributions_never_explained() {
         .unwrap();
     let explanations = Fedex::new().explain(&step).unwrap();
     for e in &explanations {
-        assert!(e.contribution > 0.0, "explanation with C = {}", e.contribution);
+        assert!(
+            e.contribution > 0.0,
+            "explanation with C = {}",
+            e.contribution
+        );
     }
 }
 

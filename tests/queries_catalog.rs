@@ -27,20 +27,32 @@ fn every_query_parses_executes_and_explains() {
     for spec in &QUERIES {
         let step = run_query(spec, &wb.catalog)
             .unwrap_or_else(|e| panic!("query {} failed to run: {e}", spec.id));
-        assert!(step.output.n_cols() > 0, "query {} has empty schema", spec.id);
+        assert!(
+            step.output.n_cols() > 0,
+            "query {} has empty schema",
+            spec.id
+        );
         let explanations = fedex
             .explain(&step)
             .unwrap_or_else(|e| panic!("query {} failed to explain: {e}", spec.id));
         // Every explanation is well-formed.
         for e in &explanations {
             assert!(!e.caption.is_empty(), "query {}: empty caption", spec.id);
-            assert!(e.contribution > 0.0, "query {}: non-positive contribution", spec.id);
+            assert!(
+                e.contribution > 0.0,
+                "query {}: non-positive contribution",
+                spec.id
+            );
             assert!(
                 e.interestingness.is_finite() && e.interestingness >= 0.0,
                 "query {}: bad interestingness",
                 spec.id
             );
-            assert!(!e.set_rows.is_empty(), "query {}: empty set-of-rows", spec.id);
+            assert!(
+                !e.set_rows.is_empty(),
+                "query {}: empty set-of-rows",
+                spec.id
+            );
             assert!(!e.chart.bars.is_empty(), "query {}: empty chart", spec.id);
         }
         if !explanations.is_empty() {
@@ -49,7 +61,10 @@ fn every_query_parses_executes_and_explains() {
     }
     // The workload is full of planted patterns; the vast majority of steps
     // must be explainable.
-    assert!(explained >= 25, "only {explained}/30 queries produced explanations");
+    assert!(
+        explained >= 25,
+        "only {explained}/30 queries produced explanations"
+    );
 }
 
 #[test]
@@ -96,7 +111,10 @@ fn group_by_queries_use_diversity() {
 fn skyline_explanations_are_mutually_non_dominated() {
     let wb = workbench();
     let fedex = Fedex::new();
-    for spec in QUERIES.iter().filter(|q| q.dataset == fedex::data::Dataset::Spotify) {
+    for spec in QUERIES
+        .iter()
+        .filter(|q| q.dataset == fedex::data::Dataset::Spotify)
+    {
         let step = run_query(spec, &wb.catalog).unwrap();
         let ex = fedex.explain(&step).unwrap();
         for a in &ex {

@@ -1,0 +1,154 @@
+//! Golden tests for the staged pipeline engine on the paper's worked
+//! examples: the filter and group-by steps of §3 must produce identical
+//! top-k explanations under serial and parallel execution, and the stage
+//! trace must account for the whole run.
+
+use fedex::core::pipeline::{ExplainPipeline, Stage};
+use fedex::core::{ExecutionMode, Fedex, FedexConfig};
+use fedex::data::{build_workbench, DatasetScale, Workbench};
+use fedex::query::parse_query;
+
+fn workbench() -> Workbench {
+    build_workbench(&DatasetScale {
+        spotify_rows: 8_000,
+        bank_rows: 500,
+        product_rows: 100,
+        sales_rows: 1_000,
+        store_rows: 50,
+        seed: 42,
+    })
+}
+
+fn assert_identical(a: &[fedex::prelude::Explanation], b: &[fedex::prelude::Explanation]) {
+    assert_eq!(a.len(), b.len(), "explanation counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.column, y.column);
+        assert_eq!(x.set_label, y.set_label);
+        assert_eq!(x.partition_attr, y.partition_attr);
+        assert_eq!(x.interestingness.to_bits(), y.interestingness.to_bits());
+        assert_eq!(x.contribution.to_bits(), y.contribution.to_bits());
+        assert_eq!(x.std_contribution.to_bits(), y.std_contribution.to_bits());
+        assert_eq!(x.score.to_bits(), y.score.to_bits());
+        assert_eq!(x.caption, y.caption);
+    }
+}
+
+/// The paper's filter example (`popularity > 65`): identical explanations
+/// bit-for-bit under serial, auto-parallel, and fixed-thread execution.
+#[test]
+fn filter_example_identical_across_execution_modes() {
+    let wb = workbench();
+    let step = parse_query("SELECT * FROM spotify WHERE popularity > 65;")
+        .unwrap()
+        .to_step(&wb.catalog)
+        .unwrap();
+    let serial = Fedex::new()
+        .with_execution(ExecutionMode::Serial)
+        .explain(&step)
+        .unwrap();
+    assert!(!serial.is_empty(), "filter example must be explainable");
+    for mode in [
+        ExecutionMode::Parallel,
+        ExecutionMode::Threads(3),
+        ExecutionMode::Threads(16),
+    ] {
+        let other = Fedex::new().with_execution(mode).explain(&step).unwrap();
+        assert_identical(&serial, &other);
+    }
+}
+
+/// The paper's group-by example (mean loudness per year): identical
+/// explanations under serial and parallel execution, including with
+/// FEDEX-Sampling enabled.
+#[test]
+fn group_by_example_identical_across_execution_modes() {
+    let wb = workbench();
+    let step = parse_query("SELECT mean(loudness) FROM spotify GROUP BY year;")
+        .unwrap()
+        .to_step(&wb.catalog)
+        .unwrap();
+    let serial = Fedex::new()
+        .with_execution(ExecutionMode::Serial)
+        .explain(&step)
+        .unwrap();
+    assert!(!serial.is_empty(), "group-by example must be explainable");
+    let parallel = Fedex::new()
+        .with_execution(ExecutionMode::Threads(4))
+        .explain(&step)
+        .unwrap();
+    assert_identical(&serial, &parallel);
+
+    let sampled_serial = Fedex::with_config(FedexConfig {
+        sample_size: Some(2_000),
+        execution: ExecutionMode::Serial,
+        ..Default::default()
+    })
+    .explain(&step)
+    .unwrap();
+    let sampled_parallel = Fedex::with_config(FedexConfig {
+        sample_size: Some(2_000),
+        execution: ExecutionMode::Threads(4),
+        ..Default::default()
+    })
+    .explain(&step)
+    .unwrap();
+    assert_identical(&sampled_serial, &sampled_parallel);
+}
+
+/// The stage trace names all five Algorithm 1 stages in order and its
+/// item counts are consistent with the result.
+#[test]
+fn stage_trace_covers_algorithm_one() {
+    let wb = workbench();
+    let step = parse_query("SELECT * FROM spotify WHERE popularity > 65;")
+        .unwrap()
+        .to_step(&wb.catalog)
+        .unwrap();
+    let (ex, trace) = Fedex::new().explain_traced(&step).unwrap();
+    let stages: Vec<&str> = trace.iter().map(|r| r.stage).collect();
+    assert_eq!(
+        stages,
+        vec![
+            "ScoreColumns",
+            "PartitionRows",
+            "Contribute",
+            "Skyline",
+            "Present"
+        ]
+    );
+    assert_eq!(trace[4].items, ex.len());
+    // Skyline can only shrink the candidate set.
+    assert!(trace[3].items <= trace[2].items);
+}
+
+/// Stages compose individually: running ScoreColumns + PartitionRows by
+/// hand through the public Stage API matches the `Fedex` facade.
+#[test]
+fn stages_compose_like_the_facade() {
+    use fedex::core::pipeline::{PartitionRows, ScoreColumns};
+
+    let wb = workbench();
+    let step = parse_query("SELECT * FROM spotify WHERE popularity > 65;")
+        .unwrap()
+        .to_step(&wb.catalog)
+        .unwrap();
+    let config = FedexConfig::default();
+    let pipeline = ExplainPipeline::new(&step, &config);
+    let ctx = pipeline.context();
+
+    let scored = ScoreColumns::builtin().run(ctx, ()).unwrap();
+    assert_eq!(
+        scored.scores,
+        Fedex::new().interesting_columns(&step).unwrap()
+    );
+    assert_eq!(
+        scored.top.len(),
+        config.top_k_columns.min(scored.scores.len())
+    );
+
+    let partitioned = PartitionRows { extra: Vec::new() }
+        .run(ctx, scored)
+        .unwrap();
+    let facade = Fedex::new().build_partitions(&step).unwrap();
+    assert_eq!(partitioned.partitions.len(), facade.len());
+}

@@ -1,0 +1,274 @@
+//! Offline drop-in for the subset of the `criterion` crate API this
+//! workspace uses. The build environment has no access to crates.io, so
+//! the real `criterion` cannot be fetched; this vendored stand-in keeps
+//! the bench files source-compatible (`Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!` / `criterion_main!`, `black_box`).
+//!
+//! Methodology is deliberately simple: each benchmark runs one untimed
+//! warm-up iteration, then `sample_size` timed iterations, and reports
+//! min / mean / median wall-clock time. When the `CRITERION_JSON`
+//! environment variable names a file, every measurement is also appended
+//! to it as a JSON array (used to record `BENCH_*.json` baselines).
+
+use std::cell::RefCell;
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Default number of timed iterations per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id, e.g. `"explain/exact/filter/spotify-q6"`.
+    pub id: String,
+    /// Timed iterations.
+    pub samples: usize,
+    /// Minimum iteration time.
+    pub min: Duration,
+    /// Mean iteration time.
+    pub mean: Duration,
+    /// Median iteration time.
+    pub median: Duration,
+}
+
+impl Measurement {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":\"{}\",\"samples\":{},\"min_ns\":{},\"mean_ns\":{},\"median_ns\":{}}}",
+            self.id.replace('"', "'"),
+            self.samples,
+            self.min.as_nanos(),
+            self.mean.as_nanos(),
+            self.median.as_nanos()
+        )
+    }
+}
+
+/// The benchmark driver (subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    measurements: RefCell<Vec<Measurement>>,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self, id.to_string(), DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> Vec<Measurement> {
+        self.measurements.borrow().clone()
+    }
+
+    /// Write measurements to `$CRITERION_JSON` when set (called by
+    /// `criterion_main!`).
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let list = self.measurements.borrow();
+        let mut out = String::from("[\n");
+        for (i, m) in list.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {}{}",
+                m.to_json(),
+                if i + 1 < list.len() { "," } else { "" }
+            );
+        }
+        out.push_str("]\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion shim: cannot write {path}: {e}");
+        } else {
+            println!(
+                "criterion shim: wrote {} measurements to {path}",
+                list.len()
+            );
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.parent, full, self.sample_size, f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.parent, full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API compatibility; measurement output is
+    /// immediate).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (subset of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample after one untimed warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &mut Criterion, id: String, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        // Closure never called `iter`; record nothing.
+        eprintln!("{id:<50} (no samples)");
+        return;
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{id:<50} min {:>12?}  mean {:>12?}  median {:>12?}  ({} samples)",
+        min,
+        mean,
+        median,
+        sorted.len()
+    );
+    c.measurements.borrow_mut().push(Measurement {
+        id,
+        samples: sorted.len(),
+        min,
+        mean,
+        median,
+    });
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("fast", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        let ms = c.measurements();
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].id, "g/fast");
+        assert_eq!(ms[1].id, "g/param/7");
+        assert_eq!(ms[0].samples, 3);
+        assert!(ms[0].to_json().contains("\"mean_ns\""));
+    }
+}

@@ -1,0 +1,147 @@
+//! String generation from the tiny regex subset used as `proptest` string
+//! strategies in this workspace: a concatenation of character classes,
+//! each with an optional bounded repetition, e.g. `"[a-z]{0,6}"` or
+//! `"[a-z][a-zA-Z0-9 ]{0,7}"`.
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+struct Atom {
+    alphabet: Vec<char>,
+    lo: usize,
+    hi: usize,
+}
+
+/// Generate one string matching `pattern`.
+///
+/// Supported grammar: one or more `[<class>]` atoms, each optionally
+/// followed by `{n}` or `{lo,hi}`; `<class>` is a sequence of literal
+/// characters, `x-y` ranges, and `\`-escaped literals. Panics on anything
+/// else, loudly, so an unsupported upstream pattern is caught at test time
+/// rather than silently mis-generated.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern)
+        .unwrap_or_else(|| panic!("unsupported string-strategy pattern: {pattern:?}"));
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = rng.gen_range(atom.lo..atom.hi + 1);
+        for _ in 0..n {
+            out.push(atom.alphabet[rng.gen_range(0usize..atom.alphabet.len())]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Option<Vec<Atom>> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c != '[' {
+            return None;
+        }
+        chars.next();
+        let mut alphabet: Vec<char> = Vec::new();
+        loop {
+            let c = chars.next()?;
+            match c {
+                ']' => break,
+                '\\' => alphabet.push(chars.next()?),
+                _ => {
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.peek() {
+                            Some(&']') => {
+                                // trailing literal '-'
+                                alphabet.push(c);
+                                alphabet.push('-');
+                            }
+                            _ => {
+                                let end = chars.next()?;
+                                for x in c as u32..=end as u32 {
+                                    alphabet.push(char::from_u32(x)?);
+                                }
+                            }
+                        }
+                    } else {
+                        alphabet.push(c);
+                    }
+                }
+            }
+        }
+        if alphabet.is_empty() {
+            return None;
+        }
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut body = String::new();
+            loop {
+                let c = chars.next()?;
+                if c == '}' {
+                    break;
+                }
+                body.push(c);
+            }
+            match body.split_once(',') {
+                Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+                None => {
+                    let n = body.trim().parse().ok()?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        if lo > hi {
+            return None;
+        }
+        atoms.push(Atom { alphabet, lo, hi });
+    }
+    if atoms.is_empty() {
+        return None;
+    }
+    Some(atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn parses_ranges_and_literals() {
+        let atoms = parse("[a-zA-Z0-9 ,\"']{0,12}").unwrap();
+        assert_eq!(atoms.len(), 1);
+        let a = &atoms[0].alphabet;
+        assert!(a.contains(&'a') && a.contains(&'Z') && a.contains(&'9'));
+        assert!(a.contains(&' ') && a.contains(&',') && a.contains(&'"') && a.contains(&'\''));
+        assert_eq!((atoms[0].lo, atoms[0].hi), (0, 12));
+    }
+
+    #[test]
+    fn parses_concatenated_atoms() {
+        let atoms = parse("[a-z][a-zA-Z0-9 ]{0,7}").unwrap();
+        assert_eq!(atoms.len(), 2);
+        assert_eq!((atoms[0].lo, atoms[0].hi), (1, 1));
+        assert_eq!((atoms[1].lo, atoms[1].hi), (0, 7));
+    }
+
+    #[test]
+    fn generates_within_bounds() {
+        let mut rng = case_rng(0);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z]{0,6}", &mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = generate_from_pattern("[a-z][0-9]{2}", &mut rng);
+            assert_eq!(t.len(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported string-strategy pattern")]
+    fn rejects_unsupported_patterns() {
+        let mut rng = case_rng(0);
+        generate_from_pattern("(a|b)+", &mut rng);
+    }
+}
