@@ -4,8 +4,11 @@
 //! efficiency claims).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fedex_core::{frequency_partition, ContributionComputer, InterestingnessKind};
+use fedex_core::{
+    frequency_partition, CodedHist, ContributionComputer, InterestingnessKind, ValueHist,
+};
 use fedex_data::{build_workbench, DatasetScale};
+use fedex_frame::CodedColumn;
 use fedex_query::{Aggregate, ExploratoryStep, Expr, Operation};
 use fedex_stats::ks::ks_statistic;
 
@@ -17,6 +20,50 @@ fn bench_ks(c: &mut Criterion) {
         let b: Vec<f64> = (0..n).map(|i| (i % 89) as f64 + 3.0).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| ks_statistic(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+/// Coded (dense `Vec<i64>` over dictionary codes) vs boxed
+/// (`BTreeMap<Value, i64>`) histograms: construction and the
+/// KS-with-subtraction kernel — the PR 2 ablation.
+fn bench_hist_coded_vs_boxed(c: &mut Criterion) {
+    let wb = build_workbench(&DatasetScale {
+        spotify_rows: 50_000,
+        bank_rows: 1_000,
+        product_rows: 200,
+        sales_rows: 2_000,
+        store_rows: 50,
+        seed: 5,
+    });
+    let mut group = c.benchmark_group("hist");
+    group.sample_size(10);
+    for col_name in ["decade", "year", "loudness"] {
+        let col = wb.spotify.column(col_name).unwrap();
+        let coded = CodedColumn::encode(col);
+        group.bench_function(format!("boxed-build/{col_name}-50k"), |b| {
+            b.iter(|| ValueHist::from_column(col));
+        });
+        group.bench_function(format!("coded-build/{col_name}-50k"), |b| {
+            b.iter(|| CodedHist::from_coded(&coded));
+        });
+        group.bench_function(format!("encode/{col_name}-50k"), |b| {
+            b.iter(|| CodedColumn::encode(col));
+        });
+
+        // KS with subtraction: full histogram vs first-half subset.
+        let rows: Vec<usize> = (0..col.len() / 2).collect();
+        let vh = ValueHist::from_column(col);
+        let v_sub = ValueHist::from_column_rows(col, &rows);
+        let ch = CodedHist::from_coded(&coded);
+        let c_sub = CodedHist::from_coded_rows(&coded, &rows);
+        let (v_empty, c_empty) = (ValueHist::new(), CodedHist::new(coded.n_codes()));
+        group.bench_function(format!("boxed-ks-sub/{col_name}-50k"), |b| {
+            b.iter(|| vh.ks_sub(&v_sub, &vh, &v_empty));
+        });
+        group.bench_function(format!("coded-ks-sub/{col_name}-50k"), |b| {
+            b.iter(|| ch.ks_sub(&c_sub, &ch, &c_empty));
         });
     }
     group.finish();
@@ -118,6 +165,7 @@ fn bench_partitions(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_ks,
+    bench_hist_coded_vs_boxed,
     bench_operations,
     bench_contribution,
     bench_partitions

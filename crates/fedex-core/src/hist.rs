@@ -1,4 +1,4 @@
-//! Value histograms with subtraction — the kernel behind incremental
+//! Histograms with subtraction — the kernel behind incremental
 //! exceptionality contribution.
 //!
 //! The exceptionality measure (Eq. 1) is a KS statistic over the
@@ -6,11 +6,33 @@
 //! operation. Removing a set-of-rows `R` from the input (Def. 3.3) shifts
 //! both distributions by the value counts of `R`, so the intervention score
 //! can be computed by *histogram subtraction* — no re-execution of the
-//! operation is needed. [`ValueHist`] supports exactly that.
+//! operation is needed.
+//!
+//! Two implementations share that contract:
+//!
+//! * [`CodedHist`] — the fast kernel: a dense `Vec<i64>` indexed by the
+//!   `u32` dictionary codes of a
+//!   [`CodedColumn`](fedex_frame::codec::CodedColumn). Adds and
+//!   subtractions are O(1) array updates, and because codes are assigned
+//!   in ascending [`Value`] order (the code ⇄ value contract of
+//!   [`fedex_frame::codec`]), the KS merge-walk is a single linear sweep
+//!   over `0..n_codes` — no tree lookups, no key sort, no boxing. All
+//!   histograms entering one KS computation must share a code space
+//!   (i.e. come from the same codec).
+//! * [`ValueHist`] — the boxed-`Value` compatibility wrapper
+//!   (`BTreeMap<Value, i64>`), kept for callers that accumulate arbitrary
+//!   values without a pre-built dictionary (interestingness scoring over
+//!   sampled rows, tests, custom measures). It is the *reference*
+//!   implementation: property tests assert `CodedHist` agrees with it
+//!   bit-for-bit on add/sub/KS, including nulls, NaNs and `-0.0`/`+0.0`.
+//!
+//! Both walk distinct values in the same (ascending `Value`) order and
+//! apply identical floating-point operations, so switching a call site
+//! from one to the other cannot change a single output bit.
 
 use std::collections::BTreeMap;
 
-use fedex_frame::{Column, Value};
+use fedex_frame::{CodedColumn, Column, Value, NULL_CODE};
 
 /// Ordered histogram of column values (nulls excluded).
 #[derive(Debug, Clone, Default)]
@@ -134,6 +156,178 @@ impl ValueHist {
     }
 }
 
+/// Dense histogram over the dictionary codes of one
+/// [`CodedColumn`](fedex_frame::codec::CodedColumn) (nulls excluded).
+///
+/// `counts[code]` is the number of observations of the value behind
+/// `code`; codes are in ascending value order, so a linear walk over the
+/// counts is a walk over sorted values. Every histogram taking part in a
+/// KS computation must be built over the **same code space**.
+#[derive(Debug, Clone, Default)]
+pub struct CodedHist {
+    counts: Vec<i64>,
+    total: i64,
+}
+
+impl CodedHist {
+    /// Empty histogram over a code space of `n_codes` codes.
+    pub fn new(n_codes: usize) -> Self {
+        CodedHist {
+            counts: vec![0; n_codes],
+            total: 0,
+        }
+    }
+
+    /// Histogram of all non-null rows of a coded column.
+    pub fn from_coded(col: &CodedColumn) -> Self {
+        Self::from_codes(col.codes(), col.n_codes())
+    }
+
+    /// Histogram of a raw code sequence ([`NULL_CODE`] entries skipped).
+    pub fn from_codes(codes: &[u32], n_codes: usize) -> Self {
+        let mut h = CodedHist::new(n_codes);
+        for &c in codes {
+            if c != NULL_CODE {
+                h.counts[c as usize] += 1;
+                h.total += 1;
+            }
+        }
+        h
+    }
+
+    /// Histogram of the coded column restricted to `rows`.
+    pub fn from_coded_rows(col: &CodedColumn, rows: &[usize]) -> Self {
+        let mut h = CodedHist::new(col.n_codes());
+        for &i in rows {
+            let c = col.code(i);
+            if c != NULL_CODE {
+                h.counts[c as usize] += 1;
+                h.total += 1;
+            }
+        }
+        h
+    }
+
+    /// Add `n` observations of `code` — O(1).
+    #[inline]
+    pub fn add(&mut self, code: u32, n: i64) {
+        self.counts[code as usize] += n;
+        self.total += n;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> i64 {
+        self.total
+    }
+
+    /// Size of the code space.
+    pub fn n_codes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of codes with a positive count.
+    pub fn n_distinct(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Count of one code.
+    #[inline]
+    pub fn count(&self, code: u32) -> i64 {
+        self.counts[code as usize]
+    }
+
+    /// The raw per-code counts, in ascending value order.
+    pub fn counts(&self) -> &[i64] {
+        &self.counts
+    }
+
+    /// KS statistic between `self − sub_a` and `other − sub_b`; the coded
+    /// equivalent of [`ValueHist::ks_sub`], with the identical sequence of
+    /// floating-point operations (same walk order, same CDF updates), so
+    /// the two kernels agree bit-for-bit.
+    ///
+    /// All four histograms must share the code space. Returns 0.0 when
+    /// either reduced side is empty.
+    pub fn ks_sub(&self, sub_a: &CodedHist, other: &CodedHist, sub_b: &CodedHist) -> f64 {
+        ks_sub_counts(
+            &self.counts,
+            &sub_a.counts,
+            self.total - sub_a.total,
+            &other.counts,
+            &sub_b.counts,
+            other.total - sub_b.total,
+        )
+    }
+
+    /// Plain two-sample KS statistic between two coded histograms.
+    pub fn ks(&self, other: &CodedHist) -> f64 {
+        ks_sub_counts(
+            &self.counts,
+            &[],
+            self.total,
+            &other.counts,
+            &[],
+            other.total,
+        )
+    }
+}
+
+/// The streaming KS kernel over dense per-code counts: one linear sweep in
+/// code (= value) order, maintaining both CDFs. Subtraction slices may be
+/// empty (nothing subtracted) but must otherwise match the base length.
+///
+/// This performs exactly the operations of [`ValueHist::ks_sub`]'s
+/// merge-walk: the walked code set equals the old merged key set whenever
+/// every code occurs in at least one base histogram (true by construction
+/// when the codec was built from the base column), and codes absent from
+/// all four histograms only add an exact `+0.0` to each CDF, which cannot
+/// change any bit of the result.
+pub fn ks_sub_counts(
+    a: &[i64],
+    sub_a: &[i64],
+    total_a: i64,
+    b: &[i64],
+    sub_b: &[i64],
+    total_b: i64,
+) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "histograms must share a code space");
+    debug_assert!(sub_a.is_empty() || sub_a.len() == a.len());
+    debug_assert!(sub_b.is_empty() || sub_b.len() == b.len());
+    let ta = total_a as f64;
+    let tb = total_b as f64;
+    if ta <= 0.0 || tb <= 0.0 {
+        return 0.0;
+    }
+    #[inline(always)]
+    fn walk(
+        ta: f64,
+        tb: f64,
+        n: usize,
+        ca: impl Fn(usize) -> i64,
+        cb: impl Fn(usize) -> i64,
+    ) -> f64 {
+        let mut cdf_a = 0.0f64;
+        let mut cdf_b = 0.0f64;
+        let mut max_diff = 0.0f64;
+        for c in 0..n {
+            cdf_a += ca(c) as f64 / ta;
+            cdf_b += cb(c) as f64 / tb;
+            let d = (cdf_a - cdf_b).abs();
+            if d > max_diff {
+                max_diff = d;
+            }
+        }
+        max_diff.clamp(0.0, 1.0)
+    }
+    let n = a.len();
+    match (sub_a.is_empty(), sub_b.is_empty()) {
+        (true, true) => walk(ta, tb, n, |c| a[c], |c| b[c]),
+        (true, false) => walk(ta, tb, n, |c| a[c], |c| b[c] - sub_b[c]),
+        (false, true) => walk(ta, tb, n, |c| a[c] - sub_a[c], |c| b[c]),
+        (false, false) => walk(ta, tb, n, |c| a[c] - sub_a[c], |c| b[c] - sub_b[c]),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +405,51 @@ mod tests {
         assert_eq!(top.len(), 2);
         assert_eq!(top[0].0, Value::str("a")); // tie (2 vs 2) → value order
         assert_eq!(top[1].0, Value::str("b"));
+    }
+
+    #[test]
+    fn coded_hist_matches_value_hist_ks() {
+        let col = Column::from_floats("x", vec![1.0, -0.0, 0.0, 2.5, 1.0, -0.0]);
+        let out = Column::from_floats("x", vec![1.0, 2.5]);
+        let coded = CodedColumn::encode(&col);
+        // Code the output against the input's dictionary by value lookup
+        // (the pipeline derives these through provenance instead).
+        let code_of = |v: &Value| coded.decode().iter().position(|d| d == v).map(|c| c as u32);
+        let mut hb = CodedHist::new(coded.n_codes());
+        for v in out.iter() {
+            hb.add(code_of(&v).unwrap(), 1);
+        }
+        let ha = CodedHist::from_coded(&coded);
+        let want = ValueHist::from_column(&col).ks(&ValueHist::from_column(&out));
+        assert_eq!(ha.ks(&hb).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn coded_hist_subtraction() {
+        let col = Column::from_ints("x", vec![1, 1, 2, 3, 3, 3, 4]);
+        let coded = CodedColumn::encode(&col);
+        let h = CodedHist::from_coded(&coded);
+        let sub = CodedHist::from_coded_rows(&coded, &[0, 4]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(sub.total(), 2);
+        // Subtracting nothing on either side reproduces the plain KS.
+        let empty = CodedHist::new(coded.n_codes());
+        assert_eq!(h.ks_sub(&empty, &h, &empty).to_bits(), h.ks(&h).to_bits());
+        // Matches the boxed reference on the same subtraction.
+        let vh = ValueHist::from_column(&col);
+        let vsub = ValueHist::from_column_rows(&col, &[0, 4]);
+        let got = h.ks_sub(&sub, &h, &empty);
+        let want = vh.ks_sub(&vsub, &vh, &ValueHist::new());
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn coded_hist_skips_nulls() {
+        let c = Column::from_opt_ints("x", vec![Some(1), None, Some(1)]);
+        let coded = CodedColumn::encode(&c);
+        let h = CodedHist::from_coded(&coded);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.n_distinct(), 1);
     }
 
     #[test]

@@ -41,14 +41,15 @@ pub mod viz;
 pub use contribution::{standardized, ContributionComputer};
 pub use error::ExplainError;
 pub use explain::{render_all, to_json_array, CustomMeasure, Explanation, Fedex, FedexConfig};
-pub use hist::ValueHist;
+pub use hist::{ks_sub_counts, CodedHist, ValueHist};
 pub use interestingness::{
     score_all_columns, score_all_columns_with, score_column, InterestingnessKind, Sample,
 };
 pub use measures_ext::{Compactness, Surprisingness};
 pub use partition::{
-    build_partitions_for_attr, frequency_partition, many_to_one_partitions, numeric_partition,
-    PartitionKind, RowPartition, SetMeta, IGNORE,
+    build_partitions_for_attr, build_partitions_for_attr_coded, frequency_partition,
+    frequency_partition_coded, many_to_one_partitions, many_to_one_partitions_coded,
+    numeric_partition, numeric_partition_coded, PartitionKind, RowPartition, SetMeta, IGNORE,
 };
 pub use pipeline::{ExecutionMode, ExplainPipeline, PipelineContext, Stage, StageReport};
 pub use session::{Session, SessionEntry};

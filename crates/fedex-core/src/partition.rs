@@ -7,15 +7,21 @@
 //! memory-efficiency the partition is stored as a per-row assignment vector
 //! (`u32` set index; [`IGNORE`] marks the ignore-set) plus per-set metadata,
 //! rather than as materialized index lists.
+//!
+//! All three builders run entirely on the dense dictionary codes of
+//! [`fedex_frame::codec`] — value counting is an array scatter, the
+//! many-to-one check is a `u32 → u32` functional-dependency table, and the
+//! numeric equal-frequency bins are cut on the (already value-sorted)
+//! per-code counts. Boxed [`fedex_frame::Value`]s only appear in set
+//! labels. The
+//! `*_coded` variants take pre-encoded columns so the pipeline can encode
+//! each input once; the plain wrappers encode on the fly.
 
-use std::collections::HashMap;
-
-use fedex_frame::{DataFrame, Value};
-use fedex_stats::binning::equal_frequency_bins;
+use fedex_frame::{CodedColumn, CodedFrame, DataFrame, NULL_CODE};
+use fedex_stats::binning::{equal_frequency_cut, interval_label, value_tie_runs};
 use fedex_stats::sampling::uniform_sample_indices;
 
 use crate::error::ExplainError;
-use crate::hist::ValueHist;
 use crate::Result;
 
 /// Assignment code of the ignore-set `R̂`.
@@ -143,43 +149,71 @@ pub fn frequency_partition(
     attr: &str,
     n: usize,
 ) -> Result<Option<RowPartition>> {
-    let col = df.column(attr)?;
-    let hist = ValueHist::from_column(col);
-    if hist.total() == 0 || n == 0 {
-        return Ok(None);
-    }
-    let top = hist.top_n(n);
-    let code_of: HashMap<Value, u32> = top
-        .iter()
-        .enumerate()
-        .map(|(i, (v, _))| (v.clone(), i as u32))
-        .collect();
-    let mut assignment = Vec::with_capacity(col.len());
-    let mut ignore_size = 0usize;
-    for v in col.iter() {
-        match code_of.get(&v) {
-            Some(&c) => assignment.push(c),
-            None => {
-                assignment.push(IGNORE);
-                ignore_size += 1;
-            }
+    let coded = CodedColumn::encode(df.column(attr)?);
+    Ok(frequency_partition_coded(&coded, input_idx, attr, n))
+}
+
+/// [`frequency_partition`] over a pre-encoded column: per-code counting
+/// scatter, top-`n` by `(count desc, value asc)` (codes *are* value
+/// order), and a code → set remap — no `Value` on the hot path.
+pub fn frequency_partition_coded(
+    coded: &CodedColumn,
+    input_idx: usize,
+    attr: &str,
+    n: usize,
+) -> Option<RowPartition> {
+    let n_codes = coded.n_codes();
+    let mut counts = vec![0i64; n_codes];
+    let mut total = 0i64;
+    for &c in coded.codes() {
+        if c != NULL_CODE {
+            counts[c as usize] += 1;
+            total += 1;
         }
     }
-    let sets = top
-        .into_iter()
-        .map(|(v, c)| SetMeta {
-            label: v.to_string(),
-            size: c as usize,
-        })
-        .collect();
-    Ok(Some(RowPartition {
+    if total == 0 || n == 0 {
+        return None;
+    }
+    // Top-n codes: count descending, code (= value) ascending on ties —
+    // the exact ordering of `ValueHist::top_n`.
+    let mut order: Vec<u32> = (0..n_codes as u32).collect();
+    order.sort_by(|&a, &b| {
+        counts[b as usize]
+            .cmp(&counts[a as usize])
+            .then_with(|| a.cmp(&b))
+    });
+    order.truncate(n);
+
+    let mut set_of_code = vec![IGNORE; n_codes];
+    let mut sets = Vec::with_capacity(order.len());
+    for (s, &c) in order.iter().enumerate() {
+        set_of_code[c as usize] = s as u32;
+        sets.push(SetMeta {
+            label: coded.value(c).to_string(),
+            size: counts[c as usize] as usize,
+        });
+    }
+    let mut assignment = Vec::with_capacity(coded.len());
+    let mut ignore_size = 0usize;
+    for &c in coded.codes() {
+        let s = if c == NULL_CODE {
+            IGNORE
+        } else {
+            set_of_code[c as usize]
+        };
+        if s == IGNORE {
+            ignore_size += 1;
+        }
+        assignment.push(s);
+    }
+    Some(RowPartition {
         input_idx,
         attr: attr.to_string(),
         kind: PartitionKind::Frequency,
         sets,
         assignment,
         ignore_size,
-    }))
+    })
 }
 
 /// Numeric equal-frequency partition of `attr` into at most `n` interval
@@ -197,38 +231,93 @@ pub fn numeric_partition(
     if !col.dtype().is_numeric() {
         return Ok(None);
     }
-    let mut values: Vec<(usize, f64)> = Vec::with_capacity(col.len());
-    for (i, v) in col.iter().enumerate() {
-        if let Some(x) = v.as_f64() {
-            if !x.is_nan() {
-                values.push((i, x));
-            }
+    let coded = CodedColumn::encode(col);
+    Ok(numeric_partition_coded(&coded, input_idx, attr, n))
+}
+
+/// [`numeric_partition`] over a pre-encoded column. Returns `None` for
+/// non-numeric columns, like the wrapper.
+///
+/// Codes arrive in ascending value order, so the per-code counts form the
+/// value-tie runs directly (ties under `f64 ==` merge the `-0.0`/`+0.0`
+/// pair of adjacent codes) and the bin boundaries come from the same
+/// [`equal_frequency_cut`] that drives the row-sorted
+/// `equal_frequency_bins` — no rows are ever sorted, and the two surfaces
+/// cannot cut differently. Row assignment is then a code → bin scatter.
+pub fn numeric_partition_coded(
+    coded: &CodedColumn,
+    input_idx: usize,
+    attr: &str,
+    n: usize,
+) -> Option<RowPartition> {
+    let n_codes = coded.n_codes();
+    let mut counts = vec![0i64; n_codes];
+    for &c in coded.codes() {
+        if c != NULL_CODE {
+            counts[c as usize] += 1;
         }
     }
-    if values.is_empty() || n == 0 {
-        return Ok(None);
+    // Non-NaN codes in value order, with their f64 value and count.
+    // A non-numeric decode value (string column handed in directly) makes
+    // the whole partition inapplicable, mirroring the dtype check of
+    // [`numeric_partition`].
+    let mut kept: Vec<(u32, f64, usize)> = Vec::with_capacity(n_codes);
+    for c in 0..n_codes as u32 {
+        let x = coded.value(c).as_f64()?;
+        if !x.is_nan() && counts[c as usize] > 0 {
+            kept.push((c, x, counts[c as usize] as usize));
+        }
     }
-    let bins = equal_frequency_bins(&values, n);
-    let mut assignment = vec![IGNORE; col.len()];
-    let mut sets = Vec::with_capacity(bins.len());
-    for (s, bin) in bins.iter().enumerate() {
-        for &row in &bin.rows {
-            assignment[row] = s as u32;
+    if kept.is_empty() || n == 0 {
+        return None;
+    }
+
+    // Value-tie runs over the kept codes (codes arrive in value order, so
+    // the `-0.0`/`+0.0` pair — or integers collapsing under the f64
+    // widening — form contiguous runs), using the shared tie rule.
+    let (run_sizes, run_start) = value_tie_runs(kept.iter().map(|&(_, x, cnt)| (x, cnt)));
+
+    // The shared equal-frequency cut over the runs — the same boundary
+    // algorithm as the row-sorted `equal_frequency_bins`.
+    let mut bin_of_code = vec![IGNORE; n_codes];
+    let mut sets = Vec::new();
+    for (b, (first, last)) in equal_frequency_cut(&run_sizes, n).into_iter().enumerate() {
+        let start_idx = run_start[first];
+        let last_idx = if last + 1 < run_start.len() {
+            run_start[last + 1] - 1
+        } else {
+            kept.len() - 1
+        };
+        for k in start_idx..=last_idx {
+            bin_of_code[kept[k].0 as usize] = b as u32;
         }
         sets.push(SetMeta {
-            label: bin.label(),
-            size: bin.rows.len(),
+            label: interval_label(kept[start_idx].1, kept[last_idx].1),
+            size: run_sizes[first..=last].iter().sum(),
         });
     }
-    let ignore_size = assignment.iter().filter(|&&a| a == IGNORE).count();
-    Ok(Some(RowPartition {
+
+    let mut assignment = Vec::with_capacity(coded.len());
+    let mut ignore_size = 0usize;
+    for &c in coded.codes() {
+        let s = if c == NULL_CODE {
+            IGNORE
+        } else {
+            bin_of_code[c as usize]
+        };
+        if s == IGNORE {
+            ignore_size += 1;
+        }
+        assignment.push(s);
+    }
+    Some(RowPartition {
         input_idx,
         attr: attr.to_string(),
         kind: PartitionKind::NumericBins,
         sets,
         assignment,
         ignore_size,
-    }))
+    })
 }
 
 /// Mine attributes `B` that stand in a many-to-one relationship with
@@ -246,8 +335,25 @@ pub fn many_to_one_partitions(
     n: usize,
     seed: u64,
 ) -> Result<Vec<RowPartition>> {
-    let a_col = df.column(attr)?;
-    let n_rows = df.n_rows();
+    df.column(attr)?; // surface unknown-column errors like the coded path
+    let coded = CodedFrame::encode(df);
+    many_to_one_partitions_coded(&coded, input_idx, attr, n, seed)
+}
+
+/// [`many_to_one_partitions`] over a pre-encoded frame: the functional
+/// dependency check is a dense `u32 → u32` table over `A`'s codes — no
+/// `Value` clones, no hashing.
+pub fn many_to_one_partitions_coded(
+    coded: &CodedFrame,
+    input_idx: usize,
+    attr: &str,
+    n: usize,
+    seed: u64,
+) -> Result<Vec<RowPartition>> {
+    let a = coded
+        .column(attr)
+        .ok_or_else(|| ExplainError::UnknownColumn(attr.to_string()))?;
+    let n_rows = a.len();
     if n_rows == 0 {
         return Ok(Vec::new());
     }
@@ -255,22 +361,21 @@ pub fn many_to_one_partitions(
     let sample = uniform_sample_indices(n_rows, MINE_SAMPLE, seed);
 
     let mut out = Vec::new();
-    for b in df.columns() {
-        if b.name() == attr {
+    for (b_name, b) in coded.iter() {
+        if b_name == attr {
             continue;
         }
-        if !holds_many_to_one(a_col, b, &sample) {
+        if !holds_many_to_one_coded(a, b, Some(&sample)) {
             continue;
         }
         // Full verification.
-        let all: Vec<usize> = (0..n_rows).collect();
-        if !holds_many_to_one(a_col, b, &all) {
+        if !holds_many_to_one_coded(a, b, None) {
             continue;
         }
-        if let Some(mut p) = frequency_partition(df, input_idx, b.name(), n)? {
+        if let Some(mut p) = frequency_partition_coded(b, input_idx, b_name, n) {
             p.attr = attr.to_string();
             p.kind = PartitionKind::ManyToOne {
-                via: b.name().to_string(),
+                via: b_name.to_string(),
             };
             out.push(p);
         }
@@ -278,41 +383,74 @@ pub fn many_to_one_partitions(
     Ok(out)
 }
 
-/// Check Conditions 1–2 of §3.5 over the given rows: every `A` value maps
-/// to a single `B` value, and at least one `B` value covers two distinct
-/// `A` values. Rows where either side is null are skipped.
-fn holds_many_to_one(a: &fedex_frame::Column, b: &fedex_frame::Column, rows: &[usize]) -> bool {
-    let mut map: HashMap<Value, Value> = HashMap::new();
-    // Count distinct A per B value lazily: strictly-coarser holds iff
-    // #distinct(A) > #distinct(B-image).
-    for &i in rows {
-        let va = a.get(i);
-        let vb = b.get(i);
-        if va.is_null() || vb.is_null() {
-            continue;
+/// Check Conditions 1–2 of §3.5 over the given rows (`None` = all rows):
+/// every `A` value maps to a single `B` value, and at least one `B` value
+/// covers two distinct `A` values. Rows where either side is null are
+/// skipped.
+///
+/// On codes this is a plain functional-dependency table: `fd[a_code]`
+/// holds the unique `b_code` seen so far ([`NULL_CODE`] = unseen), and
+/// strictly-coarser holds iff `#distinct(A) > #distinct(B-image)`.
+fn holds_many_to_one_coded(a: &CodedColumn, b: &CodedColumn, rows: Option<&[usize]>) -> bool {
+    let mut fd = vec![NULL_CODE; a.n_codes()];
+    let a_codes = a.codes();
+    let b_codes = b.codes();
+    let mut consistent = true;
+    let mut visit = |i: usize| {
+        let ca = a_codes[i];
+        let cb = b_codes[i];
+        if ca == NULL_CODE || cb == NULL_CODE {
+            return true;
         }
-        match map.get(&va) {
-            Some(prev) => {
-                if *prev != vb {
-                    return false; // A value maps to two B values
+        let slot = &mut fd[ca as usize];
+        if *slot == NULL_CODE {
+            *slot = cb;
+            true
+        } else {
+            *slot == cb
+        }
+    };
+    match rows {
+        Some(rows) => {
+            for &i in rows {
+                if !visit(i) {
+                    consistent = false;
+                    break;
                 }
             }
-            None => {
-                map.insert(va, vb);
+        }
+        None => {
+            for i in 0..a_codes.len() {
+                if !visit(i) {
+                    consistent = false;
+                    break;
+                }
             }
         }
     }
-    if map.is_empty() {
+    if !consistent {
         return false;
     }
-    let distinct_a = map.len();
-    let distinct_b: std::collections::HashSet<&Value> = map.values().collect();
-    distinct_a > distinct_b.len()
+    let mut distinct_a = 0usize;
+    let mut b_seen = vec![false; b.n_codes()];
+    let mut distinct_b = 0usize;
+    for &cb in &fd {
+        if cb == NULL_CODE {
+            continue;
+        }
+        distinct_a += 1;
+        if !b_seen[cb as usize] {
+            b_seen[cb as usize] = true;
+            distinct_b += 1;
+        }
+    }
+    distinct_a > 0 && distinct_a > distinct_b
 }
 
 /// Build all partitions of `df` for one attribute: frequency, numeric bins
 /// (when applicable), and every many-to-one partition — for each requested
-/// set count.
+/// set count. Encodes the frame on the fly; the pipeline uses
+/// [`build_partitions_for_attr_coded`] with shared coded inputs instead.
 pub fn build_partitions_for_attr(
     df: &DataFrame,
     input_idx: usize,
@@ -320,15 +458,36 @@ pub fn build_partitions_for_attr(
     set_counts: &[usize],
     seed: u64,
 ) -> Result<Vec<RowPartition>> {
+    let coded = CodedFrame::encode(df);
+    build_partitions_for_attr_coded(df, &coded, input_idx, attr, set_counts, seed)
+}
+
+/// [`build_partitions_for_attr`] over a pre-encoded frame.
+pub fn build_partitions_for_attr_coded(
+    df: &DataFrame,
+    coded: &CodedFrame,
+    input_idx: usize,
+    attr: &str,
+    set_counts: &[usize],
+    seed: u64,
+) -> Result<Vec<RowPartition>> {
+    let col = df.column(attr)?;
+    let coded_col = coded
+        .column(attr)
+        .ok_or_else(|| ExplainError::UnknownColumn(attr.to_string()))?;
     let mut out = Vec::new();
     for &n in set_counts {
-        if let Some(p) = frequency_partition(df, input_idx, attr, n)? {
+        if let Some(p) = frequency_partition_coded(coded_col, input_idx, attr, n) {
             out.push(p);
         }
-        if let Some(p) = numeric_partition(df, input_idx, attr, n)? {
-            out.push(p);
+        if col.dtype().is_numeric() {
+            if let Some(p) = numeric_partition_coded(coded_col, input_idx, attr, n) {
+                out.push(p);
+            }
         }
-        out.extend(many_to_one_partitions(df, input_idx, attr, n, seed)?);
+        out.extend(many_to_one_partitions_coded(
+            coded, input_idx, attr, n, seed,
+        )?);
     }
     Ok(out)
 }

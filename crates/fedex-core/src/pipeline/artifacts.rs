@@ -5,7 +5,19 @@
 //! `ScoredColumns → Partitioned → Contributed → Ranked → Vec<Explanation>`
 //! is fully typed: a stage can only run after everything it needs exists.
 
+use std::sync::Arc;
+
+use fedex_frame::CodedFrame;
+
 use crate::partition::RowPartition;
+
+/// The coded input columns of one step (one [`CodedFrame`] per input
+/// dataframe), encoded once in the ScoreColumns stage and shared — via
+/// `Arc`, never cloned — with PartitionRows (partition mining on codes)
+/// and Contribute (histogram kernels on codes). An empty value means "not
+/// yet encoded"; downstream stages then encode what they need on demand,
+/// so hand-built artifacts keep working.
+pub type CodedInputs = Arc<Vec<CodedFrame>>;
 
 /// Output of the **ScoreColumns** stage: interestingness of every
 /// applicable output column (Algorithm 1, step 1).
@@ -18,6 +30,8 @@ pub struct ScoredColumns {
     /// The `top_k_columns` cut of `scores`: the columns for which
     /// contributions are computed (the greedy step-1 cut of §4.3).
     pub top: Vec<(String, f64)>,
+    /// Dictionary-coded views of the step's inputs, shared downstream.
+    pub coded: CodedInputs,
 }
 
 /// Output of the **Partition** stage: mined (and user-supplied) row

@@ -4,6 +4,9 @@
 //! knobs (custom measure, user partitions) live on the struct, while
 //! everything shared rides in the [`PipelineContext`].
 
+use std::sync::Arc;
+
+use fedex_frame::{CodedColumn, CodedFrame};
 use fedex_query::{ExploratoryStep, Operation, Provenance};
 use fedex_stats::descriptive::mean_and_std;
 
@@ -12,14 +15,52 @@ use crate::contribution::{standardized, ContributionComputer};
 use crate::error::ExplainError;
 use crate::explain::{CustomMeasure, Explanation};
 use crate::interestingness::{score_all_columns_with, InterestingnessKind};
-use crate::partition::{build_partitions_for_attr, PartitionKind, RowPartition, IGNORE};
+use crate::partition::{build_partitions_for_attr_coded, PartitionKind, RowPartition, IGNORE};
 use crate::skyline::{skyline_indices, weighted_score};
 use crate::viz::{Bar, Chart, ChartKind};
 use crate::Result;
 
-use super::artifacts::{Candidate, Contributed, Partitioned, Ranked, ScoredColumns};
-use super::par::try_par_map;
+use super::artifacts::{Candidate, CodedInputs, Contributed, Partitioned, Ranked, ScoredColumns};
+use super::par::{par_map, try_par_map, ExecutionMode};
 use super::{PipelineContext, Stage};
+
+/// Encode every input column of the step, data-parallel over
+/// `(input, column)` pairs. The result is shared (`Arc`) by every stage
+/// that consumes codes.
+pub(crate) fn encode_inputs(step: &ExploratoryStep, mode: ExecutionMode) -> CodedInputs {
+    let work: Vec<(usize, usize)> = step
+        .inputs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, df)| (0..df.columns().len()).map(move |c| (i, c)))
+        .collect();
+    let encoded = par_map(mode, &work, |&(i, c)| {
+        Arc::new(CodedColumn::encode(&step.inputs[i].columns()[c]))
+    });
+    let mut encoded = encoded.into_iter();
+    let frames = step
+        .inputs
+        .iter()
+        .map(|df| {
+            let names = df.columns().iter().map(|c| c.name().to_string()).collect();
+            let cols = (0..df.columns().len())
+                .map(|_| encoded.next().expect("one coded column per input column"))
+                .collect();
+            CodedFrame::from_parts(names, cols)
+        })
+        .collect();
+    Arc::new(frames)
+}
+
+/// The shared coded inputs, or a freshly-encoded set when the upstream
+/// artifact was built by hand (empty `coded`).
+fn ensure_coded(step: &ExploratoryStep, coded: &CodedInputs, mode: ExecutionMode) -> CodedInputs {
+    if coded.len() == step.inputs.len() {
+        coded.clone()
+    } else {
+        encode_inputs(step, mode)
+    }
+}
 
 // ================================================== 1. ScoreColumns ====
 
@@ -118,7 +159,10 @@ impl Stage for ScoreColumns<'_> {
             .take(ctx.config.top_k_columns.max(1))
             .cloned()
             .collect();
-        Ok(ScoredColumns { scores, top })
+        // Encode the inputs once, here, so PartitionRows and Contribute
+        // share one coded view of every column.
+        let coded = encode_inputs(step, ctx.mode());
+        Ok(ScoredColumns { scores, top, coded })
     }
 }
 
@@ -151,7 +195,7 @@ impl Stage for PartitionRows {
         "PartitionRows"
     }
 
-    fn run(&self, ctx: &PipelineContext<'_>, scored: ScoredColumns) -> Result<Partitioned> {
+    fn run(&self, ctx: &PipelineContext<'_>, mut scored: ScoredColumns) -> Result<Partitioned> {
         let step = ctx.step;
         let predicate_cols: Vec<&str> = match &step.op {
             Operation::Filter { predicate } => predicate.referenced_columns(),
@@ -173,9 +217,12 @@ impl Stage for PartitionRows {
             }
         }
 
+        let coded = ensure_coded(step, &scored.coded, ctx.mode());
+        scored.coded = coded.clone();
         let mined: Vec<Vec<RowPartition>> = try_par_map(ctx.mode(), &attrs, |(idx, attr)| {
-            build_partitions_for_attr(
+            build_partitions_for_attr_coded(
                 &step.inputs[*idx],
+                &coded[*idx],
                 *idx,
                 attr,
                 &ctx.config.set_counts,
@@ -277,7 +324,7 @@ impl Stage for Contribute<'_> {
 
     fn run(&self, ctx: &PipelineContext<'_>, input: Partitioned) -> Result<Contributed> {
         let Partitioned { scored, partitions } = input;
-        let computer = ContributionComputer::new(ctx.step, ctx.kind);
+        let computer = ContributionComputer::with_coded(ctx.step, ctx.kind, scored.coded.clone());
         let per_partition: Vec<Vec<(usize, usize, f64, f64)>> = match &self.contributor {
             Contributor::Incremental => try_par_map(ctx.mode(), &partitions, |p| {
                 candidates_of_partition(&scored.top, p, |column| computer.contributions(p, column))

@@ -1,0 +1,346 @@
+//! Dense dictionary codes for every column dtype — the storage side of the
+//! code-based kernel layer.
+//!
+//! # The code ⇄ value contract
+//!
+//! A [`CodedColumn`] is a per-row `Vec<u32>` of *dense* codes plus a decode
+//! table back to boxed [`Value`]s, built in one pass over the column:
+//!
+//! * codes are `0..n_codes`, one per **distinct non-null value** of the
+//!   column; [`NULL_CODE`] (`u32::MAX`) marks a null row;
+//! * codes are assigned in **ascending [`Value`] order**, so comparing two
+//!   codes as integers compares the underlying values exactly as
+//!   [`Value::cmp`] would — in particular, a walk over `0..n_codes` visits
+//!   values in the same order as the key walk of a `BTreeMap<Value, _>`.
+//!   Kernels (histograms, KS statistics, frequency partitions, functional
+//!   dependency checks) therefore never need to touch a `Value` on their
+//!   hot path; the decode table is only consulted for presentation
+//!   (labels, captions);
+//! * value distinctness follows `Value` equality, i.e. `f64::total_cmp`
+//!   for floats: `-0.0` and `+0.0` are **distinct** codes, and every NaN
+//!   bit pattern is its own code — exactly the keying of the boxed
+//!   `ValueHist` this layer replaces;
+//! * string columns reuse the [`StrColumn`] dictionary: encoding remaps
+//!   the existing intern codes through a sort of the (typically tiny)
+//!   dictionary, without hashing any row.
+//!
+//! A [`CodedFrame`] bundles the coded columns of one dataframe so a
+//! pipeline can encode each input **once** and share the result (`Arc`)
+//! across stages.
+
+use std::sync::Arc;
+
+use crate::column::{Column, ColumnData, NULL_CODE};
+use crate::frame::DataFrame;
+use crate::value::Value;
+
+/// A dictionary-coded view of one column: dense `u32` codes per row, in
+/// ascending value order, with a decode table back to [`Value`].
+#[derive(Debug, Clone)]
+pub struct CodedColumn {
+    codes: Vec<u32>,
+    decode: Vec<Value>,
+}
+
+impl CodedColumn {
+    /// Encode a column. One pass to collect distinct values, one sort of
+    /// the (distinct) dictionary, one pass to emit codes.
+    pub fn encode(col: &Column) -> CodedColumn {
+        match col.data() {
+            ColumnData::Bool(v) => encode_bools(v),
+            ColumnData::Int(v) => encode_ints(v),
+            ColumnData::Float(v) => encode_floats(v),
+            ColumnData::Str(s) => {
+                // Reuse the intern dictionary: mark referenced entries,
+                // sort them, remap the existing codes. No per-row hashing.
+                let dict = s.dict();
+                let mut used = vec![false; dict.len()];
+                for i in 0..s.len() {
+                    let c = s.code(i);
+                    if c != NULL_CODE {
+                        used[c as usize] = true;
+                    }
+                }
+                let mut present: Vec<u32> = (0..dict.len() as u32)
+                    .filter(|&c| used[c as usize])
+                    .collect();
+                present.sort_by(|&a, &b| dict[a as usize].cmp(&dict[b as usize]));
+                let mut remap = vec![NULL_CODE; dict.len()];
+                let mut decode = Vec::with_capacity(present.len());
+                for (new, &old) in present.iter().enumerate() {
+                    remap[old as usize] = new as u32;
+                    decode.push(Value::Str(dict[old as usize].clone()));
+                }
+                let codes = (0..s.len())
+                    .map(|i| {
+                        let c = s.code(i);
+                        if c == NULL_CODE {
+                            NULL_CODE
+                        } else {
+                            remap[c as usize]
+                        }
+                    })
+                    .collect();
+                CodedColumn { codes, decode }
+            }
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Per-row codes ([`NULL_CODE`] = null), in ascending value order.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Code of row `i`.
+    #[inline]
+    pub fn code(&self, i: usize) -> u32 {
+        self.codes[i]
+    }
+
+    /// Number of distinct non-null values (codes are `0..n_codes`).
+    pub fn n_codes(&self) -> usize {
+        self.decode.len()
+    }
+
+    /// Decode table: the distinct values in ascending [`Value`] order.
+    pub fn decode(&self) -> &[Value] {
+        &self.decode
+    }
+
+    /// The value behind one code (presentation only — kernels stay on
+    /// codes).
+    pub fn value(&self, code: u32) -> &Value {
+        &self.decode[code as usize]
+    }
+
+    /// Number of non-null rows.
+    pub fn n_non_null(&self) -> usize {
+        self.codes.iter().filter(|&&c| c != NULL_CODE).count()
+    }
+}
+
+fn encode_bools(v: &[Option<bool>]) -> CodedColumn {
+    let mut has = [false; 2];
+    for b in v.iter().flatten() {
+        has[*b as usize] = true;
+    }
+    // false < true in Value order.
+    let mut remap = [NULL_CODE; 2];
+    let mut decode = Vec::new();
+    for b in [false, true] {
+        if has[b as usize] {
+            remap[b as usize] = decode.len() as u32;
+            decode.push(Value::Bool(b));
+        }
+    }
+    let codes = v
+        .iter()
+        .map(|b| b.map_or(NULL_CODE, |b| remap[b as usize]))
+        .collect();
+    CodedColumn { codes, decode }
+}
+
+fn encode_ints(v: &[Option<i64>]) -> CodedColumn {
+    // Sort + dedup + per-row binary search: hashing 64-bit keys per row
+    // (SipHash) costs more than `log2(distinct)` branch-predicted
+    // comparisons on columns of any realistic cardinality.
+    let mut distinct: Vec<i64> = v.iter().flatten().copied().collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let codes = v
+        .iter()
+        .map(|x| {
+            x.map_or(NULL_CODE, |x| {
+                distinct.binary_search(&x).expect("value was collected") as u32
+            })
+        })
+        .collect();
+    let decode = distinct.into_iter().map(Value::Int).collect();
+    CodedColumn { codes, decode }
+}
+
+fn encode_floats(v: &[Option<f64>]) -> CodedColumn {
+    // Distinctness and order follow `f64::total_cmp` (the `Value::cmp`
+    // semantics): a total order in which equality is bit equality, so
+    // `-0.0`/`+0.0` and distinct NaN payloads stay distinct codes.
+    let mut distinct: Vec<f64> = v.iter().flatten().copied().collect();
+    distinct.sort_unstable_by(f64::total_cmp);
+    distinct.dedup_by(|a, b| a.total_cmp(b) == std::cmp::Ordering::Equal);
+    let codes = v
+        .iter()
+        .map(|x| {
+            x.map_or(NULL_CODE, |x| {
+                distinct
+                    .binary_search_by(|probe| probe.total_cmp(&x))
+                    .expect("value was collected") as u32
+            })
+        })
+        .collect();
+    let decode = distinct.into_iter().map(Value::Float).collect();
+    CodedColumn { codes, decode }
+}
+
+/// The coded columns of one dataframe, shareable across pipeline stages.
+#[derive(Debug, Clone, Default)]
+pub struct CodedFrame {
+    names: Vec<String>,
+    columns: Vec<Arc<CodedColumn>>,
+}
+
+impl CodedFrame {
+    /// Encode every column of `df`, in schema order.
+    pub fn encode(df: &DataFrame) -> CodedFrame {
+        let (names, columns) = df
+            .columns()
+            .iter()
+            .map(|c| (c.name().to_string(), Arc::new(CodedColumn::encode(c))))
+            .unzip();
+        CodedFrame { names, columns }
+    }
+
+    /// Assemble from pre-encoded columns (used by parallel encoders).
+    pub fn from_parts(names: Vec<String>, columns: Vec<Arc<CodedColumn>>) -> CodedFrame {
+        debug_assert_eq!(names.len(), columns.len());
+        CodedFrame { names, columns }
+    }
+
+    /// Number of columns.
+    pub fn n_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Coded column by name.
+    pub fn column(&self, name: &str) -> Option<&Arc<CodedColumn>> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| &self.columns[i])
+    }
+
+    /// Coded column by schema position.
+    pub fn column_at(&self, idx: usize) -> &Arc<CodedColumn> {
+        &self.columns[idx]
+    }
+
+    /// `(name, coded column)` pairs in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<CodedColumn>)> + '_ {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.columns.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(col: &Column) {
+        let coded = CodedColumn::encode(col);
+        assert_eq!(coded.len(), col.len());
+        // Codes decode back to the exact values; nulls map to NULL_CODE.
+        for i in 0..col.len() {
+            let v = col.get(i);
+            if v.is_null() {
+                assert_eq!(coded.code(i), NULL_CODE);
+            } else {
+                assert_eq!(coded.value(coded.code(i)), &v, "row {i}");
+            }
+        }
+        // Decode table strictly ascending in Value order → codes compare
+        // like values.
+        for w in coded.decode().windows(2) {
+            assert!(w[0] < w[1], "decode table must be strictly sorted");
+        }
+    }
+
+    #[test]
+    fn encode_ints_sorted_dense() {
+        let col = Column::from_opt_ints("x", vec![Some(5), Some(-1), None, Some(5), Some(3)]);
+        let coded = CodedColumn::encode(&col);
+        assert_eq!(coded.n_codes(), 3);
+        assert_eq!(coded.codes(), &[2, 0, NULL_CODE, 2, 1]);
+        assert_eq!(coded.value(0), &Value::Int(-1));
+        roundtrip(&col);
+    }
+
+    #[test]
+    fn encode_strings_reuses_dictionary() {
+        let col = Column::from_opt_strs("s", vec![Some("b"), None, Some("a"), Some("b")]);
+        let coded = CodedColumn::encode(&col);
+        assert_eq!(coded.codes(), &[1, NULL_CODE, 0, 1]);
+        assert_eq!(coded.value(0), &Value::str("a"));
+        roundtrip(&col);
+    }
+
+    #[test]
+    fn encode_floats_total_order() {
+        let col = Column::from_opt_floats(
+            "f",
+            vec![
+                Some(1.5),
+                Some(-0.0),
+                Some(0.0),
+                Some(f64::NAN),
+                None,
+                Some(-0.0),
+            ],
+        );
+        let coded = CodedColumn::encode(&col);
+        // -0.0 and +0.0 are distinct codes; NaN is its own code, sorted
+        // last by total_cmp.
+        assert_eq!(coded.n_codes(), 4);
+        assert_eq!(coded.code(1), 0); // -0.0
+        assert_eq!(coded.code(2), 1); // +0.0
+        assert_eq!(coded.code(0), 2); // 1.5
+        assert_eq!(coded.code(3), 3); // NaN
+        assert_eq!(coded.code(1), coded.code(5));
+        roundtrip(&col);
+    }
+
+    #[test]
+    fn encode_bools() {
+        let col = Column::new(
+            "b",
+            ColumnData::Bool(vec![Some(true), None, Some(false), Some(true)]),
+        );
+        let coded = CodedColumn::encode(&col);
+        assert_eq!(coded.codes(), &[1, NULL_CODE, 0, 1]);
+        roundtrip(&col);
+    }
+
+    #[test]
+    fn coded_frame_lookup() {
+        let df = DataFrame::new(vec![
+            Column::from_ints("x", vec![3, 1]),
+            Column::from_strs("s", vec!["b", "a"]),
+        ])
+        .unwrap();
+        let coded = CodedFrame::encode(&df);
+        assert_eq!(coded.n_columns(), 2);
+        assert_eq!(coded.column("x").unwrap().codes(), &[1, 0]);
+        assert_eq!(coded.column("s").unwrap().codes(), &[1, 0]);
+        assert!(coded.column("nope").is_none());
+    }
+
+    #[test]
+    fn empty_and_all_null_columns() {
+        let col = Column::from_opt_ints("x", vec![None, None]);
+        let coded = CodedColumn::encode(&col);
+        assert_eq!(coded.n_codes(), 0);
+        assert_eq!(coded.n_non_null(), 0);
+        assert_eq!(coded.codes(), &[NULL_CODE, NULL_CODE]);
+        let empty = Column::from_ints("x", vec![]);
+        assert!(CodedColumn::encode(&empty).is_empty());
+    }
+}

@@ -14,8 +14,9 @@ use crate::schema::DType;
 use crate::value::Value;
 use crate::Result;
 
-/// Sentinel code for a null entry in a [`StrColumn`].
-const NULL_CODE: u32 = u32::MAX;
+/// Sentinel code for a null entry in a [`StrColumn`] or a
+/// [`CodedColumn`](crate::codec::CodedColumn).
+pub const NULL_CODE: u32 = u32::MAX;
 
 /// Dictionary-encoded string column.
 ///

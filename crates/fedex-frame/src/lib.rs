@@ -23,6 +23,7 @@
 //! ```
 
 pub mod builder;
+pub mod codec;
 pub mod column;
 pub mod csv;
 pub mod error;
@@ -33,7 +34,8 @@ pub mod transform;
 pub mod value;
 
 pub use builder::DataFrameBuilder;
-pub use column::{Column, ColumnData, StrColumn};
+pub use codec::{CodedColumn, CodedFrame};
+pub use column::{Column, ColumnData, StrColumn, NULL_CODE};
 pub use csv::{read_csv, read_csv_str, write_csv, write_csv_string};
 pub use error::FrameError;
 pub use frame::DataFrame;

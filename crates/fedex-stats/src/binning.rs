@@ -18,8 +18,13 @@ pub struct Bin {
 impl Bin {
     /// Human-readable interval label, e.g. `"[1990, 1999]"`.
     pub fn label(&self) -> String {
-        format!("[{}, {}]", trim_float(self.lo), trim_float(self.hi))
+        interval_label(self.lo, self.hi)
     }
+}
+
+/// The `[lo, hi]` label format shared by every equal-frequency surface.
+pub fn interval_label(lo: f64, hi: f64) -> String {
+    format!("[{}, {}]", trim_float(lo), trim_float(hi))
 }
 
 fn trim_float(x: f64) -> String {
@@ -28,6 +33,84 @@ fn trim_float(x: f64) -> String {
     } else {
         format!("{x:.3}")
     }
+}
+
+/// Maximal runs of `==`-equal adjacent values — the tie rule of the
+/// equal-frequency cut, owned here so every binning surface shares it
+/// (`-0.0 == +0.0` merges entries that a total order keeps adjacent;
+/// NaNs never merge and must be filtered by the caller anyway).
+///
+/// `entries` is an ascending value sequence with a row count per entry
+/// (sorted rows use count 1; dictionary codes use their frequency).
+/// Returns `(run_sizes in rows, first entry index of each run)`.
+pub fn value_tie_runs(entries: impl Iterator<Item = (f64, usize)>) -> (Vec<usize>, Vec<usize>) {
+    let mut run_sizes: Vec<usize> = Vec::new();
+    let mut run_start: Vec<usize> = Vec::new();
+    let mut prev: Option<f64> = None;
+    for (i, (x, count)) in entries.enumerate() {
+        if prev != Some(x) {
+            run_start.push(i);
+            run_sizes.push(0);
+        }
+        *run_sizes.last_mut().expect("run exists") += count;
+        prev = Some(x);
+    }
+    (run_sizes, run_start)
+}
+
+/// The equal-frequency cut over *value-tie runs*: given the row count of
+/// each run (runs in ascending value order; a run is a maximal span of
+/// `==`-equal values), return each bin as an inclusive `(first_run,
+/// last_run)` index range.
+///
+/// This is the single source of truth for bin boundaries: ideal cut
+/// positions at multiples of `n / n_bins` (rounded), clamped to make
+/// every bin non-empty, then extended to the end of the run containing
+/// the cut so equal values never straddle a boundary. Both the row-sorted
+/// [`equal_frequency_bins`] and the dictionary-coded partition builder
+/// drive their binning through this function, so their boundaries cannot
+/// diverge.
+pub fn equal_frequency_cut(run_sizes: &[usize], n_bins: usize) -> Vec<(usize, usize)> {
+    let n: usize = run_sizes.iter().sum();
+    if n == 0 || n_bins == 0 {
+        return Vec::new();
+    }
+    // End position (cumulative row count) of each run.
+    let cum: Vec<usize> = run_sizes
+        .iter()
+        .scan(0usize, |acc, &s| {
+            *acc += s;
+            Some(*acc)
+        })
+        .collect();
+    let n_bins = n_bins.min(n);
+    let target = n as f64 / n_bins as f64;
+
+    let mut out = Vec::with_capacity(n_bins);
+    let mut start_pos = 0usize; // row position where the next bin starts
+    let mut start_run = 0usize;
+    for b in 0..n_bins {
+        if start_pos >= n {
+            break;
+        }
+        // Ideal end of this bin, then extended to the end of any value tie.
+        let mut end = if b + 1 == n_bins {
+            n
+        } else {
+            (((b + 1) as f64) * target).round() as usize
+        };
+        end = end.clamp(start_pos + 1, n);
+        // The run containing row position `end - 1`; its end is the
+        // smallest run boundary >= end.
+        let mut run = start_run;
+        while cum[run] < end {
+            run += 1;
+        }
+        out.push((start_run, run));
+        start_pos = cum[run];
+        start_run = run + 1;
+    }
+    out
 }
 
 /// Partition `values` (paired with their original row indices) into at most
@@ -44,35 +127,20 @@ pub fn equal_frequency_bins(values: &[(usize, f64)], n_bins: usize) -> Vec<Bin> 
     let mut sorted: Vec<(usize, f64)> = values.to_vec();
     sorted.sort_by(|a, b| a.1.total_cmp(&b.1));
 
-    let n = sorted.len();
-    let n_bins = n_bins.min(n);
-    let target = n as f64 / n_bins as f64;
+    let (run_sizes, run_start) = value_tie_runs(sorted.iter().map(|&(_, x)| (x, 1)));
 
-    let mut bins: Vec<Bin> = Vec::with_capacity(n_bins);
-    let mut start = 0usize;
-    for b in 0..n_bins {
-        if start >= n {
-            break;
-        }
-        // Ideal end of this bin, then extended to the end of any value tie.
-        let mut end = if b + 1 == n_bins {
-            n
-        } else {
-            (((b + 1) as f64) * target).round() as usize
-        };
-        end = end.clamp(start + 1, n);
-        while end < n && sorted[end].1 == sorted[end - 1].1 {
-            end += 1;
-        }
-        let rows: Vec<usize> = sorted[start..end].iter().map(|&(i, _)| i).collect();
-        bins.push(Bin {
-            lo: sorted[start].1,
-            hi: sorted[end - 1].1,
-            rows,
-        });
-        start = end;
-    }
-    bins
+    equal_frequency_cut(&run_sizes, n_bins)
+        .into_iter()
+        .map(|(first, last)| {
+            let start = run_start[first];
+            let end = run_start[last] + run_sizes[last];
+            Bin {
+                lo: sorted[start].1,
+                hi: sorted[end - 1].1,
+                rows: sorted[start..end].iter().map(|&(i, _)| i).collect(),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

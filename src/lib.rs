@@ -42,6 +42,6 @@ pub mod prelude {
     pub use fedex_core::{
         ExecutionMode, Explanation, Fedex, FedexConfig, InterestingnessKind, PartitionKind,
     };
-    pub use fedex_frame::{Column, DType, DataFrame, Value};
+    pub use fedex_frame::{CodedColumn, CodedFrame, Column, DType, DataFrame, Value};
     pub use fedex_query::{ExploratoryStep, Expr, Operation};
 }

@@ -1,0 +1,120 @@
+//! Golden explanation fixtures.
+//!
+//! These tests pin the *byte-identical* output of the explanation engine:
+//! every explanation field that feeds presentation — including the raw
+//! `f64` bit patterns of the scores — is serialized to a stable text form
+//! and compared against a fixture committed to the repository. Any kernel
+//! refactor (e.g. the code-based histogram layer) must leave these bytes
+//! unchanged.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test --test golden_fixtures`
+//! after an *intentional* output change, and review the diff.
+
+use std::fmt::Write as _;
+
+use fedex::core::{ExecutionMode, Fedex};
+use fedex::data::{build_workbench, DatasetScale, Workbench};
+use fedex::prelude::Explanation;
+use fedex::query::{parse_query, ExploratoryStep, Operation};
+
+const FIXTURE: &str = "tests/fixtures/golden_explanations.txt";
+
+fn workbench() -> Workbench {
+    build_workbench(&DatasetScale {
+        spotify_rows: 8_000,
+        bank_rows: 500,
+        product_rows: 100,
+        sales_rows: 1_000,
+        store_rows: 50,
+        seed: 42,
+    })
+}
+
+fn sql_step(wb: &Workbench, sql: &str) -> ExploratoryStep {
+    parse_query(sql).unwrap().to_step(&wb.catalog).unwrap()
+}
+
+/// Serialize explanations with exact float bits; one block per explanation.
+fn render(tag: &str, explanations: &[Explanation]) -> String {
+    let mut out = String::new();
+    writeln!(out, "== {tag} ({} explanations)", explanations.len()).unwrap();
+    for (i, e) in explanations.iter().enumerate() {
+        writeln!(out, "-- [{i}] column={}", e.column).unwrap();
+        writeln!(out, "   measure={}", e.measure.name()).unwrap();
+        writeln!(out, "   set={} attr={}", e.set_label, e.partition_attr).unwrap();
+        writeln!(out, "   kind={}", e.partition_kind.name()).unwrap();
+        writeln!(out, "   input={} rows={}", e.input_idx, e.set_rows.len()).unwrap();
+        writeln!(
+            out,
+            "   interestingness=0x{:016x}",
+            e.interestingness.to_bits()
+        )
+        .unwrap();
+        writeln!(out, "   contribution=0x{:016x}", e.contribution.to_bits()).unwrap();
+        writeln!(out, "   std=0x{:016x}", e.std_contribution.to_bits()).unwrap();
+        writeln!(out, "   score=0x{:016x}", e.score.to_bits()).unwrap();
+        writeln!(out, "   caption={}", e.caption).unwrap();
+    }
+    out
+}
+
+fn all_golden_output() -> String {
+    let wb = workbench();
+    let fedex = Fedex::new().with_execution(ExecutionMode::Serial);
+    let mut out = String::new();
+
+    for (tag, sql) in [
+        (
+            "filter/spotify",
+            "SELECT * FROM spotify WHERE popularity > 65;",
+        ),
+        (
+            "filter/bank",
+            "SELECT * FROM Bank WHERE Attrition_Flag != 'Existing Customer';",
+        ),
+        (
+            "groupby/spotify",
+            "SELECT mean(loudness) FROM spotify GROUP BY year;",
+        ),
+        (
+            "join/products-sales",
+            "SELECT * FROM products INNER JOIN sales ON products.item = sales.item;",
+        ),
+    ] {
+        let step = sql_step(&wb, sql);
+        let ex = fedex.explain(&step).unwrap();
+        out.push_str(&render(tag, &ex));
+    }
+
+    // Union is not in the SQL subset; build the step directly.
+    let head = wb.spotify.head(2_000);
+    let union = ExploratoryStep::run(vec![head, wb.spotify.clone()], Operation::Union).unwrap();
+    let ex = fedex.explain(&union).unwrap();
+    out.push_str(&render("union/spotify-head", &ex));
+
+    out
+}
+
+#[test]
+fn explanations_match_golden_fixture() {
+    let got = all_golden_output();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all("tests/fixtures").unwrap();
+        std::fs::write(FIXTURE, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing — run UPDATE_GOLDEN=1 cargo test --test golden_fixtures");
+    if got != want {
+        // Show the first diverging line for a readable failure.
+        for (ln, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            assert_eq!(g, w, "first divergence at fixture line {}", ln + 1);
+        }
+        assert_eq!(
+            got.lines().count(),
+            want.lines().count(),
+            "explanation output diverges from the golden fixture in length"
+        );
+        panic!("explanation output diverges from the golden fixture");
+    }
+}
