@@ -128,8 +128,8 @@ fn bench_contribution(c: &mut Criterion) {
     group.bench_function("naive-rerun/all-sets", |b| {
         b.iter(|| {
             for s in 0..partition.n_sets() {
-                let rows = partition.rows_of_set(s as u32);
-                cc.contribution_by_rerun(0, &rows, "decade")
+                let rows = partition.rows_by_set().rows_of(s as u32);
+                cc.contribution_by_rerun(0, rows, "decade")
                     .unwrap()
                     .unwrap();
             }

@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Prints one JSON object with the per-stage minimum over `reps`
-//! repetitions (default: 1M rows, 1 rep).
+//! repetitions (default: 1M rows, 1 rep), including any sub-phase
+//! timings a stage reports (ScoreColumns splits `encode` vs `score`).
 
 use fedex_core::{ExecutionMode, Fedex};
 use fedex_query::{ExploratoryStep, Expr, Operation};
@@ -28,7 +29,9 @@ fn main() {
     .expect("scale workload runs");
 
     let fedex = Fedex::new().with_execution(ExecutionMode::Serial);
-    let mut best: Vec<(String, u128, usize)> = Vec::new();
+    /// Per stage: name, min elapsed ns, items, per-sub-phase min ns.
+    type StageBest = (String, u128, usize, Vec<(String, u128)>);
+    let mut best: Vec<StageBest> = Vec::new();
     let mut total_best = u128::MAX;
     for _ in 0..reps.max(1) {
         let t0 = std::time::Instant::now();
@@ -38,11 +41,24 @@ fn main() {
         if best.is_empty() {
             best = trace
                 .iter()
-                .map(|r| (r.stage.to_string(), r.elapsed.as_nanos(), r.items))
+                .map(|r| {
+                    (
+                        r.stage.to_string(),
+                        r.elapsed.as_nanos(),
+                        r.items,
+                        r.sub
+                            .iter()
+                            .map(|(name, d)| (name.to_string(), d.as_nanos()))
+                            .collect(),
+                    )
+                })
                 .collect();
         } else {
             for (slot, r) in best.iter_mut().zip(&trace) {
                 slot.1 = slot.1.min(r.elapsed.as_nanos());
+                for (sub_slot, (_, d)) in slot.3.iter_mut().zip(&r.sub) {
+                    sub_slot.1 = sub_slot.1.min(d.as_nanos());
+                }
             }
         }
         eprintln!(
@@ -58,9 +74,23 @@ fn main() {
     println!("  \"reps\": {reps},");
     println!("  \"total_ns\": {total_best},");
     println!("  \"stages\": [");
-    for (i, (stage, ns, items)) in best.iter().enumerate() {
+    for (i, (stage, ns, items, sub)) in best.iter().enumerate() {
         let comma = if i + 1 == best.len() { "" } else { "," };
-        println!("    {{ \"stage\": \"{stage}\", \"min_ns\": {ns}, \"items\": {items} }}{comma}");
+        if sub.is_empty() {
+            println!(
+                "    {{ \"stage\": \"{stage}\", \"min_ns\": {ns}, \"items\": {items} }}{comma}"
+            );
+        } else {
+            let sub_json = sub
+                .iter()
+                .map(|(name, ns)| format!("{{ \"name\": \"{name}\", \"min_ns\": {ns} }}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!(
+                "    {{ \"stage\": \"{stage}\", \"min_ns\": {ns}, \"items\": {items}, \
+                 \"sub\": [{sub_json}] }}{comma}"
+            );
+        }
     }
     println!("  ]");
     println!("}}");

@@ -256,12 +256,27 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                         explanations_json,
                         stage_reports
                             .iter()
-                            .map(|r| format!(
-                                "{{\"stage\":\"{}\",\"micros\":{},\"items\":{}}}",
-                                r.stage,
-                                r.elapsed.as_micros(),
-                                r.items
-                            ))
+                            .map(|r| {
+                                let sub = r
+                                    .sub
+                                    .iter()
+                                    .map(|(name, d)| {
+                                        format!(
+                                            "{{\"name\":\"{}\",\"micros\":{}}}",
+                                            name,
+                                            d.as_micros()
+                                        )
+                                    })
+                                    .collect::<Vec<_>>()
+                                    .join(",");
+                                format!(
+                                    "{{\"stage\":\"{}\",\"micros\":{},\"items\":{},\"sub\":[{}]}}",
+                                    r.stage,
+                                    r.elapsed.as_micros(),
+                                    r.items,
+                                    sub
+                                )
+                            })
                             .collect::<Vec<_>>()
                             .join(",")
                     )

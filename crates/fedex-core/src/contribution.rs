@@ -19,27 +19,21 @@
 //! # The coded fast path
 //!
 //! Exceptionality contributions run entirely on the dense dictionary
-//! codes of [`fedex_frame::codec`]. For each measured column the computer
-//! builds one [`ExcKernel`] (cached across partitions): the coded source
-//! column, the output column's codes *derived through row provenance*
-//! (an output row's value equals its source row's value, so its code is a
-//! plain array gather — no value is ever re-hashed), and the base
-//! input/output [`CodedHist`]s with their KS statistic. Evaluating one
-//! partition is then a **single scatter pass over the rows**: codes are
-//! grouped by slot (counting sort), each slot's histogram is materialized
-//! into a reused dense scratch buffer, and the per-slot KS subtraction is
-//! one linear sweep in code order. One traversal per column, O(1) memory
-//! beyond the scratch, no boxed `Value` anywhere.
+//! codes of [`fedex_frame::codec`], through the per-column kernels of
+//! [`crate::kernel`]: one `ExcKernel` per measured column, cached in a
+//! shared [`ExcKernelCache`] — so the kernels the ScoreColumns stage
+//! built while scoring are reused here verbatim, and evaluating one
+//! partition is a single scatter pass over the rows (see the module docs
+//! of [`crate::kernel`]). No boxed `Value` anywhere.
 
-use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
-use fedex_frame::{CodedColumn, CodedFrame, DataFrame, NULL_CODE};
+use fedex_frame::{CodedFrame, DataFrame};
 use fedex_query::{AggFunc, ExploratoryStep, Operation, Provenance};
 use fedex_stats::descriptive::{coefficient_of_variation, mean_and_std};
 
-use crate::hist::{ks_sub_counts, CodedHist};
 use crate::interestingness::{score_column, InterestingnessKind, Sample};
+use crate::kernel::{self, ExcKernelCache};
 use crate::partition::{RowPartition, IGNORE};
 use crate::Result;
 
@@ -51,8 +45,9 @@ pub struct ContributionComputer<'a> {
     /// `None` makes each kernel encode its own source column on demand.
     coded_inputs: Option<Arc<Vec<CodedFrame>>>,
     /// Per-column exceptionality kernels, built once and shared across
-    /// partitions (and across the Contribute stage's worker threads).
-    kernels: RwLock<HashMap<String, Option<Arc<ExcKernel>>>>,
+    /// partitions, worker threads — and, via [`Self::with_shared`], with
+    /// the ScoreColumns stage that already built them while scoring.
+    kernels: Arc<ExcKernelCache>,
 }
 
 impl<'a> ContributionComputer<'a> {
@@ -62,7 +57,7 @@ impl<'a> ContributionComputer<'a> {
             step,
             kind,
             coded_inputs: None,
-            kernels: RwLock::new(HashMap::new()),
+            kernels: Arc::new(ExcKernelCache::default()),
         }
     }
 
@@ -74,11 +69,23 @@ impl<'a> ContributionComputer<'a> {
         kind: InterestingnessKind,
         coded: Arc<Vec<CodedFrame>>,
     ) -> Self {
+        Self::with_shared(step, kind, coded, Arc::new(ExcKernelCache::default()))
+    }
+
+    /// [`Self::with_coded`] additionally reusing a pre-populated kernel
+    /// cache — the pipeline hands over the kernels the ScoreColumns stage
+    /// built while scoring, so no base histogram is gathered twice.
+    pub fn with_shared(
+        step: &'a ExploratoryStep,
+        kind: InterestingnessKind,
+        coded: Arc<Vec<CodedFrame>>,
+        kernels: Arc<ExcKernelCache>,
+    ) -> Self {
         ContributionComputer {
             step,
             kind,
             coded_inputs: Some(coded),
-            kernels: RwLock::new(HashMap::new()),
+            kernels,
         }
     }
 
@@ -103,39 +110,18 @@ impl<'a> ContributionComputer<'a> {
     /// Number of contribution slots for a partition: its sets plus the
     /// ignore-set when non-empty.
     pub fn n_slots(partition: &RowPartition) -> usize {
-        partition.n_sets() + usize::from(partition.ignore_size > 0)
-    }
-
-    /// Map a row's assignment code to its slot index (ignore → last slot).
-    #[inline]
-    fn slot_of(partition: &RowPartition, code: u32) -> usize {
-        if code == IGNORE {
-            partition.n_sets()
-        } else {
-            code as usize
-        }
+        kernel::n_slots(partition)
     }
 
     // ------------------------------------------------ exceptionality ----
-
-    /// The coded kernel for `column`, built on first use and cached across
-    /// partitions; `None` when exceptionality does not apply.
-    fn kernel(&self, column: &str) -> Result<Option<Arc<ExcKernel>>> {
-        if let Some(k) = self.kernels.read().expect("kernel cache").get(column) {
-            return Ok(k.clone());
-        }
-        let built =
-            ExcKernel::build(self.step, column, self.coded_inputs.as_deref())?.map(Arc::new);
-        let mut cache = self.kernels.write().expect("kernel cache");
-        Ok(cache.entry(column.to_string()).or_insert(built).clone())
-    }
 
     fn exceptionality_contributions(
         &self,
         partition: &RowPartition,
         column: &str,
     ) -> Result<Option<Vec<f64>>> {
-        let Some(kernel) = self.kernel(column)? else {
+        let coded = self.coded_inputs.as_deref().map(Vec::as_slice);
+        let Some(kernel) = self.kernels.get_or_build(self.step, column, coded)? else {
             return Ok(None);
         };
         Ok(Some(kernel.contributions(self.step, partition)))
@@ -186,10 +172,10 @@ impl<'a> ContributionComputer<'a> {
         for (row, g) in group_of_row.iter().enumerate() {
             let Some(g) = g else { continue };
             let g = *g as usize;
-            let s = Self::slot_of(partition, partition.assignment[row]);
+            let s = kernel::slot_of(partition, partition.assignment[row]);
             rows[idx(s, g)] += 1;
             if let Some(c) = src_col {
-                if let Some(x) = c.get(row).as_f64() {
+                if let Some(x) = c.f64_at(row) {
                     let k = idx(s, g);
                     vcount[k] += 1;
                     vsum[k] += x;
@@ -226,7 +212,7 @@ impl<'a> ContributionComputer<'a> {
 
         // Group key values (for key-column diversity) come straight from
         // the output column.
-        let key_values: Vec<Option<f64>> = (0..n_groups).map(|g| out_col.get(g).as_f64()).collect();
+        let key_values: Vec<Option<f64>> = (0..n_groups).map(|g| out_col.f64_at(g)).collect();
 
         let needs_minmax = matches!(agg.map(|a| a.func), Some(AggFunc::Min) | Some(AggFunc::Max));
         let mut out = Vec::with_capacity(n_slots);
@@ -293,6 +279,7 @@ impl<'a> ContributionComputer<'a> {
         column: &str,
     ) -> Result<Option<Vec<f64>>> {
         let n_slots = Self::n_slots(partition);
+        let index = partition.rows_by_set();
         let mut out = Vec::with_capacity(n_slots);
         for s in 0..n_slots {
             let code = if s == partition.n_sets() {
@@ -300,13 +287,7 @@ impl<'a> ContributionComputer<'a> {
             } else {
                 s as u32
             };
-            let rows: Vec<usize> = partition
-                .assignment
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &a)| (a == code).then_some(i))
-                .collect();
-            match self.contribution_by_rerun(partition.input_idx, &rows, column)? {
+            match self.contribution_by_rerun(partition.input_idx, index.rows_of(code), column)? {
                 Some(c) => out.push(c),
                 None => return Ok(None),
             }
@@ -346,382 +327,6 @@ impl<'a> ContributionComputer<'a> {
         )?
         .unwrap_or(0.0);
         Ok(Some(base - reduced))
-    }
-}
-
-// ------------------------------------------- coded exceptionality ----
-
-/// Per-column state for incremental exceptionality: everything that does
-/// not depend on the partition, computed once and reused.
-enum ExcKernel {
-    /// Filter/join: the output column has a unique source input.
-    Sourced {
-        /// Input that sources the column.
-        src_idx: usize,
-        /// Coded source column (the shared code space).
-        coded_in: Arc<CodedColumn>,
-        /// Output column as codes in the source column's code space,
-        /// gathered through row provenance.
-        out_codes: Vec<u32>,
-        /// Histogram of the full source column.
-        base_in: CodedHist,
-        /// Histogram of the full output column.
-        base_out: CodedHist,
-        /// `KS(base_in, base_out)` — the step's interestingness.
-        base_i: f64,
-    },
-    /// Union: every input is compared against the stacked output; the
-    /// code space is the output column's.
-    Union {
-        /// Coded output column (owns the code space).
-        out_coded: CodedColumn,
-        /// Each input column's codes in the output code space, scattered
-        /// through `source_of_row` (a union output row *is* its input
-        /// row).
-        in_codes: Vec<Vec<u32>>,
-        /// Per-input base histograms.
-        in_hists: Vec<CodedHist>,
-        /// Histogram of the full output column.
-        base_out: CodedHist,
-        /// `max_i KS(in_hists[i], base_out)`.
-        base_i: f64,
-    },
-}
-
-impl ExcKernel {
-    /// Build the kernel for one column, or `None` when exceptionality does
-    /// not apply (group-by steps, columns without an input counterpart,
-    /// union columns missing from an input).
-    fn build(
-        step: &ExploratoryStep,
-        column: &str,
-        coded_inputs: Option<&Vec<CodedFrame>>,
-    ) -> Result<Option<ExcKernel>> {
-        match &step.op {
-            Operation::GroupBy { .. } => Ok(None),
-            Operation::Union => {
-                for input in &step.inputs {
-                    if !input.has_column(column) {
-                        return Ok(None);
-                    }
-                }
-                let out_coded = CodedColumn::encode(step.output.column(column)?);
-                let n_codes = out_coded.n_codes();
-                let Provenance::Union { source_of_row } = &step.provenance else {
-                    unreachable!("union step has union provenance")
-                };
-                let mut in_codes: Vec<Vec<u32>> = step
-                    .inputs
-                    .iter()
-                    .map(|df| vec![NULL_CODE; df.n_rows()])
-                    .collect();
-                for (out_row, &(src, src_row)) in source_of_row.iter().enumerate() {
-                    in_codes[src][src_row] = out_coded.code(out_row);
-                }
-                let in_hists: Vec<CodedHist> = in_codes
-                    .iter()
-                    .map(|codes| CodedHist::from_codes(codes, n_codes))
-                    .collect();
-                let base_out = CodedHist::from_coded(&out_coded);
-                let base_i = in_hists
-                    .iter()
-                    .map(|h| h.ks(&base_out))
-                    .fold(f64::NEG_INFINITY, f64::max);
-                Ok(Some(ExcKernel::Union {
-                    out_coded,
-                    in_codes,
-                    in_hists,
-                    base_out,
-                    base_i,
-                }))
-            }
-            _ => {
-                // Filter and join share one shape: the output column has a
-                // unique source input.
-                let Some((src_idx, src_col_name)) = step.source_of_output_column(column) else {
-                    return Ok(None);
-                };
-                let coded_in = match coded_inputs
-                    .and_then(|c| c.get(src_idx))
-                    .and_then(|f| f.column(&src_col_name))
-                {
-                    Some(shared) => shared.clone(),
-                    None => Arc::new(CodedColumn::encode(
-                        step.inputs[src_idx].column(&src_col_name)?,
-                    )),
-                };
-                // Output codes by provenance gather: an output row's value
-                // is its source row's value.
-                let src_rows: &[usize] = match &step.provenance {
-                    Provenance::Filter { kept } => kept,
-                    Provenance::Join {
-                        left_rows,
-                        right_rows,
-                    } => {
-                        if src_idx == 0 {
-                            left_rows
-                        } else {
-                            right_rows
-                        }
-                    }
-                    _ => unreachable!("filter/join provenance"),
-                };
-                let codes = coded_in.codes();
-                let out_codes: Vec<u32> = src_rows.iter().map(|&r| codes[r]).collect();
-                let base_in = CodedHist::from_coded(&coded_in);
-                let base_out = CodedHist::from_codes(&out_codes, coded_in.n_codes());
-                let base_i = base_in.ks(&base_out);
-                Ok(Some(ExcKernel::Sourced {
-                    src_idx,
-                    coded_in,
-                    out_codes,
-                    base_in,
-                    base_out,
-                    base_i,
-                }))
-            }
-        }
-    }
-
-    /// Per-slot contributions for one partition: a single scatter pass
-    /// groups input and output codes by slot, then each slot's KS
-    /// subtraction is one linear sweep over the shared code space using a
-    /// reused dense scratch buffer.
-    fn contributions(&self, step: &ExploratoryStep, partition: &RowPartition) -> Vec<f64> {
-        let n_slots = ContributionComputer::n_slots(partition);
-        let p_idx = partition.input_idx;
-        match self {
-            ExcKernel::Sourced {
-                src_idx,
-                coded_in,
-                out_codes,
-                base_in,
-                base_out,
-                base_i,
-            } => {
-                // Input-side subtractions apply only when the partition is
-                // over the same input that sources the column.
-                let sub_in = (p_idx == *src_idx).then(|| {
-                    SlotCodes::group(
-                        coded_in.codes().iter().enumerate().map(|(row, &c)| {
-                            (
-                                ContributionComputer::slot_of(partition, partition.assignment[row]),
-                                c,
-                            )
-                        }),
-                        n_slots,
-                    )
-                });
-                // Output-side subtractions: rows whose partition-side
-                // provenance lands in each set.
-                let p_rows: &[usize] = match &step.provenance {
-                    Provenance::Filter { kept } => {
-                        debug_assert_eq!(p_idx, 0);
-                        kept
-                    }
-                    Provenance::Join {
-                        left_rows,
-                        right_rows,
-                    } => {
-                        if p_idx == 0 {
-                            left_rows
-                        } else {
-                            right_rows
-                        }
-                    }
-                    _ => unreachable!("filter/join provenance"),
-                };
-                let sub_out = SlotCodes::group(
-                    out_codes.iter().enumerate().map(|(out_row, &c)| {
-                        (
-                            ContributionComputer::slot_of(
-                                partition,
-                                partition.assignment[p_rows[out_row]],
-                            ),
-                            c,
-                        )
-                    }),
-                    n_slots,
-                );
-
-                let n_codes = base_in.n_codes();
-                let mut scratch_in = Scratch::new(n_codes);
-                let mut scratch_out = Scratch::new(n_codes);
-                let mut out = Vec::with_capacity(n_slots);
-                for s in 0..n_slots {
-                    let in_total = match &sub_in {
-                        Some(g) => {
-                            scratch_in.fill(g.slot(s));
-                            g.total(s)
-                        }
-                        None => 0,
-                    };
-                    scratch_out.fill(sub_out.slot(s));
-                    let reduced = ks_sub_counts(
-                        base_in.counts(),
-                        if sub_in.is_some() {
-                            scratch_in.counts()
-                        } else {
-                            &[]
-                        },
-                        base_in.total() - in_total,
-                        base_out.counts(),
-                        scratch_out.counts(),
-                        base_out.total() - sub_out.total(s),
-                    );
-                    out.push(base_i - reduced);
-                    if let Some(g) = &sub_in {
-                        scratch_in.unfill(g.slot(s));
-                    }
-                    scratch_out.unfill(sub_out.slot(s));
-                }
-                out
-            }
-            ExcKernel::Union {
-                out_coded,
-                in_codes,
-                in_hists,
-                base_out,
-                base_i,
-            } => {
-                let sub_in = SlotCodes::group(
-                    in_codes[p_idx].iter().enumerate().map(|(row, &c)| {
-                        (
-                            ContributionComputer::slot_of(partition, partition.assignment[row]),
-                            c,
-                        )
-                    }),
-                    n_slots,
-                );
-                let Provenance::Union { source_of_row } = &step.provenance else {
-                    unreachable!("union step has union provenance")
-                };
-                let sub_out = SlotCodes::group(
-                    source_of_row
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, &(src, _))| src == p_idx)
-                        .map(|(out_row, &(_, src_row))| {
-                            (
-                                ContributionComputer::slot_of(
-                                    partition,
-                                    partition.assignment[src_row],
-                                ),
-                                out_coded.code(out_row),
-                            )
-                        }),
-                    n_slots,
-                );
-
-                let n_codes = base_out.n_codes();
-                let mut scratch_in = Scratch::new(n_codes);
-                let mut scratch_out = Scratch::new(n_codes);
-                let mut out = Vec::with_capacity(n_slots);
-                for s in 0..n_slots {
-                    scratch_in.fill(sub_in.slot(s));
-                    scratch_out.fill(sub_out.slot(s));
-                    let mut reduced_i = f64::NEG_INFINITY;
-                    for (i, h) in in_hists.iter().enumerate() {
-                        let (sub, sub_total) = if i == p_idx {
-                            (scratch_in.counts(), sub_in.total(s))
-                        } else {
-                            (&[] as &[i64], 0)
-                        };
-                        reduced_i = reduced_i.max(ks_sub_counts(
-                            h.counts(),
-                            sub,
-                            h.total() - sub_total,
-                            base_out.counts(),
-                            scratch_out.counts(),
-                            base_out.total() - sub_out.total(s),
-                        ));
-                    }
-                    out.push(base_i - reduced_i);
-                    scratch_in.unfill(sub_in.slot(s));
-                    scratch_out.unfill(sub_out.slot(s));
-                }
-                out
-            }
-        }
-    }
-}
-
-/// Codes grouped by slot via counting sort (CSR layout): `slot(s)` is the
-/// code multiset of slot `s`, `total(s)` its non-null cardinality.
-struct SlotCodes {
-    offsets: Vec<usize>,
-    codes: Vec<u32>,
-}
-
-impl SlotCodes {
-    /// Group `(slot, code)` pairs; [`NULL_CODE`] entries are dropped (null
-    /// values never enter a histogram). The iterator is consumed twice
-    /// conceptually — sizes then scatter — via buffering.
-    fn group(pairs: impl Iterator<Item = (usize, u32)>, n_slots: usize) -> SlotCodes {
-        let mut buffered: Vec<(u32, u32)> = Vec::new();
-        let mut sizes = vec![0usize; n_slots];
-        for (slot, code) in pairs {
-            if code != NULL_CODE {
-                sizes[slot] += 1;
-                buffered.push((slot as u32, code));
-            }
-        }
-        let mut offsets = Vec::with_capacity(n_slots + 1);
-        let mut acc = 0usize;
-        offsets.push(0);
-        for s in &sizes {
-            acc += s;
-            offsets.push(acc);
-        }
-        let mut cursor: Vec<usize> = offsets[..n_slots].to_vec();
-        let mut codes = vec![0u32; acc];
-        for (slot, code) in buffered {
-            let c = &mut cursor[slot as usize];
-            codes[*c] = code;
-            *c += 1;
-        }
-        SlotCodes { offsets, codes }
-    }
-
-    fn slot(&self, s: usize) -> &[u32] {
-        &self.codes[self.offsets[s]..self.offsets[s + 1]]
-    }
-
-    fn total(&self, s: usize) -> i64 {
-        (self.offsets[s + 1] - self.offsets[s]) as i64
-    }
-}
-
-/// A reusable dense count buffer: `fill` a slot's codes, read `counts`,
-/// then `unfill` the same slice — O(slot size) per slot instead of
-/// O(n_codes) re-zeroing, with one allocation for the whole partition.
-struct Scratch {
-    counts: Vec<i64>,
-}
-
-impl Scratch {
-    fn new(n_codes: usize) -> Scratch {
-        Scratch {
-            counts: vec![0; n_codes],
-        }
-    }
-
-    fn fill(&mut self, codes: &[u32]) {
-        for &c in codes {
-            self.counts[c as usize] += 1;
-        }
-    }
-
-    fn counts(&self) -> &[i64] {
-        &self.counts
-    }
-
-    /// Exact inverse of [`Scratch::fill`] on the same slice — restores the
-    /// all-zero state.
-    fn unfill(&mut self, codes: &[u32]) {
-        for &c in codes {
-            self.counts[c as usize] -= 1;
-        }
     }
 }
 
@@ -801,9 +406,9 @@ mod tests {
             .unwrap();
         let fast = cc.contributions(&p, "decade").unwrap().unwrap();
         for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
-            let rows = p.rows_of_set(s as u32);
+            let rows = p.rows_by_set().rows_of(s as u32);
             let c_slow = cc
-                .contribution_by_rerun(0, &rows, "decade")
+                .contribution_by_rerun(0, rows, "decade")
                 .unwrap()
                 .unwrap();
             assert!(
@@ -823,8 +428,8 @@ mod tests {
             .unwrap();
         let fast = cc.contributions(&p, "year").unwrap().unwrap();
         for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
-            let rows = p.rows_of_set(s as u32);
-            let c_slow = cc.contribution_by_rerun(0, &rows, "year").unwrap().unwrap();
+            let rows = p.rows_by_set().rows_of(s as u32);
+            let c_slow = cc.contribution_by_rerun(0, rows, "year").unwrap().unwrap();
             assert!((c_fast - c_slow).abs() < 1e-9);
         }
     }
@@ -869,9 +474,9 @@ mod tests {
             .expect("decade is many-to-one with year");
         let fast = cc.contributions(&p, "mean_loudness").unwrap().unwrap();
         for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
-            let rows = p.rows_of_set(s as u32);
+            let rows = p.rows_by_set().rows_of(s as u32);
             let c_slow = cc
-                .contribution_by_rerun(0, &rows, "mean_loudness")
+                .contribution_by_rerun(0, rows, "mean_loudness")
                 .unwrap()
                 .unwrap();
             assert!(
@@ -903,8 +508,8 @@ mod tests {
         for col in ["count", "sum_popularity", "min_loudness", "max_loudness"] {
             let fast = cc.contributions(&p, col).unwrap().unwrap();
             for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
-                let rows = p.rows_of_set(s as u32);
-                let c_slow = cc.contribution_by_rerun(0, &rows, col).unwrap().unwrap();
+                let rows = p.rows_by_set().rows_of(s as u32);
+                let c_slow = cc.contribution_by_rerun(0, rows, col).unwrap().unwrap();
                 assert!(
                     (c_fast - c_slow).abs() < 1e-9,
                     "{col} set {s}: fast {c_fast} vs rerun {c_slow}"
@@ -939,9 +544,9 @@ mod tests {
             .unwrap();
         let fast = cc.contributions(&p, "s_total").unwrap().unwrap();
         for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
-            let rows = p.rows_of_set(s as u32);
+            let rows = p.rows_by_set().rows_of(s as u32);
             let c_slow = cc
-                .contribution_by_rerun(0, &rows, "s_total")
+                .contribution_by_rerun(0, rows, "s_total")
                 .unwrap()
                 .unwrap();
             assert!((c_fast - c_slow).abs() < 1e-9);
@@ -953,11 +558,8 @@ mod tests {
             .unwrap();
         let fast = cc.contributions(&p, "p_cat").unwrap().unwrap();
         for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
-            let rows = p.rows_of_set(s as u32);
-            let c_slow = cc
-                .contribution_by_rerun(1, &rows, "p_cat")
-                .unwrap()
-                .unwrap();
+            let rows = p.rows_by_set().rows_of(s as u32);
+            let c_slow = cc.contribution_by_rerun(1, rows, "p_cat").unwrap().unwrap();
             assert!((c_fast - c_slow).abs() < 1e-9);
         }
     }
@@ -973,9 +575,9 @@ mod tests {
             .unwrap();
         let fast = cc.contributions(&p, "decade").unwrap().unwrap();
         for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
-            let rows = p.rows_of_set(s as u32);
+            let rows = p.rows_by_set().rows_of(s as u32);
             let c_slow = cc
-                .contribution_by_rerun(1, &rows, "decade")
+                .contribution_by_rerun(1, rows, "decade")
                 .unwrap()
                 .unwrap();
             assert!((c_fast - c_slow).abs() < 1e-9);
@@ -1071,9 +673,9 @@ mod tests {
             .unwrap();
         let fast = cc.contributions(&p, "mean_v").unwrap().unwrap();
         for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
-            let rows = p.rows_of_set(s as u32);
+            let rows = p.rows_by_set().rows_of(s as u32);
             let c_slow = cc
-                .contribution_by_rerun(0, &rows, "mean_v")
+                .contribution_by_rerun(0, rows, "mean_v")
                 .unwrap()
                 .unwrap();
             assert!((c_fast - c_slow).abs() < 1e-9, "set {s}");

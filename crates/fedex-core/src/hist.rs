@@ -178,9 +178,14 @@ impl CodedHist {
         }
     }
 
-    /// Histogram of all non-null rows of a coded column.
+    /// Histogram of all non-null rows of a coded column — O(distinct), not
+    /// O(rows): the per-code counts were fused into the encode pass
+    /// ([`CodedColumn::counts`]), so this is a plain copy.
     pub fn from_coded(col: &CodedColumn) -> Self {
-        Self::from_codes(col.codes(), col.n_codes())
+        CodedHist {
+            counts: col.counts().to_vec(),
+            total: col.n_non_null() as i64,
+        }
     }
 
     /// Histogram of a raw code sequence ([`NULL_CODE`] entries skipped).

@@ -7,12 +7,29 @@
 //! optimization of §3.7): the output side is restricted through row
 //! provenance to the rows *produced by* the sampled input rows, which is
 //! exactly `q` applied to the sample.
+//!
+//! Two implementations share this contract:
+//!
+//! * [`CodedScorer`] — the fast path used by the pipeline. Exceptionality
+//!   runs on the dense dictionary codes of [`fedex_frame::codec`] through
+//!   the shared [`ExcKernelCache`]: base histograms come straight from the
+//!   encode pass, masked and provenance-restricted histograms are code
+//!   scatter passes, and the KS statistic is one linear sweep in code
+//!   order ([`crate::hist::ks_sub_counts`]). No boxed
+//!   [`Value`] is touched.
+//! * [`score_column`] / [`score_all_columns`] — the boxed
+//!   [`ValueHist`]-based **reference implementation**, retained for
+//!   property tests and for callers without pre-encoded inputs. The two
+//!   paths walk distinct values in the same order and apply identical
+//!   floating-point operations, so they agree bit-for-bit (pinned by the
+//!   `coded_scoring` property tests).
 
-use fedex_frame::{Column, DataFrame, Value};
+use fedex_frame::{CodedFrame, Column, DataFrame, Value};
 use fedex_query::{AggFunc, Aggregate, ExploratoryStep, Operation, Provenance};
 use fedex_stats::descriptive::coefficient_of_variation;
 
 use crate::hist::ValueHist;
+use crate::kernel::ExcKernelCache;
 use crate::Result;
 
 /// Which interestingness measure to use for a step.
@@ -60,12 +77,19 @@ impl Sample {
         }
     }
 
+    /// Borrow input `idx`'s mask as a plain slice (`None` = all rows pass).
+    ///
+    /// Hot loops fetch the slice once and index it directly, instead of
+    /// re-resolving the nested `Option<Vec<bool>>` (two branches and a
+    /// bounds check on the outer vec) per row.
+    #[inline]
+    pub fn mask(&self, idx: usize) -> Option<&[bool]> {
+        self.input_masks.get(idx).and_then(|m| m.as_deref())
+    }
+
     /// True when input `idx` row `row` is in the sample.
     pub fn contains(&self, idx: usize, row: usize) -> bool {
-        match self.input_masks.get(idx).and_then(|m| m.as_ref()) {
-            Some(mask) => mask[row],
-            None => true,
-        }
+        self.mask(idx).is_none_or(|m| m[row])
     }
 
     /// True when no input is actually sampled.
@@ -75,7 +99,7 @@ impl Sample {
 }
 
 /// Histogram of a column restricted to rows where `mask` is true.
-fn hist_masked(col: &Column, mask: Option<&Vec<bool>>) -> ValueHist {
+fn hist_masked(col: &Column, mask: Option<&[bool]>) -> ValueHist {
     match mask {
         None => ValueHist::from_column(col),
         Some(m) => {
@@ -90,6 +114,48 @@ fn hist_masked(col: &Column, mask: Option<&Vec<bool>>) -> ValueHist {
     }
 }
 
+/// Visit every output row produced exclusively by sampled input rows —
+/// the provenance-side restriction of FEDEX-Sampling (§3.7). The single
+/// home of the per-provenance sampling rules: filter and join check the
+/// source row(s) against the input mask(s), union checks each row against
+/// its source input's mask, and group-by output rows are groups (not
+/// row-mapped), so all of them are visited.
+pub fn for_each_sampled_out_row(step: &ExploratoryStep, sample: &Sample, mut f: impl FnMut(usize)) {
+    match &step.provenance {
+        Provenance::Filter { kept } => match sample.mask(0) {
+            None => (0..kept.len()).for_each(f),
+            Some(m) => {
+                for (out_row, &in_row) in kept.iter().enumerate() {
+                    if m[in_row] {
+                        f(out_row);
+                    }
+                }
+            }
+        },
+        Provenance::Join {
+            left_rows,
+            right_rows,
+        } => {
+            let (ml, mr) = (sample.mask(0), sample.mask(1));
+            for out_row in 0..left_rows.len() {
+                if ml.is_none_or(|m| m[left_rows[out_row]])
+                    && mr.is_none_or(|m| m[right_rows[out_row]])
+                {
+                    f(out_row);
+                }
+            }
+        }
+        Provenance::Union { source_of_row } => {
+            for (out_row, &(src, src_row)) in source_of_row.iter().enumerate() {
+                if sample.contains(src, src_row) {
+                    f(out_row);
+                }
+            }
+        }
+        Provenance::GroupBy { .. } => (0..step.output.n_rows()).for_each(f),
+    }
+}
+
 /// Histogram of the output column restricted (through provenance) to the
 /// rows produced by sampled input rows.
 fn output_hist_sampled(step: &ExploratoryStep, column: &str, sample: &Sample) -> Result<ValueHist> {
@@ -98,47 +164,12 @@ fn output_hist_sampled(step: &ExploratoryStep, column: &str, sample: &Sample) ->
         return Ok(ValueHist::from_column(col));
     }
     let mut h = ValueHist::new();
-    match &step.provenance {
-        Provenance::Filter { kept } => {
-            for (out_row, &in_row) in kept.iter().enumerate() {
-                if sample.contains(0, in_row) {
-                    let v = col.get(out_row);
-                    if !v.is_null() {
-                        h.add(v, 1);
-                    }
-                }
-            }
+    for_each_sampled_out_row(step, sample, |out_row| {
+        let v = col.get(out_row);
+        if !v.is_null() {
+            h.add(v, 1);
         }
-        Provenance::Join {
-            left_rows,
-            right_rows,
-        } => {
-            for out_row in 0..col.len() {
-                if sample.contains(0, left_rows[out_row]) && sample.contains(1, right_rows[out_row])
-                {
-                    let v = col.get(out_row);
-                    if !v.is_null() {
-                        h.add(v, 1);
-                    }
-                }
-            }
-        }
-        Provenance::Union { source_of_row } => {
-            for (out_row, &(src_input, src_row)) in source_of_row.iter().enumerate() {
-                if sample.contains(src_input, src_row) {
-                    let v = col.get(out_row);
-                    if !v.is_null() {
-                        h.add(v, 1);
-                    }
-                }
-            }
-        }
-        Provenance::GroupBy { .. } => {
-            // Group-by output rows are groups, not provenance-mapped rows;
-            // exceptionality is not used for group-by.
-            return Ok(ValueHist::from_column(col));
-        }
-    }
+    });
     Ok(h)
 }
 
@@ -179,12 +210,12 @@ pub fn aggregate_over_rows(
         match (agg.func, src) {
             (AggFunc::Count, None) => count[g] += 1,
             (AggFunc::Count, Some(c)) => {
-                if !c.get(i).is_null() {
+                if !c.is_null_at(i) {
                     count[g] += 1;
                 }
             }
             (_, Some(c)) => {
-                if let Some(x) = c.get(i).as_f64() {
+                if let Some(x) = c.f64_at(i) {
                     count[g] += 1;
                     sum[g] += x;
                     if x < min[g] {
@@ -233,10 +264,13 @@ pub fn aggregate_over_rows(
     Ok(out)
 }
 
-/// Score `I_A(Q)` for one output column (Eq. 1 / Eq. 2). Returns `None`
-/// when the measure does not apply to the column (e.g. diversity of a
-/// non-numeric column, exceptionality of a column with no input
-/// counterpart).
+/// Score `I_A(Q)` for one output column (Eq. 1 / Eq. 2) through the boxed
+/// [`ValueHist`] **reference path**. Returns `None` when the measure does
+/// not apply to the column (e.g. diversity of a non-numeric column,
+/// exceptionality of a column with no input counterpart).
+///
+/// The pipeline scores through [`CodedScorer`] instead; the two agree
+/// bit-for-bit.
 pub fn score_column(
     step: &ExploratoryStep,
     column: &str,
@@ -262,10 +296,7 @@ fn score_exceptionality(
                 if !input.has_column(column) {
                     continue;
                 }
-                let in_hist = hist_masked(
-                    input.column(column)?,
-                    sample.input_masks.get(idx).and_then(|m| m.as_ref()),
-                );
+                let in_hist = hist_masked(input.column(column)?, sample.mask(idx));
                 let ks = in_hist.ks(&out_hist);
                 best = Some(best.map_or(ks, |b: f64| b.max(ks)));
             }
@@ -278,7 +309,7 @@ fn score_exceptionality(
             };
             let in_hist = hist_masked(
                 step.inputs[input_idx].column(&src_col)?,
-                sample.input_masks.get(input_idx).and_then(|m| m.as_ref()),
+                sample.mask(input_idx),
             );
             let out_hist = output_hist_sampled(step, column, sample)?;
             Ok(Some(in_hist.ks(&out_hist)))
@@ -299,9 +330,10 @@ fn score_diversity(step: &ExploratoryStep, column: &str, sample: &Sample) -> Res
     {
         if let Some(agg) = aggregate_of_column(&step.op, column) {
             if !sample.is_full() {
+                let mask = sample.mask(0);
                 let vals =
                     aggregate_over_rows(&step.inputs[0], group_of_row, *n_groups, agg, &|i| {
-                        sample.contains(0, i)
+                        mask.is_none_or(|m| m[i])
                     })?;
                 let xs: Vec<f64> = vals.into_iter().flatten().collect();
                 return Ok(coefficient_of_variation(&xs));
@@ -312,18 +344,78 @@ fn score_diversity(step: &ExploratoryStep, column: &str, sample: &Sample) -> Res
     if !col.dtype().is_numeric() {
         return Ok(None);
     }
-    let xs: Vec<f64> = match (&step.provenance, sample.is_full()) {
-        (_, true) => col.numeric_values(),
-        // Non-aggregate columns of a sampled step: use all output values
-        // (group keys are cheap and sampling them would drop groups
-        // arbitrarily).
-        _ => col.numeric_values(),
-    };
-    Ok(coefficient_of_variation(&xs))
+    // Non-aggregate columns of a sampled step use all output values
+    // (group keys are cheap and sampling them would drop groups
+    // arbitrarily).
+    Ok(coefficient_of_variation(&col.numeric_values()))
+}
+
+/// The coded interestingness fast path over pre-encoded inputs.
+///
+/// Exceptionality consumes the [`ExcKernelCache`]: kernels (shared with
+/// the Contribute stage) hold the base coded histograms, and sampled
+/// scoring reduces to masked code-scatter passes plus one linear KS sweep.
+/// Diversity delegates to the shared coefficient-of-variation path (its
+/// hot loop aggregates through the typed, unboxed column accessors).
+/// Results are bit-identical to [`score_column`].
+pub struct CodedScorer<'a> {
+    step: &'a ExploratoryStep,
+    coded: &'a [CodedFrame],
+    kernels: &'a ExcKernelCache,
+}
+
+impl<'a> CodedScorer<'a> {
+    /// A scorer over `step` with its pre-encoded inputs and a (possibly
+    /// shared, possibly empty) kernel cache.
+    pub fn new(
+        step: &'a ExploratoryStep,
+        coded: &'a [CodedFrame],
+        kernels: &'a ExcKernelCache,
+    ) -> Self {
+        CodedScorer {
+            step,
+            coded,
+            kernels,
+        }
+    }
+
+    /// Score one output column; same applicability contract as
+    /// [`score_column`].
+    pub fn score(
+        &self,
+        column: &str,
+        kind: InterestingnessKind,
+        sample: &Sample,
+    ) -> Result<Option<f64>> {
+        match kind {
+            InterestingnessKind::Diversity => score_diversity(self.step, column, sample),
+            InterestingnessKind::Exceptionality => {
+                let Some(kernel) =
+                    self.kernels
+                        .get_or_build(self.step, column, Some(self.coded))?
+                else {
+                    // A union column absent from *some* input has no kernel
+                    // (contribution needs every input), but the score is
+                    // still defined as the max over the inputs that carry
+                    // the column — keep the boxed reference semantics.
+                    if matches!(self.step.op, Operation::Union) {
+                        return score_exceptionality(self.step, column, sample);
+                    }
+                    return Ok(None);
+                };
+                Ok(Some(if sample.is_full() {
+                    kernel.base_score()
+                } else {
+                    kernel.sampled_score(self.step, sample)
+                }))
+            }
+        }
+    }
 }
 
 /// Score every output column of the step, returning `(column, score)` in
-/// output-schema order, skipping inapplicable columns.
+/// output-schema order, skipping inapplicable columns — boxed reference
+/// path.
 pub fn score_all_columns(
     step: &ExploratoryStep,
     kind: InterestingnessKind,
@@ -333,31 +425,60 @@ pub fn score_all_columns(
 }
 
 /// [`score_all_columns`] scheduled under an explicit [`ExecutionMode`] —
-/// the kernel behind the pipeline's ScoreColumns stage (columns are
-/// scored independently, so the map parallelizes per column).
+/// columns are scored independently, so the map parallelizes per column.
+///
+/// [`ExecutionMode`]: crate::pipeline::ExecutionMode
 pub fn score_all_columns_with(
     step: &ExploratoryStep,
     kind: InterestingnessKind,
     sample: &Sample,
     mode: crate::pipeline::ExecutionMode,
 ) -> Result<Vec<(String, f64)>> {
-    let fields: Vec<String> = step
-        .output
+    let fields = output_fields(step);
+    let per_column =
+        crate::pipeline::try_par_map(mode, &fields, |name| score_column(step, name, kind, sample))?;
+    Ok(collect_scores(fields, per_column))
+}
+
+/// [`score_all_columns_with`] on the coded fast path — the kernel behind
+/// the pipeline's ScoreColumns stage. `coded` are the step's pre-encoded
+/// inputs; kernels built for scoring land in `kernels`, ready for reuse by
+/// the Contribute stage.
+pub fn score_all_columns_coded(
+    step: &ExploratoryStep,
+    coded: &[CodedFrame],
+    kernels: &ExcKernelCache,
+    kind: InterestingnessKind,
+    sample: &Sample,
+    mode: crate::pipeline::ExecutionMode,
+) -> Result<Vec<(String, f64)>> {
+    let fields = output_fields(step);
+    let scorer = CodedScorer::new(step, coded, kernels);
+    let per_column =
+        crate::pipeline::try_par_map(mode, &fields, |name| scorer.score(name, kind, sample))?;
+    Ok(collect_scores(fields, per_column))
+}
+
+/// Output column names in schema order.
+fn output_fields(step: &ExploratoryStep) -> Vec<String> {
+    step.output
         .schema()
         .fields()
         .iter()
         .map(|f| f.name.clone())
-        .collect();
-    let per_column =
-        crate::pipeline::try_par_map(mode, &fields, |name| score_column(step, name, kind, sample))?;
-    Ok(fields
+        .collect()
+}
+
+/// Pair columns with their finite scores, dropping inapplicable ones.
+fn collect_scores(fields: Vec<String>, per_column: Vec<Option<f64>>) -> Vec<(String, f64)> {
+    fields
         .into_iter()
         .zip(per_column)
         .filter_map(|(name, s)| match s {
             Some(v) if v.is_finite() => Some((name, v)),
             _ => None,
         })
-        .collect())
+        .collect()
 }
 
 /// Dispatch on [`Value`] for test helpers (re-exported for the bench crate).
@@ -560,6 +681,52 @@ mod tests {
             (exact - approx).abs() < 0.2,
             "exact {exact} vs approx {approx}"
         );
+    }
+
+    /// An all-true mask is not `is_full()`, so it exercises the whole
+    /// sampled machinery (masked histograms, provenance restriction) —
+    /// which must then agree with full scoring to the bit, on both the
+    /// boxed reference and the coded fast path.
+    #[test]
+    fn all_true_mask_equals_full_scoring() {
+        for op in [
+            Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
+            Operation::group_by(vec!["decade"], vec![Aggregate::mean("loudness")]),
+        ] {
+            let step = ExploratoryStep::run(vec![spotify_like()], op).unwrap();
+            let full = Sample::full(1);
+            let all_true = Sample {
+                input_masks: vec![Some(vec![true; 20])],
+            };
+            assert!(!all_true.is_full());
+            let coded = vec![CodedFrame::encode(&step.inputs[0])];
+            let kernels = ExcKernelCache::default();
+            let scorer = CodedScorer::new(&step, &coded, &kernels);
+            for kind in [
+                InterestingnessKind::Exceptionality,
+                InterestingnessKind::Diversity,
+            ] {
+                for field in step.output.schema().fields() {
+                    let exact = score_column(&step, &field.name, kind, &full).unwrap();
+                    let boxed = score_column(&step, &field.name, kind, &all_true).unwrap();
+                    let coded_s = scorer.score(&field.name, kind, &all_true).unwrap();
+                    assert_eq!(
+                        exact.map(f64::to_bits),
+                        boxed.map(f64::to_bits),
+                        "boxed {} {:?}",
+                        field.name,
+                        kind
+                    );
+                    assert_eq!(
+                        exact.map(f64::to_bits),
+                        coded_s.map(f64::to_bits),
+                        "coded {} {:?}",
+                        field.name,
+                        kind
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod error;
 pub mod explain;
 pub mod hist;
 pub mod interestingness;
+pub mod kernel;
 pub mod measures_ext;
 pub mod partition;
 pub mod pipeline;
@@ -43,13 +44,16 @@ pub use error::ExplainError;
 pub use explain::{render_all, to_json_array, CustomMeasure, Explanation, Fedex, FedexConfig};
 pub use hist::{ks_sub_counts, CodedHist, ValueHist};
 pub use interestingness::{
-    score_all_columns, score_all_columns_with, score_column, InterestingnessKind, Sample,
+    for_each_sampled_out_row, score_all_columns, score_all_columns_coded, score_all_columns_with,
+    score_column, CodedScorer, InterestingnessKind, Sample,
 };
+pub use kernel::ExcKernelCache;
 pub use measures_ext::{Compactness, Surprisingness};
 pub use partition::{
     build_partitions_for_attr, build_partitions_for_attr_coded, frequency_partition,
     frequency_partition_coded, many_to_one_partitions, many_to_one_partitions_coded,
-    numeric_partition, numeric_partition_coded, PartitionKind, RowPartition, SetMeta, IGNORE,
+    numeric_partition, numeric_partition_coded, PartitionKind, RowPartition, RowSetIndex, SetMeta,
+    IGNORE,
 };
 pub use pipeline::{ExecutionMode, ExplainPipeline, PipelineContext, Stage, StageReport};
 pub use session::{Session, SessionEntry};

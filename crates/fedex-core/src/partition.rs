@@ -8,6 +8,12 @@
 //! (`u32` set index; [`IGNORE`] marks the ignore-set) plus per-set metadata,
 //! rather than as materialized index lists.
 //!
+//! Row lookups go through [`RowPartition::rows_by_set`], a CSR-style
+//! index (`offsets`/`rows` arrays) built lazily by one counting-sort pass
+//! over the assignment — consumers that need the rows of several sets (the
+//! Present stage, drill-downs, rerun baselines) slice it instead of
+//! re-scanning the full assignment per set.
+//!
 //! All three builders run entirely on the dense dictionary codes of
 //! [`fedex_frame::codec`] — value counting is an array scatter, the
 //! many-to-one check is a `u32 → u32` functional-dependency table, and the
@@ -16,6 +22,8 @@
 //! labels. The
 //! `*_coded` variants take pre-encoded columns so the pipeline can encode
 //! each input once; the plain wrappers encode on the fly.
+
+use std::sync::OnceLock;
 
 use fedex_frame::{CodedColumn, CodedFrame, DataFrame, NULL_CODE};
 use fedex_stats::binning::{equal_frequency_cut, interval_label, value_tie_runs};
@@ -63,6 +71,75 @@ pub struct SetMeta {
     pub size: usize,
 }
 
+/// CSR row index of one partition: all row indices, grouped by set.
+///
+/// `rows_of(s)` is the ascending row list of set `s` as a slice —
+/// `offsets` bounds each set's segment of the flat `rows` array. The
+/// ignore-set occupies the last segment. Built by a single counting-sort
+/// pass over the assignment.
+#[derive(Debug, Clone, Default)]
+pub struct RowSetIndex {
+    offsets: Vec<usize>,
+    rows: Vec<usize>,
+    n_sets: usize,
+}
+
+impl RowSetIndex {
+    /// Build the index: one counting pass for segment sizes, one scatter
+    /// pass to place each row — O(rows + sets) total.
+    pub fn build(assignment: &[u32], n_sets: usize) -> RowSetIndex {
+        let n_slots = n_sets + 1; // ignore-set last
+        let slot = |a: u32| -> usize {
+            if (a as usize) < n_sets {
+                a as usize
+            } else {
+                n_sets
+            }
+        };
+        let mut sizes = vec![0usize; n_slots];
+        for &a in assignment {
+            sizes[slot(a)] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n_slots + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for s in &sizes {
+            acc += s;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<usize> = offsets[..n_slots].to_vec();
+        let mut rows = vec![0usize; assignment.len()];
+        for (i, &a) in assignment.iter().enumerate() {
+            let c = &mut cursor[slot(a)];
+            rows[*c] = i;
+            *c += 1;
+        }
+        RowSetIndex {
+            offsets,
+            rows,
+            n_sets,
+        }
+    }
+
+    /// The rows of set `s`, ascending. [`IGNORE`] selects the ignore-set;
+    /// any other out-of-range code yields an empty slice.
+    pub fn rows_of(&self, s: u32) -> &[usize] {
+        let slot = if s == IGNORE {
+            self.n_sets
+        } else if (s as usize) < self.n_sets {
+            s as usize
+        } else {
+            return &[];
+        };
+        &self.rows[self.offsets[slot]..self.offsets[slot + 1]]
+    }
+
+    /// The rows of the ignore-set, ascending.
+    pub fn ignore_rows(&self) -> &[usize] {
+        &self.rows[self.offsets[self.n_sets]..]
+    }
+}
+
 /// A partition of one input dataframe into disjoint sets-of-rows.
 #[derive(Debug, Clone)]
 pub struct RowPartition {
@@ -78,12 +155,46 @@ pub struct RowPartition {
     pub assignment: Vec<u32>,
     /// Number of rows in the ignore-set.
     pub ignore_size: usize,
+    /// Lazily-built CSR index over `assignment`
+    /// (see [`RowPartition::rows_by_set`]).
+    index: OnceLock<RowSetIndex>,
 }
 
 impl RowPartition {
+    /// Assemble a partition from its parts (Def. 3.8 invariants are *not*
+    /// checked here — call [`RowPartition::validate`]).
+    pub fn new(
+        input_idx: usize,
+        attr: impl Into<String>,
+        kind: PartitionKind,
+        sets: Vec<SetMeta>,
+        assignment: Vec<u32>,
+        ignore_size: usize,
+    ) -> RowPartition {
+        RowPartition {
+            input_idx,
+            attr: attr.into(),
+            kind,
+            sets,
+            assignment,
+            ignore_size,
+            index: OnceLock::new(),
+        }
+    }
+
     /// Number of candidate sets (excluding the ignore-set).
     pub fn n_sets(&self) -> usize {
         self.sets.len()
+    }
+
+    /// The CSR rows-by-set index, built on first use by one counting-sort
+    /// pass and cached. All production row lookups go through slices of
+    /// this index; the per-set scan [`RowPartition::rows_of_set`] is kept
+    /// as the reference. Callers that mutate `assignment` after the index
+    /// was built must rebuild the partition.
+    pub fn rows_by_set(&self) -> &RowSetIndex {
+        self.index
+            .get_or_init(|| RowSetIndex::build(&self.assignment, self.n_sets()))
     }
 
     /// The column whose values *define* the row assignment: `via` for a
@@ -98,8 +209,9 @@ impl RowPartition {
         }
     }
 
-    /// Materialize the row indices of set `s` (for presentation or
-    /// drill-down; the explanation pipeline works off `assignment`).
+    /// Materialize the row indices of set `s` by a full assignment scan —
+    /// the O(rows) *reference* for [`RowPartition::rows_by_set`], which
+    /// hot paths use instead.
     pub fn rows_of_set(&self, s: u32) -> Vec<usize> {
         self.assignment
             .iter()
@@ -163,15 +275,9 @@ pub fn frequency_partition_coded(
     n: usize,
 ) -> Option<RowPartition> {
     let n_codes = coded.n_codes();
-    let mut counts = vec![0i64; n_codes];
-    let mut total = 0i64;
-    for &c in coded.codes() {
-        if c != NULL_CODE {
-            counts[c as usize] += 1;
-            total += 1;
-        }
-    }
-    if total == 0 || n == 0 {
+    // The per-code counts were fused into the encode pass — no row scan.
+    let counts = coded.counts();
+    if coded.n_non_null() == 0 || n == 0 {
         return None;
     }
     // Top-n codes: count descending, code (= value) ascending on ties —
@@ -206,14 +312,14 @@ pub fn frequency_partition_coded(
         }
         assignment.push(s);
     }
-    Some(RowPartition {
+    Some(RowPartition::new(
         input_idx,
-        attr: attr.to_string(),
-        kind: PartitionKind::Frequency,
+        attr,
+        PartitionKind::Frequency,
         sets,
         assignment,
         ignore_size,
-    })
+    ))
 }
 
 /// Numeric equal-frequency partition of `attr` into at most `n` interval
@@ -251,12 +357,7 @@ pub fn numeric_partition_coded(
     n: usize,
 ) -> Option<RowPartition> {
     let n_codes = coded.n_codes();
-    let mut counts = vec![0i64; n_codes];
-    for &c in coded.codes() {
-        if c != NULL_CODE {
-            counts[c as usize] += 1;
-        }
-    }
+    let counts = coded.counts();
     // Non-NaN codes in value order, with their f64 value and count.
     // A non-numeric decode value (string column handed in directly) makes
     // the whole partition inapplicable, mirroring the dtype check of
@@ -310,14 +411,14 @@ pub fn numeric_partition_coded(
         }
         assignment.push(s);
     }
-    Some(RowPartition {
+    Some(RowPartition::new(
         input_idx,
-        attr: attr.to_string(),
-        kind: PartitionKind::NumericBins,
+        attr,
+        PartitionKind::NumericBins,
         sets,
         assignment,
         ignore_size,
-    })
+    ))
 }
 
 /// Mine attributes `B` that stand in a many-to-one relationship with

@@ -6,9 +6,11 @@
 //! is fully typed: a stage can only run after everything it needs exists.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use fedex_frame::CodedFrame;
 
+use crate::kernel::ExcKernelCache;
 use crate::partition::RowPartition;
 
 /// The coded input columns of one step (one [`CodedFrame`] per input
@@ -32,6 +34,13 @@ pub struct ScoredColumns {
     pub top: Vec<(String, f64)>,
     /// Dictionary-coded views of the step's inputs, shared downstream.
     pub coded: CodedInputs,
+    /// Per-column exceptionality kernels built while scoring, pruned to
+    /// the `top` columns and handed to the Contribute stage — base
+    /// histograms and provenance gathers are never recomputed.
+    pub kernels: Arc<ExcKernelCache>,
+    /// Sub-phase wall-clock timings of the stage (`encode` vs `score`),
+    /// surfaced through [`StageReport::sub`](crate::pipeline::StageReport).
+    pub timings: Vec<(&'static str, Duration)>,
 }
 
 /// Output of the **Partition** stage: mined (and user-supplied) row

@@ -139,15 +139,27 @@ pub struct StageReport {
     /// Number of artifact items the stage produced (columns, partitions,
     /// candidates, skyline entries, explanations).
     pub items: usize,
+    /// Sub-phase timings within the stage — ScoreColumns reports its
+    /// `encode` vs `score` split; other stages have none.
+    pub sub: Vec<(&'static str, Duration)>,
 }
 
 impl StageReport {
-    /// `"ScoreColumns: 12 items in 3.4ms"`.
+    /// `"ScoreColumns: 12 items in 3.4ms (encode 1.1ms, score 2.3ms)"`.
     pub fn describe(&self) -> String {
-        format!(
+        let mut s = format!(
             "{}: {} items in {:.1?}",
             self.stage, self.items, self.elapsed
-        )
+        );
+        if !self.sub.is_empty() {
+            let parts: Vec<String> = self
+                .sub
+                .iter()
+                .map(|(name, d)| format!("{name} {d:.1?}"))
+                .collect();
+            s.push_str(&format!(" ({})", parts.join(", ")));
+        }
+        s
     }
 }
 
@@ -217,19 +229,27 @@ impl<'a> ExplainPipeline<'a> {
         let timer = |trace: &mut Option<&mut Vec<StageReport>>,
                      stage: &'static str,
                      start: Instant,
-                     items: usize| {
+                     items: usize,
+                     sub: Vec<(&'static str, Duration)>| {
             if let Some(t) = trace {
                 t.push(StageReport {
                     stage,
                     elapsed: start.elapsed(),
                     items,
+                    sub,
                 });
             }
         };
 
         let t0 = Instant::now();
         let scored = score.run(ctx, ())?;
-        timer(&mut trace, score.name(), t0, scored.scores.len());
+        timer(
+            &mut trace,
+            score.name(),
+            t0,
+            scored.scores.len(),
+            scored.timings.clone(),
+        );
         if scored.top.is_empty() {
             return Ok(Vec::new());
         }
@@ -244,6 +264,7 @@ impl<'a> ExplainPipeline<'a> {
             partition.name(),
             t0,
             partitioned.partitions.len(),
+            Vec::new(),
         );
 
         let contribute = Contribute { contributor };
@@ -254,6 +275,7 @@ impl<'a> ExplainPipeline<'a> {
             contribute.name(),
             t0,
             contributed.candidates.len(),
+            Vec::new(),
         );
         if contributed.candidates.is_empty() {
             return Ok(Vec::new());
@@ -262,12 +284,24 @@ impl<'a> ExplainPipeline<'a> {
         let skyline = Skyline;
         let t0 = Instant::now();
         let ranked = skyline.run(ctx, contributed)?;
-        timer(&mut trace, skyline.name(), t0, ranked.order.len());
+        timer(
+            &mut trace,
+            skyline.name(),
+            t0,
+            ranked.order.len(),
+            Vec::new(),
+        );
 
         let present = Present;
         let t0 = Instant::now();
         let explanations = present.run(ctx, ranked)?;
-        timer(&mut trace, present.name(), t0, explanations.len());
+        timer(
+            &mut trace,
+            present.name(),
+            t0,
+            explanations.len(),
+            Vec::new(),
+        );
 
         Ok(explanations)
     }

@@ -5,6 +5,7 @@
 //! everything shared rides in the [`PipelineContext`].
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use fedex_frame::{CodedColumn, CodedFrame};
 use fedex_query::{ExploratoryStep, Operation, Provenance};
@@ -14,7 +15,8 @@ use crate::caption::{diversity_caption, exceptionality_caption};
 use crate::contribution::{standardized, ContributionComputer};
 use crate::error::ExplainError;
 use crate::explain::{CustomMeasure, Explanation};
-use crate::interestingness::{score_all_columns_with, InterestingnessKind};
+use crate::interestingness::{score_all_columns_coded, InterestingnessKind};
+use crate::kernel::{self, ExcKernelCache};
 use crate::partition::{build_partitions_for_attr_coded, PartitionKind, RowPartition, IGNORE};
 use crate::skyline::{skyline_indices, weighted_score};
 use crate::viz::{Bar, Chart, ChartKind};
@@ -119,9 +121,25 @@ impl Stage for ScoreColumns<'_> {
 
     fn run(&self, ctx: &PipelineContext<'_>, _input: ()) -> Result<ScoredColumns> {
         let step = ctx.step;
+        // Encode the inputs once, up front: scoring consumes the codes
+        // directly, and PartitionRows and Contribute share the same coded
+        // view of every column.
+        let t_encode = Instant::now();
+        let coded = encode_inputs(step, ctx.mode());
+        let encode_elapsed = t_encode.elapsed();
+        let kernels = Arc::new(ExcKernelCache::default());
+
+        let t_score = Instant::now();
         let mut scores: Vec<(String, f64)> = match &self.scorer {
             Scorer::Builtin => {
-                let mut out = score_all_columns_with(step, ctx.kind, ctx.sample(), ctx.mode())?;
+                let mut out = score_all_columns_coded(
+                    step,
+                    &coded,
+                    &kernels,
+                    ctx.kind,
+                    ctx.sample(),
+                    ctx.mode(),
+                )?;
                 if self.exclude_predicate_columns {
                     if let Operation::Filter { predicate } = &step.op {
                         let excluded = predicate.referenced_columns();
@@ -154,15 +172,22 @@ impl Stage for ScoreColumns<'_> {
             }
         };
         scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        let top = scores
+        let top: Vec<(String, f64)> = scores
             .iter()
             .take(ctx.config.top_k_columns.max(1))
             .cloned()
             .collect();
-        // Encode the inputs once, here, so PartitionRows and Contribute
-        // share one coded view of every column.
-        let coded = encode_inputs(step, ctx.mode());
-        Ok(ScoredColumns { scores, top, coded })
+        // Kernels for columns outside the top-k cut existed only for
+        // scoring; drop them so Contribute inherits exactly what it reuses.
+        kernels.retain(|column| top.iter().any(|(t, _)| t == column));
+        let score_elapsed = t_score.elapsed();
+        Ok(ScoredColumns {
+            scores,
+            top,
+            coded,
+            kernels,
+            timings: vec![("encode", encode_elapsed), ("score", score_elapsed)],
+        })
     }
 }
 
@@ -324,7 +349,12 @@ impl Stage for Contribute<'_> {
 
     fn run(&self, ctx: &PipelineContext<'_>, input: Partitioned) -> Result<Contributed> {
         let Partitioned { scored, partitions } = input;
-        let computer = ContributionComputer::with_coded(ctx.step, ctx.kind, scored.coded.clone());
+        let computer = ContributionComputer::with_shared(
+            ctx.step,
+            ctx.kind,
+            scored.coded.clone(),
+            scored.kernels.clone(),
+        );
         let per_partition: Vec<Vec<(usize, usize, f64, f64)>> = match &self.contributor {
             Contributor::Incremental => try_par_map(ctx.mode(), &partitions, |p| {
                 candidates_of_partition(&scored.top, p, |column| computer.contributions(p, column))
@@ -371,6 +401,7 @@ fn custom_contributions(
         return Ok(None);
     };
     let n_slots = ContributionComputer::n_slots(partition);
+    let index = partition.rows_by_set();
     let mut out = Vec::with_capacity(n_slots);
     for slot in 0..n_slots {
         let code = if slot == partition.n_sets() {
@@ -378,13 +409,7 @@ fn custom_contributions(
         } else {
             slot as u32
         };
-        let rows: Vec<usize> = partition
-            .assignment
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &a)| (a == code).then_some(i))
-            .collect();
-        let keep = step.inputs[partition.input_idx].complement_indices(&rows);
+        let keep = step.inputs[partition.input_idx].complement_indices(index.rows_of(code));
         let reduced = step.inputs[partition.input_idx]
             .take(&keep)
             .map_err(ExplainError::from)?;
@@ -548,7 +573,7 @@ fn render_explanation(
         partition_attr: partition.attr.clone(),
         partition_kind: partition.kind.clone(),
         input_idx: partition.input_idx,
-        set_rows: partition.rows_of_set(slot as u32),
+        set_rows: partition.rows_by_set().rows_of(slot as u32).to_vec(),
         contribution: raw,
         std_contribution: std,
         score: weighted_score(
@@ -566,42 +591,11 @@ fn render_explanation(
 /// each slot of the partition.
 fn attribution_counts(step: &ExploratoryStep, partition: &RowPartition) -> Vec<u64> {
     let n_slots = ContributionComputer::n_slots(partition);
-    let slot_of = |code: u32| -> usize {
-        if code == IGNORE {
-            partition.n_sets()
-        } else {
-            code as usize
-        }
-    };
     let mut counts = vec![0u64; n_slots.max(1)];
-    match &step.provenance {
-        Provenance::Filter { kept } => {
-            for &in_row in kept {
-                counts[slot_of(partition.assignment[in_row])] += 1;
-            }
-        }
-        Provenance::Join {
-            left_rows,
-            right_rows,
-        } => {
-            let side = if partition.input_idx == 0 {
-                left_rows
-            } else {
-                right_rows
-            };
-            for &in_row in side {
-                counts[slot_of(partition.assignment[in_row])] += 1;
-            }
-        }
-        Provenance::Union { source_of_row } => {
-            for &(src_input, src_row) in source_of_row {
-                if src_input == partition.input_idx {
-                    counts[slot_of(partition.assignment[src_row])] += 1;
-                }
-            }
-        }
-        Provenance::GroupBy { .. } => {}
-    }
+    step.provenance
+        .for_each_out_row_from(partition.input_idx, |_out_row, in_row| {
+            counts[kernel::slot_of(partition, partition.assignment[in_row])] += 1;
+        });
     counts
 }
 
@@ -652,17 +646,10 @@ fn diversity_chart(
     let mut wsum = vec![0.0f64; n_slots];
     let mut wcnt = vec![0.0f64; n_slots];
     if let Provenance::GroupBy { group_of_row, .. } = &step.provenance {
-        let slot_of = |code: u32| -> usize {
-            if code == IGNORE {
-                partition.n_sets()
-            } else {
-                code as usize
-            }
-        };
         for (row, g) in group_of_row.iter().enumerate() {
             let Some(g) = g else { continue };
-            if let Some(v) = out_col.get(*g as usize).as_f64() {
-                let s = slot_of(partition.assignment[row]);
+            if let Some(v) = out_col.f64_at(*g as usize) {
+                let s = kernel::slot_of(partition, partition.assignment[row]);
                 wsum[s] += v;
                 wcnt[s] += 1.0;
             }

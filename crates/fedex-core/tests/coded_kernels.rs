@@ -401,7 +401,7 @@ fn reference_filter_contributions(
 }
 
 /// Per-slot histograms produced by the scatter pass (reconstructed via
-/// `rows_of_set` + `CodedHist::from_coded_rows`) equal
+/// `rows_by_set` slices + `CodedHist::from_coded_rows`) equal
 /// `ValueHist::from_column_rows` on every partition of the fixtures
 /// frame, and the end-to-end contributions are bit-identical to the boxed
 /// reference.
@@ -429,9 +429,9 @@ fn scatter_contributions_match_per_slot_value_hists() {
                 let mut slots: Vec<u32> = (0..p.n_sets() as u32).collect();
                 slots.push(IGNORE);
                 for s in slots {
-                    let rows = p.rows_of_set(s);
-                    let vh = ValueHist::from_column_rows(col, &rows);
-                    let ch = CodedHist::from_coded_rows(&coded, &rows);
+                    let rows = p.rows_by_set().rows_of(s);
+                    let vh = ValueHist::from_column_rows(col, rows);
+                    let ch = CodedHist::from_coded_rows(&coded, rows);
                     assert_eq!(vh.total(), ch.total());
                     assert_eq!(value_counts(&vh), coded_counts(&ch, &coded));
                 }

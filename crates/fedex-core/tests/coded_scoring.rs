@@ -1,0 +1,217 @@
+//! Property tests pinning the coded interestingness fast path
+//! ([`CodedScorer`]) to the boxed `ValueHist` reference
+//! ([`score_column`]) — bit-for-bit, across all four provenance kinds
+//! (filter, join, union, group-by), with nulls, NaNs, `-0.0`/`+0.0`,
+//! heavy ties, and FEDEX-Sampling masks — plus the CSR `rows_by_set`
+//! index against the full-scan `rows_of_set` reference on arbitrary
+//! assignments.
+
+use fedex_core::{
+    score_column, CodedScorer, ExcKernelCache, InterestingnessKind, PartitionKind, RowPartition,
+    Sample, SetMeta, IGNORE,
+};
+use fedex_frame::{CodedFrame, Column, DataFrame};
+use fedex_query::{Aggregate, ExploratoryStep, Expr, Operation};
+use proptest::prelude::*;
+
+/// Decode a `(tag, payload)` pair into a nullable float exercising the
+/// nasty cases: nulls, NaN, negative zero, ties.
+fn float_cell(tag: u8, payload: i32) -> Option<f64> {
+    match tag % 8 {
+        0 => None,
+        1 => Some(-0.0),
+        2 => Some(0.0),
+        3 => Some(f64::NAN),
+        4 | 5 => Some((payload % 7) as f64), // heavy ties
+        _ => Some(payload as f64 / 16.0),
+    }
+}
+
+fn int_cell(tag: u8, payload: i32) -> Option<i64> {
+    match tag % 5 {
+        0 => None,
+        1 | 2 => Some((payload % 5) as i64),
+        _ => Some((payload % 23) as i64),
+    }
+}
+
+/// A small three-column dataframe (int key, nasty float, categorical).
+fn df_from(cells: &[(u8, i32)]) -> DataFrame {
+    let ints: Vec<Option<i64>> = cells.iter().map(|&(t, p)| int_cell(t, p)).collect();
+    let floats: Vec<Option<f64>> = cells
+        .iter()
+        .map(|&(t, p)| float_cell(t.wrapping_mul(31), p))
+        .collect();
+    let strs: Vec<&str> = cells
+        .iter()
+        .map(|&(t, _)| ["red", "green", "blue"][(t % 3) as usize])
+        .collect();
+    DataFrame::new(vec![
+        Column::from_opt_ints("k", ints),
+        Column::from_opt_floats("v", floats),
+        Column::from_strs("g", strs),
+    ])
+    .unwrap()
+}
+
+/// Build per-input masks from a flat bool pool (`None` mask for an input
+/// when its selector bit is false — exercises the mixed masked/unmasked
+/// case).
+fn sample_from(step: &ExploratoryStep, pool: &[bool], use_mask: &[bool]) -> Sample {
+    let mut offset = 0usize;
+    let input_masks = step
+        .inputs
+        .iter()
+        .enumerate()
+        .map(|(idx, df)| {
+            let n = df.n_rows();
+            let mask: Vec<bool> = (0..n).map(|i| pool[(offset + i) % pool.len()]).collect();
+            offset += n;
+            use_mask.get(idx).copied().unwrap_or(false).then_some(mask)
+        })
+        .collect();
+    Sample { input_masks }
+}
+
+/// Assert coded and boxed scoring agree to the bit on every output column
+/// under both measures.
+fn assert_scores_agree(step: &ExploratoryStep, sample: &Sample) {
+    let coded: Vec<CodedFrame> = step.inputs.iter().map(CodedFrame::encode).collect();
+    let kernels = ExcKernelCache::default();
+    let scorer = CodedScorer::new(step, &coded, &kernels);
+    for kind in [
+        InterestingnessKind::Exceptionality,
+        InterestingnessKind::Diversity,
+    ] {
+        for field in step.output.schema().fields() {
+            let want = score_column(step, &field.name, kind, sample).unwrap();
+            let got = scorer.score(&field.name, kind, sample).unwrap();
+            assert_eq!(
+                want.map(f64::to_bits),
+                got.map(f64::to_bits),
+                "column {} kind {:?}: boxed {:?} vs coded {:?}",
+                field.name,
+                kind,
+                want,
+                got
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Filter provenance: coded == boxed, full and sampled.
+    #[test]
+    fn filter_scoring_agrees(
+        cells in proptest::collection::vec((0u8..255, -60i32..60), 1..80),
+        pool in proptest::collection::vec(proptest::strategy::any::<bool>(), 8..64),
+        masked in proptest::strategy::any::<bool>(),
+    ) {
+        let step = ExploratoryStep::run(
+            vec![df_from(&cells)],
+            Operation::filter(Expr::col("k").gt(Expr::lit(1i64))),
+        ).unwrap();
+        let sample = sample_from(&step, &pool, &[masked]);
+        assert_scores_agree(&step, &sample);
+    }
+
+    /// Join provenance (both sides carry columns), with independent masks
+    /// per side.
+    #[test]
+    fn join_scoring_agrees(
+        left in proptest::collection::vec((0u8..255, -40i32..40), 1..40),
+        right in proptest::collection::vec((0u8..255, -40i32..40), 1..40),
+        pool in proptest::collection::vec(proptest::strategy::any::<bool>(), 8..64),
+        mask_l in proptest::strategy::any::<bool>(),
+        mask_r in proptest::strategy::any::<bool>(),
+    ) {
+        let step = ExploratoryStep::run(
+            vec![df_from(&left), df_from(&right)],
+            Operation::join("k", "k", "l", "r"),
+        ).unwrap();
+        let sample = sample_from(&step, &pool, &[mask_l, mask_r]);
+        assert_scores_agree(&step, &sample);
+    }
+
+    /// Union provenance: the score is the max KS over the inputs.
+    #[test]
+    fn union_scoring_agrees(
+        a in proptest::collection::vec((0u8..255, -40i32..40), 1..40),
+        b in proptest::collection::vec((0u8..255, -40i32..40), 1..40),
+        pool in proptest::collection::vec(proptest::strategy::any::<bool>(), 8..64),
+        mask_a in proptest::strategy::any::<bool>(),
+        mask_b in proptest::strategy::any::<bool>(),
+    ) {
+        let step = ExploratoryStep::run(
+            vec![df_from(&a), df_from(&b)],
+            Operation::Union,
+        ).unwrap();
+        let sample = sample_from(&step, &pool, &[mask_a, mask_b]);
+        assert_scores_agree(&step, &sample);
+    }
+
+    /// Group-by provenance: diversity over every aggregate function, full
+    /// and sampled (sampled scoring re-aggregates through provenance).
+    #[test]
+    fn groupby_scoring_agrees(
+        cells in proptest::collection::vec((0u8..255, -40i32..40), 1..60),
+        pool in proptest::collection::vec(proptest::strategy::any::<bool>(), 8..64),
+        masked in proptest::strategy::any::<bool>(),
+    ) {
+        let step = ExploratoryStep::run(
+            vec![df_from(&cells)],
+            Operation::group_by(
+                vec!["g"],
+                vec![
+                    Aggregate::count(None),
+                    Aggregate::mean("v"),
+                    Aggregate::sum("v"),
+                    Aggregate::min("v"),
+                    Aggregate::max("k"),
+                ],
+            ),
+        ).unwrap();
+        let sample = sample_from(&step, &pool, &[masked]);
+        assert_scores_agree(&step, &sample);
+    }
+
+    /// The CSR `rows_by_set` index equals the full-scan `rows_of_set`
+    /// reference for every set and the ignore-set, on arbitrary (valid)
+    /// assignments.
+    #[test]
+    fn rows_by_set_matches_reference_scan(
+        raw in proptest::collection::vec((0u32..8, proptest::strategy::any::<bool>()), 0..200),
+        n_sets in 1usize..8,
+    ) {
+        let assignment: Vec<u32> = raw
+            .iter()
+            .map(|&(c, ignored)| if ignored { IGNORE } else { c % n_sets as u32 })
+            .collect();
+        let mut sizes = vec![0usize; n_sets];
+        let mut ignore_size = 0usize;
+        for &a in &assignment {
+            if a == IGNORE {
+                ignore_size += 1;
+            } else {
+                sizes[a as usize] += 1;
+            }
+        }
+        let sets = sizes
+            .iter()
+            .enumerate()
+            .map(|(s, &size)| SetMeta { label: format!("s{s}"), size })
+            .collect();
+        let p = RowPartition::new(0, "a", PartitionKind::Frequency, sets, assignment, ignore_size);
+        p.validate().unwrap();
+        let index = p.rows_by_set();
+        for s in 0..n_sets as u32 {
+            prop_assert_eq!(index.rows_of(s), p.rows_of_set(s).as_slice(), "set {}", s);
+        }
+        prop_assert_eq!(index.rows_of(IGNORE), p.rows_of_set(IGNORE).as_slice());
+        prop_assert_eq!(index.ignore_rows(), p.rows_of_set(IGNORE).as_slice());
+        // Codes outside the partition yield no rows.
+        prop_assert!(index.rows_of(n_sets as u32).is_empty());
+    }
+}

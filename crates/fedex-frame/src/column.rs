@@ -347,6 +347,31 @@ impl Column {
         self.data.is_empty()
     }
 
+    /// Null test at row `i` without boxing a [`Value`].
+    #[inline]
+    pub fn is_null_at(&self, i: usize) -> bool {
+        match &self.data {
+            ColumnData::Bool(v) => v[i].is_none(),
+            ColumnData::Int(v) => v[i].is_none(),
+            ColumnData::Float(v) => v[i].is_none(),
+            ColumnData::Str(v) => v.code(i) == NULL_CODE,
+        }
+    }
+
+    /// `Value::as_f64` of row `i` without boxing — identical widening
+    /// (ints cast, bools map to 1.0/0.0, strings and nulls yield `None`)
+    /// but no `Value` construction, and in particular no `Arc` refcount
+    /// bump for string rows. The workhorse of per-row aggregation loops.
+    #[inline]
+    pub fn f64_at(&self, i: usize) -> Option<f64> {
+        match &self.data {
+            ColumnData::Int(v) => v[i].map(|x| x as f64),
+            ColumnData::Float(v) => v[i],
+            ColumnData::Bool(v) => v[i].map(|b| if b { 1.0 } else { 0.0 }),
+            ColumnData::Str(_) => None,
+        }
+    }
+
     /// Boxed value at row `i`. Panics when out of bounds.
     pub fn get(&self, i: usize) -> Value {
         match &self.data {

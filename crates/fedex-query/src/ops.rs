@@ -303,6 +303,46 @@ pub enum Provenance {
     },
 }
 
+impl Provenance {
+    /// The per-output-row source rows on input `input_idx`, when stored as
+    /// a plain slice: filter provenance (input 0) and either join side.
+    /// `None` for union (interleaved sources) and group-by (no row-level
+    /// output mapping).
+    pub fn source_rows(&self, input_idx: usize) -> Option<&[usize]> {
+        match self {
+            Provenance::Filter { kept } if input_idx == 0 => Some(kept),
+            Provenance::Join {
+                left_rows,
+                right_rows,
+            } => Some(if input_idx == 0 {
+                left_rows
+            } else {
+                right_rows
+            }),
+            _ => None,
+        }
+    }
+
+    /// Visit `(out_row, in_row)` for every output row sourced from input
+    /// `input_idx`, in output-row order. Group-by provenance maps input
+    /// rows to *groups*, not to output rows, so it visits nothing.
+    pub fn for_each_out_row_from(&self, input_idx: usize, mut f: impl FnMut(usize, usize)) {
+        if let Some(rows) = self.source_rows(input_idx) {
+            for (out_row, &in_row) in rows.iter().enumerate() {
+                f(out_row, in_row);
+            }
+            return;
+        }
+        if let Provenance::Union { source_of_row } = self {
+            for (out_row, &(src, in_row)) in source_of_row.iter().enumerate() {
+                if src == input_idx {
+                    f(out_row, in_row);
+                }
+            }
+        }
+    }
+}
+
 /// Hash-group the rows of `df` by `keys` and evaluate `aggs` per group.
 ///
 /// Group order is the first-appearance order of each key combination,

@@ -48,11 +48,11 @@ fn custom_partition_participates() {
             new += 1;
         }
     }
-    let custom = RowPartition {
-        input_idx: 0,
-        attr: "year".to_string(),
-        kind: PartitionKind::Frequency,
-        sets: vec![
+    let custom = RowPartition::new(
+        0,
+        "year",
+        PartitionKind::Frequency,
+        vec![
             SetMeta {
                 label: "pre-1970".to_string(),
                 size: old,
@@ -63,8 +63,8 @@ fn custom_partition_participates() {
             },
         ],
         assignment,
-        ignore_size: 0,
-    };
+        0,
+    );
     custom.validate().unwrap();
 
     let fedex = Fedex::new();
@@ -88,33 +88,33 @@ fn invalid_custom_partition_rejected() {
     let wb = workbench();
     let step = filter_step(&wb);
     // Wrong length assignment.
-    let bad = RowPartition {
-        input_idx: 0,
-        attr: "year".to_string(),
-        kind: PartitionKind::Frequency,
-        sets: vec![SetMeta {
+    let bad = RowPartition::new(
+        0,
+        "year",
+        PartitionKind::Frequency,
+        vec![SetMeta {
             label: "x".to_string(),
             size: 1,
         }],
-        assignment: vec![0u32],
-        ignore_size: 0,
-    };
+        vec![0u32],
+        0,
+    );
     assert!(Fedex::new()
         .explain_with_partitions(&step, vec![bad])
         .is_err());
 
     // Inconsistent sizes.
-    let bad = RowPartition {
-        input_idx: 0,
-        attr: "year".to_string(),
-        kind: PartitionKind::Frequency,
-        sets: vec![SetMeta {
+    let bad = RowPartition::new(
+        0,
+        "year",
+        PartitionKind::Frequency,
+        vec![SetMeta {
             label: "x".to_string(),
             size: 99,
         }],
-        assignment: vec![IGNORE; step.inputs[0].n_rows()],
-        ignore_size: step.inputs[0].n_rows(),
-    };
+        vec![IGNORE; step.inputs[0].n_rows()],
+        step.inputs[0].n_rows(),
+    );
     assert!(Fedex::new()
         .explain_with_partitions(&step, vec![bad])
         .is_err());

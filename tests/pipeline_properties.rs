@@ -53,8 +53,8 @@ proptest! {
         for p in build_partitions_for_attr(&step.inputs[0], 0, "g", &[3], 7).unwrap() {
             if let Some(fast) = cc.contributions(&p, "v").unwrap() {
                 for (s, &c_fast) in fast.iter().enumerate().take(p.n_sets()) {
-                    let rows = p.rows_of_set(s as u32);
-                    let slow = cc.contribution_by_rerun(0, &rows, "v").unwrap().unwrap();
+                    let rows = p.rows_by_set().rows_of(s as u32);
+                    let slow = cc.contribution_by_rerun(0, rows, "v").unwrap().unwrap();
                     prop_assert!((c_fast - slow).abs() < 1e-9,
                         "set {}: fast {} vs rerun {}", s, c_fast, slow);
                 }
