@@ -52,6 +52,24 @@ pub enum Command {
     },
     /// Run the built-in Spotify demo (no files needed).
     Demo,
+    /// Run the explanation server (blocks until a shutdown request).
+    Serve {
+        /// Bind address, e.g. `127.0.0.1:4641`.
+        addr: String,
+        /// Worker threads serving connections.
+        workers: usize,
+        /// Artifact-cache byte budget in MiB.
+        cache_mb: usize,
+        /// Pipeline execution mode inside each explain.
+        exec: ExecutionMode,
+    },
+    /// Send one JSON request line to a running server, print the response.
+    Client {
+        /// Server address, e.g. `127.0.0.1:4641`.
+        addr: String,
+        /// The request object, e.g. `{"cmd":"ping"}`.
+        request: String,
+    },
     /// Print usage.
     Help,
 }
@@ -64,12 +82,19 @@ usage:
                 [--exec serial|parallel|N] [--trace]
   fedex schema  --table <name=path.csv> [--table ...]
   fedex demo
+  fedex serve   [--addr 127.0.0.1:4641] [--workers N] [--cache-mb N]
+                [--exec serial|parallel|N]
+  fedex client  --addr <host:port> --json '<request>'
   fedex help
 
 The query language is the SQL subset of the FEDEX paper's workload:
   SELECT * FROM t WHERE <predicate>
   SELECT * FROM t1 INNER JOIN t2 ON t1.a = t2.b
   SELECT mean(x), count FROM t [WHERE ...] GROUP BY a, b
+
+`fedex serve` speaks newline-delimited JSON (one request object per line;
+cmds: ping, register, register_demo, explain, history, sessions, metrics,
+shutdown) plus an HTTP/1.1 fallback (POST /api, GET /metrics, /healthz).
 ";
 
 /// Errors surfaced to the user with exit code 2.
@@ -83,6 +108,13 @@ impl std::fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
+
+/// The value following flag `args[i-1]`, or a "needs a value" error.
+fn flag_value(args: &[String], i: usize, flag: &str) -> Result<String, CliError> {
+    args.get(i)
+        .cloned()
+        .ok_or_else(|| CliError(format!("{flag} needs a value")))
+}
 
 fn parse_table_spec(spec: &str) -> Result<(String, String), CliError> {
     match spec.split_once('=') {
@@ -103,6 +135,73 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "demo" => Ok(Command::Demo),
+        "serve" => {
+            let mut addr = "127.0.0.1:4641".to_string();
+            let mut workers = 4usize;
+            let mut cache_mb = 1024usize;
+            let mut exec = ExecutionMode::default();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--addr" => {
+                        i += 1;
+                        addr = flag_value(args, i, "--addr")?;
+                    }
+                    "--workers" => {
+                        i += 1;
+                        workers = flag_value(args, i, "--workers")?
+                            .parse()
+                            .map_err(|e| CliError(format!("--workers: {e}")))?;
+                    }
+                    "--cache-mb" => {
+                        i += 1;
+                        cache_mb = flag_value(args, i, "--cache-mb")?
+                            .parse()
+                            .map_err(|e| CliError(format!("--cache-mb: {e}")))?;
+                    }
+                    "--exec" => {
+                        i += 1;
+                        let spec = flag_value(args, i, "--exec")?;
+                        exec = ExecutionMode::parse(&spec).ok_or_else(|| {
+                            CliError(format!(
+                                "--exec expects serial, parallel, or a thread count, got {spec:?}"
+                            ))
+                        })?;
+                    }
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Serve {
+                addr,
+                workers,
+                cache_mb,
+                exec,
+            })
+        }
+        "client" => {
+            let mut addr = None;
+            let mut request = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--addr" => {
+                        i += 1;
+                        addr = Some(flag_value(args, i, "--addr")?);
+                    }
+                    "--json" => {
+                        i += 1;
+                        request = Some(flag_value(args, i, "--json")?);
+                    }
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Client {
+                addr: addr.ok_or_else(|| CliError("--addr is required".into()))?,
+                request: request.ok_or_else(|| CliError("--json is required".into()))?,
+            })
+        }
         "schema" | "explain" => {
             let mut tables = Vec::new();
             let mut sql = None;
@@ -113,25 +212,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut exec = ExecutionMode::default();
             let mut trace = false;
             let mut i = 1;
-            let need = |i: usize, flag: &str, args: &[String]| -> Result<String, CliError> {
-                args.get(i)
-                    .cloned()
-                    .ok_or_else(|| CliError(format!("{flag} needs a value")))
-            };
             while i < args.len() {
                 match args[i].as_str() {
                     "--table" => {
                         i += 1;
-                        tables.push(parse_table_spec(&need(i, "--table", args)?)?);
+                        tables.push(parse_table_spec(&flag_value(args, i, "--table")?)?);
                     }
                     "--sql" => {
                         i += 1;
-                        sql = Some(need(i, "--sql", args)?);
+                        sql = Some(flag_value(args, i, "--sql")?);
                     }
                     "--sample" => {
                         i += 1;
                         sample = Some(
-                            need(i, "--sample", args)?
+                            flag_value(args, i, "--sample")?
                                 .parse::<usize>()
                                 .map_err(|e| CliError(format!("--sample: {e}")))?,
                         );
@@ -139,7 +233,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--top" => {
                         i += 1;
                         top = Some(
-                            need(i, "--top", args)?
+                            flag_value(args, i, "--top")?
                                 .parse::<usize>()
                                 .map_err(|e| CliError(format!("--top: {e}")))?,
                         );
@@ -148,7 +242,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--trace" => trace = true,
                     "--exec" => {
                         i += 1;
-                        let spec = need(i, "--exec", args)?;
+                        let spec = flag_value(args, i, "--exec")?;
                         exec = ExecutionMode::parse(&spec).ok_or_else(|| {
                             CliError(format!(
                                 "--exec expects serial, parallel, or a thread count, got {spec:?}"
@@ -157,7 +251,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--width" => {
                         i += 1;
-                        width = need(i, "--width", args)?
+                        width = flag_value(args, i, "--width")?
                             .parse::<usize>()
                             .map_err(|e| CliError(format!("--width: {e}")))?;
                     }
@@ -299,6 +393,47 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        Command::Serve {
+            addr,
+            workers,
+            cache_mb,
+            exec,
+        } => {
+            use std::sync::Arc;
+            let cache = Arc::new(fedex_core::ArtifactCache::with_budget(
+                cache_mb.max(1) * 1024 * 1024,
+            ));
+            let fedex = Fedex::new().with_execution(exec);
+            let manager = fedex_core::SessionManager::new(fedex, cache);
+            let service = Arc::new(fedex_serve::ExplainService::new(manager));
+            let server = fedex_serve::Server::bind(
+                &fedex_serve::ServerConfig {
+                    addr: addr.clone(),
+                    workers,
+                },
+                service,
+            )
+            .map_err(|e| CliError(format!("binding {addr}: {e}")))?;
+            let local = server
+                .local_addr()
+                .map_err(|e| CliError(format!("local addr: {e}")))?;
+            // Announce readiness on stderr *before* blocking, so scripts
+            // (and the CI smoke job) can wait for this line.
+            eprintln!(
+                "fedex-serve listening on {local} ({workers} workers, cache budget {cache_mb} MiB)"
+            );
+            server
+                .run()
+                .map_err(|e| CliError(format!("server error: {e}")))?;
+            Ok(format!("server on {local} stopped"))
+        }
+        Command::Client { addr, request } => {
+            let mut client = fedex_serve::Client::connect(&addr)
+                .map_err(|e| CliError(format!("connecting to {addr}: {e}")))?;
+            client
+                .request_raw(&request)
+                .map_err(|e| CliError(format!("request failed: {e}")))
+        }
         Command::Demo => {
             let spotify = fedex_data::spotify::generate(10_000, 42);
             let mut catalog = Catalog::new();
@@ -398,6 +533,102 @@ mod tests {
         assert_eq!(parse_args(&s(&["help"])).unwrap(), Command::Help);
         assert_eq!(parse_args(&s(&["--help"])).unwrap(), Command::Help);
         assert!(run(Command::Help).unwrap().contains("usage"));
+    }
+
+    #[test]
+    fn parses_serve_and_client() {
+        let cmd = parse_args(&s(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:9999",
+            "--workers",
+            "8",
+            "--cache-mb",
+            "64",
+            "--exec",
+            "serial",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "127.0.0.1:9999".to_string(),
+                workers: 8,
+                cache_mb: 64,
+                exec: ExecutionMode::Serial,
+            }
+        );
+        // Defaults.
+        assert_eq!(
+            parse_args(&s(&["serve"])).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:4641".to_string(),
+                workers: 4,
+                cache_mb: 1024,
+                exec: ExecutionMode::default(),
+            }
+        );
+        let cmd = parse_args(&s(&[
+            "client",
+            "--addr",
+            "127.0.0.1:9999",
+            "--json",
+            r#"{"cmd":"ping"}"#,
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Client {
+                addr: "127.0.0.1:9999".to_string(),
+                request: r#"{"cmd":"ping"}"#.to_string(),
+            }
+        );
+        assert!(parse_args(&s(&["client", "--json", "{}"])).is_err()); // no addr
+        assert!(parse_args(&s(&["client", "--addr", "x:1"])).is_err()); // no json
+        assert!(parse_args(&s(&["serve", "--workers", "wat"])).is_err());
+    }
+
+    #[test]
+    fn client_command_round_trips_against_a_server() {
+        use std::sync::Arc;
+        // Boot a real server on an ephemeral port via the serve crate,
+        // then drive it through the CLI client command.
+        let service = Arc::new(fedex_serve::ExplainService::default());
+        let server = fedex_serve::Server::bind(
+            &fedex_serve::ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+            },
+            service,
+        )
+        .unwrap();
+        let handle = server.spawn().unwrap();
+        let addr = handle.addr().to_string();
+
+        let out = run(Command::Client {
+            addr: addr.clone(),
+            request: r#"{"cmd":"register_demo","session":"s","rows":800,"seed":3}"#.to_string(),
+        })
+        .unwrap();
+        assert!(out.contains("\"ok\":true"), "{out}");
+
+        let out = run(Command::Client {
+            addr: addr.clone(),
+            request:
+                r#"{"cmd":"explain","session":"s","sql":"SELECT * FROM spotify WHERE popularity > 65","top":2}"#
+                    .to_string(),
+        })
+        .unwrap();
+        assert!(out.contains("\"rendered\""), "{out}");
+
+        let out = run(Command::Client {
+            addr,
+            request: r#"{"cmd":"metrics"}"#.to_string(),
+        })
+        .unwrap();
+        assert!(out.contains("\"explains\":1"), "{out}");
+
+        handle.stop().unwrap();
     }
 
     #[test]

@@ -7,8 +7,11 @@
 //! [`CustomMeasure`] extension point, and the thin [`Fedex`] orchestrator
 //! that wires a [`crate::pipeline::ExplainPipeline`] per call.
 
+use std::sync::Arc;
+
 use fedex_query::ExploratoryStep;
 
+use crate::cache::ArtifactCache;
 use crate::interestingness::InterestingnessKind;
 use crate::partition::{PartitionKind, RowPartition};
 use crate::pipeline::{
@@ -63,6 +66,12 @@ pub struct FedexConfig {
     /// worker per core, or a fixed thread count). Results are identical
     /// under every mode.
     pub execution: ExecutionMode,
+    /// Cross-request artifact cache consulted by the ScoreColumns stage:
+    /// content-fingerprinted inputs reuse their [`fedex_frame::CodedFrame`]
+    /// and per-step kernel caches instead of re-encoding (see
+    /// [`ArtifactCache`]). `None` (the default) re-derives everything per
+    /// call; results are bit-identical either way.
+    pub artifact_cache: Option<Arc<ArtifactCache>>,
 }
 
 impl Default for FedexConfig {
@@ -78,6 +87,7 @@ impl Default for FedexConfig {
             w_contribution: 1.0,
             measure_override: None,
             execution: ExecutionMode::default(),
+            artifact_cache: None,
         }
     }
 }
@@ -177,6 +187,14 @@ impl Fedex {
     /// This explainer with a different [`ExecutionMode`].
     pub fn with_execution(mut self, execution: ExecutionMode) -> Self {
         self.config.execution = execution;
+        self
+    }
+
+    /// This explainer consulting (and populating) a shared cross-request
+    /// [`ArtifactCache`]: repeat explains over content-identical inputs
+    /// skip encoding, repeat steps also skip kernel construction.
+    pub fn with_cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.config.artifact_cache = Some(cache);
         self
     }
 

@@ -25,6 +25,7 @@
 //! engine — see [`pipeline`] — whose data-parallel stages are controlled
 //! by [`FedexConfig::execution`].
 
+pub mod cache;
 pub mod caption;
 pub mod contribution;
 pub mod error;
@@ -39,6 +40,7 @@ pub mod session;
 pub mod skyline;
 pub mod viz;
 
+pub use cache::{ArtifactCache, CacheMetrics, DEFAULT_CACHE_BUDGET};
 pub use contribution::{standardized, ContributionComputer};
 pub use error::ExplainError;
 pub use explain::{render_all, to_json_array, CustomMeasure, Explanation, Fedex, FedexConfig};
@@ -56,7 +58,7 @@ pub use partition::{
     IGNORE,
 };
 pub use pipeline::{ExecutionMode, ExplainPipeline, PipelineContext, Stage, StageReport};
-pub use session::{Session, SessionEntry};
+pub use session::{Session, SessionEntry, SessionManager};
 pub use skyline::{skyline_indices, weighted_score};
 pub use viz::{Bar, Chart, ChartKind};
 

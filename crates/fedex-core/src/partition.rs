@@ -451,6 +451,20 @@ pub fn many_to_one_partitions_coded(
     n: usize,
     seed: u64,
 ) -> Result<Vec<RowPartition>> {
+    let vias = many_to_one_vias(coded, attr, seed)?;
+    Ok(partitions_for_vias(&vias, input_idx, attr, n))
+}
+
+/// The columns `B` of the frame standing in a many-to-one relationship
+/// with `attr` (Conditions 1–2 of §3.5), in schema order. Candidates are
+/// first rejected on a uniform row sample (cheap), survivors verified
+/// with a full scan — each FD verified exactly **once**, however many set
+/// counts the caller then builds partitions for.
+fn many_to_one_vias<'a>(
+    coded: &'a CodedFrame,
+    attr: &str,
+    seed: u64,
+) -> Result<Vec<(&'a str, &'a std::sync::Arc<CodedColumn>)>> {
     let a = coded
         .column(attr)
         .ok_or_else(|| ExplainError::UnknownColumn(attr.to_string()))?;
@@ -461,18 +475,26 @@ pub fn many_to_one_partitions_coded(
     const MINE_SAMPLE: usize = 2_000;
     let sample = uniform_sample_indices(n_rows, MINE_SAMPLE, seed);
 
+    Ok(coded
+        .iter()
+        .filter(|(b_name, b)| {
+            *b_name != attr
+                && holds_many_to_one_coded(a, b, Some(&sample))
+                && holds_many_to_one_coded(a, b, None)
+        })
+        .collect())
+}
+
+/// Frequency partitions over each verified `via` column, relabelled as
+/// many-to-one partitions of `attr`.
+fn partitions_for_vias(
+    vias: &[(&str, &std::sync::Arc<CodedColumn>)],
+    input_idx: usize,
+    attr: &str,
+    n: usize,
+) -> Vec<RowPartition> {
     let mut out = Vec::new();
-    for (b_name, b) in coded.iter() {
-        if b_name == attr {
-            continue;
-        }
-        if !holds_many_to_one_coded(a, b, Some(&sample)) {
-            continue;
-        }
-        // Full verification.
-        if !holds_many_to_one_coded(a, b, None) {
-            continue;
-        }
+    for (b_name, b) in vias {
         if let Some(mut p) = frequency_partition_coded(b, input_idx, b_name, n) {
             p.attr = attr.to_string();
             p.kind = PartitionKind::ManyToOne {
@@ -481,7 +503,7 @@ pub fn many_to_one_partitions_coded(
             out.push(p);
         }
     }
-    Ok(out)
+    out
 }
 
 /// Check Conditions 1–2 of §3.5 over the given rows (`None` = all rows):
@@ -490,13 +512,20 @@ pub fn many_to_one_partitions_coded(
 /// skipped.
 ///
 /// On codes this is a plain functional-dependency table: `fd[a_code]`
-/// holds the unique `b_code` seen so far ([`NULL_CODE`] = unseen), and
-/// strictly-coarser holds iff `#distinct(A) > #distinct(B-image)`.
+/// holds the unique `b_code` seen so far ([`NULL_CODE`] = unseen). The
+/// scan **exits at the first conflicting code pair** — a disproven FD
+/// (the overwhelmingly common case on real schemas) costs only as many
+/// rows as it takes to find one counterexample, never a full pass. The
+/// distinct counts for the strictly-coarser test (`#distinct(A) >
+/// #distinct(B-image)`) are tracked in the same single scan, so a holding
+/// FD needs no second pass over the code space either.
 fn holds_many_to_one_coded(a: &CodedColumn, b: &CodedColumn, rows: Option<&[usize]>) -> bool {
     let mut fd = vec![NULL_CODE; a.n_codes()];
+    let mut b_seen = vec![false; b.n_codes()];
+    let mut distinct_a = 0usize;
+    let mut distinct_b = 0usize;
     let a_codes = a.codes();
     let b_codes = b.codes();
-    let mut consistent = true;
     let mut visit = |i: usize| {
         let ca = a_codes[i];
         let cb = b_codes[i];
@@ -506,6 +535,12 @@ fn holds_many_to_one_coded(a: &CodedColumn, b: &CodedColumn, rows: Option<&[usiz
         let slot = &mut fd[ca as usize];
         if *slot == NULL_CODE {
             *slot = cb;
+            distinct_a += 1;
+            let seen = &mut b_seen[cb as usize];
+            if !*seen {
+                *seen = true;
+                distinct_b += 1;
+            }
             true
         } else {
             *slot == cb
@@ -515,34 +550,16 @@ fn holds_many_to_one_coded(a: &CodedColumn, b: &CodedColumn, rows: Option<&[usiz
         Some(rows) => {
             for &i in rows {
                 if !visit(i) {
-                    consistent = false;
-                    break;
+                    return false; // first conflicting pair disproves the FD
                 }
             }
         }
         None => {
             for i in 0..a_codes.len() {
                 if !visit(i) {
-                    consistent = false;
-                    break;
+                    return false;
                 }
             }
-        }
-    }
-    if !consistent {
-        return false;
-    }
-    let mut distinct_a = 0usize;
-    let mut b_seen = vec![false; b.n_codes()];
-    let mut distinct_b = 0usize;
-    for &cb in &fd {
-        if cb == NULL_CODE {
-            continue;
-        }
-        distinct_a += 1;
-        if !b_seen[cb as usize] {
-            b_seen[cb as usize] = true;
-            distinct_b += 1;
         }
     }
     distinct_a > 0 && distinct_a > distinct_b
@@ -564,6 +581,11 @@ pub fn build_partitions_for_attr(
 }
 
 /// [`build_partitions_for_attr`] over a pre-encoded frame.
+///
+/// Many-to-one mining is hoisted out of the set-count loop: each
+/// `(attr, B)` functional dependency is sample-rejected and full-verified
+/// exactly once, then reused for every requested set count (previously
+/// the dominant PartitionRows cost — one full FD scan *per set count*).
 pub fn build_partitions_for_attr_coded(
     df: &DataFrame,
     coded: &CodedFrame,
@@ -576,6 +598,7 @@ pub fn build_partitions_for_attr_coded(
     let coded_col = coded
         .column(attr)
         .ok_or_else(|| ExplainError::UnknownColumn(attr.to_string()))?;
+    let vias = many_to_one_vias(coded, attr, seed)?;
     let mut out = Vec::new();
     for &n in set_counts {
         if let Some(p) = frequency_partition_coded(coded_col, input_idx, attr, n) {
@@ -586,9 +609,7 @@ pub fn build_partitions_for_attr_coded(
                 out.push(p);
             }
         }
-        out.extend(many_to_one_partitions_coded(
-            coded, input_idx, attr, n, seed,
-        )?);
+        out.extend(partitions_for_vias(&vias, input_idx, attr, n));
     }
     Ok(out)
 }

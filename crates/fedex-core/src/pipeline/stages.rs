@@ -7,10 +7,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use fedex_frame::{CodedColumn, CodedFrame};
+use fedex_frame::{CodedColumn, CodedFrame, Fingerprint, FpHasher};
 use fedex_query::{ExploratoryStep, Operation, Provenance};
 use fedex_stats::descriptive::mean_and_std;
 
+use crate::cache::ArtifactCache;
 use crate::caption::{diversity_caption, exceptionality_caption};
 use crate::contribution::{standardized, ContributionComputer};
 use crate::error::ExplainError;
@@ -29,11 +30,41 @@ use super::{PipelineContext, Stage};
 /// Encode every input column of the step, data-parallel over
 /// `(input, column)` pairs. The result is shared (`Arc`) by every stage
 /// that consumes codes.
-pub(crate) fn encode_inputs(step: &ExploratoryStep, mode: ExecutionMode) -> CodedInputs {
+///
+/// With a cross-request [`ArtifactCache`], each input is first looked up
+/// by content fingerprint — a warm input reuses the cached
+/// [`CodedFrame`] (cheap: coded columns are `Arc`s) and only cold inputs
+/// are encoded (and then inserted). Cache hits cannot change the result:
+/// encoding is a pure function of the input content the fingerprint
+/// digests.
+pub(crate) fn encode_inputs(
+    step: &ExploratoryStep,
+    mode: ExecutionMode,
+    cache: Option<&ArtifactCache>,
+) -> CodedInputs {
+    match cache {
+        None => encode_inputs_cold(step, mode, |_| true),
+        Some(cache) => encode_inputs_cached(step, mode, cache, &input_fingerprints(step)),
+    }
+}
+
+/// Content fingerprints of every input, in input order.
+pub(crate) fn input_fingerprints(step: &ExploratoryStep) -> Vec<Fingerprint> {
+    step.inputs.iter().map(|df| df.fingerprint()).collect()
+}
+
+/// Encode the inputs selected by `wanted`, data-parallel over
+/// `(input, column)` pairs; unselected slots get empty placeholder frames.
+fn encode_inputs_cold(
+    step: &ExploratoryStep,
+    mode: ExecutionMode,
+    wanted: impl Fn(usize) -> bool,
+) -> CodedInputs {
     let work: Vec<(usize, usize)> = step
         .inputs
         .iter()
         .enumerate()
+        .filter(|(i, _)| wanted(*i))
         .flat_map(|(i, df)| (0..df.columns().len()).map(move |c| (i, c)))
         .collect();
     let encoded = par_map(mode, &work, |&(i, c)| {
@@ -43,7 +74,11 @@ pub(crate) fn encode_inputs(step: &ExploratoryStep, mode: ExecutionMode) -> Code
     let frames = step
         .inputs
         .iter()
-        .map(|df| {
+        .enumerate()
+        .map(|(i, df)| {
+            if !wanted(i) {
+                return CodedFrame::default();
+            }
             let names = df.columns().iter().map(|c| c.name().to_string()).collect();
             let cols = (0..df.columns().len())
                 .map(|_| encoded.next().expect("one coded column per input column"))
@@ -54,14 +89,63 @@ pub(crate) fn encode_inputs(step: &ExploratoryStep, mode: ExecutionMode) -> Code
     Arc::new(frames)
 }
 
+/// [`encode_inputs`] against a cross-request cache: warm inputs reuse
+/// their cached [`CodedFrame`], only cold ones are encoded and inserted.
+fn encode_inputs_cached(
+    step: &ExploratoryStep,
+    mode: ExecutionMode,
+    cache: &ArtifactCache,
+    fps: &[Fingerprint],
+) -> CodedInputs {
+    let warm: Vec<Option<Arc<CodedFrame>>> = fps.iter().map(|&fp| cache.get_frame(fp)).collect();
+    let fresh = encode_inputs_cold(step, mode, |i| warm[i].is_none());
+    let frames: Vec<CodedFrame> = warm
+        .iter()
+        .enumerate()
+        .map(|(i, w)| match w {
+            // Cheap: a CodedFrame clone copies names + column `Arc`s.
+            Some(hit) => (**hit).clone(),
+            None => {
+                let frame = fresh[i].clone();
+                cache.put_frame(fps[i], Arc::new(frame.clone()));
+                frame
+            }
+        })
+        .collect();
+    Arc::new(frames)
+}
+
 /// The shared coded inputs, or a freshly-encoded set when the upstream
 /// artifact was built by hand (empty `coded`).
-fn ensure_coded(step: &ExploratoryStep, coded: &CodedInputs, mode: ExecutionMode) -> CodedInputs {
+fn ensure_coded(
+    step: &ExploratoryStep,
+    coded: &CodedInputs,
+    ctx: &PipelineContext<'_>,
+) -> CodedInputs {
     if coded.len() == step.inputs.len() {
         coded.clone()
     } else {
-        encode_inputs(step, mode)
+        encode_inputs(step, ctx.mode(), ctx.config.artifact_cache.as_deref())
     }
+}
+
+/// Cache key of one exploratory step: the operation (via its stable debug
+/// form) folded with the content fingerprints of every input. Two steps
+/// with equal keys run the same deterministic operation over equal bytes,
+/// so their per-column kernel caches are interchangeable.
+fn step_fingerprint(
+    step: &ExploratoryStep,
+    input_fps: impl Iterator<Item = Fingerprint>,
+) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_bytes(format!("{:?}", step.op).as_bytes());
+    let mut n = 0u64;
+    for fp in input_fps {
+        h.write_fingerprint(fp);
+        n += 1;
+    }
+    h.write_u64(n);
+    h.finish()
 }
 
 // ================================================== 1. ScoreColumns ====
@@ -123,11 +207,28 @@ impl Stage for ScoreColumns<'_> {
         let step = ctx.step;
         // Encode the inputs once, up front: scoring consumes the codes
         // directly, and PartitionRows and Contribute share the same coded
-        // view of every column.
+        // view of every column. With a cross-request cache, warm inputs
+        // skip encoding and repeated steps reuse their kernel cache — the
+        // `encode` sub-timing then collapses to the fingerprint lookups.
         let t_encode = Instant::now();
-        let coded = encode_inputs(step, ctx.mode());
+        let mut step_fp = None;
+        let (coded, kernels) = match ctx.config.artifact_cache.as_deref() {
+            None => (
+                encode_inputs(step, ctx.mode(), None),
+                Arc::new(ExcKernelCache::default()),
+            ),
+            Some(cache) => {
+                let fps = input_fingerprints(step);
+                let coded = encode_inputs_cached(step, ctx.mode(), cache, &fps);
+                let fp = step_fingerprint(step, fps.iter().copied());
+                step_fp = Some(fp);
+                let kernels = cache
+                    .get_kernels(fp)
+                    .unwrap_or_else(|| Arc::new(ExcKernelCache::default()));
+                (coded, kernels)
+            }
+        };
         let encode_elapsed = t_encode.elapsed();
-        let kernels = Arc::new(ExcKernelCache::default());
 
         let t_score = Instant::now();
         let mut scores: Vec<(String, f64)> = match &self.scorer {
@@ -177,9 +278,18 @@ impl Stage for ScoreColumns<'_> {
             .take(ctx.config.top_k_columns.max(1))
             .cloned()
             .collect();
-        // Kernels for columns outside the top-k cut existed only for
-        // scoring; drop them so Contribute inherits exactly what it reuses.
-        kernels.retain(|column| top.iter().any(|(t, _)| t == column));
+        match (ctx.config.artifact_cache.as_deref(), step_fp) {
+            // Cross-request path: keep every kernel — the next warm run of
+            // this step reuses them all, not just the top-k — and insert
+            // only now that the cache is populated, so the LRU accounts
+            // its real size (an empty-at-insert entry would be budgeted at
+            // the 1 KiB floor while holding tens of MB of codes).
+            (Some(cache), Some(fp)) => cache.put_kernels(fp, kernels.clone()),
+            // Per-call path: kernels outside the top-k cut existed only
+            // for scoring; drop them so Contribute inherits exactly what
+            // it reuses.
+            _ => kernels.retain(|column| top.iter().any(|(t, _)| t == column)),
+        }
         let score_elapsed = t_score.elapsed();
         Ok(ScoredColumns {
             scores,
@@ -242,7 +352,7 @@ impl Stage for PartitionRows {
             }
         }
 
-        let coded = ensure_coded(step, &scored.coded, ctx.mode());
+        let coded = ensure_coded(step, &scored.coded, ctx);
         scored.coded = coded.clone();
         let mined: Vec<Vec<RowPartition>> = try_par_map(ctx.mode(), &attrs, |(idx, attr)| {
             build_partitions_for_attr_coded(
@@ -489,9 +599,11 @@ impl Stage for Present {
             order,
         } = input;
         // Dedup of equivalent explanations: the same set label can arise
-        // from several partitions (e.g. set counts 5 and 10).
+        // from several partitions (e.g. set counts 5 and 10). Selection is
+        // split from rendering so per-step work (the attribution walk
+        // below) runs once, not once per rendered explanation.
         let mut seen: Vec<(String, String, String)> = Vec::new();
-        let mut out = Vec::new();
+        let mut selected: Vec<usize> = Vec::new();
         for idx in order {
             let cand = &candidates[idx];
             let partition = &partitions[cand.partition];
@@ -505,29 +617,89 @@ impl Stage for Present {
                 continue;
             }
             seen.push(key);
+            selected.push(idx);
+            if let Some(k) = ctx.config.top_k_explanations {
+                if selected.len() >= k {
+                    break;
+                }
+            }
+        }
+
+        let attributed = attribution_counts_for(
+            ctx,
+            &partitions,
+            selected.iter().map(|&idx| candidates[idx].partition),
+        );
+        let mut out = Vec::with_capacity(selected.len());
+        for idx in selected {
+            let cand = &candidates[idx];
             out.push(render_explanation(
                 ctx,
-                partition,
+                &partitions[cand.partition],
+                attributed.get(&cand.partition).map(Vec::as_slice),
                 cand.slot,
-                column,
+                &scored.top[cand.column].0,
                 scored.top[cand.column].1,
                 cand.raw,
                 cand.std,
             )?);
-            if let Some(k) = ctx.config.top_k_explanations {
-                if out.len() >= k {
-                    break;
-                }
-            }
         }
         Ok(out)
     }
 }
 
-/// Render one candidate as a captioned chart.
+/// Per-set output attribution counts of every distinct partition that will
+/// be rendered, from **one shared provenance walk per input**: how many
+/// output rows trace back to each slot. Empty for diversity runs, which
+/// never consult attribution. Previously each rendered explanation
+/// re-walked the full provenance (~0.4s of the 1M-row Present stage).
+fn attribution_counts_for(
+    ctx: &PipelineContext<'_>,
+    partitions: &[RowPartition],
+    rendered: impl Iterator<Item = usize>,
+) -> std::collections::HashMap<usize, Vec<u64>> {
+    let mut counts: std::collections::HashMap<usize, Vec<u64>> = std::collections::HashMap::new();
+    if ctx.kind != InterestingnessKind::Exceptionality {
+        return counts;
+    }
+    // Distinct partitions, grouped by the input their rows live in.
+    let mut by_input: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for pi in rendered {
+        if let std::collections::hash_map::Entry::Vacant(slot) = counts.entry(pi) {
+            let p = &partitions[pi];
+            slot.insert(vec![0u64; ContributionComputer::n_slots(p).max(1)]);
+            by_input.entry(p.input_idx).or_default().push(pi);
+        }
+    }
+    for (input_idx, pis) in by_input {
+        // One walk scatter-updates every partition of this input.
+        let mut slots: Vec<(&RowPartition, Vec<u64>)> = pis
+            .iter()
+            .map(|&pi| (&partitions[pi], counts.remove(&pi).expect("inserted above")))
+            .collect();
+        ctx.step
+            .provenance
+            .for_each_out_row_from(input_idx, |_out_row, in_row| {
+                for (p, c) in slots.iter_mut() {
+                    c[kernel::slot_of(p, p.assignment[in_row])] += 1;
+                }
+            });
+        for (pi, (_, c)) in pis.into_iter().zip(slots) {
+            counts.insert(pi, c);
+        }
+    }
+    counts
+}
+
+/// Render one candidate as a captioned chart. `attributed` carries the
+/// partition's precomputed per-slot attribution counts (always present on
+/// exceptionality runs).
+#[allow(clippy::too_many_arguments)]
 fn render_explanation(
     ctx: &PipelineContext<'_>,
     partition: &RowPartition,
+    attributed: Option<&[u64]>,
     slot: usize,
     column: &str,
     interestingness: f64,
@@ -539,7 +711,9 @@ fn render_explanation(
     let set_label = partition.sets[slot].label.clone();
     let (caption, chart) = match kind {
         InterestingnessKind::Exceptionality => {
-            let (bars, before, after) = exceptionality_chart(step, partition, slot)?;
+            let attributed =
+                attributed.expect("exceptionality explanations carry attribution counts");
+            let (bars, before, after) = exceptionality_chart(step, partition, attributed, slot)?;
             (
                 exceptionality_caption(column, &set_label, before, after),
                 Chart {
@@ -587,28 +761,17 @@ fn render_explanation(
     })
 }
 
-/// Per-set output attribution counts: how many output rows trace back to
-/// each slot of the partition.
-fn attribution_counts(step: &ExploratoryStep, partition: &RowPartition) -> Vec<u64> {
-    let n_slots = ContributionComputer::n_slots(partition);
-    let mut counts = vec![0u64; n_slots.max(1)];
-    step.provenance
-        .for_each_out_row_from(partition.input_idx, |_out_row, in_row| {
-            counts[kernel::slot_of(partition, partition.assignment[in_row])] += 1;
-        });
-    counts
-}
-
 /// Build the before/after frequency bars for an exceptionality
-/// explanation; returns `(bars, before% of the chosen set, after%)`.
+/// explanation from the partition's precomputed attribution counts;
+/// returns `(bars, before% of the chosen set, after%)`.
 fn exceptionality_chart(
     step: &ExploratoryStep,
     partition: &RowPartition,
+    attributed: &[u64],
     slot: usize,
 ) -> Result<(Vec<Bar>, f64, f64)> {
     let n_in = step.inputs[partition.input_idx].n_rows().max(1) as f64;
     let n_out = step.output.n_rows().max(1) as f64;
-    let attributed = attribution_counts(step, partition);
     let mut bars = Vec::with_capacity(partition.n_sets());
     let mut chosen = (0.0, 0.0);
     for (s, meta) in partition.sets.iter().enumerate() {

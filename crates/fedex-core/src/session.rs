@@ -24,8 +24,12 @@
 //! assert_eq!(session.history().len(), 1);
 //! ```
 
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
 use fedex_query::{parse_query, Catalog, ExploratoryStep};
 
+use crate::cache::ArtifactCache;
 use crate::explain::{Explanation, Fedex};
 use crate::ExplainError;
 use crate::Result;
@@ -83,12 +87,38 @@ impl Session {
         self.run_inner(sql, Some(name.into()))
     }
 
+    /// [`Session::run`] with per-stage wall-clock timings — the serving
+    /// layer reports these so clients can observe warm-cache encode times.
+    pub fn run_traced(
+        &mut self,
+        sql: &str,
+        save_as: Option<String>,
+    ) -> Result<(&SessionEntry, Vec<crate::StageReport>)> {
+        let step = self.execute(sql)?;
+        let (explanations, trace) = self.fedex.explain_traced(&step)?;
+        Ok((self.record(sql, step, explanations, save_as), trace))
+    }
+
     fn run_inner(&mut self, sql: &str, save_as: Option<String>) -> Result<&SessionEntry> {
-        let step = parse_query(sql)
+        let step = self.execute(sql)?;
+        let explanations = self.fedex.explain(&step)?;
+        Ok(self.record(sql, step, explanations, save_as))
+    }
+
+    fn execute(&self, sql: &str) -> Result<ExploratoryStep> {
+        parse_query(sql)
             .map_err(ExplainError::from)?
             .to_step(&self.catalog)
-            .map_err(ExplainError::from)?;
-        let explanations = self.fedex.explain(&step)?;
+            .map_err(ExplainError::from)
+    }
+
+    fn record(
+        &mut self,
+        sql: &str,
+        step: ExploratoryStep,
+        explanations: Vec<Explanation>,
+        save_as: Option<String>,
+    ) -> &SessionEntry {
         if let Some(name) = &save_as {
             self.catalog.register(name.clone(), step.output.clone());
         }
@@ -98,7 +128,7 @@ impl Session {
             explanations,
             saved_as: save_as,
         });
-        Ok(self.history.last().expect("just pushed"))
+        self.history.last().expect("just pushed")
     }
 
     /// All executed steps, in order.
@@ -125,6 +155,149 @@ impl Session {
                     crate::explain::render_all(&entry.explanations, width)
                 )
             }
+        }
+    }
+}
+
+/// A concurrent multi-session manager: the shared state behind the
+/// `fedex-serve` server and the CLI's `serve` subcommand.
+///
+/// Each named session owns its catalog and history ([`Session`]) behind a
+/// `RwLock`, so independent sessions explain fully in parallel and readers
+/// of one session (history, rendering) never block each other. All
+/// sessions share one cross-request [`ArtifactCache`]: tables registered
+/// with equal content — in the *same or different* sessions — are encoded
+/// once, and every later explain over them skips the encode work.
+///
+/// Explanations are byte-identical to a standalone [`Session`]: the cache
+/// only memoizes pure derivations (see [`crate::cache`]).
+#[derive(Debug)]
+pub struct SessionManager {
+    template: Fedex,
+    cache: Arc<ArtifactCache>,
+    sessions: RwLock<HashMap<String, Arc<RwLock<Session>>>>,
+}
+
+impl Default for SessionManager {
+    fn default() -> Self {
+        SessionManager::new(Fedex::new(), Arc::new(ArtifactCache::default()))
+    }
+}
+
+impl SessionManager {
+    /// A manager whose sessions explain with `fedex`'s configuration and
+    /// share `cache` across requests.
+    pub fn new(fedex: Fedex, cache: Arc<ArtifactCache>) -> Self {
+        SessionManager {
+            template: fedex.with_cache(cache.clone()),
+            cache,
+            sessions: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The shared artifact cache (for metrics endpoints and tests).
+    pub fn cache(&self) -> &Arc<ArtifactCache> {
+        &self.cache
+    }
+
+    /// The session named `name`, created empty on first use. The returned
+    /// handle stays valid for the manager's lifetime; callers lock it for
+    /// as long as one logical operation needs.
+    pub fn session(&self, name: &str) -> Arc<RwLock<Session>> {
+        if let Some(s) = self.sessions.read().expect("session map").get(name) {
+            return s.clone();
+        }
+        let mut map = self.sessions.write().expect("session map");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(RwLock::new(Session::new(self.template.clone()))))
+            .clone()
+    }
+
+    /// Names of all sessions, sorted (deterministic for listings).
+    pub fn session_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .sessions
+            .read()
+            .expect("session map")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Register (or replace) a table in one session's catalog.
+    pub fn register(&self, session: &str, table: impl Into<String>, df: fedex_frame::DataFrame) {
+        let s = self.session(session);
+        let mut s = s.write().expect("session");
+        s.register(table, df);
+    }
+
+    /// Run-and-explain one SQL step in a session; the entry is recorded in
+    /// that session's history and a clone returned. `save_as` additionally
+    /// registers the step's output under that catalog name.
+    pub fn run(&self, session: &str, sql: &str, save_as: Option<&str>) -> Result<SessionEntry> {
+        let s = self.session(session);
+        let mut s = s.write().expect("session");
+        let entry = match save_as {
+            None => s.run(sql)?,
+            Some(name) => s.run_and_save(sql, name)?,
+        };
+        Ok(entry.clone())
+    }
+
+    /// [`SessionManager::run`] with per-stage wall-clock timings.
+    pub fn run_traced(
+        &self,
+        session: &str,
+        sql: &str,
+        save_as: Option<&str>,
+    ) -> Result<(SessionEntry, Vec<crate::StageReport>)> {
+        self.run_traced_with(session, sql, save_as, |entry, trace| {
+            (entry.clone(), trace.to_vec())
+        })
+    }
+
+    /// Run one traced step and hand the recorded entry to `f` **without
+    /// cloning it** — a [`SessionEntry`] owns full input/output dataframes
+    /// (and per-explanation row sets), so the serving layer summarizes in
+    /// place instead of deep-copying megabytes per request.
+    pub fn run_traced_with<R>(
+        &self,
+        session: &str,
+        sql: &str,
+        save_as: Option<&str>,
+        f: impl FnOnce(&SessionEntry, &[crate::StageReport]) -> R,
+    ) -> Result<R> {
+        let s = self.session(session);
+        let mut s = s.write().expect("session");
+        let (entry, trace) = s.run_traced(sql, save_as.map(str::to_string))?;
+        Ok(f(entry, &trace))
+    }
+
+    /// A clone of one session's history (empty for an unknown session).
+    /// Cloning copies the entries' dataframes — wire surfaces should use
+    /// [`SessionManager::history_with`] instead.
+    pub fn history(&self, session: &str) -> Vec<SessionEntry> {
+        self.history_with(session, <[SessionEntry]>::to_vec)
+    }
+
+    /// Read one session's history in place (no clones); `f` sees an empty
+    /// slice for an unknown session.
+    pub fn history_with<R>(&self, session: &str, f: impl FnOnce(&[SessionEntry]) -> R) -> R {
+        // Clone the handle and release the map guard *before* waiting on
+        // the session lock — holding the map read guard while a busy
+        // session finishes its explain would queue `session()`'s writer
+        // behind it and stall every other session's traffic.
+        let handle = self
+            .sessions
+            .read()
+            .expect("session map")
+            .get(session)
+            .cloned();
+        match handle {
+            None => f(&[]),
+            Some(s) => f(s.read().expect("session").history()),
         }
     }
 }
@@ -195,6 +368,45 @@ mod tests {
         assert!(s.run("SELEKT * FROM songs").is_err());
         assert!(s.run("SELECT * FROM nope WHERE x > 1").is_err());
         assert!(s.history().is_empty(), "failed steps are not recorded");
+    }
+
+    #[test]
+    fn manager_shares_cache_across_sessions() {
+        let mgr = SessionManager::default();
+        mgr.register("a", "songs", songs());
+        mgr.register("b", "songs", songs());
+        let sql = "SELECT * FROM songs WHERE popularity > 65";
+        let ea = mgr.run("a", sql, None).unwrap();
+        let warm_before = mgr.cache().metrics().hits;
+        let eb = mgr.run("b", sql, None).unwrap();
+        // Session b's input has identical content → frame + kernel hits.
+        assert!(mgr.cache().metrics().hits > warm_before);
+        // ... and byte-identical explanations.
+        assert_eq!(ea.explanations.len(), eb.explanations.len());
+        for (x, y) in ea.explanations.iter().zip(&eb.explanations) {
+            assert_eq!(x.caption, y.caption);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+        assert_eq!(mgr.session_names(), vec!["a", "b"]);
+        assert_eq!(mgr.history("a").len(), 1);
+        assert!(mgr.history("nope").is_empty());
+    }
+
+    #[test]
+    fn manager_save_as_chains_steps() {
+        let mgr = SessionManager::default();
+        mgr.register("s", "songs", songs());
+        mgr.run(
+            "s",
+            "SELECT * FROM songs WHERE popularity > 65",
+            Some("popular"),
+        )
+        .unwrap();
+        let entry = mgr
+            .run("s", "SELECT * FROM popular WHERE year > 2012", None)
+            .unwrap();
+        assert!(entry.step.inputs[0].n_rows() < 120);
+        assert_eq!(mgr.history("s").len(), 2);
     }
 
     #[test]

@@ -158,6 +158,15 @@ impl CodedColumn {
     pub fn n_non_null(&self) -> usize {
         self.n_non_null as usize
     }
+
+    /// Approximate heap size in bytes — the codes, counts, and decode
+    /// table. Used by byte-budgeted caches; boxed `Value` overhead in the
+    /// decode table is estimated flat.
+    pub fn approx_bytes(&self) -> usize {
+        self.codes.len() * std::mem::size_of::<u32>()
+            + self.counts.len() * std::mem::size_of::<i64>()
+            + self.decode.len() * 32
+    }
 }
 
 /// A numeric dictionary key: total order (= [`Value::cmp`] semantics) plus
@@ -396,6 +405,11 @@ impl CodedFrame {
     /// Coded column by schema position.
     pub fn column_at(&self, idx: usize) -> &Arc<CodedColumn> {
         &self.columns[idx]
+    }
+
+    /// Approximate heap size in bytes (sum over columns).
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.approx_bytes()).sum()
     }
 
     /// `(name, coded column)` pairs in schema order.

@@ -1,0 +1,306 @@
+//! Content fingerprints for dataframes — the cache key of the serving
+//! layer's cross-request artifact cache.
+//!
+//! A [`Fingerprint`] is a 128-bit digest of a dataframe's *content*:
+//! schema (column names and dtypes, in order) plus every cell value. Two
+//! dataframes with equal content produce equal fingerprints regardless of
+//! how they were built — in particular, string columns hash their *values*
+//! (via a per-dictionary-entry digest), so frames whose intern dictionaries
+//! differ in layout but agree row-by-row fingerprint identically. Nullness
+//! is part of the content and encoded **out-of-band**: each column streams
+//! a length-prefixed section of null row indices, then its non-null value
+//! words — explicit section lengths make the stream prefix-free, so no
+//! value bit pattern can masquerade as a null marker (or vice versa).
+//!
+//! The digest is not cryptographic; it exists to key a cache whose worst
+//! collision outcome is answering one request with another registered
+//! table's encoded artifacts. Two independent 64-bit lanes of a
+//! multiply-fold mixer ([`FpHasher`]) make accidental collisions
+//! vanishingly unlikely (~2⁻¹²⁸ per pair) while streaming at word
+//! granularity — fingerprinting is two multiplies per cell, orders of
+//! magnitude cheaper than the dictionary encode it short-circuits.
+
+use crate::column::{Column, ColumnData, NULL_CODE};
+use crate::frame::DataFrame;
+
+/// A 128-bit content digest. `Eq + Hash`, so it keys hash maps directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub [u64; 2]);
+
+impl Fingerprint {
+    /// Hex form for logs and wire responses (`"3f9a…"`, 32 chars).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.0[0], self.0[1])
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// 128-bit `mum`-fold: multiply the lane with an odd constant and fold the
+/// high half back down, so every input bit diffuses into every output bit
+/// within two steps.
+#[inline]
+fn mum(a: u64, b: u64) -> u64 {
+    let r = (a as u128).wrapping_mul(b as u128);
+    (r >> 64) as u64 ^ r as u64
+}
+
+/// Streaming two-lane fingerprint hasher.
+///
+/// Word-oriented: callers feed `u64`s (value bit patterns, lengths, tags);
+/// byte strings are folded a word at a time. The two lanes use different
+/// odd multipliers and seeds, so they behave as independent 64-bit hashes.
+#[derive(Debug, Clone)]
+pub struct FpHasher {
+    lanes: [u64; 2],
+}
+
+const LANE_MULT: [u64; 2] = [0x9e37_79b9_7f4a_7c15, 0xc2b2_ae3d_27d4_eb4f];
+const LANE_SEED: [u64; 2] = [0x2545_f491_4f6c_dd1d, 0x8525_29c9_d5b3_6f97];
+
+/// Stream tag opening each column section; with the length-prefixed null
+/// section it keeps e.g. an empty column followed by `x` distinct from a
+/// column containing only `x`.
+const TAG_COLUMN: u64 = 0x636f_6c75; // "colu"
+
+impl Default for FpHasher {
+    fn default() -> Self {
+        FpHasher { lanes: LANE_SEED }
+    }
+}
+
+impl FpHasher {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mix one word into both lanes.
+    #[inline]
+    pub fn write_u64(&mut self, x: u64) {
+        self.lanes[0] = mum(self.lanes[0] ^ x, LANE_MULT[0]);
+        self.lanes[1] = mum(self.lanes[1] ^ x, LANE_MULT[1]);
+    }
+
+    /// Mix a byte string: length word, then one word per 8-byte chunk
+    /// (zero-padded tail). The length prefix makes the encoding prefix-free
+    /// across consecutive writes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(w));
+        }
+    }
+
+    /// Fold a previously-computed fingerprint in (used to combine per-table
+    /// digests into a step-level cache key).
+    pub fn write_fingerprint(&mut self, fp: Fingerprint) {
+        self.write_u64(fp.0[0]);
+        self.write_u64(fp.0[1]);
+    }
+
+    /// Finish the stream.
+    pub fn finish(&self) -> Fingerprint {
+        // One more round per lane so short streams still avalanche.
+        Fingerprint([
+            mum(self.lanes[0] ^ LANE_SEED[1], LANE_MULT[0]),
+            mum(self.lanes[1] ^ LANE_SEED[0], LANE_MULT[1]),
+        ])
+    }
+}
+
+/// Stream one column's cells as two explicitly-delimited sections: the
+/// null row indices (count-prefixed), then the value words of the
+/// non-null rows in row order. The count prefixes make the encoding
+/// prefix-free, so a value word can never alias a null marker — columns
+/// differing only in *where* their nulls sit always diverge in the null
+/// section, whatever bit patterns their values carry.
+fn write_cells(h: &mut FpHasher, cells: impl Iterator<Item = Option<u64>>) {
+    // One pass over the cells: values stream directly, null row indices
+    // buffer in a (typically tiny) side vector so the count can prefix
+    // them. Fingerprinting runs on every warm explain, so the scan must
+    // not re-drive the column iterator per section.
+    let mut nulls: Vec<u64> = Vec::new();
+    let mut value_lanes = FpHasher::new();
+    for (row, v) in cells.enumerate() {
+        match v {
+            Some(v) => value_lanes.write_u64(v),
+            None => nulls.push(row as u64),
+        }
+    }
+    h.write_u64(nulls.len() as u64);
+    for row in nulls {
+        h.write_u64(row);
+    }
+    h.write_fingerprint(value_lanes.finish());
+}
+
+/// Fingerprint one column: name, dtype tag, row count, then the null and
+/// value sections of [`write_cells`].
+pub fn fingerprint_column(h: &mut FpHasher, col: &Column) {
+    h.write_u64(TAG_COLUMN);
+    h.write_bytes(col.name().as_bytes());
+    match col.data() {
+        ColumnData::Bool(v) => {
+            h.write_u64(0);
+            h.write_u64(v.len() as u64);
+            write_cells(h, v.iter().map(|b| b.map(|b| b as u64)));
+        }
+        ColumnData::Int(v) => {
+            h.write_u64(1);
+            h.write_u64(v.len() as u64);
+            write_cells(h, v.iter().map(|x| x.map(|x| x as u64)));
+        }
+        ColumnData::Float(v) => {
+            h.write_u64(2);
+            h.write_u64(v.len() as u64);
+            // Bit pattern: -0.0 ≠ +0.0 and NaN payloads stay distinct,
+            // matching the codec layer's value identity.
+            write_cells(h, v.iter().map(|x| x.map(f64::to_bits)));
+        }
+        ColumnData::Str(s) => {
+            h.write_u64(3);
+            h.write_u64(s.len() as u64);
+            // Digest each dictionary entry once, then stream per-row entry
+            // digests — content-based even when dictionaries differ in
+            // layout, without re-hashing string bytes per row.
+            let dict = s.dict();
+            let entry_digest: Vec<u64> = dict
+                .iter()
+                .map(|e| {
+                    let mut eh = FpHasher::new();
+                    eh.write_bytes(e.as_bytes());
+                    eh.finish().0[0]
+                })
+                .collect();
+            write_cells(
+                h,
+                (0..s.len()).map(|i| {
+                    let c = s.code(i);
+                    (c != NULL_CODE).then(|| entry_digest[c as usize])
+                }),
+            );
+        }
+    }
+}
+
+/// Content fingerprint of a whole dataframe.
+pub fn fingerprint_frame(df: &DataFrame) -> Fingerprint {
+    let mut h = FpHasher::new();
+    h.write_u64(df.columns().len() as u64);
+    for col in df.columns() {
+        fingerprint_column(&mut h, col);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> DataFrame {
+        DataFrame::new(vec![
+            Column::from_opt_ints("a", vec![Some(1), None, Some(3)]),
+            Column::from_opt_floats("f", vec![Some(0.5), Some(-0.0), None]),
+            Column::from_opt_strs("s", vec![Some("x"), Some("y"), None]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn equal_content_equal_fingerprint() {
+        assert_eq!(base().fingerprint(), base().fingerprint());
+        // Clones and rebuilt-from-scratch frames agree.
+        let rebuilt = DataFrame::new(base().columns().to_vec()).unwrap();
+        assert_eq!(base().fingerprint(), rebuilt.fingerprint());
+    }
+
+    #[test]
+    fn dictionary_layout_does_not_matter() {
+        // Same string content, different intern order → same fingerprint.
+        let a = DataFrame::new(vec![Column::from_strs("s", vec!["x", "y", "x"])]).unwrap();
+        let col = {
+            let mut sc = crate::column::StrColumn::new();
+            sc.intern("y"); // reversed intern order
+            sc.intern("x");
+            sc.push(Some("x"));
+            sc.push(Some("y"));
+            sc.push(Some("x"));
+            Column::new("s", ColumnData::Str(sc))
+        };
+        let b = DataFrame::new(vec![col]).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn content_changes_change_fingerprint() {
+        let fp = base().fingerprint();
+        let mut cols = base().columns().to_vec();
+        cols[0] = Column::from_opt_ints("a", vec![Some(1), None, Some(4)]);
+        assert_ne!(fp, DataFrame::new(cols).unwrap().fingerprint());
+
+        // Renaming a column changes it.
+        let mut cols = base().columns().to_vec();
+        cols[0] = Column::from_opt_ints("b", vec![Some(1), None, Some(3)]);
+        assert_ne!(fp, DataFrame::new(cols).unwrap().fingerprint());
+
+        // Null position is content.
+        let mut cols = base().columns().to_vec();
+        cols[0] = Column::from_opt_ints("a", vec![None, Some(1), Some(3)]);
+        assert_ne!(fp, DataFrame::new(cols).unwrap().fingerprint());
+    }
+
+    #[test]
+    fn null_markers_cannot_alias_value_words() {
+        // Historical bug shape: with in-band null tags, a cell whose value
+        // word equals the tag could make these two columns collide. The
+        // sectioned encoding must keep them distinct.
+        const TAGGY: i64 = 0x6e75_6c6c;
+        let a = DataFrame::new(vec![Column::from_opt_ints(
+            "x",
+            vec![Some(TAGGY), Some(0), None],
+        )])
+        .unwrap();
+        let b = DataFrame::new(vec![Column::from_opt_ints(
+            "x",
+            vec![None, Some(TAGGY), Some(2)],
+        )])
+        .unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+
+        // And shifting only the null position always diverges.
+        let c = DataFrame::new(vec![Column::from_opt_ints(
+            "x",
+            vec![Some(TAGGY), None, Some(0)],
+        )])
+        .unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn float_bit_identity() {
+        let a = DataFrame::new(vec![Column::from_floats("f", vec![0.0])]).unwrap();
+        let b = DataFrame::new(vec![Column::from_floats("f", vec![-0.0])]).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn dtype_is_content() {
+        let i = DataFrame::new(vec![Column::from_ints("x", vec![1, 2])]).unwrap();
+        let f = DataFrame::new(vec![Column::from_floats("x", vec![1.0, 2.0])]).unwrap();
+        assert_ne!(i.fingerprint(), f.fingerprint());
+    }
+
+    #[test]
+    fn hex_rendering() {
+        let hex = base().fingerprint().to_hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -96,6 +96,13 @@ impl DataFrame {
         self.columns.iter().any(|c| c.name() == name)
     }
 
+    /// 128-bit content fingerprint of schema + every cell (see
+    /// [`crate::fingerprint`]); equal content always yields an equal
+    /// fingerprint, so it keys cross-request artifact caches.
+    pub fn fingerprint(&self) -> crate::fingerprint::Fingerprint {
+        crate::fingerprint::fingerprint_frame(self)
+    }
+
     /// Cell at (`row`, `column name`).
     pub fn get(&self, row: usize, name: &str) -> Result<Value> {
         let col = self.column(name)?;

@@ -27,6 +27,7 @@ pub mod codec;
 pub mod column;
 pub mod csv;
 pub mod error;
+pub mod fingerprint;
 pub mod frame;
 pub mod print;
 pub mod schema;
@@ -38,6 +39,7 @@ pub use codec::{CodedColumn, CodedFrame};
 pub use column::{Column, ColumnData, StrColumn, NULL_CODE};
 pub use csv::{read_csv, read_csv_str, write_csv, write_csv_string};
 pub use error::FrameError;
+pub use fingerprint::{fingerprint_frame, Fingerprint, FpHasher};
 pub use frame::DataFrame;
 pub use schema::{DType, Field, Schema};
 pub use value::Value;

@@ -1,0 +1,47 @@
+//! A blocking NDJSON client for the explanation service — used by the CLI
+//! `client` subcommand, the CI smoke job, and the integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use crate::json::{self, Json};
+
+/// One connection speaking newline-delimited JSON.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `host:port`.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request object, wait for the response object.
+    pub fn request(&mut self, req: &Json) -> std::io::Result<Json> {
+        let line = self.request_raw(&req.to_string())?;
+        json::parse(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Send one raw request line, return the raw response line.
+    pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+}

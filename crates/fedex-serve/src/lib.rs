@@ -1,0 +1,55 @@
+//! # fedex-serve
+//!
+//! A concurrent explanation service over the FEDEX engine — the
+//! "production-scale system serving heavy traffic" direction of the
+//! roadmap, std-only (no crates.io in this environment).
+//!
+//! The paper frames FEDEX inside a single analyst's notebook loop; this
+//! crate turns that loop into a shared service:
+//!
+//! * **sessions** — named, isolated catalogs + histories, managed by
+//!   [`fedex_core::SessionManager`]; any number of clients explain
+//!   concurrently;
+//! * **cross-request artifact cache** — registered tables are
+//!   content-fingerprinted; their dictionary-coded frames and per-step
+//!   kernel caches are shared across requests and sessions
+//!   ([`fedex_core::ArtifactCache`]), so warm explains skip the encode
+//!   work that dominates a cold ScoreColumns stage;
+//! * **transport** — newline-delimited JSON over TCP (one request object
+//!   per line) with a minimal HTTP/1.1 fallback (`POST /api`,
+//!   `GET /metrics`, `GET /healthz`) on the same port, served by a fixed
+//!   worker pool.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use fedex_serve::{json, Client, ExplainService, Server, ServerConfig};
+//!
+//! let service = Arc::new(ExplainService::default());
+//! let server = Server::bind(
+//!     &ServerConfig { addr: "127.0.0.1:0".into(), workers: 4 },
+//!     service,
+//! ).unwrap();
+//! let handle = server.spawn().unwrap();
+//!
+//! let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+//! let resp = client
+//!     .request(&json::parse(r#"{"cmd":"register_demo","session":"s","rows":1000}"#).unwrap())
+//!     .unwrap();
+//! assert_eq!(resp.get("ok"), Some(&json::Json::Bool(true)));
+//! handle.stop().unwrap();
+//! ```
+//!
+//! Determinism contract: explanations served over the wire are
+//! byte-identical to the serial CLI path — the cache only memoizes pure
+//! derivations, and the pipeline is deterministic under every execution
+//! mode (pinned by the integration tests and the golden fixtures).
+
+pub mod client;
+pub mod json;
+pub mod server;
+pub mod service;
+
+pub use client::Client;
+pub use json::{Json, JsonError};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use service::{ExplainService, ServerMetrics};

@@ -1,0 +1,327 @@
+//! The multi-threaded TCP front-end.
+//!
+//! Transport is newline-delimited JSON: one request object per line, one
+//! response object per line, connections carry any number of requests. A
+//! minimal HTTP/1.1 fallback answers `POST /api` (body = one request
+//! object), `GET /metrics`, and `GET /healthz`, so `curl` works against
+//! the same port — the first bytes of a connection decide the mode.
+//!
+//! Concurrency follows the `pipeline::par` pattern: a fixed worker pool
+//! pulls accepted connections from a shared queue (`Mutex<Receiver>`), so
+//! up to `workers` clients are served simultaneously while each
+//! connection's requests stay ordered. Session state lives in the shared
+//! [`ExplainService`]; the artifact cache underneath makes concurrent
+//! explains over the same registered tables cheap, and determinism of the
+//! explain pipeline makes them byte-identical.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::json::{self, Json};
+use crate::service::ExplainService;
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:4641` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:4641".to_string(),
+            workers: 4,
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<ExplainService>,
+    workers: usize,
+}
+
+impl Server {
+    /// Bind `config.addr` over `service`.
+    pub fn bind(config: &ServerConfig, service: Arc<ExplainService>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            service,
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept and serve until a `shutdown` request arrives. Blocks the
+    /// calling thread; worker threads are joined before returning.
+    pub fn run(self) -> std::io::Result<()> {
+        // Non-blocking accept so the loop can observe the shutdown flag
+        // (a `shutdown` request is served by a worker, not the acceptor).
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let rx = rx.clone();
+                let service = self.service.clone();
+                scope.spawn(move || worker_loop(&rx, &service));
+            }
+            loop {
+                if self.service.shutdown_requested() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        // BSD-derived platforms (macOS included) hand out
+                        // accepted sockets that inherit the listener's
+                        // non-blocking flag; reset it so connection reads
+                        // block on their timeout instead of spinning.
+                        if stream.set_nonblocking(false).is_err() {
+                            continue;
+                        }
+                        self.service
+                            .metrics()
+                            .connections
+                            .fetch_add(1, Ordering::Relaxed);
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            // Dropping the sender ends every worker's recv loop.
+            drop(tx);
+            Ok(())
+        })
+    }
+
+    /// Run on a background thread; returns once the listener is live.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let service = self.service.clone();
+        let thread = std::thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            service,
+            thread,
+        })
+    }
+}
+
+/// Handle to a background server: address + graceful stop.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    service: Arc<ExplainService>,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// Where the server listens.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (e.g. to read metrics in tests).
+    pub fn service(&self) -> &Arc<ExplainService> {
+        &self.service
+    }
+
+    /// Request shutdown and join the server thread. Sets the flag
+    /// directly on the shared service — it does not need a free worker
+    /// slot, so it succeeds even when every worker is pinned by an open
+    /// connection.
+    pub fn stop(self) -> std::io::Result<()> {
+        self.service.request_shutdown();
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, service: &ExplainService) {
+    loop {
+        // Hold the lock only for the dequeue, not while serving.
+        let stream = match rx.lock().expect("connection queue").recv() {
+            Ok(s) => s,
+            Err(_) => return, // acceptor gone
+        };
+        // Connection errors (resets, bad HTTP) only end that connection.
+        let _ = serve_connection(stream, service);
+    }
+}
+
+/// Serve one connection in whichever protocol its first line speaks.
+fn serve_connection(stream: TcpStream, service: &ExplainService) -> std::io::Result<()> {
+    // Short read timeout: between client requests the worker wakes up
+    // regularly to observe a server shutdown, so idle keep-alive
+    // connections can never pin a worker past `shutdown` (they would
+    // otherwise deadlock a graceful stop).
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let peer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut writer = peer;
+
+    let mut first = Vec::new();
+    if read_line_shutdown_aware(&mut reader, &mut first, service)? == 0 {
+        return Ok(());
+    }
+    let first = String::from_utf8_lossy(&first).into_owned();
+    if let Some(request_line) = http_request_line(&first) {
+        return serve_http(reader, writer, service, request_line);
+    }
+    // NDJSON: the first line is already a request; keep reading lines.
+    let mut line = first;
+    let mut buf = Vec::new();
+    loop {
+        let response = service.dispatch_line(line.trim_end_matches(['\r', '\n']));
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        buf.clear();
+        if read_line_shutdown_aware(&mut reader, &mut buf, service)? == 0 {
+            return Ok(());
+        }
+        line = String::from_utf8_lossy(&buf).into_owned();
+        if line.trim().is_empty() {
+            return Ok(());
+        }
+    }
+}
+
+/// Keep-alive limit for idle NDJSON connections: a worker pinned by a
+/// silent client frees itself after this long, bounding worst-case
+/// worker-pool starvation.
+const IDLE_KEEPALIVE: Duration = Duration::from_secs(120);
+
+/// Read one `\n`-terminated line of raw bytes, treating a read timeout as
+/// "check the shutdown flag and keep waiting". This deliberately wraps
+/// `read_until` (bytes), not `read_line` (String): on the error path
+/// `read_line` truncates everything appended during the failed call —
+/// losing bytes a slow client already sent whenever the timeout fires
+/// mid-line — while `read_until` keeps partial data in `buf`, so resuming
+/// is lossless. UTF-8 conversion happens once, after the full line
+/// arrived. Returns 0 on EOF, when shutdown interrupts an idle wait, or
+/// when the idle keep-alive expires.
+fn read_line_shutdown_aware(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    service: &ExplainService,
+) -> std::io::Result<usize> {
+    let idle_since = std::time::Instant::now();
+    loop {
+        match reader.read_until(b'\n', buf) {
+            Ok(_) => return Ok(buf.len()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if service.shutdown_requested() || idle_since.elapsed() > IDLE_KEEPALIVE {
+                    return Ok(0);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// `Some((method, path))` when the line is an HTTP/1.x request line.
+fn http_request_line(line: &str) -> Option<(String, String)> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    let version = parts.next()?;
+    (matches!(method, "GET" | "POST" | "PUT" | "HEAD" | "DELETE") && version.starts_with("HTTP/1."))
+        .then(|| (method.to_string(), path.to_string()))
+}
+
+/// Minimal HTTP/1.1: headers, optional Content-Length body, one response,
+/// close.
+fn serve_http(
+    mut reader: BufReader<TcpStream>,
+    mut writer: TcpStream,
+    service: &ExplainService,
+    (method, path): (String, String),
+) -> std::io::Result<()> {
+    // One request then close: a longer blocking timeout is safe here and
+    // tolerates bodies arriving in a later packet than the request line.
+    reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    // Reject over-limit bodies explicitly instead of reading a truncated
+    // prefix (which would parse as garbage and reset the client mid-send).
+    const MAX_BODY: usize = 64 * 1024 * 1024;
+    if content_length > MAX_BODY {
+        let payload = json::obj([
+            ("ok", Json::Bool(false)),
+            (
+                "error",
+                json::s(format!(
+                    "request body {content_length} bytes exceeds {MAX_BODY}"
+                )),
+            ),
+        ])
+        .to_string();
+        write!(
+            writer,
+            "HTTP/1.1 413 Payload Too Large\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+            payload.len(),
+        )?;
+        return writer.flush();
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8_lossy(&body);
+
+    let (status, payload) = match (method.as_str(), path.as_str()) {
+        ("POST", "/api") => ("200 OK", service.dispatch_line(body.trim())),
+        ("GET", "/metrics") => ("200 OK", service.dispatch_line(r#"{"cmd":"metrics"}"#)),
+        ("GET", "/healthz") => ("200 OK", service.dispatch_line(r#"{"cmd":"ping"}"#)),
+        _ => (
+            "404 Not Found",
+            json::obj([
+                ("ok", Json::Bool(false)),
+                ("error", json::s(format!("no route {method} {path}"))),
+            ])
+            .to_string(),
+        ),
+    };
+    write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len(),
+    )?;
+    writer.flush()
+}

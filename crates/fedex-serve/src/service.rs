@@ -1,0 +1,537 @@
+//! Protocol dispatch: one JSON request in, one JSON response out.
+//!
+//! The service is transport-agnostic — the TCP server (NDJSON and the
+//! HTTP fallback), tests, and the CLI all call [`ExplainService::dispatch`]
+//! directly. Every request is an object with a `"cmd"` field:
+//!
+//! | cmd             | fields                                              |
+//! |-----------------|-----------------------------------------------------|
+//! | `ping`          | —                                                   |
+//! | `register`      | `session`, `table`, `columns` (inline data)         |
+//! | `register_demo` | `session`, `table?`, `rows?`, `seed?`               |
+//! | `explain`       | `session`, `sql`, `save_as?`, `top?`, `width?`      |
+//! | `history`       | `session`                                           |
+//! | `sessions`      | —                                                   |
+//! | `metrics`       | —                                                   |
+//! | `shutdown`      | —                                                   |
+//!
+//! Responses always carry `"ok"`; failures are `{"ok":false,"error":…}` —
+//! a malformed request never tears down the connection, let alone the
+//! server. Explain responses embed the per-stage timings and a cumulative
+//! artifact-cache snapshot so a client can observe that its warm request
+//! skipped the encode work.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use fedex_core::{to_json_array, SessionManager, StageReport};
+use fedex_frame::{Column, DataFrame};
+
+use crate::json::{self, n, obj, s, Json};
+
+/// Wire-visible server counters.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Requests dispatched (all commands).
+    pub requests: AtomicU64,
+    /// Requests answered with `ok:false`.
+    pub errors: AtomicU64,
+    /// `explain` requests served.
+    pub explains: AtomicU64,
+    /// Tables registered (`register` + `register_demo`).
+    pub registers: AtomicU64,
+    /// Connections accepted (maintained by the TCP server).
+    pub connections: AtomicU64,
+}
+
+impl ServerMetrics {
+    fn to_json(&self) -> Json {
+        obj([
+            ("requests", n(self.requests.load(Ordering::Relaxed) as f64)),
+            ("errors", n(self.errors.load(Ordering::Relaxed) as f64)),
+            ("explains", n(self.explains.load(Ordering::Relaxed) as f64)),
+            (
+                "registers",
+                n(self.registers.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "connections",
+                n(self.connections.load(Ordering::Relaxed) as f64),
+            ),
+        ])
+    }
+}
+
+/// The shared request handler: a [`SessionManager`] plus server state.
+#[derive(Debug, Default)]
+pub struct ExplainService {
+    manager: SessionManager,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+}
+
+/// Cumulative artifact-cache snapshot as a JSON object.
+fn cache_json(manager: &SessionManager) -> Json {
+    let m = manager.cache().metrics();
+    obj([
+        ("hits", n(m.hits as f64)),
+        ("misses", n(m.misses as f64)),
+        ("evictions", n(m.evictions as f64)),
+        ("rejected", n(m.rejected as f64)),
+        ("entries", n(m.entries as f64)),
+        ("bytes", n(m.bytes as f64)),
+        ("budget", n(m.budget as f64)),
+    ])
+}
+
+fn trace_json(trace: &[StageReport]) -> Json {
+    Json::Arr(
+        trace
+            .iter()
+            .map(|r| {
+                obj([
+                    ("stage", s(r.stage)),
+                    ("micros", n(r.elapsed.as_micros() as f64)),
+                    ("items", n(r.items as f64)),
+                    (
+                        "sub",
+                        Json::Arr(
+                            r.sub
+                                .iter()
+                                .map(|(name, d)| {
+                                    obj([("name", s(*name)), ("micros", n(d.as_micros() as f64))])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn err(message: impl Into<String>) -> Json {
+    obj([("ok", Json::Bool(false)), ("error", s(message.into()))])
+}
+
+fn ok(mut fields: Vec<(&'static str, Json)>) -> Json {
+    fields.insert(0, ("ok", Json::Bool(true)));
+    obj(fields)
+}
+
+/// Decode one uploaded column: `{"name":…,"type":…,"values":[…]}`.
+fn parse_column(spec: &Json) -> Result<Column, String> {
+    let name = spec
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("column needs a string 'name'")?;
+    let dtype = spec
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("column needs a 'type' of int|float|str|bool")?;
+    let values = spec
+        .get("values")
+        .and_then(Json::as_arr)
+        .ok_or("column needs a 'values' array")?;
+    let bad = |i: usize| format!("column {name:?}: value {i} does not match type {dtype:?}");
+    match dtype {
+        "int" => {
+            // JSON numbers arrive as f64, which is exact only to 2⁵³;
+            // larger "integers" would be silently rounded, so reject them
+            // rather than register corrupted cells.
+            const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+            let mut out = Vec::with_capacity(values.len());
+            for (i, v) in values.iter().enumerate() {
+                out.push(match v {
+                    Json::Null => None,
+                    Json::Num(x) if x.fract() == 0.0 && x.abs() <= EXACT => Some(*x as i64),
+                    _ => return Err(bad(i)),
+                });
+            }
+            Ok(Column::from_opt_ints(name, out))
+        }
+        "float" => {
+            let mut out = Vec::with_capacity(values.len());
+            for (i, v) in values.iter().enumerate() {
+                out.push(match v {
+                    Json::Null => None,
+                    Json::Num(x) => Some(*x),
+                    _ => return Err(bad(i)),
+                });
+            }
+            Ok(Column::from_opt_floats(name, out))
+        }
+        "str" => {
+            let mut out = Vec::with_capacity(values.len());
+            for (i, v) in values.iter().enumerate() {
+                out.push(match v {
+                    Json::Null => None,
+                    Json::Str(x) => Some(x.clone()),
+                    _ => return Err(bad(i)),
+                });
+            }
+            Ok(Column::from_opt_strs(name, out))
+        }
+        "bool" => {
+            let mut out = Vec::with_capacity(values.len());
+            for (i, v) in values.iter().enumerate() {
+                out.push(match v {
+                    Json::Null => None,
+                    Json::Bool(b) => Some(*b),
+                    _ => return Err(bad(i)),
+                });
+            }
+            Ok(Column::new(name, fedex_frame::ColumnData::Bool(out)))
+        }
+        other => Err(format!("unknown column type {other:?}")),
+    }
+}
+
+impl ExplainService {
+    /// A service over an existing manager (shared cache, config).
+    pub fn new(manager: SessionManager) -> Self {
+        ExplainService {
+            manager,
+            metrics: ServerMetrics::default(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The underlying session manager.
+    pub fn manager(&self) -> &SessionManager {
+        &self.manager
+    }
+
+    /// The server-side counters (the TCP server bumps `connections`).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// True once a `shutdown` request was served (or
+    /// [`ExplainService::request_shutdown`] was called in-process).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Ask the server loops to wind down — the in-process equivalent of a
+    /// wire `shutdown` request. Idle workers observe the flag within their
+    /// read-timeout tick, so a graceful stop never depends on a free
+    /// worker slot.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Dispatch one already-parsed request.
+    pub fn dispatch(&self, req: &Json) -> Json {
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let response = self.dispatch_inner(req);
+        if response.get("ok") == Some(&Json::Bool(false)) {
+            self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        response
+    }
+
+    /// Dispatch one NDJSON line; the response is a single line without the
+    /// trailing newline.
+    pub fn dispatch_line(&self, line: &str) -> String {
+        let response = match json::parse(line) {
+            Ok(req) => self.dispatch(&req),
+            Err(e) => {
+                self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                err(format!("invalid JSON: {e}"))
+            }
+        };
+        response.to_string()
+    }
+
+    fn dispatch_inner(&self, req: &Json) -> Json {
+        let Some(cmd) = req.get("cmd").and_then(Json::as_str) else {
+            return err("request needs a string 'cmd'");
+        };
+        let session = req
+            .get("session")
+            .and_then(Json::as_str)
+            .unwrap_or("default");
+        match cmd {
+            "ping" => ok(vec![("pong", Json::Bool(true))]),
+            "register" => self.register(req, session),
+            "register_demo" => self.register_demo(req, session),
+            "explain" => self.explain(req, session),
+            "history" => self.history(session),
+            "sessions" => ok(vec![(
+                "sessions",
+                Json::Arr(
+                    self.manager
+                        .session_names()
+                        .into_iter()
+                        .map(Json::Str)
+                        .collect(),
+                ),
+            )]),
+            "metrics" => ok(vec![
+                ("server", self.metrics.to_json()),
+                ("cache", cache_json(&self.manager)),
+            ]),
+            "shutdown" => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                ok(vec![("shutting_down", Json::Bool(true))])
+            }
+            other => err(format!("unknown cmd {other:?}")),
+        }
+    }
+
+    fn register(&self, req: &Json, session: &str) -> Json {
+        let Some(table) = req.get("table").and_then(Json::as_str) else {
+            return err("register needs a string 'table'");
+        };
+        let Some(specs) = req.get("columns").and_then(Json::as_arr) else {
+            return err("register needs a 'columns' array");
+        };
+        let mut columns = Vec::with_capacity(specs.len());
+        for spec in specs {
+            match parse_column(spec) {
+                Ok(c) => columns.push(c),
+                Err(e) => return err(e),
+            }
+        }
+        let df = match DataFrame::new(columns) {
+            Ok(df) => df,
+            Err(e) => return err(format!("invalid table: {e}")),
+        };
+        self.finish_register(session, table, df)
+    }
+
+    fn register_demo(&self, req: &Json, session: &str) -> Json {
+        let table = req.get("table").and_then(Json::as_str).unwrap_or("spotify");
+        let rows = req
+            .get("rows")
+            .and_then(Json::as_usize)
+            .unwrap_or(10_000)
+            .clamp(1, 5_000_000);
+        let seed = req.get("seed").and_then(Json::as_usize).unwrap_or(42) as u64;
+        let df = fedex_data::spotify::generate(rows, seed);
+        self.finish_register(session, table, df)
+    }
+
+    fn finish_register(&self, session: &str, table: &str, df: DataFrame) -> Json {
+        self.metrics.registers.fetch_add(1, Ordering::Relaxed);
+        let rows = df.n_rows();
+        let cols = df.n_cols();
+        let fp = df.fingerprint();
+        self.manager.register(session, table, df);
+        ok(vec![
+            ("session", s(session)),
+            ("table", s(table)),
+            ("rows", n(rows as f64)),
+            ("columns", n(cols as f64)),
+            ("fingerprint", s(fp.to_hex())),
+        ])
+    }
+
+    fn explain(&self, req: &Json, session: &str) -> Json {
+        let Some(sql) = req.get("sql").and_then(Json::as_str) else {
+            return err("explain needs a string 'sql'");
+        };
+        let save_as = req.get("save_as").and_then(Json::as_str);
+        let width = req.get("width").and_then(Json::as_usize).unwrap_or(44);
+        let top = req.get("top").and_then(Json::as_usize);
+        self.metrics.explains.fetch_add(1, Ordering::Relaxed);
+        // Summarize in place (`run_traced_with`): a SessionEntry owns the
+        // full input/output dataframes, which must not be deep-cloned per
+        // wire request.
+        let response = self
+            .manager
+            .run_traced_with(session, sql, save_as, |entry, trace| {
+                // `top` trims the *response* — the ranked prefix is exactly
+                // what `top_k_explanations` would have kept; history stays
+                // complete.
+                let shown = match top {
+                    Some(k) => &entry.explanations[..k.min(entry.explanations.len())],
+                    None => &entry.explanations[..],
+                };
+                let explanations = json::parse(&to_json_array(shown))
+                    .expect("explanation serialization is valid JSON");
+                let rendered = fedex_core::render_all(shown, width);
+                let encode_micros = trace
+                    .iter()
+                    .find(|r| r.stage == "ScoreColumns")
+                    .and_then(|r| r.sub.iter().find(|(name, _)| *name == "encode"))
+                    .map_or(0.0, |(_, d)| d.as_micros() as f64);
+                ok(vec![
+                    ("session", s(session)),
+                    ("sql", s(sql)),
+                    ("n_rows_in", n(entry.step.inputs[0].n_rows() as f64)),
+                    ("n_rows_out", n(entry.step.output.n_rows() as f64)),
+                    ("explanations", explanations),
+                    ("rendered", s(rendered)),
+                    ("stage_trace", trace_json(trace)),
+                    ("encode_micros", n(encode_micros)),
+                ])
+            });
+        match response {
+            Ok(Json::Obj(mut fields)) => {
+                // The cache snapshot is taken after the run, outside the
+                // session lock.
+                fields.push(("cache".to_string(), cache_json(&self.manager)));
+                Json::Obj(fields)
+            }
+            Ok(other) => other,
+            Err(e) => err(format!("explain failed: {e}")),
+        }
+    }
+
+    fn history(&self, session: &str) -> Json {
+        // Summaries only — never clone the entries' dataframes.
+        let entries = self.manager.history_with(session, |entries| {
+            entries
+                .iter()
+                .map(|e| {
+                    obj([
+                        ("sql", s(e.sql.clone())),
+                        ("saved_as", e.saved_as.clone().map_or(Json::Null, Json::Str)),
+                        ("n_explanations", n(e.explanations.len() as f64)),
+                        ("n_rows_out", n(e.step.output.n_rows() as f64)),
+                    ])
+                })
+                .collect::<Vec<_>>()
+        });
+        ok(vec![
+            ("session", s(session)),
+            ("entries", Json::Arr(entries)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn register_req() -> Json {
+        json::parse(
+            r#"{"cmd":"register","session":"s1","table":"songs","columns":[
+                {"name":"popularity","type":"int","values":[80,20,75,10,90,15,85,25]},
+                {"name":"decade","type":"str","values":["2010s","1970s","2010s","1970s","2010s","1980s","2010s","1970s"]}
+            ]}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ping_and_unknown() {
+        let svc = ExplainService::default();
+        let r = svc.dispatch(&json::parse(r#"{"cmd":"ping"}"#).unwrap());
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        let r = svc.dispatch(&json::parse(r#"{"cmd":"frobnicate"}"#).unwrap());
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(svc.metrics().errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn register_then_explain_roundtrip() {
+        let svc = ExplainService::default();
+        let r = svc.dispatch(&register_req());
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+        assert_eq!(r.get("rows").and_then(Json::as_f64), Some(8.0));
+        assert_eq!(
+            r.get("fingerprint").and_then(Json::as_str).map(str::len),
+            Some(32)
+        );
+
+        let req = json::parse(
+            r#"{"cmd":"explain","session":"s1","sql":"SELECT * FROM songs WHERE popularity > 65"}"#,
+        )
+        .unwrap();
+        let r = svc.dispatch(&req);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+        assert_eq!(r.get("n_rows_out").and_then(Json::as_f64), Some(4.0));
+        assert!(!r.get("explanations").unwrap().as_arr().unwrap().is_empty());
+        assert!(r
+            .get("rendered")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("Explanation 1"));
+        // Second, identical request: the cache reports hits.
+        let r2 = svc.dispatch(&req);
+        let hits = r2
+            .get("cache")
+            .and_then(|c| c.get("hits"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(hits > 0.0, "warm request must report cache hits");
+
+        let h = svc.dispatch(&json::parse(r#"{"cmd":"history","session":"s1"}"#).unwrap());
+        assert_eq!(h.get("entries").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn explain_errors_are_responses() {
+        let svc = ExplainService::default();
+        let r = svc.dispatch(
+            &json::parse(r#"{"cmd":"explain","session":"s1","sql":"SELEKT nope"}"#).unwrap(),
+        );
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        assert!(r.get("error").and_then(Json::as_str).is_some());
+    }
+
+    #[test]
+    fn register_demo_and_metrics() {
+        let svc = ExplainService::default();
+        let r = svc.dispatch(
+            &json::parse(r#"{"cmd":"register_demo","session":"d","rows":500,"seed":7}"#).unwrap(),
+        );
+        assert_eq!(r.get("rows").and_then(Json::as_f64), Some(500.0));
+        let m = svc.dispatch(&json::parse(r#"{"cmd":"metrics"}"#).unwrap());
+        assert_eq!(
+            m.get("server")
+                .and_then(|x| x.get("registers"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert!(m.get("cache").and_then(|c| c.get("budget")).is_some());
+    }
+
+    #[test]
+    fn bad_column_uploads_are_rejected() {
+        let svc = ExplainService::default();
+        for bad in [
+            r#"{"cmd":"register","table":"t","columns":[{"name":"x","type":"int","values":[1.5]}]}"#,
+            r#"{"cmd":"register","table":"t","columns":[{"name":"x","type":"wat","values":[]}]}"#,
+            r#"{"cmd":"register","table":"t","columns":[{"name":"x","type":"int","values":[1]},{"name":"y","type":"int","values":[1,2]}]}"#,
+            r#"{"cmd":"register","table":"t"}"#,
+        ] {
+            let r = svc.dispatch(&json::parse(bad).unwrap());
+            assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{bad}");
+        }
+    }
+
+    #[test]
+    fn dispatch_line_survives_garbage() {
+        let svc = ExplainService::default();
+        let out = svc.dispatch_line("{not json");
+        assert!(out.contains("\"ok\":false"));
+        let out = svc.dispatch_line(r#"{"cmd":"ping"}"#);
+        assert!(out.contains("\"pong\":true"));
+    }
+
+    #[test]
+    fn shutdown_sets_flag() {
+        let svc = ExplainService::default();
+        assert!(!svc.shutdown_requested());
+        svc.dispatch(&json::parse(r#"{"cmd":"shutdown"}"#).unwrap());
+        assert!(svc.shutdown_requested());
+    }
+
+    #[test]
+    fn save_as_chains_in_session() {
+        let svc = ExplainService::default();
+        svc.dispatch(&register_req());
+        let r = svc.dispatch(&json::parse(
+            r#"{"cmd":"explain","session":"s1","sql":"SELECT * FROM songs WHERE popularity > 65","save_as":"popular"}"#,
+        ).unwrap());
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+        let r = svc.dispatch(&json::parse(
+            r#"{"cmd":"explain","session":"s1","sql":"SELECT * FROM popular WHERE popularity > 80"}"#,
+        ).unwrap());
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+    }
+}

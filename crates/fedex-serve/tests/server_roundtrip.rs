@@ -1,0 +1,196 @@
+//! End-to-end tests over a real loopback socket: NDJSON round-trips, the
+//! HTTP fallback, warm-cache behaviour, and the concurrency contract —
+//! N clients hammering one server receive explanations byte-identical to
+//! the serial CLI path.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use fedex_core::{render_all, ExecutionMode, Fedex, Session};
+use fedex_serve::{json, Client, ExplainService, Json, Server, ServerConfig};
+
+const ROWS: usize = 4_000;
+const SEED: usize = 7;
+const SQL: &str = "SELECT * FROM spotify WHERE popularity > 65";
+
+fn boot(workers: usize) -> fedex_serve::ServerHandle {
+    let service = Arc::new(ExplainService::default());
+    let server = Server::bind(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+        },
+        service,
+    )
+    .expect("bind loopback");
+    server.spawn().expect("spawn server")
+}
+
+fn req(text: &str) -> Json {
+    json::parse(text).unwrap()
+}
+
+/// What the serial, in-process CLI path renders for the same step.
+fn serial_reference() -> String {
+    let mut session = Session::new(Fedex::new().with_execution(ExecutionMode::Serial));
+    session.register("spotify", fedex_data::spotify::generate(ROWS, SEED as u64));
+    let entry = session.run(SQL).unwrap();
+    render_all(&entry.explanations, 44)
+}
+
+#[test]
+fn register_explain_roundtrip_and_warm_cache() {
+    let handle = boot(2);
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+
+    let r = client
+        .request(&req(&format!(
+            r#"{{"cmd":"register_demo","session":"s","rows":{ROWS},"seed":{SEED}}}"#
+        )))
+        .unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+
+    let explain = req(&format!(
+        r#"{{"cmd":"explain","session":"s","sql":"{SQL}"}}"#
+    ));
+    let cold = client.request(&explain).unwrap();
+    assert_eq!(cold.get("ok"), Some(&Json::Bool(true)), "{cold:?}");
+    let rendered = cold.get("rendered").and_then(Json::as_str).unwrap();
+    assert_eq!(rendered, serial_reference(), "wire == serial CLI path");
+
+    // Warm request: the artifact cache reports hits and encode collapses.
+    let warm = client.request(&explain).unwrap();
+    let hits = warm
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(hits > 0.0, "second request must hit the cache: {warm:?}");
+    let cold_encode = cold.get("encode_micros").and_then(Json::as_f64).unwrap();
+    let warm_encode = warm.get("encode_micros").and_then(Json::as_f64).unwrap();
+    assert!(
+        warm_encode < cold_encode,
+        "warm encode {warm_encode}µs !< cold encode {cold_encode}µs"
+    );
+
+    // History saw both runs.
+    let h = client
+        .request(&req(r#"{"cmd":"history","session":"s"}"#))
+        .unwrap();
+    assert_eq!(h.get("entries").unwrap().as_arr().unwrap().len(), 2);
+
+    handle.stop().unwrap();
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_explanations() {
+    let handle = boot(4);
+    let addr = handle.addr().to_string();
+
+    // One client registers; the table is shared per session, the cache
+    // across sessions.
+    let mut setup = Client::connect(&addr).unwrap();
+    for session in ["a", "b", "c", "d"] {
+        let r = setup
+            .request(&req(&format!(
+                r#"{{"cmd":"register_demo","session":"{session}","rows":{ROWS},"seed":{SEED}}}"#
+            )))
+            .unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    let reference = serial_reference();
+    let rendered: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ["a", "b", "c", "d"]
+            .into_iter()
+            .map(|session| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).unwrap();
+                    let explain = req(&format!(
+                        r#"{{"cmd":"explain","session":"{session}","sql":"{SQL}"}}"#
+                    ));
+                    // Two rounds each: cold-ish and warm interleavings.
+                    let mut out = Vec::new();
+                    for _ in 0..2 {
+                        let r = client.request(&explain).unwrap();
+                        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+                        out.push(
+                            r.get("rendered")
+                                .and_then(Json::as_str)
+                                .unwrap()
+                                .to_string(),
+                        );
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    assert_eq!(rendered.len(), 8);
+    for (i, r) in rendered.iter().enumerate() {
+        assert_eq!(r, &reference, "client run {i} diverged from serial path");
+    }
+
+    // All four sessions share one cache: at most one cold encode of the
+    // (content-identical) table.
+    let m = handle.service().manager().cache().metrics();
+    assert!(m.hits >= 7, "expected ≥7 cache hits, got {m:?}");
+
+    handle.stop().unwrap();
+}
+
+#[test]
+fn http_fallback_answers_curl_shaped_requests() {
+    let handle = boot(2);
+    let addr = handle.addr();
+
+    // POST /api
+    let body = r#"{"cmd":"ping"}"#;
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "POST /api HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains(r#""pong":true"#), "{response}");
+
+    // GET /healthz and /metrics
+    for (path, needle) in [("/healthz", r#""pong":true"#), ("/metrics", r#""cache""#)] {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.contains(needle), "{path}: {response}");
+    }
+
+    // Unknown route → 404 envelope, not a dropped connection.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(stream, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+
+    handle.stop().unwrap();
+}
+
+#[test]
+fn malformed_lines_do_not_kill_the_connection() {
+    let handle = boot(1);
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+    let r = client.request_raw("{broken json").unwrap();
+    assert!(r.contains(r#""ok":false"#));
+    // The same connection still serves valid requests.
+    let r = client.request(&req(r#"{"cmd":"ping"}"#)).unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+    handle.stop().unwrap();
+}
