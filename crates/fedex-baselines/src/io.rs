@@ -1,7 +1,7 @@
 //! The Interestingness-Only (IO) baseline — baseline 3 of §4.1.
 //!
 //! Based on the influence notion of Wu & Madden's Scorpion line of work
-//! [79] as the paper adapts it: the influence of an attribute is the
+//! \[79\] as the paper adapts it: the influence of an attribute is the
 //! difference in interestingness of that attribute in `d_out` w.r.t.
 //! `D_in`. IO therefore ranks output columns by the same interestingness
 //! measures FEDEX uses, but stops there — it produces *column-level*

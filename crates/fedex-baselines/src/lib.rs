@@ -9,7 +9,7 @@
 //! * [`rath`] — top-k insight extraction in the style of RATH / Tang et
 //!   al. (SIGMOD 2017): outstanding values and trends over aggregate
 //!   series, with one commensurable score;
-//! * [`io`] — the Interestingness-Only baseline [79]: rank output columns
+//! * [`io`] — the Interestingness-Only baseline \[79\]: rank output columns
 //!   by the same interestingness measures FEDEX uses, without
 //!   set-of-rows contribution.
 //!

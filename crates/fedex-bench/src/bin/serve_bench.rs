@@ -1,0 +1,321 @@
+//! Contention benchmark of the admission-scheduled server — the
+//! measurement behind `BENCH_pr5.json`.
+//!
+//! ```text
+//! cargo run --release -p fedex-bench --bin serve_bench -- [rows] [probe_clients]
+//! ```
+//!
+//! Boots a real `fedex-serve` server on a loopback socket, registers a
+//! large Spotify-shaped table, and measures three things the PR 5
+//! acceptance criteria name:
+//!
+//! 1. **cold vs warm explain** over the wire — the warm run must hit the
+//!    artifact cache *and* the register-time fingerprint memo, collapsing
+//!    the ScoreColumns stage to cache lookups (target ≤ 0.05s at 1M
+//!    rows);
+//! 2. **control-plane latency under contention** — while one client runs
+//!    a long cold explain, `probe_clients` clients hammer `ping` and
+//!    `metrics`; the dedicated control worker must keep their p99 under
+//!    50ms (pre-PR 5 they queued behind the explain for seconds);
+//! 3. **determinism** — the wire responses under contention are
+//!    byte-identical to a serial in-process [`fedex_core::Session`] run.
+//!
+//! Prints one JSON object to stdout; human-readable progress to stderr.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fedex_core::{render_all, ExecutionMode, Fedex, Session};
+use fedex_serve::{json, Client, ExplainService, Json, Server, ServerConfig};
+
+const WARM_SQL: &str = "SELECT * FROM spotify WHERE popularity > 65";
+/// A second query over the same table: frame-warm but kernel-cold, so it
+/// runs the full partition/contribute pipeline — the "long explain" the
+/// probes contend with.
+const CONTENTION_SQL: &str = "SELECT * FROM spotify WHERE popularity > 50";
+
+fn req(text: &str) -> Json {
+    json::parse(text).unwrap()
+}
+
+/// The ScoreColumns stage time (ns) and its encode sub-timing (ns) out of
+/// an explain response's stage trace.
+fn score_columns_ns(response: &Json) -> (f64, f64) {
+    let trace = response
+        .get("stage_trace")
+        .and_then(Json::as_arr)
+        .expect("explain responses carry stage_trace");
+    let stage = trace
+        .iter()
+        .find(|r| r.get("stage").and_then(Json::as_str) == Some("ScoreColumns"))
+        .expect("ScoreColumns in trace");
+    let micros = stage.get("micros").and_then(Json::as_f64).unwrap_or(0.0);
+    let encode = stage
+        .get("sub")
+        .and_then(Json::as_arr)
+        .and_then(|subs| {
+            subs.iter()
+                .find(|s| s.get("name").and_then(Json::as_str) == Some("encode"))
+        })
+        .and_then(|s| s.get("micros"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    (micros * 1e3, encode * 1e3)
+}
+
+fn total_ns(trace: &Json) -> f64 {
+    trace
+        .get("stage_trace")
+        .and_then(Json::as_arr)
+        .map(|stages| {
+            stages
+                .iter()
+                .filter_map(|r| r.get("micros").and_then(Json::as_f64))
+                .sum::<f64>()
+                * 1e3
+        })
+        .unwrap_or(0.0)
+}
+
+fn percentile(sorted_micros: &[u64], p: f64) -> u64 {
+    if sorted_micros.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_micros.len() as f64 - 1.0) * p).round() as usize;
+    sorted_micros[rank.min(sorted_micros.len() - 1)]
+}
+
+fn latency_json(mut micros: Vec<u64>) -> String {
+    micros.sort_unstable();
+    format!(
+        "{{ \"n\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {} }}",
+        micros.len(),
+        percentile(&micros, 0.50),
+        percentile(&micros, 0.99),
+        micros.last().copied().unwrap_or(0)
+    )
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let probe_clients: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(3);
+
+    // Serial reference for the determinism check (same generator + seed).
+    eprintln!("# building serial reference ({rows} rows)…");
+    let reference = {
+        let mut session = Session::new(Fedex::new().with_execution(ExecutionMode::Serial));
+        session.register("spotify", fedex_data::spotify::generate(rows, 5));
+        render_all(&session.run(WARM_SQL).unwrap().explanations, 44)
+    };
+
+    let service = Arc::new(ExplainService::default());
+    let server = Server::bind(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..Default::default()
+        },
+        service,
+    )
+    .expect("bind loopback");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr().to_string();
+
+    let mut main_client = Client::connect(&addr).unwrap();
+    eprintln!("# registering {rows} rows (fingerprint computed here, once)…");
+    let t0 = Instant::now();
+    let r = main_client
+        .request(&req(&format!(
+            r#"{{"cmd":"register_demo","session":"bench","rows":{rows},"seed":5}}"#
+        )))
+        .unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+    let register_ns = t0.elapsed().as_nanos() as f64;
+
+    let explain_line = format!(r#"{{"cmd":"explain","session":"bench","sql":"{WARM_SQL}"}}"#);
+    eprintln!("# cold explain…");
+    let t0 = Instant::now();
+    let cold = main_client.request(&req(&explain_line)).unwrap();
+    let cold_wall_ns = t0.elapsed().as_nanos() as f64;
+    assert_eq!(cold.get("ok"), Some(&Json::Bool(true)), "{cold:?}");
+    let cold_rendered = cold.get("rendered").and_then(Json::as_str).unwrap();
+    assert_eq!(cold_rendered, reference, "wire must equal serial path");
+    let (cold_score_ns, cold_encode_ns) = score_columns_ns(&cold);
+
+    eprintln!("# warm explain (fingerprint memo + artifact cache)…");
+    let t0 = Instant::now();
+    let warm = main_client.request(&req(&explain_line)).unwrap();
+    let warm_wall_ns = t0.elapsed().as_nanos() as f64;
+    let warm_rendered = warm.get("rendered").and_then(Json::as_str).unwrap();
+    assert_eq!(warm_rendered, cold_rendered, "warm must equal cold");
+    let (warm_score_ns, warm_encode_ns) = score_columns_ns(&warm);
+    eprintln!(
+        "# ScoreColumns cold {:.3}s → warm {:.4}s (encode {:.3}s → {:.4}s)",
+        cold_score_ns / 1e9,
+        warm_score_ns / 1e9,
+        cold_encode_ns / 1e9,
+        warm_encode_ns / 1e9
+    );
+
+    // ---- contention phase -------------------------------------------
+    eprintln!("# contention: 1 explain client + {probe_clients} ping/metrics probes…");
+    let stop = AtomicBool::new(false);
+    let explain_running = AtomicBool::new(false);
+    let (explain_ns, ping_lat, metrics_lat, probe_rendered) = std::thread::scope(|scope| {
+        let explain_thread = {
+            let addr = addr.clone();
+            let explain_running = &explain_running;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                explain_running.store(true, Ordering::SeqCst);
+                let t0 = Instant::now();
+                let r = c
+                    .request(&req(&format!(
+                        r#"{{"cmd":"explain","session":"bench","sql":"{CONTENTION_SQL}"}}"#
+                    )))
+                    .unwrap();
+                let ns = t0.elapsed().as_nanos() as f64;
+                stop.store(true, Ordering::SeqCst);
+                assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+                ns
+            })
+        };
+        let probes: Vec<_> = (0..probe_clients.max(1))
+            .map(|_| {
+                let addr = addr.clone();
+                let stop = &stop;
+                let explain_running = &explain_running;
+                scope.spawn(move || {
+                    let mut c = Client::connect(&addr).unwrap();
+                    let mut ping = Vec::new();
+                    let mut metrics = Vec::new();
+                    while !explain_running.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    while !stop.load(Ordering::SeqCst) {
+                        let t0 = Instant::now();
+                        let r = c.request(&req(r#"{"cmd":"ping"}"#)).unwrap();
+                        ping.push(t0.elapsed().as_micros() as u64);
+                        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+                        let t0 = Instant::now();
+                        let r = c.request(&req(r#"{"cmd":"metrics"}"#)).unwrap();
+                        metrics.push(t0.elapsed().as_micros() as u64);
+                        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    (ping, metrics)
+                })
+            })
+            .collect();
+        // A warm explain on the *other* query interleaved with the long
+        // one: the determinism probe under real contention.
+        let warm_probe = {
+            let addr = addr.clone();
+            let explain_running = &explain_running;
+            scope.spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                while !explain_running.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+                let r = c
+                    .request(&req(&format!(
+                        r#"{{"cmd":"explain","session":"probe","sql":"{WARM_SQL}"}}"#
+                    )))
+                    .unwrap();
+                assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+                r
+            })
+        };
+        // The probe session needs the table too — register it while the
+        // long explain runs (heavy, but workers=2 leaves one slot).
+        {
+            let mut c = Client::connect(&addr).unwrap();
+            let r = c
+                .request(&req(&format!(
+                    r#"{{"cmd":"register_demo","session":"probe","rows":{rows},"seed":5}}"#
+                )))
+                .unwrap();
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+        }
+        let explain_ns = explain_thread.join().expect("explain client");
+        let mut ping_all = Vec::new();
+        let mut metrics_all = Vec::new();
+        for p in probes {
+            let (ping, metrics) = p.join().expect("probe client");
+            ping_all.extend(ping);
+            metrics_all.extend(metrics);
+        }
+        let probe_response = warm_probe.join().expect("warm probe");
+        let probe_rendered = probe_response
+            .get("rendered")
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        (explain_ns, ping_all, metrics_all, probe_rendered)
+    });
+
+    // The interleaved warm explain in another session must also match the
+    // serial reference byte-for-byte (shared cache, scheduled execution).
+    let scheduled_identical = probe_rendered.as_deref() == Some(reference.as_str());
+    assert!(
+        scheduled_identical,
+        "scheduled warm explain diverged from the serial reference"
+    );
+
+    let mut sorted_ping = ping_lat.clone();
+    sorted_ping.sort_unstable();
+    let ping_p99 = percentile(&sorted_ping, 0.99);
+    eprintln!(
+        "# contention explain {:.2}s; ping p99 {}µs over {} samples",
+        explain_ns / 1e9,
+        ping_p99,
+        ping_lat.len()
+    );
+
+    let m = handle.service().manager().cache().metrics();
+    let final_metrics = {
+        let mut c = Client::connect(&addr).unwrap();
+        c.request(&req(r#"{"cmd":"metrics"}"#)).unwrap()
+    };
+    let sched = final_metrics
+        .get("scheduler")
+        .map(Json::to_string)
+        .unwrap_or_else(|| "{}".to_string());
+    handle.stop().unwrap();
+
+    println!("{{");
+    println!("  \"workload\": \"admission-scheduled serve, filter/spotify\",");
+    println!("  \"rows\": {rows},");
+    println!("  \"register_ns\": {register_ns:.0},");
+    println!(
+        "  \"cold\": {{ \"wall_ns\": {cold_wall_ns:.0}, \"pipeline_ns\": {:.0}, \"score_columns_ns\": {cold_score_ns:.0}, \"encode_ns\": {cold_encode_ns:.0} }},",
+        total_ns(&cold)
+    );
+    println!(
+        "  \"warm\": {{ \"wall_ns\": {warm_wall_ns:.0}, \"pipeline_ns\": {:.0}, \"score_columns_ns\": {warm_score_ns:.0}, \"encode_ns\": {warm_encode_ns:.0} }},",
+        total_ns(&warm)
+    );
+    println!(
+        "  \"contention\": {{ \"clients\": {}, \"explain_ns\": {explain_ns:.0}, \"ping\": {}, \"metrics\": {} }},",
+        probe_clients + 1,
+        latency_json(ping_lat),
+        latency_json(metrics_lat)
+    );
+    println!(
+        "  \"checks\": {{ \"warm_equals_cold\": true, \"scheduled_equals_serial\": {scheduled_identical}, \"warm_score_columns_s\": {:.4}, \"ping_p99_ms\": {:.3} }},",
+        warm_score_ns / 1e9,
+        ping_p99 as f64 / 1e3
+    );
+    println!(
+        "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \"bytes\": {}, \"policy\": \"{}\" }},",
+        m.hits, m.misses, m.evictions, m.entries, m.bytes, m.policy
+    );
+    println!("  \"scheduler\": {sched}");
+    println!("}}");
+}

@@ -56,10 +56,18 @@ pub enum Command {
     Serve {
         /// Bind address, e.g. `127.0.0.1:4641`.
         addr: String,
-        /// Worker threads serving connections.
+        /// General scheduler workers (one dedicated control worker is
+        /// always added on top).
         workers: usize,
         /// Artifact-cache byte budget in MiB.
         cache_mb: usize,
+        /// Artifact-cache eviction policy (`cost` or `lru`).
+        cache_policy: fedex_core::EvictionPolicy,
+        /// Bound of the explain/register queue (`overloaded` beyond it).
+        queue_depth: usize,
+        /// Max heavy requests per session queued + running
+        /// (`quota_exceeded` beyond it).
+        session_quota: usize,
         /// Pipeline execution mode inside each explain.
         exec: ExecutionMode,
     },
@@ -83,7 +91,8 @@ usage:
   fedex schema  --table <name=path.csv> [--table ...]
   fedex demo
   fedex serve   [--addr 127.0.0.1:4641] [--workers N] [--cache-mb N]
-                [--exec serial|parallel|N]
+                [--cache-policy cost|lru] [--queue-depth N]
+                [--session-quota N] [--exec serial|parallel|N]
   fedex client  --addr <host:port> --json '<request>'
   fedex help
 
@@ -139,6 +148,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut addr = "127.0.0.1:4641".to_string();
             let mut workers = 4usize;
             let mut cache_mb = 1024usize;
+            let mut cache_policy = fedex_core::EvictionPolicy::default();
+            let mut queue_depth = 64usize;
+            let mut session_quota = 2usize;
             let mut exec = ExecutionMode::default();
             let mut i = 1;
             while i < args.len() {
@@ -159,6 +171,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .parse()
                             .map_err(|e| CliError(format!("--cache-mb: {e}")))?;
                     }
+                    "--cache-policy" => {
+                        i += 1;
+                        let spec = flag_value(args, i, "--cache-policy")?;
+                        cache_policy =
+                            fedex_core::EvictionPolicy::parse(&spec).ok_or_else(|| {
+                                CliError(format!(
+                                    "--cache-policy expects cost or lru, got {spec:?}"
+                                ))
+                            })?;
+                    }
+                    "--queue-depth" => {
+                        i += 1;
+                        queue_depth = flag_value(args, i, "--queue-depth")?
+                            .parse()
+                            .map_err(|e| CliError(format!("--queue-depth: {e}")))?;
+                    }
+                    "--session-quota" => {
+                        i += 1;
+                        session_quota = flag_value(args, i, "--session-quota")?
+                            .parse()
+                            .map_err(|e| CliError(format!("--session-quota: {e}")))?;
+                    }
                     "--exec" => {
                         i += 1;
                         let spec = flag_value(args, i, "--exec")?;
@@ -176,6 +210,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 addr,
                 workers,
                 cache_mb,
+                cache_policy,
+                queue_depth,
+                session_quota,
                 exec,
             })
         }
@@ -397,11 +434,15 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             addr,
             workers,
             cache_mb,
+            cache_policy,
+            queue_depth,
+            session_quota,
             exec,
         } => {
             use std::sync::Arc;
-            let cache = Arc::new(fedex_core::ArtifactCache::with_budget(
+            let cache = Arc::new(fedex_core::ArtifactCache::with_policy(
                 cache_mb.max(1) * 1024 * 1024,
+                cache_policy,
             ));
             let fedex = Fedex::new().with_execution(exec);
             let manager = fedex_core::SessionManager::new(fedex, cache);
@@ -410,6 +451,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 &fedex_serve::ServerConfig {
                     addr: addr.clone(),
                     workers,
+                    queue_depth,
+                    session_quota,
+                    ..Default::default()
                 },
                 service,
             )
@@ -420,7 +464,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             // Announce readiness on stderr *before* blocking, so scripts
             // (and the CI smoke job) can wait for this line.
             eprintln!(
-                "fedex-serve listening on {local} ({workers} workers, cache budget {cache_mb} MiB)"
+                "fedex-serve listening on {local} ({workers} workers, cache budget \
+                 {cache_mb} MiB, policy {cache_policy}, queue depth {queue_depth}, \
+                 session quota {session_quota})"
             );
             server
                 .run()
@@ -545,6 +591,12 @@ mod tests {
             "8",
             "--cache-mb",
             "64",
+            "--cache-policy",
+            "lru",
+            "--queue-depth",
+            "5",
+            "--session-quota",
+            "1",
             "--exec",
             "serial",
         ]))
@@ -555,6 +607,9 @@ mod tests {
                 addr: "127.0.0.1:9999".to_string(),
                 workers: 8,
                 cache_mb: 64,
+                cache_policy: fedex_core::EvictionPolicy::Lru,
+                queue_depth: 5,
+                session_quota: 1,
                 exec: ExecutionMode::Serial,
             }
         );
@@ -565,9 +620,13 @@ mod tests {
                 addr: "127.0.0.1:4641".to_string(),
                 workers: 4,
                 cache_mb: 1024,
+                cache_policy: fedex_core::EvictionPolicy::CostAware,
+                queue_depth: 64,
+                session_quota: 2,
                 exec: ExecutionMode::default(),
             }
         );
+        assert!(parse_args(&s(&["serve", "--cache-policy", "wat"])).is_err());
         let cmd = parse_args(&s(&[
             "client",
             "--addr",
@@ -598,6 +657,7 @@ mod tests {
             &fedex_serve::ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 workers: 2,
+                ..Default::default()
             },
             service,
         )

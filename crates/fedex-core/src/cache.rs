@@ -19,16 +19,32 @@
 //! can never change an explanation — only skip recomputing it; the
 //! `warm_equals_cold` property test and the golden fixtures pin this.
 //!
-//! Eviction is byte-budgeted LRU: every entry carries an insertion-time
-//! size estimate (`approx_bytes`) and a last-touched tick; inserting past
-//! the budget evicts least-recently-used entries first. An entry larger
-//! than the whole budget is simply not admitted (the caller keeps its
-//! freshly-built artifact — correctness never depends on residency).
-//! [`CacheMetrics`] counters feed the server's `/metrics` endpoint.
+//! Eviction is byte-budgeted with a pluggable [`EvictionPolicy`]. Every
+//! entry records an insertion-time size estimate (`approx_bytes`), a
+//! last-touched tick, **and the measured wall-clock cost of rebuilding
+//! it** — the caller just derived the artifact, so the rebuild cost is
+//! known exactly, not modelled. Under the default
+//! [`EvictionPolicy::CostAware`] policy the victim is the entry with the
+//! lowest *retained value per byte*,
+//!
+//! ```text
+//! value(e) = rebuild_micros(e) × recency(e) / bytes(e)
+//! recency(e) = 1 / (1 + clock − last_used(e))
+//! ```
+//!
+//! so a cheap-to-rebuild small-frame entry is evicted before a 1M-row
+//! kernel cache that took seconds to derive, even when the kernel cache
+//! was touched less recently. [`EvictionPolicy::Lru`] restores the
+//! byte-only least-recently-used order of PR 4 (exposed on the CLI as
+//! `--cache-policy lru`). An entry larger than the whole budget is simply
+//! not admitted (the caller keeps its freshly-built artifact —
+//! correctness never depends on residency). [`CacheMetrics`] counters
+//! feed the server's `metrics` command and `GET /metrics`.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use fedex_frame::{CodedFrame, Fingerprint};
 
@@ -40,6 +56,45 @@ use crate::kernel::ExcKernelCache;
 /// its kernels; size to taste via [`ArtifactCache::with_budget`] (the CLI
 /// exposes `--cache-mb`).
 pub const DEFAULT_CACHE_BUDGET: usize = 1024 * 1024 * 1024;
+
+/// How the cache picks eviction victims once the byte budget is exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the entry with the lowest `rebuild_cost × recency / bytes` —
+    /// keep artifacts that are expensive to rebuild and cheap to hold.
+    /// The default: every insertion knows its measured rebuild time, so
+    /// the cache can weigh a 3s kernel build against a 2ms toy frame
+    /// instead of treating both as one LRU slot.
+    #[default]
+    CostAware,
+    /// Byte-only least-recently-used order (the PR 4 behaviour).
+    Lru,
+}
+
+impl EvictionPolicy {
+    /// Parse a CLI spelling: `"cost"` / `"cost-aware"` or `"lru"`.
+    pub fn parse(spec: &str) -> Option<EvictionPolicy> {
+        match spec {
+            "cost" | "cost-aware" => Some(EvictionPolicy::CostAware),
+            "lru" => Some(EvictionPolicy::Lru),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI spelling (`"cost"` / `"lru"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EvictionPolicy::CostAware => "cost",
+            EvictionPolicy::Lru => "lru",
+        }
+    }
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// What one cache entry holds.
 #[derive(Clone)]
@@ -59,6 +114,20 @@ struct Entry {
     artifact: Artifact,
     bytes: usize,
     last_used: u64,
+    /// Measured wall-clock cost of deriving this artifact, in
+    /// microseconds — recorded at insertion, consumed by
+    /// [`EvictionPolicy::CostAware`].
+    rebuild_micros: u64,
+}
+
+impl Entry {
+    /// Retained value per byte under the cost-aware policy (see the
+    /// module docs): measured rebuild cost × recency, normalized by size.
+    fn value_per_byte(&self, clock: u64) -> f64 {
+        let age = clock.saturating_sub(self.last_used) as f64;
+        let recency = 1.0 / (1.0 + age);
+        self.rebuild_micros.max(1) as f64 * recency / self.bytes.max(1) as f64
+    }
 }
 
 #[derive(Default)]
@@ -95,13 +164,17 @@ pub struct CacheMetrics {
     pub bytes: usize,
     /// The configured byte budget.
     pub budget: usize,
+    /// The active eviction policy.
+    pub policy: EvictionPolicy,
 }
 
-/// Thread-safe, byte-budgeted LRU cache of re-derivable explain artifacts.
+/// Thread-safe, byte-budgeted cache of re-derivable explain artifacts
+/// with cost-aware (or plain LRU) eviction.
 pub struct ArtifactCache {
     inner: Mutex<Inner>,
     counters: Counters,
     budget: usize,
+    policy: EvictionPolicy,
 }
 
 impl std::fmt::Debug for ArtifactCache {
@@ -111,6 +184,7 @@ impl std::fmt::Debug for ArtifactCache {
             .field("entries", &m.entries)
             .field("bytes", &m.bytes)
             .field("budget", &m.budget)
+            .field("policy", &m.policy)
             .finish()
     }
 }
@@ -122,18 +196,30 @@ impl Default for ArtifactCache {
 }
 
 impl ArtifactCache {
-    /// A cache that evicts LRU-first once the estimated resident size
-    /// exceeds `budget` bytes.
+    /// A cache with the default [`EvictionPolicy::CostAware`] policy that
+    /// evicts once the estimated resident size exceeds `budget` bytes.
     pub fn with_budget(budget: usize) -> Self {
+        Self::with_policy(budget, EvictionPolicy::default())
+    }
+
+    /// A cache with an explicit eviction policy (the CLI's
+    /// `--cache-policy`).
+    pub fn with_policy(budget: usize, policy: EvictionPolicy) -> Self {
         ArtifactCache {
             inner: Mutex::new(Inner::default()),
             counters: Counters::default(),
             budget,
+            policy,
         }
     }
 
+    /// The active eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
     /// The cached coded frame for a dataframe with this content
-    /// fingerprint, refreshing its LRU position.
+    /// fingerprint, refreshing its recency.
     pub fn get_frame(&self, fp: Fingerprint) -> Option<Arc<CodedFrame>> {
         match self.get(Key::Frame(fp)) {
             Some(Artifact::Frame(f)) => Some(f),
@@ -141,14 +227,16 @@ impl ArtifactCache {
         }
     }
 
-    /// Insert (or refresh) the coded frame for `fp`.
-    pub fn put_frame(&self, fp: Fingerprint, frame: Arc<CodedFrame>) {
+    /// Insert (or refresh) the coded frame for `fp`. `rebuild` is the
+    /// measured wall-clock time the caller just spent encoding it — the
+    /// cost-aware policy keeps expensive encodes resident longest.
+    pub fn put_frame(&self, fp: Fingerprint, frame: Arc<CodedFrame>, rebuild: Duration) {
         let bytes = frame.approx_bytes();
-        self.put(Key::Frame(fp), Artifact::Frame(frame), bytes);
+        self.put(Key::Frame(fp), Artifact::Frame(frame), bytes, rebuild);
     }
 
     /// The cached kernel cache for a step with this step fingerprint,
-    /// refreshing its LRU position.
+    /// refreshing its recency.
     pub fn get_kernels(&self, step_fp: Fingerprint) -> Option<Arc<ExcKernelCache>> {
         match self.get(Key::Kernels(step_fp)) {
             Some(Artifact::Kernels(k)) => Some(k),
@@ -156,13 +244,24 @@ impl ArtifactCache {
         }
     }
 
-    /// Insert (or refresh) the kernel cache for `step_fp`. Size is
+    /// Insert (or refresh) the kernel cache for `step_fp`; `rebuild` is
+    /// the measured time the caller spent building the kernels. Size is
     /// estimated at insertion; kernels added to the shared cache later do
     /// not grow the accounted bytes (the estimate is deliberately cheap —
     /// budgets are approximate).
-    pub fn put_kernels(&self, step_fp: Fingerprint, kernels: Arc<ExcKernelCache>) {
+    pub fn put_kernels(
+        &self,
+        step_fp: Fingerprint,
+        kernels: Arc<ExcKernelCache>,
+        rebuild: Duration,
+    ) {
         let bytes = kernels.approx_bytes().max(1024);
-        self.put(Key::Kernels(step_fp), Artifact::Kernels(kernels), bytes);
+        self.put(
+            Key::Kernels(step_fp),
+            Artifact::Kernels(kernels),
+            bytes,
+            rebuild,
+        );
     }
 
     /// Counter + occupancy snapshot.
@@ -176,6 +275,7 @@ impl ArtifactCache {
             entries: inner.map.len(),
             bytes: inner.bytes,
             budget: self.budget,
+            policy: self.policy,
         }
     }
 
@@ -203,7 +303,7 @@ impl ArtifactCache {
         }
     }
 
-    fn put(&self, key: Key, artifact: Artifact, bytes: usize) {
+    fn put(&self, key: Key, artifact: Artifact, bytes: usize, rebuild: Duration) {
         if bytes > self.budget {
             // Never admitted; the caller keeps using its own copy.
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -212,30 +312,48 @@ impl ArtifactCache {
         let mut inner = self.inner.lock().expect("artifact cache");
         inner.clock += 1;
         let tick = inner.clock;
+        let mut rebuild_micros = rebuild.as_micros().min(u128::from(u64::MAX)) as u64;
+        // A refresh of a resident entry (e.g. a warm run re-inserting its
+        // kernel cache) arrives with the *warm* derivation time; the cost
+        // that matters for eviction is rebuilding from scratch, so keep
+        // the largest cost ever observed for the key.
+        if let Some(old) = inner.map.get(&key) {
+            rebuild_micros = rebuild_micros.max(old.rebuild_micros);
+        }
         if let Some(old) = inner.map.insert(
             key,
             Entry {
                 artifact,
                 bytes,
                 last_used: tick,
+                rebuild_micros,
             },
         ) {
             inner.bytes -= old.bytes;
         }
         inner.bytes += bytes;
-        // Evict LRU-first until back under budget. Entry counts are small
-        // (one per registered table / distinct step), so a linear minimum
-        // scan per eviction beats maintaining an ordered structure.
+        // Evict until back under budget. Entry counts are small (one per
+        // registered table / distinct step), so a linear victim scan per
+        // eviction beats maintaining an ordered structure.
         while inner.bytes > self.budget {
-            let Some((&lru_key, _)) = inner
-                .map
-                .iter()
-                .filter(|(k, _)| **k != key) // never evict what we just inserted
-                .min_by_key(|(_, e)| e.last_used)
-            else {
+            let clock = inner.clock;
+            let candidates = inner.map.iter().filter(|(k, _)| **k != key); // never evict what we just inserted
+            let victim = match self.policy {
+                EvictionPolicy::Lru => candidates.min_by_key(|(_, e)| e.last_used),
+                // f64 values are finite by construction; tie-break on
+                // recency then bytes so the victim is deterministic even
+                // though HashMap iteration order is not.
+                EvictionPolicy::CostAware => candidates.min_by(|(_, a), (_, b)| {
+                    a.value_per_byte(clock)
+                        .total_cmp(&b.value_per_byte(clock))
+                        .then(a.last_used.cmp(&b.last_used))
+                        .then(b.bytes.cmp(&a.bytes))
+                }),
+            };
+            let Some((&victim_key, _)) = victim else {
                 break;
             };
-            let evicted = inner.map.remove(&lru_key).expect("key from iteration");
+            let evicted = inner.map.remove(&victim_key).expect("key from iteration");
             inner.bytes -= evicted.bytes;
             self.counters.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -259,6 +377,10 @@ mod tests {
         Arc::new(CodedFrame::encode(df))
     }
 
+    /// Equal rebuild costs make the cost-aware default degrade to LRU
+    /// order, so legacy LRU-shaped tests can share this helper.
+    const FLAT_COST: Duration = Duration::from_micros(1000);
+
     #[test]
     fn hit_returns_same_arc() {
         let cache = ArtifactCache::default();
@@ -266,7 +388,7 @@ mod tests {
         let fp = df.fingerprint();
         assert!(cache.get_frame(fp).is_none());
         let c = coded(&df);
-        cache.put_frame(fp, c.clone());
+        cache.put_frame(fp, c.clone(), FLAT_COST);
         let hit = cache.get_frame(fp).expect("warm hit");
         assert!(Arc::ptr_eq(&hit, &c));
         let m = cache.metrics();
@@ -279,14 +401,14 @@ mod tests {
         let df = frame(0, 1000);
         let per_entry = coded(&df).approx_bytes();
         // Budget fits exactly two entries.
-        let cache = ArtifactCache::with_budget(2 * per_entry + per_entry / 2);
+        let cache = ArtifactCache::with_policy(2 * per_entry + per_entry / 2, EvictionPolicy::Lru);
         let frames: Vec<DataFrame> = (0..3).map(|t| frame(t * 100, 1000)).collect();
         for f in &frames[..2] {
-            cache.put_frame(f.fingerprint(), coded(f));
+            cache.put_frame(f.fingerprint(), coded(f), FLAT_COST);
         }
         // Touch the first so the second becomes LRU.
         assert!(cache.get_frame(frames[0].fingerprint()).is_some());
-        cache.put_frame(frames[2].fingerprint(), coded(&frames[2]));
+        cache.put_frame(frames[2].fingerprint(), coded(&frames[2]), FLAT_COST);
         let m = cache.metrics();
         assert_eq!(m.evictions, 1);
         assert!(m.bytes <= m.budget, "{} > {}", m.bytes, m.budget);
@@ -296,10 +418,78 @@ mod tests {
     }
 
     #[test]
+    fn cost_aware_keeps_expensive_entries_over_recent_cheap_ones() {
+        let big = frame(0, 1000);
+        let per_entry = coded(&big).approx_bytes();
+        let cache = ArtifactCache::with_budget(2 * per_entry + per_entry / 2);
+        assert_eq!(cache.policy(), EvictionPolicy::CostAware);
+
+        // An expensive artifact (seconds to rebuild) inserted FIRST — under
+        // LRU it would be the eviction victim.
+        let expensive = frame(1_000, 1000);
+        cache.put_frame(
+            expensive.fingerprint(),
+            coded(&expensive),
+            Duration::from_secs(3),
+        );
+        // Two cheap same-sized artifacts afterwards (more recent).
+        let cheap: Vec<DataFrame> = (0..2).map(|t| frame(t * 100, 1000)).collect();
+        for f in &cheap {
+            cache.put_frame(f.fingerprint(), coded(f), Duration::from_micros(200));
+        }
+
+        let m = cache.metrics();
+        assert_eq!(m.evictions, 1);
+        assert!(m.bytes <= m.budget, "{} > {}", m.bytes, m.budget);
+        assert!(
+            cache.get_frame(expensive.fingerprint()).is_some(),
+            "the 3s rebuild must outlive the 200µs rebuilds"
+        );
+        assert!(
+            cache.get_frame(cheap[0].fingerprint()).is_none(),
+            "the older cheap entry is the victim"
+        );
+        assert!(cache.get_frame(cheap[1].fingerprint()).is_some());
+    }
+
+    #[test]
+    fn cost_aware_recency_still_ages_out_stale_expensive_entries() {
+        let df = frame(0, 1000);
+        let per_entry = coded(&df).approx_bytes();
+        let cache = ArtifactCache::with_budget(2 * per_entry + per_entry / 2);
+
+        let expensive = frame(1_000, 1000);
+        cache.put_frame(
+            expensive.fingerprint(),
+            coded(&expensive),
+            Duration::from_millis(500),
+        );
+        let hot = frame(2_000, 1000);
+        cache.put_frame(hot.fingerprint(), coded(&hot), Duration::from_micros(900));
+        // Hammer the cheap entry: after many touches the expensive entry's
+        // recency factor shrinks below the cost ratio (500000µs vs 900µs →
+        // needs age > ~555 ticks).
+        for _ in 0..2000 {
+            assert!(cache.get_frame(hot.fingerprint()).is_some());
+        }
+        let third = frame(3_000, 1000);
+        cache.put_frame(
+            third.fingerprint(),
+            coded(&third),
+            Duration::from_micros(900),
+        );
+        assert!(
+            cache.get_frame(expensive.fingerprint()).is_none(),
+            "a long-untouched expensive entry eventually ages out"
+        );
+        assert!(cache.get_frame(hot.fingerprint()).is_some());
+    }
+
+    #[test]
     fn oversized_entries_are_rejected() {
         let df = frame(0, 1000);
         let cache = ArtifactCache::with_budget(8);
-        cache.put_frame(df.fingerprint(), coded(&df));
+        cache.put_frame(df.fingerprint(), coded(&df), FLAT_COST);
         let m = cache.metrics();
         assert_eq!((m.entries, m.rejected), (0, 1));
         assert!(cache.get_frame(df.fingerprint()).is_none());
@@ -310,9 +500,9 @@ mod tests {
         let cache = ArtifactCache::default();
         let df = frame(0, 500);
         let fp = df.fingerprint();
-        cache.put_frame(fp, coded(&df));
+        cache.put_frame(fp, coded(&df), FLAT_COST);
         let before = cache.metrics().bytes;
-        cache.put_frame(fp, coded(&df));
+        cache.put_frame(fp, coded(&df), FLAT_COST);
         let m = cache.metrics();
         assert_eq!(m.entries, 1);
         assert_eq!(m.bytes, before);
@@ -323,10 +513,10 @@ mod tests {
         let cache = ArtifactCache::default();
         let df = frame(0, 100);
         let fp = df.fingerprint();
-        cache.put_frame(fp, coded(&df));
+        cache.put_frame(fp, coded(&df), FLAT_COST);
         // The same fingerprint in the kernels namespace is a different key.
         assert!(cache.get_kernels(fp).is_none());
-        cache.put_kernels(fp, Arc::new(ExcKernelCache::default()));
+        cache.put_kernels(fp, Arc::new(ExcKernelCache::default()), FLAT_COST);
         assert!(cache.get_kernels(fp).is_some());
         assert_eq!(cache.metrics().entries, 2);
     }
@@ -335,11 +525,23 @@ mod tests {
     fn clear_keeps_counters() {
         let cache = ArtifactCache::default();
         let df = frame(0, 100);
-        cache.put_frame(df.fingerprint(), coded(&df));
+        cache.put_frame(df.fingerprint(), coded(&df), FLAT_COST);
         cache.get_frame(df.fingerprint());
         cache.clear();
         let m = cache.metrics();
         assert_eq!((m.entries, m.bytes), (0, 0));
         assert_eq!(m.hits, 1);
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for p in [EvictionPolicy::CostAware, EvictionPolicy::Lru] {
+            assert_eq!(EvictionPolicy::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(
+            EvictionPolicy::parse("cost-aware"),
+            Some(EvictionPolicy::CostAware)
+        );
+        assert_eq!(EvictionPolicy::parse("wat"), None);
     }
 }

@@ -12,7 +12,7 @@
 //!
 //! * [`CodedHist`] — the fast kernel: a dense `Vec<i64>` indexed by the
 //!   `u32` dictionary codes of a
-//!   [`CodedColumn`](fedex_frame::codec::CodedColumn). Adds and
+//!   [`CodedColumn`]. Adds and
 //!   subtractions are O(1) array updates, and because codes are assigned
 //!   in ascending [`Value`] order (the code ⇄ value contract of
 //!   [`fedex_frame::codec`]), the KS merge-walk is a single linear sweep
@@ -157,7 +157,7 @@ impl ValueHist {
 }
 
 /// Dense histogram over the dictionary codes of one
-/// [`CodedColumn`](fedex_frame::codec::CodedColumn) (nulls excluded).
+/// [`CodedColumn`] (nulls excluded).
 ///
 /// `counts[code]` is the number of observations of the value behind
 /// `code`; codes are in ascending value order, so a linear walk over the

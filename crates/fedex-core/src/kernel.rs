@@ -1,7 +1,7 @@
 //! The coded exceptionality kernel shared by interestingness scoring and
 //! contribution computation.
 //!
-//! For one measured column, an [`ExcKernel`] captures everything that does
+//! For one measured column, an `ExcKernel` captures everything that does
 //! not depend on a partition or a sample: the coded source column(s), the
 //! output column's codes *derived through row provenance* (an output row's
 //! value equals its source row's value, so its code is a plain array
@@ -12,10 +12,10 @@
 //! [`fedex_frame::Value`]:
 //!
 //! * the step's **exceptionality score** — the base KS for the full
-//!   sample ([`ExcKernel::base_score`]), or one code-scatter pass per side
-//!   under FEDEX-Sampling masks ([`ExcKernel::sampled_score`]);
+//!   sample (`ExcKernel::base_score`), or one code-scatter pass per side
+//!   under FEDEX-Sampling masks (`ExcKernel::sampled_score`);
 //! * the **per-set contributions** of a row partition
-//!   ([`ExcKernel::contributions`]) — a single scatter pass groups codes
+//!   (`ExcKernel::contributions`) — a single scatter pass groups codes
 //!   by slot, then each slot's KS subtraction is one linear sweep over
 //!   the shared code space using a reused dense scratch buffer.
 //!

@@ -40,7 +40,7 @@ pub mod session;
 pub mod skyline;
 pub mod viz;
 
-pub use cache::{ArtifactCache, CacheMetrics, DEFAULT_CACHE_BUDGET};
+pub use cache::{ArtifactCache, CacheMetrics, EvictionPolicy, DEFAULT_CACHE_BUDGET};
 pub use contribution::{standardized, ContributionComputer};
 pub use error::ExplainError;
 pub use explain::{render_all, to_json_array, CustomMeasure, Explanation, Fedex, FedexConfig};

@@ -1,8 +1,8 @@
 //! Additional interestingness measures, illustrating the §3.8 extension
 //! point ("general interestingness functions").
 //!
-//! The paper names *compactness/coverage* [16] for group-by operations and
-//! *surprisingness* [43] as example pluggable measures; this module
+//! The paper names *compactness/coverage* \[16\] for group-by operations and
+//! *surprisingness* \[43\] as example pluggable measures; this module
 //! provides working implementations of both as [`CustomMeasure`]s, used
 //! through [`crate::Fedex::explain_with_measure`].
 
@@ -13,7 +13,7 @@ use crate::Result;
 
 /// Surprisingness: how far the output column's mean moved from the input
 /// column's mean, in input standard deviations (a z-shift, following the
-/// user-expectation framing of Liu et al. [43] where the input plays the
+/// user-expectation framing of Liu et al. \[43\] where the input plays the
 /// role of the expectation).
 ///
 /// Applies to numeric columns of operations whose output columns have an
@@ -47,7 +47,7 @@ impl CustomMeasure for Surprisingness {
 }
 
 /// Compactness: how concentrated the output column's mass is, following
-/// the summarization view of Chandola & Kumar [16] — implemented as one
+/// the summarization view of Chandola & Kumar \[16\] — implemented as one
 /// minus the normalized Shannon entropy of the column's (absolute) value
 /// shares. A group-by result where one group dominates is compact (score
 /// near 1); a uniform result is not (score near 0).

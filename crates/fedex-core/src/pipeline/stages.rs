@@ -5,7 +5,7 @@
 //! everything shared rides in the [`PipelineContext`].
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use fedex_frame::{CodedColumn, CodedFrame, Fingerprint, FpHasher};
 use fedex_query::{ExploratoryStep, Operation, Provenance};
@@ -91,6 +91,10 @@ fn encode_inputs_cold(
 
 /// [`encode_inputs`] against a cross-request cache: warm inputs reuse
 /// their cached [`CodedFrame`], only cold ones are encoded and inserted.
+///
+/// The batch encode is timed and each inserted frame carries its share of
+/// that measured cost (proportional to its coded size) — the rebuild cost
+/// the cache's cost-aware eviction policy weighs.
 fn encode_inputs_cached(
     step: &ExploratoryStep,
     mode: ExecutionMode,
@@ -98,7 +102,15 @@ fn encode_inputs_cached(
     fps: &[Fingerprint],
 ) -> CodedInputs {
     let warm: Vec<Option<Arc<CodedFrame>>> = fps.iter().map(|&fp| cache.get_frame(fp)).collect();
+    let t_encode = Instant::now();
     let fresh = encode_inputs_cold(step, mode, |i| warm[i].is_none());
+    let encode_elapsed = t_encode.elapsed();
+    let cold_bytes: usize = warm
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| w.is_none())
+        .map(|(i, _)| fresh[i].approx_bytes())
+        .sum();
     let frames: Vec<CodedFrame> = warm
         .iter()
         .enumerate()
@@ -107,7 +119,9 @@ fn encode_inputs_cached(
             Some(hit) => (**hit).clone(),
             None => {
                 let frame = fresh[i].clone();
-                cache.put_frame(fps[i], Arc::new(frame.clone()));
+                let share = frame.approx_bytes() as f64 / cold_bytes.max(1) as f64;
+                let rebuild = Duration::from_secs_f64(encode_elapsed.as_secs_f64() * share);
+                cache.put_frame(fps[i], Arc::new(frame.clone()), rebuild);
                 frame
             }
         })
@@ -281,10 +295,13 @@ impl Stage for ScoreColumns<'_> {
         match (ctx.config.artifact_cache.as_deref(), step_fp) {
             // Cross-request path: keep every kernel — the next warm run of
             // this step reuses them all, not just the top-k — and insert
-            // only now that the cache is populated, so the LRU accounts
-            // its real size (an empty-at-insert entry would be budgeted at
-            // the 1 KiB floor while holding tens of MB of codes).
-            (Some(cache), Some(fp)) => cache.put_kernels(fp, kernels.clone()),
+            // only now that the cache is populated, so the eviction policy
+            // accounts its real size (an empty-at-insert entry would be
+            // budgeted at the 1 KiB floor while holding tens of MB of
+            // codes). The measured scoring time is the entry's rebuild
+            // cost; on warm refreshes the cache keeps the larger
+            // (from-scratch) cost it already recorded.
+            (Some(cache), Some(fp)) => cache.put_kernels(fp, kernels.clone(), t_score.elapsed()),
             // Per-call path: kernels outside the top-k cut existed only
             // for scoring; drop them so Contribute inherits exactly what
             // it reuses.

@@ -227,10 +227,24 @@ impl SessionManager {
     }
 
     /// Register (or replace) a table in one session's catalog.
-    pub fn register(&self, session: &str, table: impl Into<String>, df: fedex_frame::DataFrame) {
+    ///
+    /// The table's content [`fedex_frame::Fingerprint`] is computed here,
+    /// once, **outside** the session lock — frames memoize their digest
+    /// and clones share the memo, so every later explain over this table
+    /// reads the register-time digest in O(1) instead of re-scanning the
+    /// full content (previously the ~0.13s residue of a warm 1M-row
+    /// ScoreColumns). Returns the digest so wire surfaces can echo it.
+    pub fn register(
+        &self,
+        session: &str,
+        table: impl Into<String>,
+        df: fedex_frame::DataFrame,
+    ) -> fedex_frame::Fingerprint {
+        let fp = df.fingerprint();
         let s = self.session(session);
         let mut s = s.write().expect("session");
         s.register(table, df);
+        fp
     }
 
     /// Run-and-explain one SQL step in a session; the entry is recorded in

@@ -126,6 +126,53 @@ fn eviction_respects_budget_under_concurrent_explains() {
     );
 }
 
+#[test]
+fn cost_aware_eviction_keeps_hot_expensive_artifacts_resident() {
+    // A large table whose encode + kernel build are the expensive
+    // artifacts, explained repeatedly (hot), against a churn of one-off
+    // small tables (cheap to rebuild, immediately stale). Under the
+    // default cost-aware policy the churn is evicted, the big table's
+    // coded frame stays resident, and — the correctness half — results
+    // stay byte-identical no matter what was evicted in between.
+    let big = spotify(40_000, 77);
+    let big_frame_bytes = fedex_frame::CodedFrame::encode(&big).approx_bytes();
+    let budget = big_frame_bytes * 2;
+    let cache = Arc::new(ArtifactCache::with_budget(budget));
+    assert_eq!(cache.policy(), fedex_core::EvictionPolicy::CostAware);
+    let mgr = SessionManager::new(
+        Fedex::new().with_execution(ExecutionMode::Serial),
+        cache.clone(),
+    );
+    let sql = "SELECT * FROM spotify WHERE popularity > 65";
+    mgr.register("big", "spotify", big.clone());
+    let cold = fingerprint_explanations(&mgr.run("big", sql, None).unwrap().explanations);
+
+    // Churn small one-off sessions until the budget forces evictions,
+    // then keep churning a few more rounds; the big table is re-explained
+    // (warm) between every one-off, keeping it hot.
+    let mut rounds_after_pressure = 0;
+    for t in 0..40u64 {
+        let session = format!("oneoff{t}");
+        mgr.register(&session, "spotify", spotify(2_000, 500 + t));
+        mgr.run(&session, sql, None).unwrap();
+        let warm = fingerprint_explanations(&mgr.run("big", sql, None).unwrap().explanations);
+        assert_eq!(warm, cold, "eviction pressure must never change results");
+        if cache.metrics().evictions > 0 {
+            rounds_after_pressure += 1;
+            if rounds_after_pressure >= 5 {
+                break;
+            }
+        }
+    }
+    let m = cache.metrics();
+    assert!(m.evictions > 0, "churn must exceed the budget: {m:?}");
+    assert!(m.bytes <= m.budget, "{m:?}");
+    assert!(
+        cache.get_frame(big.fingerprint()).is_some(),
+        "the hot, expensive-to-encode frame must survive cheap churn: {m:?}"
+    );
+}
+
 /// Cells covering nulls, NaN, ±0.0, and heavy ties.
 fn float_cell(tag: u8, payload: i32) -> Option<f64> {
     match tag % 8 {

@@ -20,7 +20,7 @@
 //!   for floats: `-0.0` and `+0.0` are **distinct** codes, and every NaN
 //!   bit pattern is its own code — exactly the keying of the boxed
 //!   `ValueHist` this layer replaces;
-//! * string columns reuse the [`StrColumn`] dictionary: encoding remaps
+//! * string columns reuse the `StrColumn` dictionary: encoding remaps
 //!   the existing intern codes through a sort of the (typically tiny)
 //!   dictionary, without hashing any row.
 //!

@@ -142,7 +142,7 @@ fn write_cells(h: &mut FpHasher, cells: impl Iterator<Item = Option<u64>>) {
 }
 
 /// Fingerprint one column: name, dtype tag, row count, then the null and
-/// value sections of [`write_cells`].
+/// value sections of `write_cells`.
 pub fn fingerprint_column(h: &mut FpHasher, col: &Column) {
     h.write_u64(TAG_COLUMN);
     h.write_bytes(col.name().as_bytes());

@@ -16,6 +16,10 @@ impl Client {
     /// Connect to `host:port`.
     pub fn connect(addr: &str) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        // Request/response round-trips are latency-bound: without
+        // TCP_NODELAY, Nagle holds small segments for the peer's delayed
+        // ACK and a ping costs ~80ms instead of microseconds.
+        stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
@@ -32,8 +36,12 @@ impl Client {
 
     /// Send one raw request line, return the raw response line.
     pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        // One write per request: a separate `\n` write would be a second
+        // small segment Nagle could stall on.
+        let mut framed = Vec::with_capacity(line.len() + 1);
+        framed.extend_from_slice(line.as_bytes());
+        framed.push(b'\n');
+        self.writer.write_all(&framed)?;
         self.writer.flush()?;
         let mut response = String::new();
         if self.reader.read_line(&mut response)? == 0 {

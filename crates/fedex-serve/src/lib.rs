@@ -11,24 +11,36 @@
 //!   [`fedex_core::SessionManager`]; any number of clients explain
 //!   concurrently;
 //! * **cross-request artifact cache** — registered tables are
-//!   content-fingerprinted; their dictionary-coded frames and per-step
-//!   kernel caches are shared across requests and sessions
-//!   ([`fedex_core::ArtifactCache`]), so warm explains skip the encode
-//!   work that dominates a cold ScoreColumns stage;
+//!   content-fingerprinted *at register time*; their dictionary-coded
+//!   frames and per-step kernel caches are shared across requests and
+//!   sessions ([`fedex_core::ArtifactCache`], cost-aware eviction), so
+//!   warm explains skip both the encode work and the fingerprint re-scan
+//!   that dominate a cold ScoreColumns stage;
+//! * **admission scheduling** — requests are classified (cheap control
+//!   commands vs. explain-class work) and admitted into bounded priority
+//!   queues with per-session quotas, explicit `overloaded` /
+//!   `quota_exceeded` backpressure, and coalescing of identical
+//!   concurrent explains ([`sched`]); a dedicated control worker keeps
+//!   `ping`/`metrics` fast while long explains run;
 //! * **transport** — newline-delimited JSON over TCP (one request object
 //!   per line) with a minimal HTTP/1.1 fallback (`POST /api`,
-//!   `GET /metrics`, `GET /healthz`) on the same port, served by a fixed
-//!   worker pool.
+//!   `GET /metrics`, `GET /healthz`) on the same port; per-connection
+//!   I/O threads feed the scheduler.
+//!
+//! The full wire protocol is documented in `docs/WIRE_PROTOCOL.md`; the
+//! serving architecture in `docs/ARCHITECTURE.md`.
 //!
 //! ```no_run
 //! use std::sync::Arc;
 //! use fedex_serve::{json, Client, ExplainService, Server, ServerConfig};
 //!
 //! let service = Arc::new(ExplainService::default());
-//! let server = Server::bind(
-//!     &ServerConfig { addr: "127.0.0.1:0".into(), workers: 4 },
-//!     service,
-//! ).unwrap();
+//! let config = ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     workers: 4,
+//!     ..Default::default()
+//! };
+//! let server = Server::bind(&config, service).unwrap();
 //! let handle = server.spawn().unwrap();
 //!
 //! let mut client = Client::connect(&handle.addr().to_string()).unwrap();
@@ -41,15 +53,20 @@
 //!
 //! Determinism contract: explanations served over the wire are
 //! byte-identical to the serial CLI path — the cache only memoizes pure
-//! derivations, and the pipeline is deterministic under every execution
-//! mode (pinned by the integration tests and the golden fixtures).
+//! derivations, coalesced requests share one deterministic pipeline run,
+//! and the pipeline is deterministic under every execution mode (pinned
+//! by the integration tests and the golden fixtures).
+
+#![deny(missing_docs)]
 
 pub mod client;
 pub mod json;
+pub mod sched;
 pub mod server;
 pub mod service;
 
 pub use client::Client;
 pub use json::{Json, JsonError};
+pub use sched::{RequestClass, SchedMetrics, Scheduler, SchedulerConfig};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use service::{ExplainService, ServerMetrics};

@@ -1,0 +1,525 @@
+//! Admission scheduling: classify, enqueue, bound, coalesce.
+//!
+//! PR 4's server handed each accepted connection to a fixed worker pool —
+//! a request then occupied its worker for the whole explain, so four long
+//! explains pinned all four workers and a fifth client's `ping` waited
+//! seconds for a slot. The [`Scheduler`] decouples *connections* from
+//! *work*:
+//!
+//! 1. every parsed request is **classified** — cheap control commands
+//!    (`ping`, `metrics`, `history`, `sessions`, `shutdown`, anything
+//!    O(1) over session state) versus **heavy** work (`explain`,
+//!    `register`, `register_demo`: O(rows) scans, encodes, pipeline
+//!    runs);
+//! 2. each class goes into its own bounded FIFO inside one priority
+//!    scheduler: a **dedicated control worker** only ever serves the
+//!    control queue (so control latency is bounded by the cheap commands
+//!    ahead of it, never by an explain), and the `workers` general
+//!    workers drain control work first, then heavy work;
+//! 3. admission is **bounded**, not best-effort: a full heavy queue is
+//!    answered immediately with the typed wire error `overloaded`
+//!    (HTTP clients see the same JSON body), and a session with
+//!    `session_quota` heavy requests already queued or running gets
+//!    `quota_exceeded` — backpressure is explicit, queueing is never
+//!    unbounded;
+//! 4. identical concurrent `explain`s **coalesce**: a request whose
+//!    (session, sql, save_as, top, width) signature matches one already
+//!    queued or running attaches to that job instead of enqueueing a
+//!    duplicate, and every attached client receives the one computed
+//!    response (pipeline determinism makes it byte-identical to what a
+//!    private run would have produced). Coalesced followers consume no
+//!    queue slot and no quota, and the session records one history
+//!    entry for the shared run.
+//!
+//! Connection I/O threads block on their job's completion, so the wire
+//! contract is unchanged: one response line per request line, in order,
+//! per connection.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::json::{self, Json};
+use crate::service::ExplainService;
+
+/// Upper bound of the control queue. Control commands execute in
+/// microseconds, so a backlog this deep signals a client flood, not a slow
+/// server; beyond it the scheduler answers `overloaded` rather than queue
+/// without bound.
+const CONTROL_QUEUE_DEPTH: usize = 1024;
+
+/// How long a waiter sleeps between checks of the shutdown flag. The same
+/// tick the connection reader uses — a graceful stop is observed within
+/// one tick by every blocked thread.
+const SHUTDOWN_TICK: Duration = Duration::from_millis(100);
+
+/// The two admission classes of the wire protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestClass {
+    /// Cheap, O(1)-over-session-state commands; served from the
+    /// prioritized control queue, never starved behind explains.
+    Control,
+    /// O(rows) work: `explain`, `register`, `register_demo`. Bounded
+    /// queue, per-session quotas, coalescing.
+    Heavy,
+}
+
+/// Classify a wire command (see the module docs for the rationale).
+pub fn classify(cmd: &str) -> RequestClass {
+    match cmd {
+        "explain" | "register" | "register_demo" => RequestClass::Heavy,
+        _ => RequestClass::Control,
+    }
+}
+
+/// Admission knobs, carried by
+/// [`ServerConfig`](crate::server::ServerConfig).
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Bound of the heavy queue (queued, not running). A full queue
+    /// answers `overloaded`.
+    pub queue_depth: usize,
+    /// Max heavy requests one session may have queued + running; the next
+    /// one is answered `quota_exceeded`. Coalesced followers don't count.
+    pub session_quota: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            queue_depth: 64,
+            session_quota: 2,
+        }
+    }
+}
+
+/// Scheduler counters, exported under `"scheduler"` by the `metrics`
+/// command. Counter fields are lifetime totals; `*_now` fields are
+/// point-in-time gauges.
+#[derive(Debug, Default)]
+pub struct SchedMetrics {
+    /// Control requests admitted to the control queue.
+    pub admitted_control: AtomicU64,
+    /// Heavy requests admitted to the heavy queue.
+    pub admitted_heavy: AtomicU64,
+    /// Requests answered `overloaded` (full queue).
+    pub rejected_overloaded: AtomicU64,
+    /// Requests answered `quota_exceeded`.
+    pub rejected_quota: AtomicU64,
+    /// Explains that attached to an identical in-flight job.
+    pub coalesced: AtomicU64,
+    /// Jobs fully served (response delivered).
+    pub completed: AtomicU64,
+    /// Control jobs queued right now.
+    pub queued_control_now: AtomicU64,
+    /// Heavy jobs queued right now.
+    pub queued_heavy_now: AtomicU64,
+    /// Heavy jobs running right now.
+    pub running_heavy_now: AtomicU64,
+}
+
+impl SchedMetrics {
+    /// Snapshot as the JSON object embedded in `metrics` responses.
+    pub fn to_json(&self) -> Json {
+        let n = |v: &AtomicU64| json::n(v.load(Ordering::Relaxed) as f64);
+        json::obj([
+            ("admitted_control", n(&self.admitted_control)),
+            ("admitted_heavy", n(&self.admitted_heavy)),
+            ("rejected_overloaded", n(&self.rejected_overloaded)),
+            ("rejected_quota", n(&self.rejected_quota)),
+            ("coalesced", n(&self.coalesced)),
+            ("completed", n(&self.completed)),
+            ("queued_control", n(&self.queued_control_now)),
+            ("queued_heavy", n(&self.queued_heavy_now)),
+            ("running_heavy", n(&self.running_heavy_now)),
+        ])
+    }
+}
+
+/// Completion slot shared by a job and every client waiting on it
+/// (the submitter plus any coalesced followers).
+struct JobState {
+    response: Mutex<Option<String>>,
+    done: Condvar,
+}
+
+impl JobState {
+    fn new() -> Arc<JobState> {
+        Arc::new(JobState {
+            response: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, response: String) {
+        *self.response.lock().expect("job state") = Some(response);
+        self.done.notify_all();
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    req: Json,
+    class: RequestClass,
+    /// Session the job charges its quota to (heavy only).
+    session: Option<String>,
+    /// Coalescing signature (explain only).
+    signature: Option<String>,
+    state: Arc<JobState>,
+}
+
+#[derive(Default)]
+struct SchedInner {
+    control: VecDeque<Job>,
+    heavy: VecDeque<Job>,
+    /// Heavy jobs queued + running, per session — the quota denominator.
+    per_session: HashMap<String, usize>,
+    /// Explain signature → completion slot of the queued-or-running job
+    /// with that signature; arrivals matching a key attach instead of
+    /// enqueueing.
+    inflight: HashMap<String, Arc<JobState>>,
+    /// Per-session catalog generation, bumped whenever a
+    /// catalog-mutating request (`register`, `register_demo`, `explain`
+    /// with `save_as`) is admitted. Folded into explain signatures so a
+    /// request submitted *after* a re-register can never attach to an
+    /// in-flight job that read the previous table contents.
+    generation: HashMap<String, u64>,
+}
+
+/// The admission scheduler: bounded priority queues between connection
+/// I/O threads and the worker pool. See the module docs for the model.
+pub struct Scheduler {
+    service: Arc<ExplainService>,
+    inner: Mutex<SchedInner>,
+    /// Workers wait here for admitted jobs.
+    work: Condvar,
+    config: SchedulerConfig,
+    metrics: Arc<SchedMetrics>,
+}
+
+impl Scheduler {
+    /// A scheduler dispatching into `service`; its metrics are attached to
+    /// the service so the `metrics` command reports them.
+    pub fn new(service: Arc<ExplainService>, config: SchedulerConfig) -> Scheduler {
+        let metrics = Arc::new(SchedMetrics::default());
+        service.attach_scheduler_metrics(metrics.clone());
+        Scheduler {
+            service,
+            inner: Mutex::new(SchedInner::default()),
+            work: Condvar::new(),
+            config,
+            metrics,
+        }
+    }
+
+    /// The shared counters (for tests; the service exposes them on the
+    /// wire).
+    pub fn metrics(&self) -> &Arc<SchedMetrics> {
+        &self.metrics
+    }
+
+    /// Serve one raw request line end to end: parse, admit, wait for a
+    /// worker to execute it, return the response line (without trailing
+    /// newline). This is what connection threads call; it blocks the
+    /// calling I/O thread, never a worker.
+    pub fn handle_line(&self, line: &str) -> String {
+        match json::parse(line) {
+            // Parse errors never reach the queues — answering them is
+            // cheaper than admitting them.
+            Err(_) => self.service.dispatch_line(line),
+            Ok(req) => self.handle(req),
+        }
+    }
+
+    /// [`Scheduler::handle_line`] for an already-parsed request.
+    pub fn handle(&self, req: Json) -> String {
+        match self.submit(req) {
+            Ok(state) => self.await_response(&state),
+            Err(rejection) => rejection,
+        }
+    }
+
+    /// Admit a request: returns the completion slot to wait on, or the
+    /// immediate (typed-error) response for rejected requests.
+    fn submit(&self, req: Json) -> Result<Arc<JobState>, String> {
+        let cmd = req.get("cmd").and_then(Json::as_str).unwrap_or("");
+        let class = classify(cmd);
+        let session = req
+            .get("session")
+            .and_then(Json::as_str)
+            .unwrap_or("default")
+            .to_string();
+
+        let mut inner = self.inner.lock().expect("scheduler");
+        // Checked under the queue lock: workers observe the flag under
+        // this same lock before exiting, so a request admitted here is
+        // guaranteed to still have live workers to drain it (see
+        // `await_response`).
+        if self.service.shutdown_requested() {
+            return Err(self.reject_counted("shutting_down", "server is shutting down"));
+        }
+        // Catalog-mutating commands start a new coalescing generation for
+        // the session: explains submitted after this point must never
+        // share a pipeline run with explains over the previous contents.
+        if matches!(cmd, "register" | "register_demo")
+            || (cmd == "explain" && req.get("save_as").is_some())
+        {
+            *inner.generation.entry(session.clone()).or_insert(0) += 1;
+        }
+        let signature = (cmd == "explain").then(|| {
+            let generation = inner.generation.get(&session).copied().unwrap_or(0);
+            explain_signature(&req, &session, generation)
+        });
+        match class {
+            RequestClass::Control => {
+                if inner.control.len() >= CONTROL_QUEUE_DEPTH {
+                    self.metrics
+                        .rejected_overloaded
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(self.reject_counted(
+                        "overloaded",
+                        format!("control queue full ({CONTROL_QUEUE_DEPTH} requests waiting)"),
+                    ));
+                }
+                let state = JobState::new();
+                inner.control.push_back(Job {
+                    req,
+                    class,
+                    session: None,
+                    signature: None,
+                    state: state.clone(),
+                });
+                self.metrics
+                    .admitted_control
+                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .queued_control_now
+                    .fetch_add(1, Ordering::Relaxed);
+                self.work.notify_all();
+                Ok(state)
+            }
+            RequestClass::Heavy => {
+                // Coalesce before any bound is charged: an identical
+                // in-flight explain means no new work at all.
+                if let Some(sig) = &signature {
+                    if let Some(state) = inner.inflight.get(sig) {
+                        self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return Ok(state.clone());
+                    }
+                }
+                let in_session = inner.per_session.get(&session).copied().unwrap_or(0);
+                if in_session >= self.config.session_quota {
+                    self.metrics.rejected_quota.fetch_add(1, Ordering::Relaxed);
+                    return Err(self.reject_counted(
+                        "quota_exceeded",
+                        format!(
+                            "session {session:?} already has {in_session} heavy requests \
+                             queued or running (quota {})",
+                            self.config.session_quota
+                        ),
+                    ));
+                }
+                if inner.heavy.len() >= self.config.queue_depth {
+                    self.metrics
+                        .rejected_overloaded
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(self.reject_counted(
+                        "overloaded",
+                        format!(
+                            "explain queue full ({} requests waiting, depth {})",
+                            inner.heavy.len(),
+                            self.config.queue_depth
+                        ),
+                    ));
+                }
+                let state = JobState::new();
+                *inner.per_session.entry(session.clone()).or_insert(0) += 1;
+                if let Some(sig) = &signature {
+                    inner.inflight.insert(sig.clone(), state.clone());
+                }
+                inner.heavy.push_back(Job {
+                    req,
+                    class,
+                    session: Some(session),
+                    signature,
+                    state: state.clone(),
+                });
+                self.metrics.admitted_heavy.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .queued_heavy_now
+                    .fetch_add(1, Ordering::Relaxed);
+                self.work.notify_all();
+                Ok(state)
+            }
+        }
+    }
+
+    /// Block until the job completes. Admission is the commitment point:
+    /// workers drain both queues *before* exiting on shutdown, and
+    /// `submit` observes the shutdown flag under the same lock workers
+    /// do, so every admitted job is eventually executed and its real
+    /// response delivered here — a graceful stop finishes admitted work
+    /// instead of reporting side effects that did happen as never-ran.
+    fn await_response(&self, state: &Arc<JobState>) -> String {
+        let mut slot = state.response.lock().expect("job state");
+        loop {
+            if let Some(response) = slot.as_ref() {
+                return response.clone();
+            }
+            slot = state.done.wait(slot).expect("job state");
+        }
+    }
+
+    /// Build a typed rejection and charge it to the wire-visible server
+    /// counters — rejections never reach `ExplainService::dispatch`, so
+    /// without this `server.errors` would sit at zero through an entire
+    /// overload episode.
+    fn reject_counted(&self, code: &str, message: impl Into<String>) -> String {
+        let server = self.service.metrics();
+        server.requests.fetch_add(1, Ordering::Relaxed);
+        server.errors.fetch_add(1, Ordering::Relaxed);
+        reject(code, message)
+    }
+
+    /// Worker loop. `control_only` is the dedicated control worker that
+    /// guarantees cheap commands are served while every general worker is
+    /// busy with explains. Returns on shutdown — but only after its
+    /// queues are empty (the pops precede the flag check), which is what
+    /// lets `await_response` rely on every admitted job completing.
+    pub fn worker_loop(&self, control_only: bool) {
+        loop {
+            let job = {
+                let mut inner = self.inner.lock().expect("scheduler");
+                loop {
+                    if let Some(job) = inner.control.pop_front() {
+                        self.metrics
+                            .queued_control_now
+                            .fetch_sub(1, Ordering::Relaxed);
+                        break Some(job);
+                    }
+                    if !control_only {
+                        if let Some(job) = inner.heavy.pop_front() {
+                            self.metrics
+                                .queued_heavy_now
+                                .fetch_sub(1, Ordering::Relaxed);
+                            self.metrics
+                                .running_heavy_now
+                                .fetch_add(1, Ordering::Relaxed);
+                            break Some(job);
+                        }
+                    }
+                    if self.service.shutdown_requested() {
+                        break None;
+                    }
+                    let (guard, _) = self
+                        .work
+                        .wait_timeout(inner, SHUTDOWN_TICK)
+                        .expect("scheduler");
+                    inner = guard;
+                }
+            };
+            let Some(job) = job else { return };
+            self.execute(job);
+        }
+    }
+
+    /// Run one admitted job and publish its response to every waiter.
+    fn execute(&self, job: Job) {
+        let response = self.service.dispatch(&job.req).to_string();
+        job.state.complete(response);
+        // Release bookkeeping only after the response is visible: a
+        // same-signature arrival in between attaches and immediately
+        // finds the stored response.
+        if job.class == RequestClass::Heavy {
+            let mut inner = self.inner.lock().expect("scheduler");
+            if let Some(session) = &job.session {
+                if let Some(n) = inner.per_session.get_mut(session) {
+                    *n -= 1;
+                    if *n == 0 {
+                        inner.per_session.remove(session);
+                    }
+                }
+            }
+            if let Some(sig) = &job.signature {
+                inner.inflight.remove(sig);
+            }
+            self.metrics
+                .running_heavy_now
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+        self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The coalescing key of an explain: every field that shapes the
+/// response, plus the session's catalog generation (so explains across a
+/// re-register never share a run).
+fn explain_signature(req: &Json, session: &str, generation: u64) -> String {
+    let field = |k: &str| {
+        req.get(k)
+            .map(Json::to_string)
+            .unwrap_or_else(|| "~".to_string())
+    };
+    format!(
+        "{session}\u{1}{generation}\u{1}{}\u{1}{}\u{1}{}\u{1}{}",
+        field("sql"),
+        field("save_as"),
+        field("top"),
+        field("width"),
+    )
+}
+
+/// A typed rejection: `{"ok":false,"code":…,"error":…}` as one line.
+fn reject(code: &str, message: impl Into<String>) -> String {
+    json::obj([
+        ("ok", Json::Bool(false)),
+        ("code", json::s(code)),
+        ("error", json::s(message.into())),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        for cmd in ["explain", "register", "register_demo"] {
+            assert_eq!(classify(cmd), RequestClass::Heavy, "{cmd}");
+        }
+        for cmd in ["ping", "metrics", "history", "sessions", "shutdown", "wat"] {
+            assert_eq!(classify(cmd), RequestClass::Control, "{cmd}");
+        }
+    }
+
+    #[test]
+    fn signatures_distinguish_response_shaping_fields() {
+        let base = json::parse(r#"{"cmd":"explain","sql":"SELECT 1"}"#).unwrap();
+        let with_top = json::parse(r#"{"cmd":"explain","sql":"SELECT 1","top":2}"#).unwrap();
+        let other_sql = json::parse(r#"{"cmd":"explain","sql":"SELECT 2"}"#).unwrap();
+        assert_eq!(
+            explain_signature(&base, "s", 0),
+            explain_signature(&base, "s", 0)
+        );
+        assert_ne!(
+            explain_signature(&base, "s", 0),
+            explain_signature(&with_top, "s", 0)
+        );
+        assert_ne!(
+            explain_signature(&base, "s", 0),
+            explain_signature(&other_sql, "s", 0)
+        );
+        assert_ne!(
+            explain_signature(&base, "s", 0),
+            explain_signature(&base, "t", 0),
+            "sessions never share history side effects"
+        );
+        assert_ne!(
+            explain_signature(&base, "s", 0),
+            explain_signature(&base, "s", 1),
+            "a re-register bumps the generation and splits the key"
+        );
+    }
+}

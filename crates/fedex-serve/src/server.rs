@@ -6,22 +6,31 @@
 //! object), `GET /metrics`, and `GET /healthz`, so `curl` works against
 //! the same port — the first bytes of a connection decide the mode.
 //!
-//! Concurrency follows the `pipeline::par` pattern: a fixed worker pool
-//! pulls accepted connections from a shared queue (`Mutex<Receiver>`), so
-//! up to `workers` clients are served simultaneously while each
-//! connection's requests stay ordered. Session state lives in the shared
-//! [`ExplainService`]; the artifact cache underneath makes concurrent
-//! explains over the same registered tables cheap, and determinism of the
-//! explain pipeline makes them byte-identical.
+//! Concurrency is **admission-scheduled** (see [`crate::sched`]): each
+//! accepted connection gets a lightweight I/O thread that reads lines,
+//! submits them to the shared [`Scheduler`], and writes the responses
+//! back in order. The actual work runs on a fixed worker pool behind two
+//! bounded priority queues — cheap control commands are never starved
+//! behind long explains (a dedicated control worker guarantees this even
+//! when every general worker is busy), a full explain queue is answered
+//! with the typed `overloaded` error instead of queueing without bound,
+//! and identical concurrent explains coalesce into one pipeline run.
+//! `GET /healthz` bypasses the queues entirely so liveness probes stay
+//! meaningful under overload.
+//!
+//! Session state lives in the shared [`ExplainService`]; the artifact
+//! cache underneath makes concurrent explains over the same registered
+//! tables cheap, and determinism of the explain pipeline makes them
+//! byte-identical.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{channel, Receiver};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::json::{self, Json};
+use crate::sched::{Scheduler, SchedulerConfig};
 use crate::service::ExplainService;
 
 /// Serving knobs.
@@ -29,15 +38,31 @@ use crate::service::ExplainService;
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:4641` (port 0 = ephemeral).
     pub addr: String,
-    /// Worker threads handling connections.
+    /// General scheduler workers (run both control and heavy jobs). One
+    /// extra dedicated control worker is always spawned on top.
     pub workers: usize,
+    /// Bound of the heavy (explain/register) queue; a full queue answers
+    /// the typed `overloaded` error (CLI: `--queue-depth`).
+    pub queue_depth: usize,
+    /// Max heavy requests one session may have queued + running before
+    /// `quota_exceeded` (CLI: `--session-quota`).
+    pub session_quota: usize,
+    /// Max concurrent connections, each backed by one lightweight I/O
+    /// thread. Accepts beyond it are answered with one `overloaded`
+    /// error line and closed — the work queues are bounded by
+    /// `queue_depth`, this bounds the thread population itself.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let sched = SchedulerConfig::default();
         ServerConfig {
             addr: "127.0.0.1:4641".to_string(),
             workers: 4,
+            queue_depth: sched.queue_depth,
+            session_quota: sched.session_quota,
+            max_connections: 1024,
         }
     }
 }
@@ -47,6 +72,8 @@ pub struct Server {
     listener: TcpListener,
     service: Arc<ExplainService>,
     workers: usize,
+    max_connections: usize,
+    sched_config: SchedulerConfig,
 }
 
 impl Server {
@@ -57,6 +84,11 @@ impl Server {
             listener,
             service,
             workers: config.workers.max(1),
+            max_connections: config.max_connections.max(1),
+            sched_config: SchedulerConfig {
+                queue_depth: config.queue_depth.max(1),
+                session_quota: config.session_quota.max(1),
+            },
         })
     }
 
@@ -66,18 +98,19 @@ impl Server {
     }
 
     /// Accept and serve until a `shutdown` request arrives. Blocks the
-    /// calling thread; worker threads are joined before returning.
+    /// calling thread; scheduler workers and connection I/O threads are
+    /// joined before returning.
     pub fn run(self) -> std::io::Result<()> {
         // Non-blocking accept so the loop can observe the shutdown flag
         // (a `shutdown` request is served by a worker, not the acceptor).
         self.listener.set_nonblocking(true)?;
-        let (tx, rx) = channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
+        let scheduler = Scheduler::new(self.service.clone(), self.sched_config);
+        let active_connections = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|scope| {
+            // The dedicated control worker + the general pool.
+            scope.spawn(|| scheduler.worker_loop(true));
             for _ in 0..self.workers {
-                let rx = rx.clone();
-                let service = self.service.clone();
-                scope.spawn(move || worker_loop(&rx, &service));
+                scope.spawn(|| scheduler.worker_loop(false));
             }
             loop {
                 if self.service.shutdown_requested() {
@@ -92,22 +125,52 @@ impl Server {
                         if stream.set_nonblocking(false).is_err() {
                             continue;
                         }
+                        // Response lines are small; Nagle + the client's
+                        // delayed ACK would add ~40ms to every reply.
+                        let _ = stream.set_nodelay(true);
+                        // Bound the I/O-thread population: past the cap,
+                        // answer one typed error line and close instead
+                        // of spawning (a flood of idle keep-alive
+                        // connections would otherwise grow threads
+                        // without bound — the queues only bound *work*).
+                        if active_connections.load(Ordering::Acquire) >= self.max_connections {
+                            refuse_connection(stream, self.max_connections);
+                            continue;
+                        }
+                        active_connections.fetch_add(1, Ordering::AcqRel);
                         self.service
                             .metrics()
                             .connections
                             .fetch_add(1, Ordering::Relaxed);
-                        if tx.send(stream).is_err() {
-                            break;
-                        }
+                        // One lightweight I/O thread per connection: it
+                        // only parses lines, waits on the scheduler, and
+                        // writes responses — explains no longer pin it to
+                        // a worker-pool slot. Exits on client EOF, idle
+                        // keep-alive expiry, or shutdown (within one
+                        // read-timeout tick), so the scope join below is
+                        // bounded.
+                        let scheduler = &scheduler;
+                        let service = &*self.service;
+                        let active_connections = &active_connections;
+                        scope.spawn(move || {
+                            let _ = serve_connection(stream, scheduler, service);
+                            active_connections.fetch_sub(1, Ordering::AcqRel);
+                        });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
                     }
-                    Err(e) => return Err(e),
+                    Err(e) => {
+                        // A dead listener (fd exhaustion, interface gone)
+                        // must not wedge the process: raise the shutdown
+                        // flag so workers and connection threads drain and
+                        // the scope join below terminates, then surface
+                        // the error to the caller.
+                        self.service.request_shutdown();
+                        return Err(e);
+                    }
                 }
             }
-            // Dropping the sender ends every worker's recv loop.
-            drop(tx);
             Ok(())
         })
     }
@@ -153,24 +216,34 @@ impl ServerHandle {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, service: &ExplainService) {
-    loop {
-        // Hold the lock only for the dequeue, not while serving.
-        let stream = match rx.lock().expect("connection queue").recv() {
-            Ok(s) => s,
-            Err(_) => return, // acceptor gone
-        };
-        // Connection errors (resets, bad HTTP) only end that connection.
-        let _ = serve_connection(stream, service);
-    }
+/// Refuse a connection over the `max_connections` cap: best-effort write
+/// of one typed error line, then close. A short write timeout keeps a
+/// non-reading peer from stalling the acceptor.
+fn refuse_connection(mut stream: TcpStream, cap: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let line = json::obj([
+        ("ok", Json::Bool(false)),
+        ("code", json::s("overloaded")),
+        (
+            "error",
+            json::s(format!("connection limit reached ({cap})")),
+        ),
+    ])
+    .to_string();
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
 }
 
 /// Serve one connection in whichever protocol its first line speaks.
-fn serve_connection(stream: TcpStream, service: &ExplainService) -> std::io::Result<()> {
-    // Short read timeout: between client requests the worker wakes up
+fn serve_connection(
+    stream: TcpStream,
+    scheduler: &Scheduler,
+    service: &ExplainService,
+) -> std::io::Result<()> {
+    // Short read timeout: between client requests the I/O thread wakes up
     // regularly to observe a server shutdown, so idle keep-alive
-    // connections can never pin a worker past `shutdown` (they would
-    // otherwise deadlock a graceful stop).
+    // connections can never outlive `shutdown` (they would otherwise
+    // deadlock a graceful stop).
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     let peer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -182,15 +255,19 @@ fn serve_connection(stream: TcpStream, service: &ExplainService) -> std::io::Res
     }
     let first = String::from_utf8_lossy(&first).into_owned();
     if let Some(request_line) = http_request_line(&first) {
-        return serve_http(reader, writer, service, request_line);
+        return serve_http(reader, writer, scheduler, service, request_line);
     }
     // NDJSON: the first line is already a request; keep reading lines.
     let mut line = first;
     let mut buf = Vec::new();
+    let mut out = Vec::new();
     loop {
-        let response = service.dispatch_line(line.trim_end_matches(['\r', '\n']));
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
+        let response = scheduler.handle_line(line.trim_end_matches(['\r', '\n']));
+        // One write per response (see `Client::request_raw`).
+        out.clear();
+        out.extend_from_slice(response.as_bytes());
+        out.push(b'\n');
+        writer.write_all(&out)?;
         writer.flush()?;
         buf.clear();
         if read_line_shutdown_aware(&mut reader, &mut buf, service)? == 0 {
@@ -203,9 +280,9 @@ fn serve_connection(stream: TcpStream, service: &ExplainService) -> std::io::Res
     }
 }
 
-/// Keep-alive limit for idle NDJSON connections: a worker pinned by a
-/// silent client frees itself after this long, bounding worst-case
-/// worker-pool starvation.
+/// Keep-alive limit for idle NDJSON connections: an I/O thread held by a
+/// silent client frees itself after this long, bounding the worst-case
+/// connection-thread population.
 const IDLE_KEEPALIVE: Duration = Duration::from_secs(120);
 
 /// Read one `\n`-terminated line of raw bytes, treating a read timeout as
@@ -252,10 +329,13 @@ fn http_request_line(line: &str) -> Option<(String, String)> {
 }
 
 /// Minimal HTTP/1.1: headers, optional Content-Length body, one response,
-/// close.
+/// close. `POST /api` and `GET /metrics` go through the admission
+/// scheduler like NDJSON requests; `GET /healthz` bypasses it so a
+/// liveness probe answers even when the queues are saturated.
 fn serve_http(
     mut reader: BufReader<TcpStream>,
     mut writer: TcpStream,
+    scheduler: &Scheduler,
     service: &ExplainService,
     (method, path): (String, String),
 ) -> std::io::Result<()> {
@@ -286,6 +366,7 @@ fn serve_http(
     if content_length > MAX_BODY {
         let payload = json::obj([
             ("ok", Json::Bool(false)),
+            ("code", json::s("bad_request")),
             (
                 "error",
                 json::s(format!(
@@ -306,13 +387,14 @@ fn serve_http(
     let body = String::from_utf8_lossy(&body);
 
     let (status, payload) = match (method.as_str(), path.as_str()) {
-        ("POST", "/api") => ("200 OK", service.dispatch_line(body.trim())),
-        ("GET", "/metrics") => ("200 OK", service.dispatch_line(r#"{"cmd":"metrics"}"#)),
+        ("POST", "/api") => ("200 OK", scheduler.handle_line(body.trim())),
+        ("GET", "/metrics") => ("200 OK", scheduler.handle_line(r#"{"cmd":"metrics"}"#)),
         ("GET", "/healthz") => ("200 OK", service.dispatch_line(r#"{"cmd":"ping"}"#)),
         _ => (
             "404 Not Found",
             json::obj([
                 ("ok", Json::Bool(false)),
+                ("code", json::s("bad_request")),
                 ("error", json::s(format!("no route {method} {path}"))),
             ])
             .to_string(),

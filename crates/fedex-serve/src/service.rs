@@ -15,18 +15,24 @@
 //! | `metrics`       | —                                                   |
 //! | `shutdown`      | —                                                   |
 //!
-//! Responses always carry `"ok"`; failures are `{"ok":false,"error":…}` —
-//! a malformed request never tears down the connection, let alone the
+//! Responses always carry `"ok"`; failures are
+//! `{"ok":false,"code":…,"error":…}` with a machine-readable `code`
+//! (`invalid_json`, `bad_request`, `unknown_cmd`, `explain_failed`, and —
+//! from the admission scheduler — `overloaded`, `quota_exceeded`,
+//! `shutting_down`; see [`crate::sched`] and `docs/WIRE_PROTOCOL.md`). A
+//! malformed request never tears down the connection, let alone the
 //! server. Explain responses embed the per-stage timings and a cumulative
 //! artifact-cache snapshot so a client can observe that its warm request
 //! skipped the encode work.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use fedex_core::{to_json_array, SessionManager, StageReport};
 use fedex_frame::{Column, DataFrame};
 
 use crate::json::{self, n, obj, s, Json};
+use crate::sched::SchedMetrics;
 
 /// Wire-visible server counters.
 #[derive(Debug, Default)]
@@ -67,6 +73,7 @@ pub struct ExplainService {
     manager: SessionManager,
     metrics: ServerMetrics,
     shutdown: AtomicBool,
+    scheduler: OnceLock<Arc<SchedMetrics>>,
 }
 
 /// Cumulative artifact-cache snapshot as a JSON object.
@@ -80,6 +87,7 @@ fn cache_json(manager: &SessionManager) -> Json {
         ("entries", n(m.entries as f64)),
         ("bytes", n(m.bytes as f64)),
         ("budget", n(m.budget as f64)),
+        ("policy", s(m.policy.as_str())),
     ])
 }
 
@@ -109,8 +117,13 @@ fn trace_json(trace: &[StageReport]) -> Json {
     )
 }
 
-fn err(message: impl Into<String>) -> Json {
-    obj([("ok", Json::Bool(false)), ("error", s(message.into()))])
+/// A typed error response: machine-readable `code` + human `error`.
+fn err(code: &'static str, message: impl Into<String>) -> Json {
+    obj([
+        ("ok", Json::Bool(false)),
+        ("code", s(code)),
+        ("error", s(message.into())),
+    ])
 }
 
 fn ok(mut fields: Vec<(&'static str, Json)>) -> Json {
@@ -193,7 +206,14 @@ impl ExplainService {
             manager,
             metrics: ServerMetrics::default(),
             shutdown: AtomicBool::new(false),
+            scheduler: OnceLock::new(),
         }
+    }
+
+    /// Attach the admission scheduler's counters so the `metrics` command
+    /// reports them; called once by [`crate::sched::Scheduler::new`].
+    pub fn attach_scheduler_metrics(&self, metrics: Arc<SchedMetrics>) {
+        let _ = self.scheduler.set(metrics);
     }
 
     /// The underlying session manager.
@@ -238,7 +258,7 @@ impl ExplainService {
             Err(e) => {
                 self.metrics.requests.fetch_add(1, Ordering::Relaxed);
                 self.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                err(format!("invalid JSON: {e}"))
+                err("invalid_json", format!("invalid JSON: {e}"))
             }
         };
         response.to_string()
@@ -246,7 +266,7 @@ impl ExplainService {
 
     fn dispatch_inner(&self, req: &Json) -> Json {
         let Some(cmd) = req.get("cmd").and_then(Json::as_str) else {
-            return err("request needs a string 'cmd'");
+            return err("bad_request", "request needs a string 'cmd'");
         };
         let session = req
             .get("session")
@@ -268,35 +288,41 @@ impl ExplainService {
                         .collect(),
                 ),
             )]),
-            "metrics" => ok(vec![
-                ("server", self.metrics.to_json()),
-                ("cache", cache_json(&self.manager)),
-            ]),
+            "metrics" => {
+                let mut fields = vec![
+                    ("server", self.metrics.to_json()),
+                    ("cache", cache_json(&self.manager)),
+                ];
+                if let Some(sched) = self.scheduler.get() {
+                    fields.push(("scheduler", sched.to_json()));
+                }
+                ok(fields)
+            }
             "shutdown" => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 ok(vec![("shutting_down", Json::Bool(true))])
             }
-            other => err(format!("unknown cmd {other:?}")),
+            other => err("unknown_cmd", format!("unknown cmd {other:?}")),
         }
     }
 
     fn register(&self, req: &Json, session: &str) -> Json {
         let Some(table) = req.get("table").and_then(Json::as_str) else {
-            return err("register needs a string 'table'");
+            return err("bad_request", "register needs a string 'table'");
         };
         let Some(specs) = req.get("columns").and_then(Json::as_arr) else {
-            return err("register needs a 'columns' array");
+            return err("bad_request", "register needs a 'columns' array");
         };
         let mut columns = Vec::with_capacity(specs.len());
         for spec in specs {
             match parse_column(spec) {
                 Ok(c) => columns.push(c),
-                Err(e) => return err(e),
+                Err(e) => return err("bad_request", e),
             }
         }
         let df = match DataFrame::new(columns) {
             Ok(df) => df,
-            Err(e) => return err(format!("invalid table: {e}")),
+            Err(e) => return err("bad_request", format!("invalid table: {e}")),
         };
         self.finish_register(session, table, df)
     }
@@ -317,8 +343,10 @@ impl ExplainService {
         self.metrics.registers.fetch_add(1, Ordering::Relaxed);
         let rows = df.n_rows();
         let cols = df.n_cols();
-        let fp = df.fingerprint();
-        self.manager.register(session, table, df);
+        // The manager computes (and the frame memoizes) the content
+        // digest here, once — every later explain over this table reads
+        // it in O(1) instead of re-scanning 15 columns × n rows.
+        let fp = self.manager.register(session, table, df);
         ok(vec![
             ("session", s(session)),
             ("table", s(table)),
@@ -330,7 +358,7 @@ impl ExplainService {
 
     fn explain(&self, req: &Json, session: &str) -> Json {
         let Some(sql) = req.get("sql").and_then(Json::as_str) else {
-            return err("explain needs a string 'sql'");
+            return err("bad_request", "explain needs a string 'sql'");
         };
         let save_as = req.get("save_as").and_then(Json::as_str);
         let width = req.get("width").and_then(Json::as_usize).unwrap_or(44);
@@ -376,7 +404,7 @@ impl ExplainService {
                 Json::Obj(fields)
             }
             Ok(other) => other,
-            Err(e) => err(format!("explain failed: {e}")),
+            Err(e) => err("explain_failed", format!("explain failed: {e}")),
         }
     }
 

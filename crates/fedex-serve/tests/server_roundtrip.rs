@@ -19,6 +19,11 @@ fn boot(workers: usize) -> fedex_serve::ServerHandle {
         &ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers,
+            // Generous admission bounds: these tests exercise the wire
+            // contract, not backpressure (tests/scheduler.rs does that).
+            queue_depth: 64,
+            session_quota: 8,
+            max_connections: 64,
         },
         service,
     )
@@ -180,6 +185,52 @@ fn http_fallback_answers_curl_shaped_requests() {
     stream.read_to_string(&mut response).unwrap();
     assert!(response.starts_with("HTTP/1.1 404"), "{response}");
 
+    handle.stop().unwrap();
+}
+
+#[test]
+fn connection_cap_refuses_with_typed_error() {
+    let service = Arc::new(ExplainService::default());
+    let handle = Server::bind(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 4,
+            session_quota: 2,
+            max_connections: 1,
+        },
+        service,
+    )
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    // First connection occupies the single slot (and proves it works).
+    let mut first = Client::connect(&addr).unwrap();
+    let r = first.request(&req(r#"{"cmd":"ping"}"#)).unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+
+    // Second connection is refused with one typed error line, not a
+    // silent drop. (The refusal may race the accept loop; poll briefly.)
+    let mut refused = None;
+    for _ in 0..50 {
+        let mut c = Client::connect(&addr).unwrap();
+        match c.request_raw(r#"{"cmd":"ping"}"#) {
+            Ok(line) if line.contains(r#""code":"overloaded""#) => {
+                refused = Some(line);
+                break;
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+    let line = refused.expect("over-cap connection must receive the typed refusal");
+    let r = json::parse(&line).unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+
+    // The admitted connection still works.
+    let r = first.request(&req(r#"{"cmd":"ping"}"#)).unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
     handle.stop().unwrap();
 }
 

@@ -1,5 +1,5 @@
 //! Rank-quality metrics used by the accuracy experiments of §4.3:
-//! precision@k [64], Kendall-Tau distance [37], and nDCG [35].
+//! precision@k \[64\], Kendall-Tau distance \[37\], and nDCG \[35\].
 
 use std::collections::HashMap;
 use std::hash::Hash;

@@ -14,7 +14,7 @@ pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, len }
 }
 
-/// Output of [`vec`].
+/// Output of [`vec()`](vec()).
 pub struct VecStrategy<S> {
     element: S,
     len: Range<usize>,
