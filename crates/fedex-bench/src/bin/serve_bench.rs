@@ -1,8 +1,10 @@
 //! Contention benchmark of the admission-scheduled server — the
-//! measurement behind `BENCH_pr5.json`.
+//! measurement behind `BENCH_pr5.json` and the serve half of
+//! `BENCH_pr6.json`.
 //!
 //! ```text
-//! cargo run --release -p fedex-bench --bin serve_bench -- [rows] [probe_clients]
+//! cargo run --release -p fedex-bench --bin serve_bench -- \
+//!     [rows] [probe_clients] [--threads 1,2,4]
 //! ```
 //!
 //! Boots a real `fedex-serve` server on a loopback socket, registers a
@@ -20,13 +22,19 @@
 //! 3. **determinism** — the wire responses under contention are
 //!    byte-identical to a serial in-process [`fedex_core::Session`] run.
 //!
+//! With `--threads` (PR 6), the register + cold/warm measurement repeats
+//! per execution mode (`serial`, `parallel`, or a thread count) against a
+//! **fresh server and artifact cache** each time, and every entry's wire
+//! output is asserted byte-identical to the serial reference. The
+//! contention phase runs once, on the first entry's server.
+//!
 //! Prints one JSON object to stdout; human-readable progress to stderr.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fedex_core::{render_all, ExecutionMode, Fedex, Session};
+use fedex_core::{render_all, ArtifactCache, ExecutionMode, Fedex, Session, SessionManager};
 use fedex_serve::{json, Client, ExplainService, Json, Server, ServerConfig};
 
 const WARM_SQL: &str = "SELECT * FROM spotify WHERE popularity > 65";
@@ -97,13 +105,60 @@ fn latency_json(mut micros: Vec<u64>) -> String {
     )
 }
 
+/// Cold/warm wire measurement of one execution mode.
+struct ExecEntry {
+    spec: String,
+    register_ns: f64,
+    cold_wall_ns: f64,
+    cold_pipeline_ns: f64,
+    cold_score_ns: f64,
+    cold_encode_ns: f64,
+    warm_wall_ns: f64,
+    warm_pipeline_ns: f64,
+    warm_score_ns: f64,
+    warm_encode_ns: f64,
+}
+
+fn entry_json(e: &ExecEntry) -> String {
+    format!(
+        "{{ \"exec\": \"{}\", \"register_ns\": {:.0}, \
+         \"cold\": {{ \"wall_ns\": {:.0}, \"pipeline_ns\": {:.0}, \"score_columns_ns\": {:.0}, \"encode_ns\": {:.0} }}, \
+         \"warm\": {{ \"wall_ns\": {:.0}, \"pipeline_ns\": {:.0}, \"score_columns_ns\": {:.0}, \"encode_ns\": {:.0} }} }}",
+        e.spec,
+        e.register_ns,
+        e.cold_wall_ns,
+        e.cold_pipeline_ns,
+        e.cold_score_ns,
+        e.cold_encode_ns,
+        e.warm_wall_ns,
+        e.warm_pipeline_ns,
+        e.warm_score_ns,
+        e.warm_encode_ns,
+    )
+}
+
 fn main() {
+    let mut rows: usize = 1_000_000;
+    let mut probe_clients: usize = 3;
+    let mut execs: Vec<String> = vec!["parallel".to_string()];
+    let mut positional = 0usize;
     let mut args = std::env::args().skip(1);
-    let rows: usize = args
-        .next()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1_000_000);
-    let probe_clients: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(3);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let spec = args.next().expect("--threads takes a comma list");
+            execs = spec.split(',').map(|s| s.trim().to_string()).collect();
+            assert!(!execs.is_empty(), "--threads needs at least one entry");
+        } else {
+            match positional {
+                0 => rows = arg.parse().expect("rows is an integer"),
+                _ => probe_clients = arg.parse().expect("probe_clients is an integer"),
+            }
+            positional += 1;
+        }
+    }
+    for spec in &execs {
+        ExecutionMode::parse(spec).unwrap_or_else(|| panic!("bad exec spec {spec:?}"));
+    }
 
     // Serial reference for the determinism check (same generator + seed).
     eprintln!("# building serial reference ({rows} rows)…");
@@ -112,210 +167,261 @@ fn main() {
         session.register("spotify", fedex_data::spotify::generate(rows, 5));
         render_all(&session.run(WARM_SQL).unwrap().explanations, 44)
     };
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
-    let service = Arc::new(ExplainService::default());
-    let server = Server::bind(
-        &ServerConfig {
-            addr: "127.0.0.1:0".to_string(),
-            workers: 2,
-            ..Default::default()
-        },
-        service,
-    )
-    .expect("bind loopback");
-    let handle = server.spawn().expect("spawn server");
-    let addr = handle.addr().to_string();
+    let mut sweep: Vec<ExecEntry> = Vec::new();
+    let mut contention_json: Option<(usize, f64, String, String)> = None;
+    let mut checks_json = String::new();
+    let mut cache_json = String::new();
+    let mut sched_json = "{}".to_string();
 
-    let mut main_client = Client::connect(&addr).unwrap();
-    eprintln!("# registering {rows} rows (fingerprint computed here, once)…");
-    let t0 = Instant::now();
-    let r = main_client
-        .request(&req(&format!(
-            r#"{{"cmd":"register_demo","session":"bench","rows":{rows},"seed":5}}"#
-        )))
-        .unwrap();
-    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
-    let register_ns = t0.elapsed().as_nanos() as f64;
+    for (ei, spec) in execs.iter().enumerate() {
+        let mode = ExecutionMode::parse(spec).expect("validated above");
+        eprintln!("# === exec {spec} ===");
+        let service = Arc::new(ExplainService::new(SessionManager::new(
+            Fedex::new().with_execution(mode),
+            Arc::new(ArtifactCache::default()),
+        )));
+        let server = Server::bind(
+            &ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                ..Default::default()
+            },
+            service,
+        )
+        .expect("bind loopback");
+        let handle = server.spawn().expect("spawn server");
+        let addr = handle.addr().to_string();
 
-    let explain_line = format!(r#"{{"cmd":"explain","session":"bench","sql":"{WARM_SQL}"}}"#);
-    eprintln!("# cold explain…");
-    let t0 = Instant::now();
-    let cold = main_client.request(&req(&explain_line)).unwrap();
-    let cold_wall_ns = t0.elapsed().as_nanos() as f64;
-    assert_eq!(cold.get("ok"), Some(&Json::Bool(true)), "{cold:?}");
-    let cold_rendered = cold.get("rendered").and_then(Json::as_str).unwrap();
-    assert_eq!(cold_rendered, reference, "wire must equal serial path");
-    let (cold_score_ns, cold_encode_ns) = score_columns_ns(&cold);
+        let mut main_client = Client::connect(&addr).unwrap();
+        eprintln!("# registering {rows} rows (fingerprint computed here, once)…");
+        let t0 = Instant::now();
+        let r = main_client
+            .request(&req(&format!(
+                r#"{{"cmd":"register_demo","session":"bench","rows":{rows},"seed":5}}"#
+            )))
+            .unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+        let register_ns = t0.elapsed().as_nanos() as f64;
 
-    eprintln!("# warm explain (fingerprint memo + artifact cache)…");
-    let t0 = Instant::now();
-    let warm = main_client.request(&req(&explain_line)).unwrap();
-    let warm_wall_ns = t0.elapsed().as_nanos() as f64;
-    let warm_rendered = warm.get("rendered").and_then(Json::as_str).unwrap();
-    assert_eq!(warm_rendered, cold_rendered, "warm must equal cold");
-    let (warm_score_ns, warm_encode_ns) = score_columns_ns(&warm);
-    eprintln!(
-        "# ScoreColumns cold {:.3}s → warm {:.4}s (encode {:.3}s → {:.4}s)",
-        cold_score_ns / 1e9,
-        warm_score_ns / 1e9,
-        cold_encode_ns / 1e9,
-        warm_encode_ns / 1e9
-    );
+        let explain_line = format!(r#"{{"cmd":"explain","session":"bench","sql":"{WARM_SQL}"}}"#);
+        eprintln!("# cold explain…");
+        let t0 = Instant::now();
+        let cold = main_client.request(&req(&explain_line)).unwrap();
+        let cold_wall_ns = t0.elapsed().as_nanos() as f64;
+        assert_eq!(cold.get("ok"), Some(&Json::Bool(true)), "{cold:?}");
+        let cold_rendered = cold.get("rendered").and_then(Json::as_str).unwrap();
+        assert_eq!(
+            cold_rendered, reference,
+            "exec {spec}: wire must equal serial path"
+        );
+        let (cold_score_ns, cold_encode_ns) = score_columns_ns(&cold);
 
-    // ---- contention phase -------------------------------------------
-    eprintln!("# contention: 1 explain client + {probe_clients} ping/metrics probes…");
-    let stop = AtomicBool::new(false);
-    let explain_running = AtomicBool::new(false);
-    let (explain_ns, ping_lat, metrics_lat, probe_rendered) = std::thread::scope(|scope| {
-        let explain_thread = {
-            let addr = addr.clone();
-            let explain_running = &explain_running;
-            let stop = &stop;
-            scope.spawn(move || {
-                let mut c = Client::connect(&addr).unwrap();
-                explain_running.store(true, Ordering::SeqCst);
-                let t0 = Instant::now();
-                let r = c
-                    .request(&req(&format!(
-                        r#"{{"cmd":"explain","session":"bench","sql":"{CONTENTION_SQL}"}}"#
-                    )))
-                    .unwrap();
-                let ns = t0.elapsed().as_nanos() as f64;
-                stop.store(true, Ordering::SeqCst);
-                assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
-                ns
-            })
-        };
-        let probes: Vec<_> = (0..probe_clients.max(1))
-            .map(|_| {
-                let addr = addr.clone();
-                let stop = &stop;
-                let explain_running = &explain_running;
-                scope.spawn(move || {
+        eprintln!("# warm explain (fingerprint memo + artifact cache)…");
+        let t0 = Instant::now();
+        let warm = main_client.request(&req(&explain_line)).unwrap();
+        let warm_wall_ns = t0.elapsed().as_nanos() as f64;
+        let warm_rendered = warm.get("rendered").and_then(Json::as_str).unwrap();
+        assert_eq!(warm_rendered, cold_rendered, "warm must equal cold");
+        let (warm_score_ns, warm_encode_ns) = score_columns_ns(&warm);
+        eprintln!(
+            "# ScoreColumns cold {:.3}s → warm {:.4}s (encode {:.3}s → {:.4}s)",
+            cold_score_ns / 1e9,
+            warm_score_ns / 1e9,
+            cold_encode_ns / 1e9,
+            warm_encode_ns / 1e9
+        );
+        sweep.push(ExecEntry {
+            spec: spec.clone(),
+            register_ns,
+            cold_wall_ns,
+            cold_pipeline_ns: total_ns(&cold),
+            cold_score_ns,
+            cold_encode_ns,
+            warm_wall_ns,
+            warm_pipeline_ns: total_ns(&warm),
+            warm_score_ns,
+            warm_encode_ns,
+        });
+
+        // ---- contention phase (first entry only) --------------------
+        if ei == 0 {
+            eprintln!("# contention: 1 explain client + {probe_clients} ping/metrics probes…");
+            let stop = AtomicBool::new(false);
+            let explain_running = AtomicBool::new(false);
+            let (explain_ns, ping_lat, metrics_lat, probe_rendered) = std::thread::scope(|scope| {
+                let explain_thread = {
+                    let addr = addr.clone();
+                    let explain_running = &explain_running;
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        let mut c = Client::connect(&addr).unwrap();
+                        explain_running.store(true, Ordering::SeqCst);
+                        let t0 = Instant::now();
+                        let r = c
+                            .request(&req(&format!(
+                                r#"{{"cmd":"explain","session":"bench","sql":"{CONTENTION_SQL}"}}"#
+                            )))
+                            .unwrap();
+                        let ns = t0.elapsed().as_nanos() as f64;
+                        stop.store(true, Ordering::SeqCst);
+                        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+                        ns
+                    })
+                };
+                let probes: Vec<_> = (0..probe_clients.max(1))
+                    .map(|_| {
+                        let addr = addr.clone();
+                        let stop = &stop;
+                        let explain_running = &explain_running;
+                        scope.spawn(move || {
+                            let mut c = Client::connect(&addr).unwrap();
+                            let mut ping = Vec::new();
+                            let mut metrics = Vec::new();
+                            while !explain_running.load(Ordering::SeqCst) {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            while !stop.load(Ordering::SeqCst) {
+                                let t0 = Instant::now();
+                                let r = c.request(&req(r#"{"cmd":"ping"}"#)).unwrap();
+                                ping.push(t0.elapsed().as_micros() as u64);
+                                assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+                                let t0 = Instant::now();
+                                let r = c.request(&req(r#"{"cmd":"metrics"}"#)).unwrap();
+                                metrics.push(t0.elapsed().as_micros() as u64);
+                                assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            (ping, metrics)
+                        })
+                    })
+                    .collect();
+                // A warm explain on the *other* query interleaved with
+                // the long one: the determinism probe under real
+                // contention.
+                let warm_probe = {
+                    let addr = addr.clone();
+                    let explain_running = &explain_running;
+                    scope.spawn(move || {
+                        let mut c = Client::connect(&addr).unwrap();
+                        while !explain_running.load(Ordering::SeqCst) {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        std::thread::sleep(Duration::from_millis(50));
+                        let r = c
+                            .request(&req(&format!(
+                                r#"{{"cmd":"explain","session":"probe","sql":"{WARM_SQL}"}}"#
+                            )))
+                            .unwrap();
+                        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+                        r
+                    })
+                };
+                // The probe session needs the table too — register it
+                // while the long explain runs (heavy, but workers=2
+                // leaves one slot).
+                {
                     let mut c = Client::connect(&addr).unwrap();
-                    let mut ping = Vec::new();
-                    let mut metrics = Vec::new();
-                    while !explain_running.load(Ordering::SeqCst) {
-                        std::thread::sleep(Duration::from_millis(1));
-                    }
-                    while !stop.load(Ordering::SeqCst) {
-                        let t0 = Instant::now();
-                        let r = c.request(&req(r#"{"cmd":"ping"}"#)).unwrap();
-                        ping.push(t0.elapsed().as_micros() as u64);
-                        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
-                        let t0 = Instant::now();
-                        let r = c.request(&req(r#"{"cmd":"metrics"}"#)).unwrap();
-                        metrics.push(t0.elapsed().as_micros() as u64);
-                        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
-                        std::thread::sleep(Duration::from_millis(2));
-                    }
-                    (ping, metrics)
-                })
-            })
-            .collect();
-        // A warm explain on the *other* query interleaved with the long
-        // one: the determinism probe under real contention.
-        let warm_probe = {
-            let addr = addr.clone();
-            let explain_running = &explain_running;
-            scope.spawn(move || {
-                let mut c = Client::connect(&addr).unwrap();
-                while !explain_running.load(Ordering::SeqCst) {
-                    std::thread::sleep(Duration::from_millis(1));
+                    let r = c
+                        .request(&req(&format!(
+                            r#"{{"cmd":"register_demo","session":"probe","rows":{rows},"seed":5}}"#
+                        )))
+                        .unwrap();
+                    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
                 }
-                std::thread::sleep(Duration::from_millis(50));
-                let r = c
-                    .request(&req(&format!(
-                        r#"{{"cmd":"explain","session":"probe","sql":"{WARM_SQL}"}}"#
-                    )))
-                    .unwrap();
-                assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
-                r
-            })
-        };
-        // The probe session needs the table too — register it while the
-        // long explain runs (heavy, but workers=2 leaves one slot).
-        {
-            let mut c = Client::connect(&addr).unwrap();
-            let r = c
-                .request(&req(&format!(
-                    r#"{{"cmd":"register_demo","session":"probe","rows":{rows},"seed":5}}"#
-                )))
-                .unwrap();
-            assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+                let explain_ns = explain_thread.join().expect("explain client");
+                let mut ping_all = Vec::new();
+                let mut metrics_all = Vec::new();
+                for p in probes {
+                    let (ping, metrics) = p.join().expect("probe client");
+                    ping_all.extend(ping);
+                    metrics_all.extend(metrics);
+                }
+                let probe_response = warm_probe.join().expect("warm probe");
+                let probe_rendered = probe_response
+                    .get("rendered")
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
+                (explain_ns, ping_all, metrics_all, probe_rendered)
+            });
+
+            // The interleaved warm explain in another session must also
+            // match the serial reference byte-for-byte (shared cache,
+            // scheduled execution).
+            let scheduled_identical = probe_rendered.as_deref() == Some(reference.as_str());
+            assert!(
+                scheduled_identical,
+                "scheduled warm explain diverged from the serial reference"
+            );
+
+            let mut sorted_ping = ping_lat.clone();
+            sorted_ping.sort_unstable();
+            let ping_p99 = percentile(&sorted_ping, 0.99);
+            eprintln!(
+                "# contention explain {:.2}s; ping p99 {}µs over {} samples",
+                explain_ns / 1e9,
+                ping_p99,
+                ping_lat.len()
+            );
+            checks_json = format!(
+                "{{ \"warm_equals_cold\": true, \"scheduled_equals_serial\": {scheduled_identical}, \"warm_score_columns_s\": {:.4}, \"ping_p99_ms\": {:.3} }}",
+                warm_score_ns / 1e9,
+                ping_p99 as f64 / 1e3
+            );
+            contention_json = Some((
+                probe_clients + 1,
+                explain_ns,
+                latency_json(ping_lat),
+                latency_json(metrics_lat),
+            ));
+            let m = handle.service().manager().cache().metrics();
+            cache_json = format!(
+                "{{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \"bytes\": {}, \"policy\": \"{}\" }}",
+                m.hits, m.misses, m.evictions, m.entries, m.bytes, m.policy
+            );
+            let final_metrics = {
+                let mut c = Client::connect(&addr).unwrap();
+                c.request(&req(r#"{"cmd":"metrics"}"#)).unwrap()
+            };
+            sched_json = final_metrics
+                .get("scheduler")
+                .map(Json::to_string)
+                .unwrap_or_else(|| "{}".to_string());
         }
-        let explain_ns = explain_thread.join().expect("explain client");
-        let mut ping_all = Vec::new();
-        let mut metrics_all = Vec::new();
-        for p in probes {
-            let (ping, metrics) = p.join().expect("probe client");
-            ping_all.extend(ping);
-            metrics_all.extend(metrics);
-        }
-        let probe_response = warm_probe.join().expect("warm probe");
-        let probe_rendered = probe_response
-            .get("rendered")
-            .and_then(Json::as_str)
-            .map(str::to_string);
-        (explain_ns, ping_all, metrics_all, probe_rendered)
-    });
+        handle.stop().unwrap();
+    }
 
-    // The interleaved warm explain in another session must also match the
-    // serial reference byte-for-byte (shared cache, scheduled execution).
-    let scheduled_identical = probe_rendered.as_deref() == Some(reference.as_str());
-    assert!(
-        scheduled_identical,
-        "scheduled warm explain diverged from the serial reference"
-    );
-
-    let mut sorted_ping = ping_lat.clone();
-    sorted_ping.sort_unstable();
-    let ping_p99 = percentile(&sorted_ping, 0.99);
-    eprintln!(
-        "# contention explain {:.2}s; ping p99 {}µs over {} samples",
-        explain_ns / 1e9,
-        ping_p99,
-        ping_lat.len()
-    );
-
-    let m = handle.service().manager().cache().metrics();
-    let final_metrics = {
-        let mut c = Client::connect(&addr).unwrap();
-        c.request(&req(r#"{"cmd":"metrics"}"#)).unwrap()
-    };
-    let sched = final_metrics
-        .get("scheduler")
-        .map(Json::to_string)
-        .unwrap_or_else(|| "{}".to_string());
-    handle.stop().unwrap();
-
+    let first = &sweep[0];
+    let (clients, explain_ns, ping, metrics) =
+        contention_json.expect("contention ran on the first entry");
     println!("{{");
     println!("  \"workload\": \"admission-scheduled serve, filter/spotify\",");
     println!("  \"rows\": {rows},");
-    println!("  \"register_ns\": {register_ns:.0},");
+    println!("  \"host_cores\": {host_cores},");
+    println!("  \"exec\": \"{}\",", first.spec);
+    println!("  \"register_ns\": {:.0},", first.register_ns);
     println!(
-        "  \"cold\": {{ \"wall_ns\": {cold_wall_ns:.0}, \"pipeline_ns\": {:.0}, \"score_columns_ns\": {cold_score_ns:.0}, \"encode_ns\": {cold_encode_ns:.0} }},",
-        total_ns(&cold)
+        "  \"cold\": {{ \"wall_ns\": {:.0}, \"pipeline_ns\": {:.0}, \"score_columns_ns\": {:.0}, \"encode_ns\": {:.0} }},",
+        first.cold_wall_ns, first.cold_pipeline_ns, first.cold_score_ns, first.cold_encode_ns
     );
     println!(
-        "  \"warm\": {{ \"wall_ns\": {warm_wall_ns:.0}, \"pipeline_ns\": {:.0}, \"score_columns_ns\": {warm_score_ns:.0}, \"encode_ns\": {warm_encode_ns:.0} }},",
-        total_ns(&warm)
+        "  \"warm\": {{ \"wall_ns\": {:.0}, \"pipeline_ns\": {:.0}, \"score_columns_ns\": {:.0}, \"encode_ns\": {:.0} }},",
+        first.warm_wall_ns, first.warm_pipeline_ns, first.warm_score_ns, first.warm_encode_ns
     );
     println!(
-        "  \"contention\": {{ \"clients\": {}, \"explain_ns\": {explain_ns:.0}, \"ping\": {}, \"metrics\": {} }},",
-        probe_clients + 1,
-        latency_json(ping_lat),
-        latency_json(metrics_lat)
+        "  \"contention\": {{ \"clients\": {clients}, \"explain_ns\": {explain_ns:.0}, \"ping\": {ping}, \"metrics\": {metrics} }},"
     );
-    println!(
-        "  \"checks\": {{ \"warm_equals_cold\": true, \"scheduled_equals_serial\": {scheduled_identical}, \"warm_score_columns_s\": {:.4}, \"ping_p99_ms\": {:.3} }},",
-        warm_score_ns / 1e9,
-        ping_p99 as f64 / 1e3
-    );
-    println!(
-        "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \"bytes\": {}, \"policy\": \"{}\" }},",
-        m.hits, m.misses, m.evictions, m.entries, m.bytes, m.policy
-    );
-    println!("  \"scheduler\": {sched}");
+    println!("  \"checks\": {checks_json},");
+    println!("  \"cache\": {cache_json},");
+    println!("  \"sweep\": [");
+    for (i, e) in sweep.iter().enumerate() {
+        let comma = if i + 1 == sweep.len() { "" } else { "," };
+        println!("    {}{comma}", entry_json(e));
+    }
+    println!("  ],");
+    println!("  \"scheduler\": {sched_json}");
     println!("}}");
 }

@@ -3,24 +3,156 @@
 //! entries.
 //!
 //! ```text
-//! cargo run --release -p fedex-bench --bin stage_trace -- [rows] [reps]
+//! cargo run --release -p fedex-bench --bin stage_trace -- \
+//!     [rows] [reps] [--threads 1,2,4]
 //! ```
 //!
-//! Prints one JSON object with the per-stage minimum over `reps`
-//! repetitions (default: 1M rows, 1 rep), including any sub-phase
-//! timings a stage reports (ScoreColumns splits `encode` vs `score`).
+//! Without `--threads`, prints one JSON object with the per-stage minimum
+//! over `reps` repetitions at a single thread count (default 1),
+//! including any sub-phase timings a stage reports (ScoreColumns splits
+//! `encode` vs `score`).
+//!
+//! With `--threads t1,t2,…` the whole measurement repeats per thread
+//! count — fresh pipeline *and* fresh artifact cache each time, so every
+//! entry has a true **cold** run followed by `reps` **warm** runs — and
+//! the JSON gains a `sweep` array with per-entry stage timings plus
+//! `parallel_efficiency` = `T(t₁) / (t · T(t))` against the first entry.
+//! `host_cores` records what the machine could actually parallelize;
+//! on a single-core container efficiencies near `1/t` are expected.
 
-use fedex_core::{ExecutionMode, Fedex};
+use std::sync::Arc;
+
+use fedex_core::{ArtifactCache, ExecutionMode, Fedex};
 use fedex_query::{ExploratoryStep, Expr, Operation};
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let rows: usize = args
-        .next()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1_000_000);
-    let reps: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(1);
+/// Per stage: name, min elapsed ns, items, per-sub-phase min ns.
+type StageBest = (String, u128, usize, Vec<(String, u128)>);
 
+/// One thread-count entry of the sweep.
+struct SweepEntry {
+    threads: usize,
+    cold_total_ns: u128,
+    cold_stages: Vec<StageBest>,
+    warm_total_ns: u128,
+    warm_stages: Vec<StageBest>,
+}
+
+/// Fold one traced run into the running per-stage minimums.
+fn fold_best(best: &mut Vec<StageBest>, trace: &[fedex_core::StageReport]) {
+    if best.is_empty() {
+        *best = trace
+            .iter()
+            .map(|r| {
+                (
+                    r.stage.to_string(),
+                    r.elapsed.as_nanos(),
+                    r.items,
+                    r.sub
+                        .iter()
+                        .map(|(name, d)| (name.to_string(), d.as_nanos()))
+                        .collect(),
+                )
+            })
+            .collect();
+    } else {
+        for (slot, r) in best.iter_mut().zip(trace) {
+            slot.1 = slot.1.min(r.elapsed.as_nanos());
+            for (sub_slot, (_, d)) in slot.3.iter_mut().zip(&r.sub) {
+                sub_slot.1 = sub_slot.1.min(d.as_nanos());
+            }
+        }
+    }
+}
+
+/// Measure one thread count: a cold traced run against a fresh cache,
+/// then `reps` warm runs keeping per-stage minimums.
+fn measure(step: &ExploratoryStep, threads: usize, reps: usize) -> SweepEntry {
+    let fedex = Fedex::new()
+        .with_execution(ExecutionMode::Threads(threads))
+        .with_cache(Arc::new(ArtifactCache::default()));
+
+    let t0 = std::time::Instant::now();
+    let (explanations, trace) = fedex.explain_traced(step).expect("explain runs");
+    let cold_total_ns = t0.elapsed().as_nanos();
+    let mut cold_stages = Vec::new();
+    fold_best(&mut cold_stages, &trace);
+    eprintln!(
+        "# threads={threads} cold: {} explanations in {:.2}s",
+        explanations.len(),
+        cold_total_ns as f64 / 1e9
+    );
+
+    let mut warm_total_ns = u128::MAX;
+    let mut warm_stages: Vec<StageBest> = Vec::new();
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        let (_, trace) = fedex.explain_traced(step).expect("explain runs");
+        warm_total_ns = warm_total_ns.min(t0.elapsed().as_nanos());
+        fold_best(&mut warm_stages, &trace);
+    }
+    eprintln!(
+        "# threads={threads} warm min over {reps}: {:.2}s",
+        warm_total_ns as f64 / 1e9
+    );
+
+    SweepEntry {
+        threads,
+        cold_total_ns,
+        cold_stages,
+        warm_total_ns,
+        warm_stages,
+    }
+}
+
+fn stages_json(best: &[StageBest], indent: &str) -> String {
+    let mut out = String::new();
+    for (i, (stage, ns, items, sub)) in best.iter().enumerate() {
+        let comma = if i + 1 == best.len() { "" } else { "," };
+        if sub.is_empty() {
+            out.push_str(&format!(
+                "{indent}{{ \"stage\": \"{stage}\", \"min_ns\": {ns}, \"items\": {items} }}{comma}\n"
+            ));
+        } else {
+            let sub_json = sub
+                .iter()
+                .map(|(name, ns)| format!("{{ \"name\": \"{name}\", \"min_ns\": {ns} }}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "{indent}{{ \"stage\": \"{stage}\", \"min_ns\": {ns}, \"items\": {items}, \
+                 \"sub\": [{sub_json}] }}{comma}\n"
+            ));
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut rows: usize = 1_000_000;
+    let mut reps: usize = 1;
+    let mut threads: Vec<usize> = vec![1];
+    let mut positional = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let spec = args.next().expect("--threads takes a comma list");
+            threads = spec
+                .split(',')
+                .map(|t| t.trim().parse().expect("thread counts are integers"))
+                .collect();
+            assert!(!threads.is_empty(), "--threads needs at least one count");
+        } else {
+            match positional {
+                0 => rows = arg.parse().expect("rows is an integer"),
+                _ => reps = arg.parse().expect("reps is an integer"),
+            }
+            positional += 1;
+        }
+    }
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let spotify = fedex_data::spotify::generate(rows, 3);
     let step = ExploratoryStep::run(
         vec![spotify],
@@ -28,69 +160,38 @@ fn main() {
     )
     .expect("scale workload runs");
 
-    let fedex = Fedex::new().with_execution(ExecutionMode::Serial);
-    /// Per stage: name, min elapsed ns, items, per-sub-phase min ns.
-    type StageBest = (String, u128, usize, Vec<(String, u128)>);
-    let mut best: Vec<StageBest> = Vec::new();
-    let mut total_best = u128::MAX;
-    for _ in 0..reps.max(1) {
-        let t0 = std::time::Instant::now();
-        let (explanations, trace) = fedex.explain_traced(&step).expect("explain runs");
-        let total = t0.elapsed().as_nanos();
-        total_best = total_best.min(total);
-        if best.is_empty() {
-            best = trace
-                .iter()
-                .map(|r| {
-                    (
-                        r.stage.to_string(),
-                        r.elapsed.as_nanos(),
-                        r.items,
-                        r.sub
-                            .iter()
-                            .map(|(name, d)| (name.to_string(), d.as_nanos()))
-                            .collect(),
-                    )
-                })
-                .collect();
-        } else {
-            for (slot, r) in best.iter_mut().zip(&trace) {
-                slot.1 = slot.1.min(r.elapsed.as_nanos());
-                for (sub_slot, (_, d)) in slot.3.iter_mut().zip(&r.sub) {
-                    sub_slot.1 = sub_slot.1.min(d.as_nanos());
-                }
-            }
-        }
-        eprintln!(
-            "# run: {} explanations in {:.1}s",
-            explanations.len(),
-            total as f64 / 1e9
-        );
-    }
+    let sweep: Vec<SweepEntry> = threads.iter().map(|&t| measure(&step, t, reps)).collect();
+    let base_warm = sweep[0].warm_total_ns as f64;
+    let base_threads = sweep[0].threads.max(1) as f64;
 
     println!("{{");
     println!("  \"workload\": \"filter/spotify popularity>65\",");
     println!("  \"rows\": {rows},");
     println!("  \"reps\": {reps},");
-    println!("  \"total_ns\": {total_best},");
+    println!("  \"host_cores\": {host_cores},");
+    // Single-entry compatibility fields: the first sweep entry's warm run.
+    println!("  \"total_ns\": {},", sweep[0].warm_total_ns);
     println!("  \"stages\": [");
-    for (i, (stage, ns, items, sub)) in best.iter().enumerate() {
-        let comma = if i + 1 == best.len() { "" } else { "," };
-        if sub.is_empty() {
-            println!(
-                "    {{ \"stage\": \"{stage}\", \"min_ns\": {ns}, \"items\": {items} }}{comma}"
-            );
-        } else {
-            let sub_json = sub
-                .iter()
-                .map(|(name, ns)| format!("{{ \"name\": \"{name}\", \"min_ns\": {ns} }}"))
-                .collect::<Vec<_>>()
-                .join(", ");
-            println!(
-                "    {{ \"stage\": \"{stage}\", \"min_ns\": {ns}, \"items\": {items}, \
-                 \"sub\": [{sub_json}] }}{comma}"
-            );
-        }
+    print!("{}", stages_json(&sweep[0].warm_stages, "    "));
+    println!("  ],");
+    println!("  \"sweep\": [");
+    for (i, e) in sweep.iter().enumerate() {
+        let comma = if i + 1 == sweep.len() { "" } else { "," };
+        // Speedup per added thread relative to the first entry; 1.0 means
+        // perfect scaling, 1/t means no scaling (e.g. a 1-core host).
+        let eff = base_warm / ((e.threads as f64 / base_threads) * e.warm_total_ns as f64);
+        println!("    {{");
+        println!("      \"threads\": {},", e.threads);
+        println!("      \"cold_total_ns\": {},", e.cold_total_ns);
+        println!("      \"warm_total_ns\": {},", e.warm_total_ns);
+        println!("      \"parallel_efficiency\": {eff:.4},");
+        println!("      \"cold_stages\": [");
+        print!("{}", stages_json(&e.cold_stages, "        "));
+        println!("      ],");
+        println!("      \"warm_stages\": [");
+        print!("{}", stages_json(&e.warm_stages, "        "));
+        println!("      ]");
+        println!("    }}{comma}");
     }
     println!("  ]");
     println!("}}");

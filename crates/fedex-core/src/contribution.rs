@@ -23,8 +23,10 @@
 //! [`crate::kernel`]: one `ExcKernel` per measured column, cached in a
 //! shared [`ExcKernelCache`] — so the kernels the ScoreColumns stage
 //! built while scoring are reused here verbatim, and evaluating one
-//! partition is a single scatter pass over the rows (see the module docs
-//! of [`crate::kernel`]). No boxed `Value` anywhere.
+//! partition is one CSR-sharded scatter pass over the rows plus a
+//! slot-range KS sweep, both schedulable across worker threads via
+//! [`ContributionComputer::with_intra_mode`] (see the module docs of
+//! [`crate::kernel`]). No boxed `Value` anywhere.
 
 use std::sync::Arc;
 
@@ -35,6 +37,7 @@ use fedex_stats::descriptive::{coefficient_of_variation, mean_and_std};
 use crate::interestingness::{score_column, InterestingnessKind, Sample};
 use crate::kernel::{self, ExcKernelCache};
 use crate::partition::{RowPartition, IGNORE};
+use crate::pipeline::par::ExecutionMode;
 use crate::Result;
 
 /// Computes per-set contributions for one exploratory step.
@@ -48,6 +51,12 @@ pub struct ContributionComputer<'a> {
     /// partitions, worker threads — and, via [`Self::with_shared`], with
     /// the ScoreColumns stage that already built them while scoring.
     kernels: Arc<ExcKernelCache>,
+    /// Execution mode of the *intra-partition* sharded scatter/sweep
+    /// passes (see [`Self::with_intra_mode`]). `Serial` by default: the
+    /// pipeline's Contribute stage already parallelizes across
+    /// `(partition, column)` work units, so intra-partition sharding is
+    /// only turned on when those units cannot saturate the thread budget.
+    intra_mode: ExecutionMode,
 }
 
 impl<'a> ContributionComputer<'a> {
@@ -58,6 +67,7 @@ impl<'a> ContributionComputer<'a> {
             kind,
             coded_inputs: None,
             kernels: Arc::new(ExcKernelCache::default()),
+            intra_mode: ExecutionMode::Serial,
         }
     }
 
@@ -86,7 +96,19 @@ impl<'a> ContributionComputer<'a> {
             kind,
             coded_inputs: Some(coded),
             kernels,
+            intra_mode: ExecutionMode::Serial,
         }
+    }
+
+    /// This computer with the exceptionality scatter/KS passes sharded
+    /// *within* each partition under `mode` (CSR per-set input shards,
+    /// contiguous out-row shards, slot-range KS sweeps — see
+    /// [`crate::kernel`]). Results are bit-identical under every mode;
+    /// `Serial` (the default) reproduces the original single-pass scatter
+    /// with zero scheduling overhead.
+    pub fn with_intra_mode(mut self, mode: ExecutionMode) -> Self {
+        self.intra_mode = mode;
+        self
     }
 
     /// Raw contribution `C(R_s, A, Q)` for every set of `partition`
@@ -124,7 +146,11 @@ impl<'a> ContributionComputer<'a> {
         let Some(kernel) = self.kernels.get_or_build(self.step, column, coded)? else {
             return Ok(None);
         };
-        Ok(Some(kernel.contributions(self.step, partition)))
+        Ok(Some(kernel.contributions(
+            self.step,
+            partition,
+            self.intra_mode,
+        )))
     }
 
     // ----------------------------------------------------- diversity ----

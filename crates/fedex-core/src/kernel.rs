@@ -15,9 +15,14 @@
 //!   sample (`ExcKernel::base_score`), or one code-scatter pass per side
 //!   under FEDEX-Sampling masks (`ExcKernel::sampled_score`);
 //! * the **per-set contributions** of a row partition
-//!   (`ExcKernel::contributions`) — a single scatter pass groups codes
-//!   by slot, then each slot's KS subtraction is one linear sweep over
-//!   the shared code space using a reused dense scratch buffer.
+//!   (`ExcKernel::contributions`) — input-side codes are grouped by slot
+//!   straight off the partition's CSR row index (each set's rows are one
+//!   contiguous range), output-side codes by a sharded scatter pass, then
+//!   each slot's KS subtraction is one linear sweep over the shared code
+//!   space using a reused dense scratch buffer. Every pass is scheduled
+//!   through [`crate::pipeline::par::par_map`] under an
+//!   [`ExecutionMode`], and every schedule produces bit-identical
+//!   results (only per-slot counts feed the KS sweep).
 //!
 //! Kernels are built once per column in an [`ExcKernelCache`], shared
 //! (`Arc`) between the ScoreColumns and Contribute stages and across
@@ -36,7 +41,8 @@ use fedex_query::{ExploratoryStep, Operation, Provenance};
 
 use crate::hist::{ks_sub_counts, CodedHist};
 use crate::interestingness::{for_each_sampled_out_row, Sample};
-use crate::partition::{RowPartition, IGNORE};
+use crate::partition::{RowPartition, RowSetIndex, IGNORE};
+use crate::pipeline::par::{effective_workers, par_map, ExecutionMode};
 use crate::Result;
 
 /// Number of contribution slots for a partition: its sets plus the
@@ -350,14 +356,30 @@ impl ExcKernel {
         }
     }
 
-    /// Per-slot contributions for one partition: a single scatter pass
-    /// groups input and output codes by slot, then each slot's KS
-    /// subtraction is one linear sweep over the shared code space using a
-    /// reused dense scratch buffer.
+    /// Per-slot contributions for one partition.
+    ///
+    /// Two sharded passes, both scheduled through
+    /// [`par_map`] under `mode` (`Serial` reproduces the original
+    /// single-pass scatter instruction for instruction):
+    ///
+    /// 1. **Scatter** — input-side codes are grouped by slot straight off
+    ///    the partition's CSR [`RowSetIndex`] (each set's rows are a
+    ///    contiguous range, so one work unit per set needs no merge);
+    ///    output-side codes are grouped by contiguous out-row shards whose
+    ///    per-slot segments are merged deterministically in (slot, shard)
+    ///    order.
+    /// 2. **KS sweep** — slots are chunked into contiguous ranges, one
+    ///    work unit per range with its own dense scratch pair.
+    ///
+    /// Only histogram *counts* feed the KS subtraction, and every
+    /// schedule produces identical per-slot counts, so the result is
+    /// bit-identical across `Serial`/`Threads(n)` (pinned by the
+    /// `sharded_contributions` property tests and the golden fixtures).
     pub(crate) fn contributions(
         &self,
         step: &ExploratoryStep,
         partition: &RowPartition,
+        mode: ExecutionMode,
     ) -> Vec<f64> {
         let n_slots = n_slots(partition);
         let p_idx = partition.input_idx;
@@ -371,61 +393,61 @@ impl ExcKernel {
                 base_i,
             } => {
                 // Input-side subtractions apply only when the partition is
-                // over the same input that sources the column.
-                let sub_in =
-                    (p_idx == *src_idx).then(|| {
-                        SlotCodes::group(
-                            coded_in.codes().iter().enumerate().map(|(row, &c)| {
-                                (slot_of(partition, partition.assignment[row]), c)
-                            }),
-                            n_slots,
-                        )
-                    });
+                // over the same input that sources the column. The CSR
+                // index is built once per partition and shared by every
+                // column's scatter (and by the Present stage).
+                let sub_in = (p_idx == *src_idx).then(|| {
+                    SlotCodes::from_csr(mode, partition.rows_by_set(), coded_in.codes(), n_slots)
+                });
                 // Output-side subtractions: rows whose partition-side
                 // provenance lands in each set.
                 let p_rows = step
                     .provenance
                     .source_rows(p_idx)
                     .expect("filter/join provenance stores source rows");
-                let sub_out = SlotCodes::group(
-                    out_codes.iter().enumerate().map(|(out_row, &c)| {
-                        (slot_of(partition, partition.assignment[p_rows[out_row]]), c)
-                    }),
-                    n_slots,
-                );
+                let sub_out = SlotCodes::group_par(mode, out_codes.len(), n_slots, |out_row| {
+                    Some((
+                        slot_of(partition, partition.assignment[p_rows[out_row]]),
+                        out_codes[out_row],
+                    ))
+                });
 
                 let n_codes = base_in.n_codes();
-                let mut scratch_in = Scratch::new(n_codes);
-                let mut scratch_out = Scratch::new(n_codes);
-                let mut out = Vec::with_capacity(n_slots);
-                for s in 0..n_slots {
-                    let in_total = match &sub_in {
-                        Some(g) => {
-                            scratch_in.fill(g.slot(s));
-                            g.total(s)
+                let ranges = slot_ranges(mode, n_slots);
+                let chunks = par_map(mode, &ranges, |&(lo, hi)| {
+                    let mut scratch_in = Scratch::new(n_codes);
+                    let mut scratch_out = Scratch::new(n_codes);
+                    let mut out = Vec::with_capacity(hi - lo);
+                    for s in lo..hi {
+                        let in_total = match &sub_in {
+                            Some(g) => {
+                                scratch_in.fill(g.slot(s));
+                                g.total(s)
+                            }
+                            None => 0,
+                        };
+                        scratch_out.fill(sub_out.slot(s));
+                        let reduced = ks_sub_counts(
+                            base_in.counts(),
+                            if sub_in.is_some() {
+                                scratch_in.counts()
+                            } else {
+                                &[]
+                            },
+                            base_in.total() - in_total,
+                            base_out.counts(),
+                            scratch_out.counts(),
+                            base_out.total() - sub_out.total(s),
+                        );
+                        out.push(base_i - reduced);
+                        if let Some(g) = &sub_in {
+                            scratch_in.unfill(g.slot(s));
                         }
-                        None => 0,
-                    };
-                    scratch_out.fill(sub_out.slot(s));
-                    let reduced = ks_sub_counts(
-                        base_in.counts(),
-                        if sub_in.is_some() {
-                            scratch_in.counts()
-                        } else {
-                            &[]
-                        },
-                        base_in.total() - in_total,
-                        base_out.counts(),
-                        scratch_out.counts(),
-                        base_out.total() - sub_out.total(s),
-                    );
-                    out.push(base_i - reduced);
-                    if let Some(g) = &sub_in {
-                        scratch_in.unfill(g.slot(s));
+                        scratch_out.unfill(sub_out.slot(s));
                     }
-                    scratch_out.unfill(sub_out.slot(s));
-                }
-                out
+                    out
+                });
+                chunks.into_iter().flatten().collect()
             }
             ExcKernel::Union {
                 out_coded,
@@ -434,61 +456,68 @@ impl ExcKernel {
                 base_out,
                 base_i,
             } => {
-                let sub_in = SlotCodes::group(
-                    in_codes[p_idx]
-                        .iter()
-                        .enumerate()
-                        .map(|(row, &c)| (slot_of(partition, partition.assignment[row]), c)),
-                    n_slots,
-                );
+                let sub_in =
+                    SlotCodes::from_csr(mode, partition.rows_by_set(), &in_codes[p_idx], n_slots);
                 let Provenance::Union { source_of_row } = &step.provenance else {
                     unreachable!("union step has union provenance")
                 };
-                let sub_out = SlotCodes::group(
-                    source_of_row
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, &(src, _))| src == p_idx)
-                        .map(|(out_row, &(_, src_row))| {
-                            (
-                                slot_of(partition, partition.assignment[src_row]),
-                                out_coded.code(out_row),
-                            )
-                        }),
-                    n_slots,
-                );
+                let sub_out = SlotCodes::group_par(mode, source_of_row.len(), n_slots, |out_row| {
+                    let (src, src_row) = source_of_row[out_row];
+                    (src == p_idx).then(|| {
+                        (
+                            slot_of(partition, partition.assignment[src_row]),
+                            out_coded.code(out_row),
+                        )
+                    })
+                });
 
                 let n_codes = base_out.n_codes();
-                let mut scratch_in = Scratch::new(n_codes);
-                let mut scratch_out = Scratch::new(n_codes);
-                let mut out = Vec::with_capacity(n_slots);
-                for s in 0..n_slots {
-                    scratch_in.fill(sub_in.slot(s));
-                    scratch_out.fill(sub_out.slot(s));
-                    let mut reduced_i = f64::NEG_INFINITY;
-                    for (i, h) in in_hists.iter().enumerate() {
-                        let (sub, sub_total) = if i == p_idx {
-                            (scratch_in.counts(), sub_in.total(s))
-                        } else {
-                            (&[] as &[i64], 0)
-                        };
-                        reduced_i = reduced_i.max(ks_sub_counts(
-                            h.counts(),
-                            sub,
-                            h.total() - sub_total,
-                            base_out.counts(),
-                            scratch_out.counts(),
-                            base_out.total() - sub_out.total(s),
-                        ));
+                let ranges = slot_ranges(mode, n_slots);
+                let chunks = par_map(mode, &ranges, |&(lo, hi)| {
+                    let mut scratch_in = Scratch::new(n_codes);
+                    let mut scratch_out = Scratch::new(n_codes);
+                    let mut out = Vec::with_capacity(hi - lo);
+                    for s in lo..hi {
+                        scratch_in.fill(sub_in.slot(s));
+                        scratch_out.fill(sub_out.slot(s));
+                        let mut reduced_i = f64::NEG_INFINITY;
+                        for (i, h) in in_hists.iter().enumerate() {
+                            let (sub, sub_total) = if i == p_idx {
+                                (scratch_in.counts(), sub_in.total(s))
+                            } else {
+                                (&[] as &[i64], 0)
+                            };
+                            reduced_i = reduced_i.max(ks_sub_counts(
+                                h.counts(),
+                                sub,
+                                h.total() - sub_total,
+                                base_out.counts(),
+                                scratch_out.counts(),
+                                base_out.total() - sub_out.total(s),
+                            ));
+                        }
+                        out.push(base_i - reduced_i);
+                        scratch_in.unfill(sub_in.slot(s));
+                        scratch_out.unfill(sub_out.slot(s));
                     }
-                    out.push(base_i - reduced_i);
-                    scratch_in.unfill(sub_in.slot(s));
-                    scratch_out.unfill(sub_out.slot(s));
-                }
-                out
+                    out
+                });
+                chunks.into_iter().flatten().collect()
             }
         }
     }
+}
+
+/// Contiguous slot ranges for the per-slot KS sweep: one range per
+/// effective worker, sizes as even as possible, in slot order — so a
+/// serial run is the single range `[0, n_slots)` and the original loop.
+fn slot_ranges(mode: ExecutionMode, n_slots: usize) -> Vec<(usize, usize)> {
+    let workers = effective_workers(mode, n_slots).max(1);
+    let chunk = n_slots.div_ceil(workers).max(1);
+    (0..workers)
+        .map(|w| (w * chunk, ((w + 1) * chunk).min(n_slots)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
 }
 
 /// Dense masked histogram of a code sequence: counts of `codes[i]` over
@@ -538,6 +567,92 @@ impl SlotCodes {
             let c = &mut cursor[slot as usize];
             codes[*c] = code;
             *c += 1;
+        }
+        SlotCodes { offsets, codes }
+    }
+
+    /// CSR-sharded grouping for assignment-indexed codes: slot `s`'s code
+    /// multiset is a straight gather over the partition index's contiguous
+    /// row range for set `s` — one [`par_map`] work unit per slot, no
+    /// merge pass. Row order within a slot is ascending, exactly like the
+    /// scatter pass this replaces (only counts feed the KS subtraction
+    /// anyway).
+    fn from_csr(
+        mode: ExecutionMode,
+        index: &RowSetIndex,
+        codes: &[u32],
+        n_slots: usize,
+    ) -> SlotCodes {
+        let slots: Vec<usize> = (0..n_slots).collect();
+        let per_slot: Vec<Vec<u32>> = par_map(mode, &slots, |&s| {
+            index
+                .rows_of_slot(s)
+                .iter()
+                .filter_map(|&row| {
+                    let c = codes[row];
+                    (c != NULL_CODE).then_some(c)
+                })
+                .collect()
+        });
+        let mut offsets = Vec::with_capacity(n_slots + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for seg in &per_slot {
+            acc += seg.len();
+            offsets.push(acc);
+        }
+        let mut out = Vec::with_capacity(acc);
+        for seg in per_slot {
+            out.extend_from_slice(&seg);
+        }
+        SlotCodes {
+            offsets,
+            codes: out,
+        }
+    }
+
+    /// Row-range-sharded grouping: items `0..n_items` are split into one
+    /// contiguous shard per effective worker, each shard groups its
+    /// `pair_of` pairs locally (`None` items and [`NULL_CODE`]s are
+    /// dropped), and the shards are merged in **(slot, shard) order** — a
+    /// deterministic layout independent of which worker ran which shard.
+    /// One worker degenerates to the original single scatter pass.
+    fn group_par(
+        mode: ExecutionMode,
+        n_items: usize,
+        n_slots: usize,
+        pair_of: impl Fn(usize) -> Option<(usize, u32)> + Sync,
+    ) -> SlotCodes {
+        let workers = effective_workers(mode, n_items).max(1);
+        if workers <= 1 {
+            return SlotCodes::group((0..n_items).filter_map(pair_of), n_slots);
+        }
+        let chunk = n_items.div_ceil(workers);
+        let ranges: Vec<(usize, usize)> = (0..workers)
+            .map(|w| (w * chunk, ((w + 1) * chunk).min(n_items)))
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let shards = par_map(mode, &ranges, |&(lo, hi)| {
+            SlotCodes::group((lo..hi).filter_map(&pair_of), n_slots)
+        });
+        SlotCodes::merge(&shards, n_slots)
+    }
+
+    /// Concatenate per-shard groupings into one: slot `s`'s segment is the
+    /// concatenation of every shard's slot-`s` segment in shard order.
+    fn merge(shards: &[SlotCodes], n_slots: usize) -> SlotCodes {
+        let mut offsets = Vec::with_capacity(n_slots + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for s in 0..n_slots {
+            acc += shards.iter().map(|sh| sh.slot(s).len()).sum::<usize>();
+            offsets.push(acc);
+        }
+        let mut codes = Vec::with_capacity(acc);
+        for s in 0..n_slots {
+            for sh in shards {
+                codes.extend_from_slice(sh.slot(s));
+            }
         }
         SlotCodes { offsets, codes }
     }

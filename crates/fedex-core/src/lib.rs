@@ -59,7 +59,7 @@ pub use partition::{
 };
 pub use pipeline::{ExecutionMode, ExplainPipeline, PipelineContext, Stage, StageReport};
 pub use session::{Session, SessionEntry, SessionManager};
-pub use skyline::{skyline_indices, weighted_score};
+pub use skyline::{skyline_indices, weighted_score, StreamingSkyline};
 pub use viz::{Bar, Chart, ChartKind};
 
 /// Convenient result alias used across the crate.

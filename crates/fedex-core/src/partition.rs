@@ -138,6 +138,15 @@ impl RowSetIndex {
     pub fn ignore_rows(&self) -> &[usize] {
         &self.rows[self.offsets[self.n_sets]..]
     }
+
+    /// The rows of contribution *slot* `slot`, ascending — slots `0..n_sets`
+    /// are the candidate sets, slot `n_sets` is the ignore-set. This is the
+    /// contiguous-range view the CSR-sharded contribution scatter slices
+    /// per work unit (see [`crate::kernel`]).
+    pub fn rows_of_slot(&self, slot: usize) -> &[usize] {
+        let slot = slot.min(self.n_sets);
+        &self.rows[self.offsets[slot]..self.offsets[slot + 1]]
+    }
 }
 
 /// A partition of one input dataframe into disjoint sets-of-rows.

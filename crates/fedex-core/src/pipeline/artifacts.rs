@@ -80,6 +80,13 @@ pub struct Contributed {
     /// Positive-contribution candidates, in deterministic
     /// (partition, column, slot) order.
     pub candidates: Vec<Candidate>,
+    /// Indices into `candidates` of the skyline, computed *streaming*
+    /// while contribution work units finished (the fused
+    /// Contribute→Skyline path). `None` on hand-built artifacts and the
+    /// custom-measure path; the Skyline stage then computes it batch.
+    /// Sorted ascending, so it is deterministic regardless of work-unit
+    /// completion order.
+    pub skyline: Option<Vec<usize>>,
 }
 
 /// Output of the **Skyline** stage: the non-dominated candidates ranked by

@@ -13,13 +13,18 @@
 //!
 //! A [`PipelineContext`] carries the step, configuration, measure, and
 //! sampling masks through every stage. Stages are data-parallel where the
-//! paper's algorithm is embarrassingly parallel — over output columns in
-//! `ScoreColumns`, over `(input, attribute)` pairs in `PartitionRows`, and
-//! over row partitions in `Contribute` — scheduled by [`par::par_map`]
+//! paper's algorithm is embarrassingly parallel — over `(input, column)`
+//! pairs in `ScoreColumns`, over `(input, attribute)` pairs in
+//! `PartitionRows`, and over flattened `(partition, column)` work units
+//! in `Contribute` (with the skyline fused in: units stream their
+//! candidates into an incremental dominance check as they finish, and
+//! leftover threads shard the histogram scatter *inside* a kernel when
+//! units alone cannot fill the budget) — scheduled by [`par::par_map`]
 //! under the [`ExecutionMode`] chosen in
 //! [`FedexConfig::execution`](crate::FedexConfig). Results are identical
-//! under every mode: parallel maps preserve input order, so the artifact
-//! chain is bit-for-bit the same.
+//! under every mode: parallel maps preserve input order, shard merges are
+//! deterministic, and strict dominance is schedule-independent, so the
+//! artifact chain is bit-for-bit the same.
 //!
 //! [`ExplainPipeline`] is the orchestrator used by
 //! [`Fedex::explain`](crate::Fedex::explain); it can also report

@@ -47,6 +47,14 @@ impl ExecutionMode {
     }
 }
 
+/// Number of worker threads [`par_map`] actually spawns for `n_items`
+/// items under `mode`: the mode's thread count clamped to the item count,
+/// so tiny stages never pay spawn overhead for workers that would find
+/// the cursor already exhausted.
+pub fn effective_workers(mode: ExecutionMode, n_items: usize) -> usize {
+    mode.threads().min(n_items)
+}
+
 /// Order-preserving parallel map over a slice.
 ///
 /// Semantically identical to `items.iter().map(f).collect()`; `mode`
@@ -58,7 +66,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = mode.threads().min(items.len());
+    let workers = effective_workers(mode, items.len());
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -160,6 +168,33 @@ mod tests {
             par_map(ExecutionMode::Parallel, &[41u8], |&x| x + 1),
             vec![42]
         );
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_item_count() {
+        assert_eq!(effective_workers(ExecutionMode::Threads(64), 3), 3);
+        assert_eq!(effective_workers(ExecutionMode::Threads(2), 100), 2);
+        assert_eq!(effective_workers(ExecutionMode::Serial, 100), 1);
+        assert_eq!(effective_workers(ExecutionMode::Threads(8), 0), 0);
+
+        // par_map over 3 items under Threads(64) must run on at most 3
+        // distinct worker threads (and never on the calling thread).
+        let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+        let items = [1u8, 2, 3];
+        let out = par_map(ExecutionMode::Threads(64), &items, |&x| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            // Give the scheduler a chance to actually interleave workers.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            x * 2
+        });
+        assert_eq!(out, vec![2, 4, 6]);
+        let seen = seen.into_inner().unwrap();
+        assert!(
+            seen.len() <= 3,
+            "spawned {} workers for 3 items",
+            seen.len()
+        );
+        assert!(!seen.contains(&std::thread::current().id()));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! knobs (custom measure, user partitions) live on the struct, while
 //! everything shared rides in the [`PipelineContext`].
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use fedex_frame::{CodedColumn, CodedFrame, Fingerprint, FpHasher};
@@ -19,7 +19,7 @@ use crate::explain::{CustomMeasure, Explanation};
 use crate::interestingness::{score_all_columns_coded, InterestingnessKind};
 use crate::kernel::{self, ExcKernelCache};
 use crate::partition::{build_partitions_for_attr_coded, PartitionKind, RowPartition, IGNORE};
-use crate::skyline::{skyline_indices, weighted_score};
+use crate::skyline::{skyline_indices, weighted_score, StreamingSkyline};
 use crate::viz::{Bar, Chart, ChartKind};
 use crate::Result;
 
@@ -436,9 +436,38 @@ pub enum Contributor<'m> {
 /// Step 3 of Algorithm 1: contribution of every set-of-rows to every
 /// top-scored column; candidates are kept when the raw contribution is
 /// positive, and standardized within their partition.
+///
+/// The incremental back-end schedules a **flattened
+/// `(partition, column)` work list** through `par_map` (not one coarse
+/// unit per partition), so a step with few partitions but many scored
+/// columns still saturates the thread budget. When even the flattened
+/// list is shorter than the budget, the leftover threads shard the
+/// scatter *inside* each kernel (see
+/// [`ContributionComputer::with_intra_mode`]); the two levels never
+/// multiply past `ctx.mode().threads()`.
+///
+/// The stage is also **fused with Skyline**: each finished unit streams
+/// its candidates into a [`StreamingSkyline`], so dominance checks
+/// overlap contribution computation and [`Contributed::skyline`] arrives
+/// already computed. Strict dominance is order-independent, so the fused
+/// result is bit-identical to the batch operator.
 pub struct Contribute<'m> {
     /// Contribution back-end.
     pub contributor: Contributor<'m>,
+}
+
+/// Intra-kernel execution mode for `n_units` flattened top-level work
+/// units under `mode`: serial when the unit list alone can keep every
+/// thread busy, otherwise the leftover per-unit thread share. Keeps
+/// `units × intra` ≤ the stage budget, so nested parallelism never
+/// oversubscribes.
+fn intra_partition_mode(mode: ExecutionMode, n_units: usize) -> ExecutionMode {
+    let threads = mode.threads();
+    if threads <= 1 || n_units >= threads {
+        ExecutionMode::Serial
+    } else {
+        ExecutionMode::Threads(threads.div_ceil(n_units.max(1)))
+    }
 }
 
 /// All positive-contribution candidates of one partition, in
@@ -476,43 +505,104 @@ impl Stage for Contribute<'_> {
 
     fn run(&self, ctx: &PipelineContext<'_>, input: Partitioned) -> Result<Contributed> {
         let Partitioned { scored, partitions } = input;
-        let computer = ContributionComputer::with_shared(
-            ctx.step,
-            ctx.kind,
-            scored.coded.clone(),
-            scored.kernels.clone(),
-        );
-        let per_partition: Vec<Vec<(usize, usize, f64, f64)>> = match &self.contributor {
-            Contributor::Incremental => try_par_map(ctx.mode(), &partitions, |p| {
-                candidates_of_partition(&scored.top, p, |column| computer.contributions(p, column))
-            })?,
-            // Serial: `&dyn CustomMeasure` is not `Sync`.
-            Contributor::Custom(measure) => partitions
-                .iter()
-                .map(|p| {
-                    candidates_of_partition(&scored.top, p, |column| {
-                        custom_contributions(ctx.step, *measure, p, column)
-                    })
+        match &self.contributor {
+            Contributor::Incremental => {
+                // Flattened (partition, column) units, partition-major so
+                // reassembly below preserves the historical deterministic
+                // (partition, column, slot) candidate order.
+                let units: Vec<(usize, usize)> = (0..partitions.len())
+                    .flat_map(|pi| (0..scored.top.len()).map(move |ci| (pi, ci)))
+                    .collect();
+                let computer = ContributionComputer::with_shared(
+                    ctx.step,
+                    ctx.kind,
+                    scored.coded.clone(),
+                    scored.kernels.clone(),
+                )
+                .with_intra_mode(intra_partition_mode(ctx.mode(), units.len()));
+                // Fused Skyline: finished units stream their candidates in
+                // completion order; order-independence of strict dominance
+                // makes the surviving key set deterministic anyway.
+                let sky: Mutex<StreamingSkyline<(usize, usize, usize)>> =
+                    Mutex::new(StreamingSkyline::new());
+                let per_unit: Vec<Vec<(usize, f64, f64)>> =
+                    try_par_map(ctx.mode(), &units, |&(pi, ci)| -> Result<_> {
+                        let partition = &partitions[pi];
+                        let (column, interestingness) = &scored.top[ci];
+                        let Some(raw) = computer.contributions(partition, column)? else {
+                            return Ok(Vec::new());
+                        };
+                        let std = standardized(&raw);
+                        // The ignore-set (last slot, when present) joins
+                        // standardization but never becomes a candidate.
+                        let unit: Vec<(usize, f64, f64)> = (0..partition.n_sets())
+                            .filter(|&slot| raw[slot] > 0.0)
+                            .map(|slot| (slot, raw[slot], std[slot]))
+                            .collect();
+                        let mut sky = sky.lock().expect("skyline lock");
+                        for &(slot, _, std) in &unit {
+                            sky.insert((pi, ci, slot), (*interestingness, std));
+                        }
+                        Ok(unit)
+                    })?;
+                let mut candidates = Vec::new();
+                for (&(pi, ci), unit) in units.iter().zip(per_unit) {
+                    for (slot, raw, std) in unit {
+                        candidates.push(Candidate {
+                            partition: pi,
+                            slot,
+                            column: ci,
+                            raw,
+                            std,
+                        });
+                    }
+                }
+                let survivors = sky.into_inner().expect("skyline lock").into_keys();
+                let skyline = candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| survivors.contains(&(c.partition, c.column, c.slot)))
+                    .map(|(i, _)| i)
+                    .collect();
+                Ok(Contributed {
+                    scored,
+                    partitions,
+                    candidates,
+                    skyline: Some(skyline),
                 })
-                .collect::<Result<_>>()?,
-        };
-        let mut candidates = Vec::new();
-        for (pi, partial) in per_partition.into_iter().enumerate() {
-            for (ci, slot, raw, std) in partial {
-                candidates.push(Candidate {
-                    partition: pi,
-                    slot,
-                    column: ci,
-                    raw,
-                    std,
-                });
+            }
+            // Serial: `&dyn CustomMeasure` is not `Sync`. Def. 3.3 re-runs
+            // dominate the cost here, so nothing is fused either — the
+            // Skyline stage computes the batch skyline from scratch.
+            Contributor::Custom(measure) => {
+                let per_partition: Vec<Vec<(usize, usize, f64, f64)>> = partitions
+                    .iter()
+                    .map(|p| {
+                        candidates_of_partition(&scored.top, p, |column| {
+                            custom_contributions(ctx.step, *measure, p, column)
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let mut candidates = Vec::new();
+                for (pi, partial) in per_partition.into_iter().enumerate() {
+                    for (ci, slot, raw, std) in partial {
+                        candidates.push(Candidate {
+                            partition: pi,
+                            slot,
+                            column: ci,
+                            raw,
+                            std,
+                        });
+                    }
+                }
+                Ok(Contributed {
+                    scored,
+                    partitions,
+                    candidates,
+                    skyline: None,
+                })
             }
         }
-        Ok(Contributed {
-            scored,
-            partitions,
-            candidates,
-        })
     }
 }
 
@@ -529,6 +619,11 @@ fn custom_contributions(
     };
     let n_slots = ContributionComputer::n_slots(partition);
     let index = partition.rows_by_set();
+    let n_rows = step.inputs[partition.input_idx].n_rows();
+    // One complement scratch reused across slots: the CSR segments are
+    // ascending, so a merge-scan fills it without the per-slot boolean
+    // mask + fresh Vec a `complement_indices` call would allocate.
+    let mut keep: Vec<usize> = Vec::with_capacity(n_rows);
     let mut out = Vec::with_capacity(n_slots);
     for slot in 0..n_slots {
         let code = if slot == partition.n_sets() {
@@ -536,7 +631,16 @@ fn custom_contributions(
         } else {
             slot as u32
         };
-        let keep = step.inputs[partition.input_idx].complement_indices(index.rows_of(code));
+        let removed = index.rows_of(code);
+        keep.clear();
+        let mut next = removed.iter().copied().peekable();
+        for row in 0..n_rows {
+            if next.peek() == Some(&row) {
+                next.next();
+            } else {
+                keep.push(row);
+            }
+        }
         let reduced = step.inputs[partition.input_idx]
             .take(&keep)
             .map_err(ExplainError::from)?;
@@ -568,12 +672,35 @@ impl Stage for Skyline {
             scored,
             partitions,
             candidates,
+            skyline,
         } = input;
-        let points: Vec<(f64, f64)> = candidates
-            .iter()
-            .map(|c| (scored.top[c.column].1, c.std))
-            .collect();
-        let mut order = skyline_indices(&points);
+        // The fused Contribute path already streamed the skyline; only
+        // hand-built artifacts and the custom-measure path pay the batch
+        // O(n²) pass here.
+        let mut order = match skyline {
+            Some(streamed) => {
+                #[cfg(debug_assertions)]
+                {
+                    let points: Vec<(f64, f64)> = candidates
+                        .iter()
+                        .map(|c| (scored.top[c.column].1, c.std))
+                        .collect();
+                    debug_assert_eq!(
+                        streamed,
+                        skyline_indices(&points),
+                        "streamed skyline diverged from the batch operator"
+                    );
+                }
+                streamed
+            }
+            None => {
+                let points: Vec<(f64, f64)> = candidates
+                    .iter()
+                    .map(|c| (scored.top[c.column].1, c.std))
+                    .collect();
+                skyline_indices(&points)
+            }
+        };
         let score_of = |i: usize| {
             weighted_score(
                 scored.top[candidates[i].column].1,

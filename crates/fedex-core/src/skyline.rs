@@ -1,5 +1,20 @@
 //! The skyline operator (§3.6) over (interestingness, standardized
 //! contribution) pairs, plus the optional weighted top-k post-ranking.
+//!
+//! Two evaluation strategies produce the same skyline:
+//!
+//! * [`skyline_indices`] — the batch O(n²) reference over a finished
+//!   candidate list;
+//! * [`StreamingSkyline`] — an incremental accumulator the fused
+//!   Contribute→Skyline pipeline path feeds as each `(partition, column)`
+//!   work unit completes, so dominance checks overlap contribution
+//!   computation instead of waiting on a full-stage barrier. Strict
+//!   dominance is transitive, so the surviving set is a pure function of
+//!   the inserted point multiset — insertion (i.e. work-unit completion)
+//!   order cannot change it.
+
+use std::collections::HashSet;
+use std::hash::Hash;
 
 /// Indices of the skyline (Pareto-maximal) points of `points`, where each
 /// point is `(interestingness, standardized contribution)`.
@@ -20,6 +35,55 @@ pub fn skyline_indices(points: &[(f64, f64)]) -> Vec<usize> {
         keep.push(i);
     }
     keep
+}
+
+/// Incrementally-maintained skyline over keyed points.
+///
+/// `insert` drops the new point if some resident point strictly dominates
+/// it, and evicts resident points the new point strictly dominates;
+/// `ties` in either coordinate keep both, matching [`skyline_indices`]'s
+/// strict-domination semantics exactly. The final key set equals the
+/// batch skyline of every inserted point, for **any** insertion order.
+#[derive(Debug, Default)]
+pub struct StreamingSkyline<K> {
+    points: Vec<(K, (f64, f64))>,
+}
+
+impl<K: Eq + Hash + Copy> StreamingSkyline<K> {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StreamingSkyline { points: Vec::new() }
+    }
+
+    /// Offer one keyed point; dominated points (incoming or resident) are
+    /// dropped immediately.
+    pub fn insert(&mut self, key: K, point: (f64, f64)) {
+        if self
+            .points
+            .iter()
+            .any(|&(_, q)| q.0 > point.0 && q.1 > point.1)
+        {
+            return;
+        }
+        self.points
+            .retain(|&(_, q)| !(point.0 > q.0 && point.1 > q.1));
+        self.points.push((key, point));
+    }
+
+    /// Number of currently non-dominated points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing survived (or nothing was inserted).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The surviving keys — the skyline of everything inserted.
+    pub fn into_keys(self) -> HashSet<K> {
+        self.points.into_iter().map(|(k, _)| k).collect()
+    }
 }
 
 /// Weighted score `(W_I · I + W_C · C̄) / (W_I + W_C)` used to rank skyline
@@ -94,6 +158,48 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(skyline_indices(&[]).is_empty());
+        assert!(StreamingSkyline::<usize>::new().is_empty());
+    }
+
+    /// The streaming accumulator agrees with the batch operator for every
+    /// insertion order tried — forward, reverse, and strided permutations
+    /// of an adversarial point set with duplicates and ties.
+    #[test]
+    fn streaming_skyline_is_order_independent_and_matches_batch() {
+        let pts: Vec<(f64, f64)> = (0..60)
+            .map(|i| {
+                let x = ((i * 37) % 10) as f64 / 2.0;
+                let y = ((i * 53) % 7) as f64;
+                (x, y)
+            })
+            .chain([(4.5, 6.0), (4.5, 6.0), (0.0, 0.0)]) // dups + a floor
+            .collect();
+        let batch: std::collections::HashSet<usize> = skyline_indices(&pts).into_iter().collect();
+        for stride in [1usize, 2, 7, 13, 62] {
+            let n = pts.len();
+            let order: Vec<usize> = (0..n).map(|k| (k * stride) % n).collect();
+            // A stride coprime with n is a permutation; others just test
+            // repeated insertion of the same points, which must also be
+            // stable.
+            let mut sky = StreamingSkyline::new();
+            for &i in &order {
+                sky.insert(i, pts[i]);
+            }
+            let got = sky.into_keys();
+            let want: std::collections::HashSet<usize> = order
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    !order
+                        .iter()
+                        .any(|&j| pts[j].0 > pts[i].0 && pts[j].1 > pts[i].1)
+                })
+                .collect();
+            assert_eq!(got, want, "stride {stride}");
+            if stride == 1 {
+                assert_eq!(got, batch);
+            }
+        }
     }
 
     #[test]

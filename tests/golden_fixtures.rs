@@ -9,6 +9,11 @@
 //!
 //! Regenerate with `UPDATE_GOLDEN=1 cargo test --test golden_fixtures`
 //! after an *intentional* output change, and review the diff.
+//!
+//! `FEDEX_GOLDEN_EXEC` selects the execution mode (`serial`, `parallel`,
+//! or a thread count; default serial) *against the same fixture* — CI
+//! runs the suite under 1, 2, and 4 threads to assert the pipeline's
+//! bit-identical-across-schedules contract end to end.
 
 use std::fmt::Write as _;
 
@@ -58,9 +63,19 @@ fn render(tag: &str, explanations: &[Explanation]) -> String {
     out
 }
 
+/// Execution mode under test: `FEDEX_GOLDEN_EXEC`, defaulting to serial.
+/// Every mode must reproduce the same fixture bytes.
+fn golden_exec() -> ExecutionMode {
+    match std::env::var("FEDEX_GOLDEN_EXEC") {
+        Ok(spec) => ExecutionMode::parse(&spec)
+            .unwrap_or_else(|| panic!("bad FEDEX_GOLDEN_EXEC value: {spec:?}")),
+        Err(_) => ExecutionMode::Serial,
+    }
+}
+
 fn all_golden_output() -> String {
     let wb = workbench();
-    let fedex = Fedex::new().with_execution(ExecutionMode::Serial);
+    let fedex = Fedex::new().with_execution(golden_exec());
     let mut out = String::new();
 
     for (tag, sql) in [
