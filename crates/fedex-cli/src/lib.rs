@@ -68,6 +68,13 @@ pub enum Command {
         /// Max heavy requests per session queued + running
         /// (`quota_exceeded` beyond it).
         session_quota: usize,
+        /// Deadline budget for requests without their own `deadline_ms`
+        /// (0 = no default deadline).
+        default_deadline_ms: u64,
+        /// When explains may degrade to the sampling path.
+        degrade: fedex_serve::DegradeMode,
+        /// Timeout on every response write.
+        write_timeout_ms: u64,
         /// Pipeline execution mode inside each explain.
         exec: ExecutionMode,
     },
@@ -77,6 +84,11 @@ pub enum Command {
         addr: String,
         /// The request object, e.g. `{"cmd":"ping"}`.
         request: String,
+        /// Retries after the first attempt for connect failures and
+        /// transient typed responses (`overloaded`, `shutting_down`).
+        retries: u32,
+        /// Wall-clock budget across all attempts and backoff sleeps.
+        retry_budget_ms: u64,
     },
     /// Print usage.
     Help,
@@ -92,8 +104,11 @@ usage:
   fedex demo
   fedex serve   [--addr 127.0.0.1:4641] [--workers N] [--cache-mb N]
                 [--cache-policy cost|lru] [--queue-depth N]
-                [--session-quota N] [--exec serial|parallel|N]
+                [--session-quota N] [--default-deadline-ms N]
+                [--degrade off|auto|force] [--write-timeout-ms N]
+                [--exec serial|parallel|N]
   fedex client  --addr <host:port> --json '<request>'
+                [--retries N] [--retry-budget-ms N]
   fedex help
 
 The query language is the SQL subset of the FEDEX paper's workload:
@@ -151,6 +166,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut cache_policy = fedex_core::EvictionPolicy::default();
             let mut queue_depth = 64usize;
             let mut session_quota = 2usize;
+            let server_defaults = fedex_serve::ServerConfig::default();
+            let mut default_deadline_ms = server_defaults.default_deadline_ms;
+            let mut degrade = server_defaults.degrade;
+            let mut write_timeout_ms = server_defaults.write_timeout_ms;
             let mut exec = ExecutionMode::default();
             let mut i = 1;
             while i < args.len() {
@@ -193,6 +212,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .parse()
                             .map_err(|e| CliError(format!("--session-quota: {e}")))?;
                     }
+                    "--default-deadline-ms" => {
+                        i += 1;
+                        default_deadline_ms = flag_value(args, i, "--default-deadline-ms")?
+                            .parse()
+                            .map_err(|e| CliError(format!("--default-deadline-ms: {e}")))?;
+                    }
+                    "--degrade" => {
+                        i += 1;
+                        let spec = flag_value(args, i, "--degrade")?;
+                        degrade = fedex_serve::DegradeMode::parse(&spec)
+                            .map_err(|e| CliError(format!("--degrade: {e}")))?;
+                    }
+                    "--write-timeout-ms" => {
+                        i += 1;
+                        write_timeout_ms = flag_value(args, i, "--write-timeout-ms")?
+                            .parse()
+                            .map_err(|e| CliError(format!("--write-timeout-ms: {e}")))?;
+                    }
                     "--exec" => {
                         i += 1;
                         let spec = flag_value(args, i, "--exec")?;
@@ -213,12 +250,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 cache_policy,
                 queue_depth,
                 session_quota,
+                default_deadline_ms,
+                degrade,
+                write_timeout_ms,
                 exec,
             })
         }
         "client" => {
             let mut addr = None;
             let mut request = None;
+            let mut retries = 0u32;
+            let mut retry_budget_ms = 10_000u64;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -230,6 +272,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         i += 1;
                         request = Some(flag_value(args, i, "--json")?);
                     }
+                    "--retries" => {
+                        i += 1;
+                        retries = flag_value(args, i, "--retries")?
+                            .parse()
+                            .map_err(|e| CliError(format!("--retries: {e}")))?;
+                    }
+                    "--retry-budget-ms" => {
+                        i += 1;
+                        retry_budget_ms = flag_value(args, i, "--retry-budget-ms")?
+                            .parse()
+                            .map_err(|e| CliError(format!("--retry-budget-ms: {e}")))?;
+                    }
                     other => return Err(CliError(format!("unknown flag {other:?}"))),
                 }
                 i += 1;
@@ -237,6 +291,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Client {
                 addr: addr.ok_or_else(|| CliError("--addr is required".into()))?,
                 request: request.ok_or_else(|| CliError("--json is required".into()))?,
+                retries,
+                retry_budget_ms,
             })
         }
         "schema" | "explain" => {
@@ -437,6 +493,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             cache_policy,
             queue_depth,
             session_quota,
+            default_deadline_ms,
+            degrade,
+            write_timeout_ms,
             exec,
         } => {
             use std::sync::Arc;
@@ -447,12 +506,21 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let fedex = Fedex::new().with_execution(exec);
             let manager = fedex_core::SessionManager::new(fedex, cache);
             let service = Arc::new(fedex_serve::ExplainService::new(manager));
+            // Chaos runs opt in via the environment; a malformed spec is
+            // a startup error, never a silently quiet plan.
+            if let Some(plan) = fedex_serve::FaultPlan::from_env().map_err(CliError)? {
+                eprintln!("fedex-serve: fault injection active (seed {})", plan.seed());
+                service.set_faults(Some(Arc::new(plan)));
+            }
             let server = fedex_serve::Server::bind(
                 &fedex_serve::ServerConfig {
                     addr: addr.clone(),
                     workers,
                     queue_depth,
                     session_quota,
+                    default_deadline_ms,
+                    degrade,
+                    write_timeout_ms,
                     ..Default::default()
                 },
                 service,
@@ -466,19 +534,34 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             eprintln!(
                 "fedex-serve listening on {local} ({workers} workers, cache budget \
                  {cache_mb} MiB, policy {cache_policy}, queue depth {queue_depth}, \
-                 session quota {session_quota})"
+                 session quota {session_quota}, degrade {degrade:?}, \
+                 default deadline {default_deadline_ms} ms)"
             );
             server
                 .run()
                 .map_err(|e| CliError(format!("server error: {e}")))?;
             Ok(format!("server on {local} stopped"))
         }
-        Command::Client { addr, request } => {
-            let mut client = fedex_serve::Client::connect(&addr)
-                .map_err(|e| CliError(format!("connecting to {addr}: {e}")))?;
-            client
-                .request_raw(&request)
-                .map_err(|e| CliError(format!("request failed: {e}")))
+        Command::Client {
+            addr,
+            request,
+            retries,
+            retry_budget_ms,
+        } => {
+            if retries == 0 {
+                let mut client = fedex_serve::Client::connect(&addr)
+                    .map_err(|e| CliError(format!("connecting to {addr}: {e}")))?;
+                return client
+                    .request_raw(&request)
+                    .map_err(|e| CliError(format!("request failed: {e}")));
+            }
+            let policy = fedex_serve::RetryPolicy {
+                retries,
+                budget: std::time::Duration::from_millis(retry_budget_ms),
+                ..Default::default()
+            };
+            fedex_serve::Client::request_with_retry(&addr, &request, &policy)
+                .map_err(|e| CliError(format!("request failed after retries: {e}")))
         }
         Command::Demo => {
             let spotify = fedex_data::spotify::generate(10_000, 42);
@@ -597,6 +680,12 @@ mod tests {
             "5",
             "--session-quota",
             "1",
+            "--default-deadline-ms",
+            "2500",
+            "--degrade",
+            "force",
+            "--write-timeout-ms",
+            "750",
             "--exec",
             "serial",
         ]))
@@ -610,6 +699,9 @@ mod tests {
                 cache_policy: fedex_core::EvictionPolicy::Lru,
                 queue_depth: 5,
                 session_quota: 1,
+                default_deadline_ms: 2500,
+                degrade: fedex_serve::DegradeMode::Force,
+                write_timeout_ms: 750,
                 exec: ExecutionMode::Serial,
             }
         );
@@ -623,16 +715,24 @@ mod tests {
                 cache_policy: fedex_core::EvictionPolicy::CostAware,
                 queue_depth: 64,
                 session_quota: 2,
+                default_deadline_ms: 300_000,
+                degrade: fedex_serve::DegradeMode::Auto,
+                write_timeout_ms: 5_000,
                 exec: ExecutionMode::default(),
             }
         );
         assert!(parse_args(&s(&["serve", "--cache-policy", "wat"])).is_err());
+        assert!(parse_args(&s(&["serve", "--degrade", "sometimes"])).is_err());
         let cmd = parse_args(&s(&[
             "client",
             "--addr",
             "127.0.0.1:9999",
             "--json",
             r#"{"cmd":"ping"}"#,
+            "--retries",
+            "3",
+            "--retry-budget-ms",
+            "1500",
         ]))
         .unwrap();
         assert_eq!(
@@ -640,10 +740,22 @@ mod tests {
             Command::Client {
                 addr: "127.0.0.1:9999".to_string(),
                 request: r#"{"cmd":"ping"}"#.to_string(),
+                retries: 3,
+                retry_budget_ms: 1500,
             }
         );
         assert!(parse_args(&s(&["client", "--json", "{}"])).is_err()); // no addr
         assert!(parse_args(&s(&["client", "--addr", "x:1"])).is_err()); // no json
+        assert!(parse_args(&s(&[
+            "client",
+            "--addr",
+            "x:1",
+            "--json",
+            "{}",
+            "--retries",
+            "x"
+        ]))
+        .is_err());
         assert!(parse_args(&s(&["serve", "--workers", "wat"])).is_err());
     }
 
@@ -668,6 +780,8 @@ mod tests {
         let out = run(Command::Client {
             addr: addr.clone(),
             request: r#"{"cmd":"register_demo","session":"s","rows":800,"seed":3}"#.to_string(),
+            retries: 0,
+            retry_budget_ms: 10_000,
         })
         .unwrap();
         assert!(out.contains("\"ok\":true"), "{out}");
@@ -677,6 +791,8 @@ mod tests {
             request:
                 r#"{"cmd":"explain","session":"s","sql":"SELECT * FROM spotify WHERE popularity > 65","top":2}"#
                     .to_string(),
+            retries: 0,
+            retry_budget_ms: 10_000,
         })
         .unwrap();
         assert!(out.contains("\"rendered\""), "{out}");
@@ -684,6 +800,8 @@ mod tests {
         let out = run(Command::Client {
             addr,
             request: r#"{"cmd":"metrics"}"#.to_string(),
+            retries: 1,
+            retry_budget_ms: 10_000,
         })
         .unwrap();
         assert!(out.contains("\"explains\":1"), "{out}");

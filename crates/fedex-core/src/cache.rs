@@ -43,7 +43,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use fedex_frame::{CodedFrame, Fingerprint};
@@ -266,7 +266,7 @@ impl ArtifactCache {
 
     /// Counter + occupancy snapshot.
     pub fn metrics(&self) -> CacheMetrics {
-        let inner = self.inner.lock().expect("artifact cache");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         CacheMetrics {
             hits: self.counters.hits.load(Ordering::Relaxed),
             misses: self.counters.misses.load(Ordering::Relaxed),
@@ -281,13 +281,13 @@ impl ArtifactCache {
 
     /// Drop every entry (counters are kept — they are lifetime totals).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("artifact cache");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.map.clear();
         inner.bytes = 0;
     }
 
     fn get(&self, key: Key) -> Option<Artifact> {
-        let mut inner = self.inner.lock().expect("artifact cache");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.clock += 1;
         let tick = inner.clock;
         match inner.map.get_mut(&key) {
@@ -309,7 +309,7 @@ impl ArtifactCache {
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let mut inner = self.inner.lock().expect("artifact cache");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.clock += 1;
         let tick = inner.clock;
         let mut rebuild_micros = rebuild.as_micros().min(u128::from(u64::MAX)) as u64;

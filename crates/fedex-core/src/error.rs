@@ -16,6 +16,11 @@ pub enum ExplainError {
     UnknownColumn(String),
     /// Catch-all for invalid configuration.
     InvalidConfig(String),
+    /// The run's deadline budget expired before the pipeline finished
+    /// (cooperative check via [`crate::cancel::CancelToken`]).
+    DeadlineExceeded,
+    /// The run was cancelled — every waiter abandoned it.
+    Cancelled,
 }
 
 impl fmt::Display for ExplainError {
@@ -25,6 +30,8 @@ impl fmt::Display for ExplainError {
             ExplainError::Query(e) => write!(f, "{e}"),
             ExplainError::UnknownColumn(c) => write!(f, "unknown output column: {c:?}"),
             ExplainError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            ExplainError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ExplainError::Cancelled => write!(f, "cancelled"),
         }
     }
 }

@@ -72,6 +72,10 @@ pub struct FedexConfig {
     /// [`ArtifactCache`]). `None` (the default) re-derives everything per
     /// call; results are bit-identical either way.
     pub artifact_cache: Option<Arc<ArtifactCache>>,
+    /// Cooperative cancellation handle checked at stage and work-unit
+    /// boundaries (see [`crate::cancel`]). `None` (the default) runs to
+    /// completion; an uncancelled token never changes the output.
+    pub cancel: Option<crate::cancel::CancelToken>,
 }
 
 impl Default for FedexConfig {
@@ -88,6 +92,7 @@ impl Default for FedexConfig {
             measure_override: None,
             execution: ExecutionMode::default(),
             artifact_cache: None,
+            cancel: None,
         }
     }
 }
@@ -198,9 +203,25 @@ impl Fedex {
         self
     }
 
+    /// This explainer checking `cancel` at stage and work-unit
+    /// boundaries: an expired or cancelled token makes `explain` return
+    /// the typed [`crate::ExplainError::DeadlineExceeded`] /
+    /// [`crate::ExplainError::Cancelled`] instead of finishing the run.
+    pub fn with_cancel(mut self, cancel: crate::cancel::CancelToken) -> Self {
+        self.config.cancel = Some(cancel);
+        self
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &FedexConfig {
         &self.config
+    }
+
+    /// Mutable access to the configuration — the serving layer uses this
+    /// to graft per-request state (sampling override, cancellation) onto
+    /// a cloned explainer.
+    pub fn config_mut(&mut self) -> &mut FedexConfig {
+        &mut self.config
     }
 
     /// The measure used for this step.
@@ -554,6 +575,34 @@ mod tests {
         let json = to_json_array(&ex);
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert!(json.contains("\"caption\""));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_typed_error() {
+        let step = ExploratoryStep::run(
+            vec![spotify_like()],
+            Operation::filter(Expr::col("popularity").gt(Expr::lit(65i64))),
+        )
+        .unwrap();
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let token = crate::cancel::CancelToken::with_deadline(past);
+        let r = Fedex::new().with_cancel(token).explain(&step);
+        assert!(matches!(r, Err(ExplainError::DeadlineExceeded)), "{r:?}");
+
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let r = Fedex::new().with_cancel(token).explain(&step);
+        assert!(matches!(r, Err(ExplainError::Cancelled)), "{r:?}");
+
+        // An untripped token changes nothing.
+        let live = crate::cancel::CancelToken::new();
+        let with_token = Fedex::new().with_cancel(live).explain(&step).unwrap();
+        let plain = Fedex::new().explain(&step).unwrap();
+        assert_eq!(with_token.len(), plain.len());
+        for (a, b) in with_token.iter().zip(&plain) {
+            assert_eq!(a.caption, b.caption);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
     }
 
     #[test]

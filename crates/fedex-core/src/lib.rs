@@ -26,6 +26,7 @@
 //! by [`FedexConfig::execution`].
 
 pub mod cache;
+pub mod cancel;
 pub mod caption;
 pub mod contribution;
 pub mod error;
@@ -41,6 +42,7 @@ pub mod skyline;
 pub mod viz;
 
 pub use cache::{ArtifactCache, CacheMetrics, EvictionPolicy, DEFAULT_CACHE_BUDGET};
+pub use cancel::CancelToken;
 pub use contribution::{standardized, ContributionComputer};
 pub use error::ExplainError;
 pub use explain::{render_all, to_json_array, CustomMeasure, Explanation, Fedex, FedexConfig};
@@ -59,6 +61,9 @@ pub use partition::{
 };
 pub use pipeline::{ExecutionMode, ExplainPipeline, PipelineContext, Stage, StageReport};
 pub use session::{Session, SessionEntry, SessionManager};
+// Re-exported for the serving layer: degraded (FEDEX-Sampling) responses
+// report this bound without a direct fedex-stats dependency.
+pub use fedex_stats::sampling::sampling_error_bound;
 pub use skyline::{skyline_indices, weighted_score, StreamingSkyline};
 pub use viz::{Bar, Chart, ChartKind};
 

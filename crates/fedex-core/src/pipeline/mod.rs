@@ -92,6 +92,17 @@ impl<'a> PipelineContext<'a> {
         self.sample
             .get_or_init(|| build_sample(self.step, self.config))
     }
+
+    /// Cooperative cancellation checkpoint: `Ok(())` when no token is
+    /// configured or the run may continue, the typed error otherwise.
+    /// Stages call this at their own unit boundaries; the orchestrator
+    /// calls it between stages.
+    pub fn check_cancel(&self) -> Result<()> {
+        match &self.config.cancel {
+            None => Ok(()),
+            Some(token) => token.check(),
+        }
+    }
 }
 
 /// Per-input sampling masks for interestingness scoring.
@@ -246,6 +257,7 @@ impl<'a> ExplainPipeline<'a> {
             }
         };
 
+        ctx.check_cancel()?;
         let t0 = Instant::now();
         let scored = score.run(ctx, ())?;
         timer(
@@ -262,6 +274,7 @@ impl<'a> ExplainPipeline<'a> {
         let partition = PartitionRows {
             extra: self.extra_partitions,
         };
+        ctx.check_cancel()?;
         let t0 = Instant::now();
         let partitioned = partition.run(ctx, scored)?;
         timer(
@@ -273,6 +286,7 @@ impl<'a> ExplainPipeline<'a> {
         );
 
         let contribute = Contribute { contributor };
+        ctx.check_cancel()?;
         let t0 = Instant::now();
         let contributed = contribute.run(ctx, partitioned)?;
         timer(
@@ -287,6 +301,7 @@ impl<'a> ExplainPipeline<'a> {
         }
 
         let skyline = Skyline;
+        ctx.check_cancel()?;
         let t0 = Instant::now();
         let ranked = skyline.run(ctx, contributed)?;
         timer(
@@ -298,6 +313,7 @@ impl<'a> ExplainPipeline<'a> {
         );
 
         let present = Present;
+        ctx.check_cancel()?;
         let t0 = Instant::now();
         let explanations = present.run(ctx, ranked)?;
         timer(

@@ -372,6 +372,7 @@ impl Stage for PartitionRows {
         let coded = ensure_coded(step, &scored.coded, ctx);
         scored.coded = coded.clone();
         let mined: Vec<Vec<RowPartition>> = try_par_map(ctx.mode(), &attrs, |(idx, attr)| {
+            ctx.check_cancel()?;
             build_partitions_for_attr_coded(
                 &step.inputs[*idx],
                 &coded[*idx],
@@ -527,6 +528,10 @@ impl Stage for Contribute<'_> {
                     Mutex::new(StreamingSkyline::new());
                 let per_unit: Vec<Vec<(usize, f64, f64)>> =
                     try_par_map(ctx.mode(), &units, |&(pi, ci)| -> Result<_> {
+                        // Work-unit cancellation checkpoint: an expired
+                        // deadline abandons the Contribute stage within
+                        // one (partition, column) unit.
+                        ctx.check_cancel()?;
                         let partition = &partitions[pi];
                         let (column, interestingness) = &scored.top[ci];
                         let Some(raw) = computer.contributions(partition, column)? else {
@@ -578,6 +583,7 @@ impl Stage for Contribute<'_> {
                 let per_partition: Vec<Vec<(usize, usize, f64, f64)>> = partitions
                     .iter()
                     .map(|p| {
+                        ctx.check_cancel()?;
                         candidates_of_partition(&scored.top, p, |column| {
                             custom_contributions(ctx.step, *measure, p, column)
                         })

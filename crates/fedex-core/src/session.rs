@@ -25,14 +25,28 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use fedex_query::{parse_query, Catalog, ExploratoryStep};
 
 use crate::cache::ArtifactCache;
-use crate::explain::{Explanation, Fedex};
+use crate::explain::{Explanation, Fedex, FedexConfig};
 use crate::ExplainError;
 use crate::Result;
+
+/// Take a read lock, clearing poison. A panic inside an explain is
+/// isolated by the serving layer's `catch_unwind`; session state is never
+/// left mid-mutation by one (the catalog and history are only touched
+/// *after* the explain returned), so recovering the guard is sound — the
+/// alternative is every later request on the session failing forever.
+fn read_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Take a write lock, clearing poison (see [`read_recover`]).
+fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One executed-and-explained step of a session.
 #[derive(Debug, Clone)]
@@ -94,8 +108,23 @@ impl Session {
         sql: &str,
         save_as: Option<String>,
     ) -> Result<(&SessionEntry, Vec<crate::StageReport>)> {
+        self.run_traced_configured(sql, save_as, |_| {})
+    }
+
+    /// [`Session::run_traced`] with per-run configuration grafted onto a
+    /// clone of the session's explainer — the serving layer uses this to
+    /// attach a cancellation token or downgrade one run to
+    /// FEDEX-Sampling without touching the session's base configuration.
+    pub fn run_traced_configured(
+        &mut self,
+        sql: &str,
+        save_as: Option<String>,
+        configure: impl FnOnce(&mut FedexConfig),
+    ) -> Result<(&SessionEntry, Vec<crate::StageReport>)> {
         let step = self.execute(sql)?;
-        let (explanations, trace) = self.fedex.explain_traced(&step)?;
+        let mut fedex = self.fedex.clone();
+        configure(fedex.config_mut());
+        let (explanations, trace) = fedex.explain_traced(&step)?;
         Ok((self.record(sql, step, explanations, save_as), trace))
     }
 
@@ -204,10 +233,10 @@ impl SessionManager {
     /// handle stays valid for the manager's lifetime; callers lock it for
     /// as long as one logical operation needs.
     pub fn session(&self, name: &str) -> Arc<RwLock<Session>> {
-        if let Some(s) = self.sessions.read().expect("session map").get(name) {
+        if let Some(s) = read_recover(&self.sessions).get(name) {
             return s.clone();
         }
-        let mut map = self.sessions.write().expect("session map");
+        let mut map = write_recover(&self.sessions);
         map.entry(name.to_string())
             .or_insert_with(|| Arc::new(RwLock::new(Session::new(self.template.clone()))))
             .clone()
@@ -215,13 +244,7 @@ impl SessionManager {
 
     /// Names of all sessions, sorted (deterministic for listings).
     pub fn session_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .sessions
-            .read()
-            .expect("session map")
-            .keys()
-            .cloned()
-            .collect();
+        let mut names: Vec<String> = read_recover(&self.sessions).keys().cloned().collect();
         names.sort();
         names
     }
@@ -242,7 +265,7 @@ impl SessionManager {
     ) -> fedex_frame::Fingerprint {
         let fp = df.fingerprint();
         let s = self.session(session);
-        let mut s = s.write().expect("session");
+        let mut s = write_recover(&s);
         s.register(table, df);
         fp
     }
@@ -252,7 +275,7 @@ impl SessionManager {
     /// registers the step's output under that catalog name.
     pub fn run(&self, session: &str, sql: &str, save_as: Option<&str>) -> Result<SessionEntry> {
         let s = self.session(session);
-        let mut s = s.write().expect("session");
+        let mut s = write_recover(&s);
         let entry = match save_as {
             None => s.run(sql)?,
             Some(name) => s.run_and_save(sql, name)?,
@@ -284,8 +307,27 @@ impl SessionManager {
         f: impl FnOnce(&SessionEntry, &[crate::StageReport]) -> R,
     ) -> Result<R> {
         let s = self.session(session);
-        let mut s = s.write().expect("session");
+        let mut s = write_recover(&s);
         let (entry, trace) = s.run_traced(sql, save_as.map(str::to_string))?;
+        Ok(f(entry, &trace))
+    }
+
+    /// [`SessionManager::run_traced_with`] with per-run configuration
+    /// grafted onto the run (see [`Session::run_traced_configured`]) —
+    /// how the serving layer attaches deadlines and downgrades pressured
+    /// runs to FEDEX-Sampling.
+    pub fn run_traced_configured_with<R>(
+        &self,
+        session: &str,
+        sql: &str,
+        save_as: Option<&str>,
+        configure: impl FnOnce(&mut FedexConfig),
+        f: impl FnOnce(&SessionEntry, &[crate::StageReport]) -> R,
+    ) -> Result<R> {
+        let s = self.session(session);
+        let mut s = write_recover(&s);
+        let (entry, trace) =
+            s.run_traced_configured(sql, save_as.map(str::to_string), configure)?;
         Ok(f(entry, &trace))
     }
 
@@ -303,15 +345,10 @@ impl SessionManager {
         // the session lock — holding the map read guard while a busy
         // session finishes its explain would queue `session()`'s writer
         // behind it and stall every other session's traffic.
-        let handle = self
-            .sessions
-            .read()
-            .expect("session map")
-            .get(session)
-            .cloned();
+        let handle = read_recover(&self.sessions).get(session).cloned();
         match handle {
             None => f(&[]),
-            Some(s) => f(s.read().expect("session").history()),
+            Some(s) => f(read_recover(&s).history()),
         }
     }
 }

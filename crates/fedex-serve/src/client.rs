@@ -3,8 +3,58 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 use crate::json::{self, Json};
+
+/// Retry discipline for [`Client::request_with_retry`]: capped
+/// exponential backoff with deterministic jitter, bounded by both an
+/// attempt count and a wall-clock budget.
+///
+/// Only *transient* failures retry — connect/transport errors and the
+/// typed backpressure responses `overloaded` and `shutting_down`. A
+/// response like `explain_failed` or `bad_request` is the server
+/// answering correctly about a bad request; retrying it would just repeat
+/// the answer (and re-run a failed explain), so it is returned as-is.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = a single attempt, no retry).
+    pub retries: u32,
+    /// Wall-clock budget across all attempts and backoff sleeps.
+    pub budget: Duration,
+    /// First backoff delay; doubles per retry up to `max_delay`.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Jitter seed — fixed so test and bench runs are reproducible.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 3,
+            budget: Duration::from_secs(10),
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Response codes worth retrying: the server refused *now*, not *this
+/// request*.
+fn retryable_code(line: &str) -> bool {
+    match json::parse(line) {
+        Ok(resp) => matches!(
+            resp.get("code").and_then(Json::as_str),
+            Some("overloaded") | Some("shutting_down")
+        ),
+        // Unparseable response: torn write or mid-line disconnect —
+        // transient by definition.
+        Err(_) => true,
+    }
+}
 
 /// One connection speaking newline-delimited JSON.
 pub struct Client {
@@ -51,5 +101,82 @@ impl Client {
             ));
         }
         Ok(response.trim_end().to_string())
+    }
+
+    /// Send one raw request line with retries: reconnects per attempt
+    /// (the previous connection may be half-dead after a transport
+    /// error), retrying transport failures and the transient typed
+    /// responses (`overloaded`, `shutting_down`) under `policy`'s
+    /// backoff. Returns the last typed response when retries run out —
+    /// the caller still gets the server's own words, not a synthetic
+    /// error — and the last I/O error when the server was never
+    /// reachable.
+    pub fn request_with_retry(
+        addr: &str,
+        line: &str,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<String> {
+        let start = Instant::now();
+        let mut rng = policy.seed | 1;
+        let mut last: Option<std::io::Result<String>> = None;
+        for attempt in 0..=policy.retries {
+            let outcome = Client::connect(addr).and_then(|mut c| c.request_raw(line));
+            match outcome {
+                Ok(response) if !retryable_code(&response) => return Ok(response),
+                outcome => last = Some(outcome),
+            }
+            if attempt == policy.retries {
+                break;
+            }
+            // Exponential backoff with full jitter in the upper half:
+            // delay ∈ [exp/2, exp), exp = base · 2^attempt, capped.
+            let exp = policy
+                .base_delay
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(policy.max_delay);
+            // xorshift64: cheap deterministic jitter.
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let jitter = (rng >> 11) as f64 / (1u64 << 53) as f64;
+            let delay = exp.mul_f64(0.5 + 0.5 * jitter);
+            let remaining = policy.budget.saturating_sub(start.elapsed());
+            if remaining.is_zero() {
+                break;
+            }
+            std::thread::sleep(delay.min(remaining));
+        }
+        last.unwrap_or_else(|| {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "retry budget exhausted before any attempt",
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_backpressure_codes_retry() {
+        assert!(retryable_code(
+            r#"{"ok":false,"code":"overloaded","error":"x"}"#
+        ));
+        assert!(retryable_code(
+            r#"{"ok":false,"code":"shutting_down","error":"x"}"#
+        ));
+        assert!(
+            retryable_code(r#"{"ok":false,"code":"overl"#),
+            "torn line is transient"
+        );
+        assert!(!retryable_code(
+            r#"{"ok":false,"code":"explain_failed","error":"x"}"#
+        ));
+        assert!(!retryable_code(
+            r#"{"ok":false,"code":"deadline_exceeded","error":"x"}"#
+        ));
+        assert!(!retryable_code(r#"{"ok":true}"#));
     }
 }

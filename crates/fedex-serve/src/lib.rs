@@ -60,13 +60,15 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod fault;
 pub mod json;
 pub mod sched;
 pub mod server;
 pub mod service;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
+pub use fault::FaultPlan;
 pub use json::{Json, JsonError};
-pub use sched::{RequestClass, SchedMetrics, Scheduler, SchedulerConfig};
+pub use sched::{DegradeMode, RequestClass, SchedMetrics, Scheduler, SchedulerConfig};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use service::{ExplainService, ServerMetrics};
+pub use service::{ExplainService, JobContext, ServerMetrics, DEGRADE_SAMPLE_SIZE};

@@ -36,12 +36,15 @@
 //! per connection.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use fedex_core::{CancelToken, ExplainError};
 
 use crate::json::{self, Json};
-use crate::service::ExplainService;
+use crate::service::{ExplainService, JobContext};
 
 /// Upper bound of the control queue. Control commands execute in
 /// microseconds, so a backlog this deep signals a client flood, not a slow
@@ -73,16 +76,50 @@ pub fn classify(cmd: &str) -> RequestClass {
     }
 }
 
+/// When the scheduler may downgrade an explain to the FEDEX-Sampling
+/// path (§3.7) instead of rejecting or running it full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradeMode {
+    /// Never degrade: pressure is answered `overloaded`, tight deadlines
+    /// run full and expire.
+    Off,
+    /// Degrade when the heavy queue crosses its pressure watermark, when
+    /// the deadline budget can't fit a full explain (estimated from the
+    /// last full run), or when the queue would otherwise overflow.
+    #[default]
+    Auto,
+    /// Every explain takes the sampling path (tests and benches).
+    Force,
+}
+
+impl DegradeMode {
+    /// Parse the wire/CLI spelling: `off`, `auto`, or `force`.
+    pub fn parse(s: &str) -> Result<DegradeMode, String> {
+        match s {
+            "off" => Ok(DegradeMode::Off),
+            "auto" => Ok(DegradeMode::Auto),
+            "force" => Ok(DegradeMode::Force),
+            other => Err(format!("unknown degrade mode {other:?} (off|auto|force)")),
+        }
+    }
+}
+
 /// Admission knobs, carried by
 /// [`ServerConfig`](crate::server::ServerConfig).
 #[derive(Debug, Clone, Copy)]
 pub struct SchedulerConfig {
     /// Bound of the heavy queue (queued, not running). A full queue
-    /// answers `overloaded`.
+    /// answers `overloaded` — unless degradation admits the request on
+    /// the sampling path (see [`DegradeMode`]).
     pub queue_depth: usize,
     /// Max heavy requests one session may have queued + running; the next
     /// one is answered `quota_exceeded`. Coalesced followers don't count.
     pub session_quota: usize,
+    /// Deadline budget stamped on requests that don't carry their own
+    /// `deadline_ms` field. `0` means no default deadline.
+    pub default_deadline_ms: u64,
+    /// Degradation policy (see [`DegradeMode`]).
+    pub degrade: DegradeMode,
 }
 
 impl Default for SchedulerConfig {
@@ -90,6 +127,8 @@ impl Default for SchedulerConfig {
         SchedulerConfig {
             queue_depth: 64,
             session_quota: 2,
+            default_deadline_ms: 300_000,
+            degrade: DegradeMode::Auto,
         }
     }
 }
@@ -111,6 +150,14 @@ pub struct SchedMetrics {
     pub coalesced: AtomicU64,
     /// Jobs fully served (response delivered).
     pub completed: AtomicU64,
+    /// Explains admitted on the degraded (sampling) path.
+    pub degraded: AtomicU64,
+    /// Heavy jobs whose deadline expired (or whose waiters all left)
+    /// before a worker picked them up — answered typed, never dispatched.
+    pub expired: AtomicU64,
+    /// Waiters that stopped waiting (deadline or disconnect) before their
+    /// job's response was published.
+    pub detached: AtomicU64,
     /// Control jobs queued right now.
     pub queued_control_now: AtomicU64,
     /// Heavy jobs queued right now.
@@ -130,6 +177,9 @@ impl SchedMetrics {
             ("rejected_quota", n(&self.rejected_quota)),
             ("coalesced", n(&self.coalesced)),
             ("completed", n(&self.completed)),
+            ("degraded", n(&self.degraded)),
+            ("expired", n(&self.expired)),
+            ("detached", n(&self.detached)),
             ("queued_control", n(&self.queued_control_now)),
             ("queued_heavy", n(&self.queued_heavy_now)),
             ("running_heavy", n(&self.running_heavy_now)),
@@ -142,19 +192,54 @@ impl SchedMetrics {
 struct JobState {
     response: Mutex<Option<String>>,
     done: Condvar,
+    /// Clients still waiting on the response: the submitter plus every
+    /// coalesced follower. When the count hits zero before completion the
+    /// last leaver cancels the job — nobody is left to read the result.
+    waiters: AtomicUsize,
+    /// Cooperative cancellation shared with the pipeline run: carries the
+    /// job's deadline, and is tripped when every waiter detaches.
+    cancel: CancelToken,
 }
 
 impl JobState {
-    fn new() -> Arc<JobState> {
+    fn new(cancel: CancelToken) -> Arc<JobState> {
         Arc::new(JobState {
             response: Mutex::new(None),
             done: Condvar::new(),
+            waiters: AtomicUsize::new(1),
+            cancel,
         })
     }
 
     fn complete(&self, response: String) {
         *self.response.lock().expect("job state") = Some(response);
         self.done.notify_all();
+    }
+
+    /// Join as one more waiter — unless every previous waiter already
+    /// left, in which case the job is doomed (its token may be tripped)
+    /// and the arrival must start a fresh job instead.
+    fn try_attach(&self) -> bool {
+        let mut n = self.waiters.load(Ordering::Relaxed);
+        loop {
+            if n == 0 {
+                return false;
+            }
+            match self
+                .waiters
+                .compare_exchange_weak(n, n + 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return true,
+                Err(current) => n = current,
+            }
+        }
+    }
+
+    /// Leave without a response. Returns `true` when this was the last
+    /// waiter — the caller then cancels the job's token so the pipeline
+    /// aborts at its next checkpoint instead of computing for nobody.
+    fn detach(&self) -> bool {
+        self.waiters.fetch_sub(1, Ordering::Relaxed) == 1
     }
 }
 
@@ -166,6 +251,8 @@ struct Job {
     session: Option<String>,
     /// Coalescing signature (explain only).
     signature: Option<String>,
+    /// Run on the FEDEX-Sampling path (see [`DegradeMode`]).
+    degraded: bool,
     state: Arc<JobState>,
 }
 
@@ -196,6 +283,9 @@ pub struct Scheduler {
     work: Condvar,
     config: SchedulerConfig,
     metrics: Arc<SchedMetrics>,
+    /// Monotonic incident counter for panic responses — stable ids a
+    /// client can quote and an operator can grep server logs for.
+    incidents: AtomicU64,
 }
 
 impl Scheduler {
@@ -210,6 +300,7 @@ impl Scheduler {
             work: Condvar::new(),
             config,
             metrics,
+            incidents: AtomicU64::new(0),
         }
     }
 
@@ -224,18 +315,32 @@ impl Scheduler {
     /// newline). This is what connection threads call; it blocks the
     /// calling I/O thread, never a worker.
     pub fn handle_line(&self, line: &str) -> String {
+        self.handle_line_hooked(line, None)
+    }
+
+    /// [`Scheduler::handle_line`] with a client-liveness probe: while a
+    /// waiter blocks on its job, `is_alive` is polled once per tick, and
+    /// a `false` detaches the waiter (last one out cancels the job) — a
+    /// closed connection must not pin a coalescing slot or a pipeline
+    /// run for a reader that will never arrive.
+    pub fn handle_line_hooked(&self, line: &str, is_alive: Option<&dyn Fn() -> bool>) -> String {
         match json::parse(line) {
             // Parse errors never reach the queues — answering them is
             // cheaper than admitting them.
             Err(_) => self.service.dispatch_line(line),
-            Ok(req) => self.handle(req),
+            Ok(req) => self.handle_hooked(req, is_alive),
         }
     }
 
     /// [`Scheduler::handle_line`] for an already-parsed request.
     pub fn handle(&self, req: Json) -> String {
+        self.handle_hooked(req, None)
+    }
+
+    /// [`Scheduler::handle_line_hooked`] for an already-parsed request.
+    pub fn handle_hooked(&self, req: Json, is_alive: Option<&dyn Fn() -> bool>) -> String {
         match self.submit(req) {
-            Ok(state) => self.await_response(&state),
+            Ok(state) => self.await_response(&state, is_alive),
             Err(rejection) => rejection,
         }
     }
@@ -250,6 +355,17 @@ impl Scheduler {
             .and_then(Json::as_str)
             .unwrap_or("default")
             .to_string();
+        // Deadline budget: per-request `deadline_ms` wins over the server
+        // default; an explicit 0 (or any non-positive value) opts out.
+        let deadline_ms = match req.get("deadline_ms").and_then(Json::as_f64) {
+            Some(ms) if ms.is_finite() && ms > 0.0 => ms as u64,
+            Some(_) => 0,
+            None => self.config.default_deadline_ms,
+        };
+        let cancel = match deadline_ms {
+            0 => CancelToken::new(),
+            ms => CancelToken::with_deadline(Instant::now() + Duration::from_millis(ms)),
+        };
 
         let mut inner = self.inner.lock().expect("scheduler");
         // Checked under the queue lock: workers observe the flag under
@@ -267,9 +383,29 @@ impl Scheduler {
         {
             *inner.generation.entry(session.clone()).or_insert(0) += 1;
         }
+        // The degrade decision precedes the signature: a degraded explain
+        // renders different output, so it must never coalesce with a full
+        // run (and vice versa).
+        let degraded = cmd == "explain"
+            && match self.config.degrade {
+                DegradeMode::Off => false,
+                DegradeMode::Force => true,
+                DegradeMode::Auto => {
+                    let watermark = (self.config.queue_depth / 2).max(1);
+                    let pressure = inner.heavy.len() >= watermark;
+                    // A cold full explain can't fit the deadline budget:
+                    // serve the cheap approximate answer instead of an
+                    // expensive one nobody will be around to read.
+                    let est = self.service.estimated_explain_micros();
+                    let too_tight = est > 0
+                        && deadline_ms > 0
+                        && Duration::from_millis(deadline_ms) < Duration::from_micros(est);
+                    pressure || too_tight
+                }
+            };
         let signature = (cmd == "explain").then(|| {
             let generation = inner.generation.get(&session).copied().unwrap_or(0);
-            explain_signature(&req, &session, generation)
+            explain_signature(&req, &session, generation, degraded)
         });
         match class {
             RequestClass::Control => {
@@ -282,12 +418,13 @@ impl Scheduler {
                         format!("control queue full ({CONTROL_QUEUE_DEPTH} requests waiting)"),
                     ));
                 }
-                let state = JobState::new();
+                let state = JobState::new(cancel);
                 inner.control.push_back(Job {
                     req,
                     class,
                     session: None,
                     signature: None,
+                    degraded: false,
                     state: state.clone(),
                 });
                 self.metrics
@@ -301,11 +438,16 @@ impl Scheduler {
             }
             RequestClass::Heavy => {
                 // Coalesce before any bound is charged: an identical
-                // in-flight explain means no new work at all.
+                // in-flight explain means no new work at all. Attaching
+                // can fail when every earlier waiter already detached —
+                // that job is doomed (its token may be tripped), so the
+                // arrival falls through and starts a fresh run.
                 if let Some(sig) = &signature {
                     if let Some(state) = inner.inflight.get(sig) {
-                        self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
-                        return Ok(state.clone());
+                        if state.try_attach() {
+                            self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                            return Ok(state.clone());
+                        }
                     }
                 }
                 let in_session = inner.per_session.get(&session).copied().unwrap_or(0);
@@ -321,19 +463,31 @@ impl Scheduler {
                     ));
                 }
                 if inner.heavy.len() >= self.config.queue_depth {
-                    self.metrics
-                        .rejected_overloaded
-                        .fetch_add(1, Ordering::Relaxed);
-                    return Err(self.reject_counted(
-                        "overloaded",
-                        format!(
-                            "explain queue full ({} requests waiting, depth {})",
-                            inner.heavy.len(),
-                            self.config.queue_depth
-                        ),
-                    ));
+                    // Overflow band: a degraded explain is cheap enough
+                    // to admit past the full-run bound — up to twice the
+                    // depth — so pressure degrades service instead of
+                    // refusing it. Beyond the band, or for non-explain
+                    // heavy work, backpressure stays explicit.
+                    let overflow_ok =
+                        degraded && inner.heavy.len() < self.config.queue_depth.saturating_mul(2);
+                    if !overflow_ok {
+                        self.metrics
+                            .rejected_overloaded
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(self.reject_counted(
+                            "overloaded",
+                            format!(
+                                "explain queue full ({} requests waiting, depth {})",
+                                inner.heavy.len(),
+                                self.config.queue_depth
+                            ),
+                        ));
+                    }
                 }
-                let state = JobState::new();
+                if degraded {
+                    self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                let state = JobState::new(cancel);
                 *inner.per_session.entry(session.clone()).or_insert(0) += 1;
                 if let Some(sig) = &signature {
                     inner.inflight.insert(sig.clone(), state.clone());
@@ -343,6 +497,7 @@ impl Scheduler {
                     class,
                     session: Some(session),
                     signature,
+                    degraded,
                     state: state.clone(),
                 });
                 self.metrics.admitted_heavy.fetch_add(1, Ordering::Relaxed);
@@ -355,19 +510,64 @@ impl Scheduler {
         }
     }
 
-    /// Block until the job completes. Admission is the commitment point:
-    /// workers drain both queues *before* exiting on shutdown, and
-    /// `submit` observes the shutdown flag under the same lock workers
-    /// do, so every admitted job is eventually executed and its real
-    /// response delivered here — a graceful stop finishes admitted work
-    /// instead of reporting side effects that did happen as never-ran.
-    fn await_response(&self, state: &Arc<JobState>) -> String {
+    /// Block until the job completes, the deadline passes, or the client
+    /// hangs up. Admission is the commitment point: workers drain both
+    /// queues *before* exiting on shutdown, and `submit` observes the
+    /// shutdown flag under the same lock workers do, so every admitted
+    /// job is eventually executed — but a waiter doesn't have to stay for
+    /// it. Deadline expiry and client death *detach* the waiter (counted,
+    /// typed); the last waiter out cancels the job's token so the
+    /// pipeline aborts at its next checkpoint. Detachment happens while
+    /// holding the response lock, so it can never race a concurrent
+    /// publish: either the response is already there (delivered), or the
+    /// worker publishes after we left (discarded, job already cancelled).
+    fn await_response(&self, state: &Arc<JobState>, is_alive: Option<&dyn Fn() -> bool>) -> String {
         let mut slot = state.response.lock().expect("job state");
         loop {
             if let Some(response) = slot.as_ref() {
                 return response.clone();
             }
-            slot = state.done.wait(slot).expect("job state");
+            if state.cancel.deadline_exceeded() {
+                if state.detach() {
+                    state.cancel.cancel();
+                }
+                self.metrics.detached.fetch_add(1, Ordering::Relaxed);
+                self.service
+                    .metrics()
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                return reject(
+                    "deadline_exceeded",
+                    "deadline budget exhausted while waiting for the explain",
+                );
+            }
+            if let Some(alive) = is_alive {
+                if !alive() {
+                    if state.detach() {
+                        state.cancel.cancel();
+                    }
+                    self.metrics.detached.fetch_add(1, Ordering::Relaxed);
+                    self.service
+                        .metrics()
+                        .cancelled
+                        .fetch_add(1, Ordering::Relaxed);
+                    // The client is gone; this line is written to a dead
+                    // socket (and dropped there), but the typed shape
+                    // keeps the path uniform and testable.
+                    return reject("cancelled", "client disconnected while waiting");
+                }
+            }
+            // Tick granularity bounds how late a deadline fires: at most
+            // one tick past the instant, even if the job never completes.
+            let tick = match state.cancel.deadline() {
+                Some(d) => d
+                    .saturating_duration_since(Instant::now())
+                    .min(SHUTDOWN_TICK)
+                    .max(Duration::from_millis(1)),
+                None => SHUTDOWN_TICK,
+            };
+            let (guard, _) = state.done.wait_timeout(slot, tick).expect("job state");
+            slot = guard;
         }
     }
 
@@ -425,12 +625,93 @@ impl Scheduler {
     }
 
     /// Run one admitted job and publish its response to every waiter.
+    ///
+    /// Heavy jobs run under three layers of protection: already-expired
+    /// or fully-abandoned jobs are answered typed without burning a
+    /// worker; live jobs carry their cancel token into the pipeline; and
+    /// the whole dispatch runs under `catch_unwind`, so a panicking
+    /// explain yields a typed `internal_error` (with a stable incident
+    /// id) instead of killing the worker and leaking the coalescing
+    /// slot. Control jobs always execute — they're cheap, and `shutdown`
+    /// must never be skipped.
     fn execute(&self, job: Job) {
-        let response = self.service.dispatch(&job.req).to_string();
+        let expired = (job.class == RequestClass::Heavy)
+            .then(|| job.state.cancel.check().err())
+            .flatten();
+        let mut failed = expired.is_some();
+        let response = match expired {
+            Some(e) => {
+                self.metrics.expired.fetch_add(1, Ordering::Relaxed);
+                let server = self.service.metrics();
+                server.requests.fetch_add(1, Ordering::Relaxed);
+                server.errors.fetch_add(1, Ordering::Relaxed);
+                match e {
+                    ExplainError::Cancelled => {
+                        server.cancelled.fetch_add(1, Ordering::Relaxed);
+                        reject("cancelled", "explain cancelled: every waiter detached")
+                    }
+                    _ => {
+                        server.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                        reject(
+                            "deadline_exceeded",
+                            "deadline budget exhausted before a worker was free",
+                        )
+                    }
+                }
+            }
+            None => {
+                let jctx = JobContext {
+                    degraded: job.degraded,
+                    cancel: (job.class == RequestClass::Heavy).then(|| job.state.cancel.clone()),
+                };
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    self.service.dispatch_job(&job.req, &jctx).to_string()
+                }));
+                match run {
+                    Ok(response) => response,
+                    Err(_) => {
+                        failed = true;
+                        let incident =
+                            format!("inc-{:08x}", self.incidents.fetch_add(1, Ordering::Relaxed));
+                        let server = self.service.metrics();
+                        // `dispatch_job` counted the request before the
+                        // panic; only the error needs charging here.
+                        server.panics.fetch_add(1, Ordering::Relaxed);
+                        server.errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "fedex-serve: worker caught a panic serving {:?} (incident {incident})",
+                            job.req.get("cmd").and_then(Json::as_str).unwrap_or("?"),
+                        );
+                        json::obj([
+                            ("ok", Json::Bool(false)),
+                            ("code", json::s("internal_error")),
+                            (
+                                "error",
+                                json::s(format!(
+                                    "request panicked; server state recovered (incident {incident})"
+                                )),
+                            ),
+                            ("incident", json::s(incident)),
+                        ])
+                        .to_string()
+                    }
+                }
+            }
+        };
+        // A panicked or expired job must stop coalescing *before* its
+        // response is visible: the stored error describes this run's
+        // fate, not the query, and a same-signature arrival that
+        // attached after publication would inherit it. Waiters already
+        // attached shared the doomed run and correctly see the error.
+        if failed {
+            if let Some(sig) = &job.signature {
+                self.inner.lock().expect("scheduler").inflight.remove(sig);
+            }
+        }
         job.state.complete(response);
         // Release bookkeeping only after the response is visible: a
         // same-signature arrival in between attaches and immediately
-        // finds the stored response.
+        // finds the stored (deterministic, run-independent) response.
         if job.class == RequestClass::Heavy {
             let mut inner = self.inner.lock().expect("scheduler");
             if let Some(session) = &job.session {
@@ -442,7 +723,12 @@ impl Scheduler {
                 }
             }
             if let Some(sig) = &job.signature {
-                inner.inflight.remove(sig);
+                // A failed job's entry is already gone (removed above) —
+                // and a fresh same-signature run may have re-inserted the
+                // key since, so removing again would orphan *that* job.
+                if !failed {
+                    inner.inflight.remove(sig);
+                }
             }
             self.metrics
                 .running_heavy_now
@@ -454,19 +740,21 @@ impl Scheduler {
 
 /// The coalescing key of an explain: every field that shapes the
 /// response, plus the session's catalog generation (so explains across a
-/// re-register never share a run).
-fn explain_signature(req: &Json, session: &str, generation: u64) -> String {
+/// re-register never share a run) and the degrade decision (a sampled
+/// run must never stand in for a full one).
+fn explain_signature(req: &Json, session: &str, generation: u64, degraded: bool) -> String {
     let field = |k: &str| {
         req.get(k)
             .map(Json::to_string)
             .unwrap_or_else(|| "~".to_string())
     };
     format!(
-        "{session}\u{1}{generation}\u{1}{}\u{1}{}\u{1}{}\u{1}{}",
+        "{session}\u{1}{generation}\u{1}{}\u{1}{}\u{1}{}\u{1}{}\u{1}{}",
         field("sql"),
         field("save_as"),
         field("top"),
         field("width"),
+        u8::from(degraded),
     )
 }
 
@@ -500,26 +788,39 @@ mod tests {
         let with_top = json::parse(r#"{"cmd":"explain","sql":"SELECT 1","top":2}"#).unwrap();
         let other_sql = json::parse(r#"{"cmd":"explain","sql":"SELECT 2"}"#).unwrap();
         assert_eq!(
-            explain_signature(&base, "s", 0),
-            explain_signature(&base, "s", 0)
+            explain_signature(&base, "s", 0, false),
+            explain_signature(&base, "s", 0, false)
         );
         assert_ne!(
-            explain_signature(&base, "s", 0),
-            explain_signature(&with_top, "s", 0)
+            explain_signature(&base, "s", 0, false),
+            explain_signature(&with_top, "s", 0, false)
         );
         assert_ne!(
-            explain_signature(&base, "s", 0),
-            explain_signature(&other_sql, "s", 0)
+            explain_signature(&base, "s", 0, false),
+            explain_signature(&other_sql, "s", 0, false)
         );
         assert_ne!(
-            explain_signature(&base, "s", 0),
-            explain_signature(&base, "t", 0),
+            explain_signature(&base, "s", 0, false),
+            explain_signature(&base, "t", 0, false),
             "sessions never share history side effects"
         );
         assert_ne!(
-            explain_signature(&base, "s", 0),
-            explain_signature(&base, "s", 1),
+            explain_signature(&base, "s", 0, false),
+            explain_signature(&base, "s", 1, false),
             "a re-register bumps the generation and splits the key"
         );
+        assert_ne!(
+            explain_signature(&base, "s", 0, false),
+            explain_signature(&base, "s", 0, true),
+            "a degraded run never stands in for a full one"
+        );
+    }
+
+    #[test]
+    fn degrade_mode_parses() {
+        assert_eq!(DegradeMode::parse("off").unwrap(), DegradeMode::Off);
+        assert_eq!(DegradeMode::parse("auto").unwrap(), DegradeMode::Auto);
+        assert_eq!(DegradeMode::parse("force").unwrap(), DegradeMode::Force);
+        assert!(DegradeMode::parse("ON").is_err());
     }
 }

@@ -30,7 +30,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::json::{self, Json};
-use crate::sched::{Scheduler, SchedulerConfig};
+use crate::sched::{DegradeMode, Scheduler, SchedulerConfig};
 use crate::service::ExplainService;
 
 /// Serving knobs.
@@ -52,6 +52,15 @@ pub struct ServerConfig {
     /// error line and closed — the work queues are bounded by
     /// `queue_depth`, this bounds the thread population itself.
     pub max_connections: usize,
+    /// Deadline budget for requests without their own `deadline_ms`
+    /// field; `0` disables the default (CLI: `--default-deadline-ms`).
+    pub default_deadline_ms: u64,
+    /// When explains may degrade to the FEDEX-Sampling path (CLI:
+    /// `--degrade off|auto|force`).
+    pub degrade: DegradeMode,
+    /// Timeout on every response write; a peer that stops reading frees
+    /// the I/O thread after this long (CLI: `--write-timeout-ms`).
+    pub write_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +72,9 @@ impl Default for ServerConfig {
             queue_depth: sched.queue_depth,
             session_quota: sched.session_quota,
             max_connections: 1024,
+            default_deadline_ms: sched.default_deadline_ms,
+            degrade: sched.degrade,
+            write_timeout_ms: 5_000,
         }
     }
 }
@@ -73,6 +85,7 @@ pub struct Server {
     service: Arc<ExplainService>,
     workers: usize,
     max_connections: usize,
+    write_timeout: Duration,
     sched_config: SchedulerConfig,
 }
 
@@ -85,9 +98,12 @@ impl Server {
             service,
             workers: config.workers.max(1),
             max_connections: config.max_connections.max(1),
+            write_timeout: Duration::from_millis(config.write_timeout_ms.max(1)),
             sched_config: SchedulerConfig {
                 queue_depth: config.queue_depth.max(1),
                 session_quota: config.session_quota.max(1),
+                default_deadline_ms: config.default_deadline_ms,
+                degrade: config.degrade,
             },
         })
     }
@@ -134,7 +150,7 @@ impl Server {
                         // connections would otherwise grow threads
                         // without bound — the queues only bound *work*).
                         if active_connections.load(Ordering::Acquire) >= self.max_connections {
-                            refuse_connection(stream, self.max_connections);
+                            refuse_connection(stream, self.max_connections, self.write_timeout);
                             continue;
                         }
                         active_connections.fetch_add(1, Ordering::AcqRel);
@@ -152,8 +168,9 @@ impl Server {
                         let scheduler = &scheduler;
                         let service = &*self.service;
                         let active_connections = &active_connections;
+                        let write_timeout = self.write_timeout;
                         scope.spawn(move || {
-                            let _ = serve_connection(stream, scheduler, service);
+                            let _ = serve_connection(stream, scheduler, service, write_timeout);
                             active_connections.fetch_sub(1, Ordering::AcqRel);
                         });
                     }
@@ -217,10 +234,10 @@ impl ServerHandle {
 }
 
 /// Refuse a connection over the `max_connections` cap: best-effort write
-/// of one typed error line, then close. A short write timeout keeps a
+/// of one typed error line, then close. The write timeout keeps a
 /// non-reading peer from stalling the acceptor.
-fn refuse_connection(mut stream: TcpStream, cap: usize) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+fn refuse_connection(mut stream: TcpStream, cap: usize, write_timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(write_timeout.min(Duration::from_millis(250))));
     let line = json::obj([
         ("ok", Json::Bool(false)),
         ("code", json::s("overloaded")),
@@ -235,16 +252,30 @@ fn refuse_connection(mut stream: TcpStream, cap: usize) {
 }
 
 /// Serve one connection in whichever protocol its first line speaks.
+/// Is this NDJSON line the health probe? Parsed properly (clients are
+/// free to format the object however they like); control lines are tiny,
+/// so the extra parse costs nothing next to the socket round-trip.
+fn is_ping(line: &str) -> bool {
+    json::parse(line)
+        .map(|r| r.get("cmd").and_then(Json::as_str) == Some("ping"))
+        .unwrap_or(false)
+}
+
 fn serve_connection(
     stream: TcpStream,
     scheduler: &Scheduler,
     service: &ExplainService,
+    write_timeout: Duration,
 ) -> std::io::Result<()> {
     // Short read timeout: between client requests the I/O thread wakes up
     // regularly to observe a server shutdown, so idle keep-alive
     // connections can never outlive `shutdown` (they would otherwise
     // deadlock a graceful stop).
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    // A peer that stops reading can stall a response write for at most
+    // this long before the I/O thread frees itself (typed as a
+    // disconnect below).
+    stream.set_write_timeout(Some(write_timeout))?;
     let peer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut writer = peer;
@@ -257,18 +288,78 @@ fn serve_connection(
     if let Some(request_line) = http_request_line(&first) {
         return serve_http(reader, writer, scheduler, service, request_line);
     }
+    // Client-liveness probe, polled by the scheduler while this thread
+    // waits on a job: a 1ms peek on a clone of the socket. `Ok(0)` is
+    // EOF (peer closed); a timeout means no bytes yet — still alive.
+    // Cloned fds share SO_RCVTIMEO, so the timeout is restored to the
+    // read loop's tick before returning; this is safe because the same
+    // thread does both — it's never probing while a read is blocked.
+    let probe = writer.try_clone()?;
+    let is_alive = move || -> bool {
+        if probe
+            .set_read_timeout(Some(Duration::from_millis(1)))
+            .is_err()
+        {
+            return false;
+        }
+        let mut byte = [0u8; 1];
+        let alive = match probe.peek(&mut byte) {
+            Ok(0) => false,
+            Ok(_) => true,
+            Err(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+        };
+        let _ = probe.set_read_timeout(Some(Duration::from_millis(100)));
+        alive
+    };
     // NDJSON: the first line is already a request; keep reading lines.
     let mut line = first;
     let mut buf = Vec::new();
     let mut out = Vec::new();
     loop {
-        let response = scheduler.handle_line(line.trim_end_matches(['\r', '\n']));
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        // Health probes answer from the connection thread itself, like
+        // `GET /healthz`: a ping measures transport liveness, and routing
+        // it through the scheduler adds two thread hops whose wakeup
+        // latency dominates the probe on loaded (or single-core) hosts.
+        let response = if is_ping(trimmed) {
+            service.dispatch_line(trimmed)
+        } else {
+            scheduler.handle_line_hooked(trimmed, Some(&is_alive))
+        };
         // One write per response (see `Client::request_raw`).
         out.clear();
         out.extend_from_slice(response.as_bytes());
         out.push(b'\n');
-        writer.write_all(&out)?;
-        writer.flush()?;
+        // Injected write faults (chaos runs only): abandon or tear the
+        // response — the client sees a disconnect mid-response, the
+        // server must account it and carry on.
+        if let Some(plan) = service.faults() {
+            if plan.should_disconnect() {
+                service
+                    .metrics()
+                    .disconnects
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            if plan.should_tear_write() {
+                service
+                    .metrics()
+                    .disconnects
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = writer.write_all(&out[..out.len() / 2]);
+                return Ok(());
+            }
+        }
+        if let Err(e) = writer.write_all(&out).and_then(|()| writer.flush()) {
+            service
+                .metrics()
+                .disconnects
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
         buf.clear();
         if read_line_shutdown_aware(&mut reader, &mut buf, service)? == 0 {
             return Ok(());
@@ -400,10 +491,20 @@ fn serve_http(
             .to_string(),
         ),
     };
-    write!(
+    let sent = write!(
         writer,
         "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
         payload.len(),
-    )?;
-    writer.flush()
+    )
+    .and_then(|()| writer.flush());
+    if let Err(e) = sent {
+        // The write timeout set by `serve_connection` applies here too:
+        // a non-reading HTTP peer is a typed disconnect, not a hang.
+        service
+            .metrics()
+            .disconnects
+            .fetch_add(1, Ordering::Relaxed);
+        return Err(e);
+    }
+    Ok(())
 }

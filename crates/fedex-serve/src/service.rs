@@ -26,13 +26,20 @@
 //! skipped the encode work.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 
-use fedex_core::{to_json_array, SessionManager, StageReport};
+use fedex_core::{
+    sampling_error_bound, to_json_array, CancelToken, ExplainError, SessionManager, StageReport,
+};
 use fedex_frame::{Column, DataFrame};
 
+use crate::fault::FaultPlan;
 use crate::json::{self, n, obj, s, Json};
 use crate::sched::SchedMetrics;
+
+/// Sample size of a degraded (FEDEX-Sampling) explain — the paper's
+/// recommended interestingness sample (§3.7).
+pub const DEGRADE_SAMPLE_SIZE: usize = 5_000;
 
 /// Wire-visible server counters.
 #[derive(Debug, Default)]
@@ -47,6 +54,19 @@ pub struct ServerMetrics {
     pub registers: AtomicU64,
     /// Connections accepted (maintained by the TCP server).
     pub connections: AtomicU64,
+    /// Explains that panicked and were isolated (each produced a typed
+    /// `internal_error` response with an incident id).
+    pub panics: AtomicU64,
+    /// Explains served on the degraded FEDEX-Sampling path.
+    pub degraded: AtomicU64,
+    /// `deadline_exceeded` responses produced (expired waiters plus
+    /// pipeline aborts).
+    pub deadline_exceeded: AtomicU64,
+    /// `cancelled` responses produced (abandoned runs).
+    pub cancelled: AtomicU64,
+    /// Response writes that failed or timed out (stalled or gone peers;
+    /// maintained by the TCP server).
+    pub disconnects: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -63,8 +83,34 @@ impl ServerMetrics {
                 "connections",
                 n(self.connections.load(Ordering::Relaxed) as f64),
             ),
+            ("panics", n(self.panics.load(Ordering::Relaxed) as f64)),
+            ("degraded", n(self.degraded.load(Ordering::Relaxed) as f64)),
+            (
+                "deadline_exceeded",
+                n(self.deadline_exceeded.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "cancelled",
+                n(self.cancelled.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "disconnects",
+                n(self.disconnects.load(Ordering::Relaxed) as f64),
+            ),
         ])
     }
+}
+
+/// Per-job execution context the scheduler attaches to a dispatch: the
+/// degradation decision and the cancellation token waiters share.
+#[derive(Debug, Clone, Default)]
+pub struct JobContext {
+    /// Serve this explain on the FEDEX-Sampling path and mark the
+    /// response `"degraded": true` with its error bound.
+    pub degraded: bool,
+    /// Cooperative cancellation handle (deadline and/or abandoned-run
+    /// flag) checked by the pipeline at work-unit boundaries.
+    pub cancel: Option<CancelToken>,
 }
 
 /// The shared request handler: a [`SessionManager`] plus server state.
@@ -74,6 +120,13 @@ pub struct ExplainService {
     metrics: ServerMetrics,
     shutdown: AtomicBool,
     scheduler: OnceLock<Arc<SchedMetrics>>,
+    /// Active fault-injection plan (chaos harness only; `None` in
+    /// production).
+    faults: RwLock<Option<Arc<FaultPlan>>>,
+    /// Wall-clock of the latest full (non-degraded) explain pipeline, in
+    /// microseconds — the scheduler's estimate for "is this deadline
+    /// budget plausibly enough for a full run?".
+    est_explain_micros: AtomicU64,
 }
 
 /// Cumulative artifact-cache snapshot as a JSON object.
@@ -207,7 +260,29 @@ impl ExplainService {
             metrics: ServerMetrics::default(),
             shutdown: AtomicBool::new(false),
             scheduler: OnceLock::new(),
+            faults: RwLock::new(None),
+            est_explain_micros: AtomicU64::new(0),
         }
+    }
+
+    /// Install (or clear) a fault-injection plan. Chaos harness only.
+    pub fn set_faults(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.faults.write().unwrap_or_else(PoisonError::into_inner) = plan;
+    }
+
+    /// The active fault-injection plan, if any.
+    pub fn faults(&self) -> Option<Arc<FaultPlan>> {
+        self.faults
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Microseconds the latest full (non-degraded) explain pipeline took;
+    /// 0 until one completes. The scheduler compares deadline budgets
+    /// against this to decide degradation.
+    pub fn estimated_explain_micros(&self) -> u64 {
+        self.est_explain_micros.load(Ordering::Relaxed)
     }
 
     /// Attach the admission scheduler's counters so the `metrics` command
@@ -242,8 +317,14 @@ impl ExplainService {
 
     /// Dispatch one already-parsed request.
     pub fn dispatch(&self, req: &Json) -> Json {
+        self.dispatch_job(req, &JobContext::default())
+    }
+
+    /// [`ExplainService::dispatch`] under a scheduler-provided
+    /// [`JobContext`] (degradation decision + cancellation token).
+    pub fn dispatch_job(&self, req: &Json, job: &JobContext) -> Json {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
-        let response = self.dispatch_inner(req);
+        let response = self.dispatch_inner(req, job);
         if response.get("ok") == Some(&Json::Bool(false)) {
             self.metrics.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -264,7 +345,7 @@ impl ExplainService {
         response.to_string()
     }
 
-    fn dispatch_inner(&self, req: &Json) -> Json {
+    fn dispatch_inner(&self, req: &Json, job: &JobContext) -> Json {
         let Some(cmd) = req.get("cmd").and_then(Json::as_str) else {
             return err("bad_request", "request needs a string 'cmd'");
         };
@@ -276,7 +357,7 @@ impl ExplainService {
             "ping" => ok(vec![("pong", Json::Bool(true))]),
             "register" => self.register(req, session),
             "register_demo" => self.register_demo(req, session),
-            "explain" => self.explain(req, session),
+            "explain" => self.explain(req, session, job),
             "history" => self.history(session),
             "sessions" => ok(vec![(
                 "sessions",
@@ -356,7 +437,7 @@ impl ExplainService {
         ])
     }
 
-    fn explain(&self, req: &Json, session: &str) -> Json {
+    fn explain(&self, req: &Json, session: &str, job: &JobContext) -> Json {
         let Some(sql) = req.get("sql").and_then(Json::as_str) else {
             return err("bad_request", "explain needs a string 'sql'");
         };
@@ -364,12 +445,32 @@ impl ExplainService {
         let width = req.get("width").and_then(Json::as_usize).unwrap_or(44);
         let top = req.get("top").and_then(Json::as_usize);
         self.metrics.explains.fetch_add(1, Ordering::Relaxed);
-        // Summarize in place (`run_traced_with`): a SessionEntry owns the
-        // full input/output dataframes, which must not be deep-cloned per
-        // wire request.
-        let response = self
-            .manager
-            .run_traced_with(session, sql, save_as, |entry, trace| {
+        let faults = self.faults();
+        let degraded = job.degraded;
+        let cancel = job.cancel.clone();
+        // Summarize in place (`run_traced_configured_with`): a
+        // SessionEntry owns the full input/output dataframes, which must
+        // not be deep-cloned per wire request.
+        let response = self.manager.run_traced_configured_with(
+            session,
+            sql,
+            save_as,
+            |config| {
+                // Fault hooks fire here, inside the session write lock,
+                // so an injected panic exercises the same poisoned-lock
+                // recovery a real pipeline bug would.
+                if let Some(plan) = &faults {
+                    plan.inject_stage_delay();
+                    if plan.should_panic() {
+                        panic!("injected fault: panic mid-explain");
+                    }
+                }
+                if degraded {
+                    config.sample_size = Some(DEGRADE_SAMPLE_SIZE);
+                }
+                config.cancel = cancel;
+            },
+            |entry, trace| {
                 // `top` trims the *response* — the ranked prefix is exactly
                 // what `top_k_explanations` would have kept; history stays
                 // complete.
@@ -385,7 +486,8 @@ impl ExplainService {
                     .find(|r| r.stage == "ScoreColumns")
                     .and_then(|r| r.sub.iter().find(|(name, _)| *name == "encode"))
                     .map_or(0.0, |(_, d)| d.as_micros() as f64);
-                ok(vec![
+                let total_micros: u64 = trace.iter().map(|r| r.elapsed.as_micros() as u64).sum();
+                let mut fields = vec![
                     ("session", s(session)),
                     ("sql", s(sql)),
                     ("n_rows_in", n(entry.step.inputs[0].n_rows() as f64)),
@@ -394,16 +496,46 @@ impl ExplainService {
                     ("rendered", s(rendered)),
                     ("stage_trace", trace_json(trace)),
                     ("encode_micros", n(encode_micros)),
-                ])
-            });
+                ];
+                if degraded {
+                    // The accuracy the client traded for latency: a 95%
+                    // DKW bound on the sampled interestingness scores.
+                    fields.push(("degraded", Json::Bool(true)));
+                    fields.push(("sample_size", n(DEGRADE_SAMPLE_SIZE as f64)));
+                    fields.push(("error_bound", n(sampling_error_bound(DEGRADE_SAMPLE_SIZE))));
+                }
+                (ok(fields), total_micros)
+            },
+        );
         match response {
-            Ok(Json::Obj(mut fields)) => {
+            Ok((Json::Obj(mut fields), total_micros)) => {
+                if degraded {
+                    self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    // Full runs refresh the cold-run cost estimate the
+                    // scheduler uses for deadline-driven degradation.
+                    self.est_explain_micros
+                        .store(total_micros, Ordering::Relaxed);
+                }
                 // The cache snapshot is taken after the run, outside the
                 // session lock.
                 fields.push(("cache".to_string(), cache_json(&self.manager)));
                 Json::Obj(fields)
             }
-            Ok(other) => other,
+            Ok((other, _)) => other,
+            Err(ExplainError::DeadlineExceeded) => {
+                self.metrics
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                err(
+                    "deadline_exceeded",
+                    "deadline budget exhausted before the explain completed",
+                )
+            }
+            Err(ExplainError::Cancelled) => {
+                self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                err("cancelled", "explain cancelled: every waiter detached")
+            }
             Err(e) => err("explain_failed", format!("explain failed: {e}")),
         }
     }

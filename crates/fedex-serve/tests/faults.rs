@@ -1,0 +1,225 @@
+//! Failure-path contracts over a real loopback socket: injected panics
+//! answer typed and the session recovers, expired deadlines answer fast
+//! and typed, a disconnected leader never leaks the coalescing slot, and
+//! degraded explains are deterministic.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fedex_serve::{
+    json, Client, DegradeMode, ExplainService, FaultPlan, Json, Server, ServerConfig, ServerHandle,
+};
+
+const SQL: &str = "SELECT * FROM spotify WHERE popularity > 65";
+
+fn boot(degrade: DegradeMode) -> ServerHandle {
+    let service = Arc::new(ExplainService::default());
+    Server::bind(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+            session_quota: 4,
+            max_connections: 64,
+            degrade,
+            ..Default::default()
+        },
+        service,
+    )
+    .expect("bind loopback")
+    .spawn()
+    .expect("spawn server")
+}
+
+fn req(text: &str) -> Json {
+    json::parse(text).unwrap()
+}
+
+fn register(addr: &str, session: &str, rows: usize) {
+    let mut c = Client::connect(addr).unwrap();
+    let r = c
+        .request(&req(&format!(
+            r#"{{"cmd":"register_demo","session":"{session}","rows":{rows},"seed":5}}"#
+        )))
+        .unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+}
+
+fn code_of(r: &Json) -> Option<&str> {
+    r.get("code").and_then(Json::as_str)
+}
+
+/// Poll the scheduler gauges until all queues are empty — a leaked job or
+/// coalescing slot shows up as a gauge that never drains.
+fn assert_drains(addr: &str) {
+    let mut probe = Client::connect(addr).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let m = probe.request(&req(r#"{"cmd":"metrics"}"#)).unwrap();
+        let sched = m.get("scheduler").expect("scheduler metrics");
+        let backlog = ["queued_control", "queued_heavy", "running_heavy"]
+            .iter()
+            .map(|g| sched.get(g).and_then(Json::as_f64).unwrap_or(0.0))
+            .sum::<f64>();
+        if backlog == 0.0 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "scheduler never drained: {sched:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn injected_panic_answers_typed_and_the_session_recovers() {
+    let handle = boot(DegradeMode::Off);
+    let addr = handle.addr().to_string();
+    register(&addr, "s", 4_000);
+
+    // Every explain panics mid-pipeline, inside the session write lock —
+    // the worst place: the lock is poisoned at the moment of unwind.
+    let plan = FaultPlan::parse("seed=1,panic=1.0").unwrap();
+    handle.service().set_faults(Some(Arc::new(plan)));
+
+    let mut c = Client::connect(&addr).unwrap();
+    let r = c.request(&req(&format!(
+        r#"{{"cmd":"explain","session":"s","sql":"{SQL}"}}"#
+    )));
+    let r = r.unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{r:?}");
+    assert_eq!(code_of(&r), Some("internal_error"), "{r:?}");
+    let incident = r.get("incident").and_then(Json::as_str).unwrap();
+    assert!(incident.starts_with("inc-"), "stable incident id: {r:?}");
+    assert!(
+        handle
+            .service()
+            .metrics()
+            .panics
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1,
+        "panic must be counted"
+    );
+
+    // Faults off: the same session, same connection, same query must
+    // succeed — the panic poisoned nothing that recovery can't clear, and
+    // the failed run left no coalescing entry to collide with.
+    handle.service().set_faults(None);
+    let r = c
+        .request(&req(&format!(
+            r#"{{"cmd":"explain","session":"s","sql":"{SQL}"}}"#
+        )))
+        .unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+    assert_drains(&addr);
+    handle.stop().unwrap();
+}
+
+#[test]
+fn expired_deadline_answers_fast_and_typed() {
+    let handle = boot(DegradeMode::Off);
+    let addr = handle.addr().to_string();
+    // Big enough that a cold explain takes O(seconds) — the 300ms budget
+    // below cannot fit it.
+    register(&addr, "s", 150_000);
+
+    let mut c = Client::connect(&addr).unwrap();
+    let t0 = Instant::now();
+    let r = c
+        .request(&req(&format!(
+            r#"{{"cmd":"explain","session":"s","sql":"{SQL}","deadline_ms":300}}"#
+        )))
+        .unwrap();
+    let elapsed = t0.elapsed();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{r:?}");
+    assert_eq!(code_of(&r), Some("deadline_exceeded"), "{r:?}");
+    // The waiter must give up at the deadline, not when the explain would
+    // have finished. Generous slack for CI scheduling jitter.
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "deadline response took {elapsed:?}"
+    );
+
+    // The worker either skipped the expired job outright or the pipeline
+    // observed the tripped token at the next stage/work-unit boundary; in
+    // both cases the session keeps working.
+    let r = c
+        .request(&req(&format!(
+            r#"{{"cmd":"explain","session":"s","sql":"{SQL}"}}"#
+        )))
+        .unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+    assert_drains(&addr);
+    handle.stop().unwrap();
+}
+
+#[test]
+fn disconnected_leader_leaks_no_coalescing_slot() {
+    let handle = boot(DegradeMode::Off);
+    let addr = handle.addr().to_string();
+    register(&addr, "s", 150_000);
+
+    // Leader: submit the explain and hang up without reading — its waiter
+    // detaches once the liveness probe sees the dead socket.
+    {
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        s.write_all(
+            format!(r#"{{"cmd":"explain","session":"s","sql":"{SQL}"}}{}"#, "\n").as_bytes(),
+        )
+        .unwrap();
+        // Give the server time to admit the job before the socket dies.
+        std::thread::sleep(Duration::from_millis(150));
+    }
+
+    // Follower with the identical query: it either attaches to the
+    // leader's still-running job (and inherits its response) or — if the
+    // leader's detach already doomed that job — starts a fresh run. Both
+    // must answer ok.
+    let mut c = Client::connect(&addr).unwrap();
+    let r = c
+        .request(&req(&format!(
+            r#"{{"cmd":"explain","session":"s","sql":"{SQL}"}}"#
+        )))
+        .unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+
+    // A third identical explain after everything settled: a leaked
+    // in-flight signature would wedge or mis-coalesce it.
+    let r = c
+        .request(&req(&format!(
+            r#"{{"cmd":"explain","session":"s","sql":"{SQL}"}}"#
+        )))
+        .unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+    assert_drains(&addr);
+    handle.stop().unwrap();
+}
+
+#[test]
+fn degraded_explains_are_deterministic() {
+    let handle = boot(DegradeMode::Force);
+    let addr = handle.addr().to_string();
+    register(&addr, "s", 20_000);
+
+    let mut c = Client::connect(&addr).unwrap();
+    let explain = req(&format!(
+        r#"{{"cmd":"explain","session":"s","sql":"{SQL}"}}"#
+    ));
+    let first = c.request(&explain).unwrap();
+    let second = c.request(&explain).unwrap();
+    for r in [&first, &second] {
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+        assert_eq!(r.get("degraded"), Some(&Json::Bool(true)), "{r:?}");
+        let bound = r.get("error_bound").and_then(Json::as_f64).unwrap();
+        assert!(bound > 0.0 && bound < 1.0, "DKW bound in (0,1): {bound}");
+        assert!(r.get("sample_size").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+    assert_eq!(
+        first.get("rendered").and_then(Json::as_str),
+        second.get("rendered").and_then(Json::as_str),
+        "the sampling path is seeded: same request, same bytes"
+    );
+    handle.stop().unwrap();
+}

@@ -12,7 +12,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fedex_serve::{json, Client, ExplainService, Json, Server, ServerConfig, ServerHandle};
+use fedex_serve::{
+    json, Client, DegradeMode, ExplainService, Json, Server, ServerConfig, ServerHandle,
+};
 
 /// Large enough that one cold explain takes O(seconds) on CI hardware —
 /// the window in which control latency and admission bounds are observed.
@@ -28,6 +30,11 @@ fn boot(workers: usize, queue_depth: usize, session_quota: usize) -> ServerHandl
             queue_depth,
             session_quota,
             max_connections: 64,
+            // These tests pin the overloaded/quota_exceeded contracts;
+            // auto-degradation would serve the pressure cases instead of
+            // rejecting them.
+            degrade: DegradeMode::Off,
+            ..Default::default()
         },
         service,
     )

@@ -24,6 +24,7 @@ fn boot(workers: usize) -> fedex_serve::ServerHandle {
             queue_depth: 64,
             session_quota: 8,
             max_connections: 64,
+            ..Default::default()
         },
         service,
     )
@@ -198,6 +199,7 @@ fn connection_cap_refuses_with_typed_error() {
             queue_depth: 4,
             session_quota: 2,
             max_connections: 1,
+            ..Default::default()
         },
         service,
     )
