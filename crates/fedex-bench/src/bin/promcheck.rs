@@ -1,0 +1,87 @@
+//! Validate a Prometheus text exposition scraped from `fedex serve` —
+//! the CI smoke job pipes `GET /metrics` (with `Accept: text/plain`)
+//! through this binary.
+//!
+//! ```text
+//! curl -sS -H 'Accept: text/plain' http://127.0.0.1:46411/metrics \
+//!     | cargo run --release -p fedex-bench --bin promcheck
+//! ```
+//!
+//! Beyond the format checks in [`fedex_obs::validate_exposition`]
+//! (TYPE-before-sample, monotonic cumulative buckets, `+Inf` bucket
+//! equal to `_count`), this asserts the serve-specific invariants:
+//!
+//! * `fedex_requests_total` is present;
+//! * `fedex_request_duration_seconds` and `fedex_stage_duration_seconds`
+//!   are declared histogram families;
+//! * every wire command has a `fedex_request_duration_seconds` series,
+//!   and the per-command `_count`s sum to **exactly**
+//!   `fedex_requests_total` — the "no request escapes the histograms"
+//!   invariant (exact because the CI smoke drives the server serially
+//!   and scrapes via the direct path, which itself bumps no counters).
+//!
+//! Exits 0 with a one-line summary on success, 1 with the violation on
+//! failure.
+
+use std::io::Read;
+
+use fedex_obs::{validate_exposition, WIRE_COMMANDS};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("promcheck: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut text = String::new();
+    std::io::stdin()
+        .read_to_string(&mut text)
+        .unwrap_or_else(|e| fail(&format!("reading stdin: {e}")));
+    if text.trim().is_empty() {
+        fail("empty exposition on stdin (scrape failed?)");
+    }
+    let exp = validate_exposition(&text).unwrap_or_else(|e| fail(&e));
+
+    let requests_total = exp
+        .sum("fedex_requests_total")
+        .unwrap_or_else(|| fail("fedex_requests_total missing"));
+
+    for family in [
+        "fedex_request_duration_seconds",
+        "fedex_stage_duration_seconds",
+    ] {
+        match exp.types.get(family).map(String::as_str) {
+            Some("histogram") => {}
+            Some(kind) => fail(&format!("{family} declared {kind}, want histogram")),
+            None => fail(&format!("{family} family missing")),
+        }
+    }
+
+    // Every wire command exposes a series (zero-count ones included),
+    // and their counts conserve the request counter exactly.
+    let mut hist_total = 0.0;
+    for cmd in WIRE_COMMANDS {
+        let count = exp
+            .value_with("fedex_request_duration_seconds_count", "cmd", cmd)
+            .unwrap_or_else(|| {
+                fail(&format!(
+                    "fedex_request_duration_seconds has no series for cmd={cmd:?}"
+                ))
+            });
+        hist_total += count;
+    }
+    if hist_total != requests_total {
+        fail(&format!(
+            "per-command histogram counts sum to {hist_total} but \
+             fedex_requests_total is {requests_total} — a request escaped \
+             the latency histograms"
+        ));
+    }
+
+    println!(
+        "promcheck: OK — {} samples, {} families, {requests_total} requests \
+         all accounted for in the per-command histograms",
+        exp.samples.len(),
+        exp.types.len()
+    );
+}

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p fedex-bench --bin serve_bench -- \
-//!     [rows] [probe_clients] [--threads 1,2,4]
+//!     [rows] [probe_clients] [--threads 1,2,4] [--no-obs]
 //! cargo run --release -p fedex-bench --bin serve_bench -- \
 //!     [rows] --chaos [--chaos-secs 30] [--seed 7]
 //! ```
@@ -37,8 +37,17 @@
 //! clients that hang up mid-request — for `--chaos-secs` seconds, and the
 //! run **fails** (exit 1) unless the liveness invariants hold: control
 //! p99 under 10ms, every failure typed, queues drained to zero at the
-//! end, request counts conserved, and pressure served degraded instead of
-//! refused.
+//! end, request counts conserved, pressure served degraded instead of
+//! refused, and (PR 9) **every `internal_error` incident id resolves to
+//! a flight-recorder timeline** via `debug_dump` — a panic the recorder
+//! cannot explain is an observability failure, not just bad luck.
+//!
+//! PR 9 additions to the normal run: the server's own latency-histogram
+//! percentiles (per-command, admission wait, service time, per-stage)
+//! land in the output under `"latency"`, and an A/B phase boots two
+//! small servers — observability on vs. off (`ExplainService::with_obs`
+//! `None`) — and reports the ping p99 delta under `"obs_overhead"`;
+//! `--no-obs` additionally runs the *main* sweep without the hub.
 //!
 //! Prints one JSON object to stdout; human-readable progress to stderr.
 
@@ -59,6 +68,46 @@ const CONTENTION_SQL: &str = "SELECT * FROM spotify WHERE popularity > 50";
 
 fn req(text: &str) -> Json {
     json::parse(text).unwrap()
+}
+
+/// A fresh service over a fresh cache, with or without the
+/// observability hub.
+fn build_service(mode: ExecutionMode, no_obs: bool) -> Arc<ExplainService> {
+    let manager = SessionManager::new(
+        Fedex::new().with_execution(mode),
+        Arc::new(ArtifactCache::default()),
+    );
+    Arc::new(if no_obs {
+        ExplainService::with_obs(manager, None)
+    } else {
+        ExplainService::new(manager)
+    })
+}
+
+/// Ping p99 (µs) against a one-worker server built by `make_service` —
+/// one half of the obs-overhead A/B.
+fn ping_p99_us(service: Arc<ExplainService>, pings: usize) -> u64 {
+    let server = Server::bind(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            ..Default::default()
+        },
+        service,
+    )
+    .expect("bind loopback");
+    let handle = server.spawn().expect("spawn server");
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+    let mut lat = Vec::with_capacity(pings);
+    for _ in 0..pings {
+        let t0 = Instant::now();
+        let r = client.request(&req(r#"{"cmd":"ping"}"#)).unwrap();
+        lat.push(t0.elapsed().as_micros() as u64);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+    }
+    handle.stop().unwrap();
+    lat.sort_unstable();
+    percentile(&lat, 0.99)
 }
 
 /// The ScoreColumns stage time (ns) and its encode sub-timing (ns) out of
@@ -156,6 +205,7 @@ fn main() {
     let mut probe_clients: usize = 3;
     let mut execs: Vec<String> = vec!["parallel".to_string()];
     let mut chaos = false;
+    let mut no_obs = false;
     let mut chaos_secs = 30u64;
     let mut seed = 7u64;
     let mut positional = 0usize;
@@ -165,6 +215,8 @@ fn main() {
             let spec = args.next().expect("--threads takes a comma list");
             execs = spec.split(',').map(|s| s.trim().to_string()).collect();
             assert!(!execs.is_empty(), "--threads needs at least one entry");
+        } else if arg == "--no-obs" {
+            no_obs = true;
         } else if arg == "--chaos" {
             chaos = true;
         } else if arg == "--chaos-secs" {
@@ -211,14 +263,12 @@ fn main() {
     let mut checks_json = String::new();
     let mut cache_json = String::new();
     let mut sched_json = "{}".to_string();
+    let mut latency_out = "null".to_string();
 
     for (ei, spec) in execs.iter().enumerate() {
         let mode = ExecutionMode::parse(spec).expect("validated above");
         eprintln!("# === exec {spec} ===");
-        let service = Arc::new(ExplainService::new(SessionManager::new(
-            Fedex::new().with_execution(mode),
-            Arc::new(ArtifactCache::default()),
-        )));
+        let service = build_service(mode, no_obs);
         let server = Server::bind(
             &ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
@@ -425,9 +475,37 @@ fn main() {
                 .get("scheduler")
                 .map(Json::to_string)
                 .unwrap_or_else(|| "{}".to_string());
+            // The server's own histogram percentiles (per-command,
+            // admission wait, service time, per-stage) — absent under
+            // --no-obs.
+            if let Some(lat) = final_metrics.get("latency") {
+                latency_out = lat.to_string();
+            }
         }
         handle.stop().unwrap();
     }
+
+    // ---- obs-overhead A/B -------------------------------------------
+    // Same traffic against two fresh one-worker servers, hub on vs. off.
+    // The interesting number is the ping p99 delta: the hub sits on the
+    // hot path of *every* request (mint trace, record command histogram,
+    // recorder events), so ping — which does nothing else — is the
+    // worst case. Run obs-off first so any warmup penalty (allocator,
+    // scheduler threads) lands on the side it *flatters less*.
+    let overhead_pings = 2_000;
+    eprintln!("# obs overhead A/B ({overhead_pings} pings per side)…");
+    let p99_off = ping_p99_us(build_service(ExecutionMode::Serial, true), overhead_pings);
+    let p99_on = ping_p99_us(build_service(ExecutionMode::Serial, false), overhead_pings);
+    let delta_pct = if p99_off > 0 {
+        100.0 * (p99_on as f64 - p99_off as f64) / p99_off as f64
+    } else {
+        0.0
+    };
+    eprintln!("# ping p99: obs on {p99_on}µs, off {p99_off}µs ({delta_pct:+.1}%)");
+    let overhead_json = format!(
+        "{{ \"pings\": {overhead_pings}, \"ping_p99_obs_us\": {p99_on}, \
+         \"ping_p99_noobs_us\": {p99_off}, \"delta_pct\": {delta_pct:.2} }}"
+    );
 
     let first = &sweep[0];
     let (clients, explain_ns, ping, metrics) =
@@ -451,6 +529,8 @@ fn main() {
     );
     println!("  \"checks\": {checks_json},");
     println!("  \"cache\": {cache_json},");
+    println!("  \"latency\": {latency_out},");
+    println!("  \"obs_overhead\": {overhead_json},");
     println!("  \"sweep\": [");
     for (i, e) in sweep.iter().enumerate() {
         let comma = if i + 1 == sweep.len() { "" } else { "," };
@@ -475,6 +555,9 @@ struct Tally {
     torn_lines: AtomicU64,
     io_errors: AtomicU64,
     typed_errors: std::sync::Mutex<std::collections::HashMap<String, u64>>,
+    /// Incident ids out of `internal_error` responses — each must
+    /// resolve to a flight-recorder timeline after the run.
+    incidents: std::sync::Mutex<Vec<String>>,
 }
 
 impl Tally {
@@ -502,6 +585,11 @@ impl Tally {
                     } else {
                         match resp.get("code").and_then(Json::as_str) {
                             Some(code) => {
+                                if code == "internal_error" {
+                                    if let Some(inc) = resp.get("incident").and_then(Json::as_str) {
+                                        self.incidents.lock().unwrap().push(inc.to_string());
+                                    }
+                                }
                                 *self
                                     .typed_errors
                                     .lock()
@@ -545,10 +633,17 @@ fn chaos_run(rows: usize, secs: u64, seed: u64) {
     // from CPU starvation (CI runs this on one core). Results are
     // bit-identical across modes (pinned by the goldens), so the harness
     // loses nothing by keeping each explain on one thread.
-    let service = Arc::new(ExplainService::new(SessionManager::new(
-        Fedex::new().with_execution(ExecutionMode::Serial),
-        Arc::new(ArtifactCache::default()),
-    )));
+    // A chaos run records far more flight-recorder events than the
+    // default ring holds (every ping is admit+dispatch+finish); size the
+    // recorder so no incident from the run is overwritten before the
+    // post-drain resolution check reads it back.
+    let service = Arc::new(ExplainService::with_obs(
+        SessionManager::new(
+            Fedex::new().with_execution(ExecutionMode::Serial),
+            Arc::new(ArtifactCache::default()),
+        ),
+        Some(Arc::new(fedex_obs::Obs::with_recorder_capacity(1 << 17))),
+    ));
     service.set_faults(Some(Arc::new(plan)));
     let server = Server::bind(
         &ServerConfig {
@@ -721,6 +816,35 @@ fn chaos_run(rows: usize, secs: u64, seed: u64) {
     let ping_p99_us = percentile(&ping, 0.99);
     let typed = tally.typed_errors.into_inner().unwrap();
     let typed_total: u64 = typed.values().sum();
+
+    // Flight-recorder resolution: every incident id the server handed a
+    // client in an `internal_error` response must come back as a
+    // non-empty timeline from `debug_dump` — post-drain, so the lookups
+    // themselves run clean. An id the recorder cannot explain means the
+    // panic left no trail, which is precisely what the recorder is for.
+    let incidents = tally.incidents.into_inner().unwrap();
+    eprintln!(
+        "# resolving {} incident ids via debug_dump…",
+        incidents.len()
+    );
+    let mut unresolved: Vec<String> = Vec::new();
+    for inc in &incidents {
+        let line = format!(r#"{{"cmd":"debug_dump","incident":"{inc}"}}"#);
+        let ok = Client::connect(&addr)
+            .and_then(|mut c| c.request_raw(&line))
+            .ok()
+            .and_then(|raw| json::parse(&raw).ok())
+            .is_some_and(|r| {
+                r.get("ok") == Some(&Json::Bool(true))
+                    && r.get("events")
+                        .and_then(Json::as_arr)
+                        .is_some_and(|events| !events.is_empty())
+            });
+        if !ok {
+            unresolved.push(inc.clone());
+        }
+    }
+    let incidents_resolved = incidents.len() - unresolved.len();
     let degraded_sched = metric(&m, &["scheduler", "degraded"]);
     let rejected_overloaded = metric(&m, &["scheduler", "rejected_overloaded"]);
     // The snapshot is taken *by* an admitted control request, which is
@@ -750,6 +874,17 @@ fn chaos_run(rows: usize, secs: u64, seed: u64) {
     }
     if metric(&m, &["server", "panics"]) == 0.0 {
         violations.push("no injected panic survived to the metrics — harness inert?".into());
+    }
+    if !unresolved.is_empty() {
+        violations.push(format!(
+            "{} of {} internal_error incidents unresolved by debug_dump (first: {})",
+            unresolved.len(),
+            incidents.len(),
+            unresolved[0]
+        ));
+    }
+    if !incidents.is_empty() && incidents_resolved == 0 {
+        violations.push("no incident resolved to a flight-recorder timeline".into());
     }
     if degraded_sched == 0.0 {
         violations.push("pressure never degraded an explain".into());
@@ -781,6 +916,10 @@ fn chaos_run(rows: usize, secs: u64, seed: u64) {
         tally.torn_lines.load(Ordering::Relaxed),
     );
     println!("  \"typed_errors\": {{ {typed_json} }}, \"typed_total\": {typed_total},");
+    println!(
+        "  \"incidents\": {}, \"incidents_resolved\": {incidents_resolved},",
+        incidents.len()
+    );
     println!(
         "  \"ping_p99_us\": {ping_p99_us}, \"ping_samples\": {},",
         ping.len()

@@ -77,6 +77,11 @@ pub enum Command {
         write_timeout_ms: u64,
         /// Pipeline execution mode inside each explain.
         exec: ExecutionMode,
+        /// Log explains slower than this many ms to stderr (0 = off).
+        slow_ms: u64,
+        /// Disable the observability hub (histograms, tracing, flight
+        /// recorder) — for measuring its overhead, not for production.
+        no_obs: bool,
     },
     /// Send one JSON request line to a running server, print the response.
     Client {
@@ -106,7 +111,7 @@ usage:
                 [--cache-policy cost|lru] [--queue-depth N]
                 [--session-quota N] [--default-deadline-ms N]
                 [--degrade off|auto|force] [--write-timeout-ms N]
-                [--exec serial|parallel|N]
+                [--exec serial|parallel|N] [--slow-ms N] [--no-obs]
   fedex client  --addr <host:port> --json '<request>'
                 [--retries N] [--retry-budget-ms N]
   fedex help
@@ -118,7 +123,8 @@ The query language is the SQL subset of the FEDEX paper's workload:
 
 `fedex serve` speaks newline-delimited JSON (one request object per line;
 cmds: ping, register, register_demo, explain, history, sessions, metrics,
-shutdown) plus an HTTP/1.1 fallback (POST /api, GET /metrics, /healthz).
+debug_dump, shutdown) plus an HTTP/1.1 fallback (POST /api, GET /metrics —
+Prometheus text with Accept: text/plain — /healthz, /debug/requests).
 ";
 
 /// Errors surfaced to the user with exit code 2.
@@ -171,6 +177,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut degrade = server_defaults.degrade;
             let mut write_timeout_ms = server_defaults.write_timeout_ms;
             let mut exec = ExecutionMode::default();
+            let mut slow_ms = 0u64;
+            let mut no_obs = false;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -239,6 +247,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             ))
                         })?;
                     }
+                    "--slow-ms" => {
+                        i += 1;
+                        slow_ms = flag_value(args, i, "--slow-ms")?
+                            .parse()
+                            .map_err(|e| CliError(format!("--slow-ms: {e}")))?;
+                    }
+                    "--no-obs" => no_obs = true,
                     other => return Err(CliError(format!("unknown flag {other:?}"))),
                 }
                 i += 1;
@@ -254,6 +269,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 degrade,
                 write_timeout_ms,
                 exec,
+                slow_ms,
+                no_obs,
             })
         }
         "client" => {
@@ -497,6 +514,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             degrade,
             write_timeout_ms,
             exec,
+            slow_ms,
+            no_obs,
         } => {
             use std::sync::Arc;
             let cache = Arc::new(fedex_core::ArtifactCache::with_policy(
@@ -505,7 +524,12 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             ));
             let fedex = Fedex::new().with_execution(exec);
             let manager = fedex_core::SessionManager::new(fedex, cache);
-            let service = Arc::new(fedex_serve::ExplainService::new(manager));
+            let service = Arc::new(if no_obs {
+                fedex_serve::ExplainService::with_obs(manager, None)
+            } else {
+                fedex_serve::ExplainService::new(manager)
+            });
+            service.set_slow_explain_ms(slow_ms);
             // Chaos runs opt in via the environment; a malformed spec is
             // a startup error, never a silently quiet plan.
             if let Some(plan) = fedex_serve::FaultPlan::from_env().map_err(CliError)? {
@@ -688,6 +712,9 @@ mod tests {
             "750",
             "--exec",
             "serial",
+            "--slow-ms",
+            "250",
+            "--no-obs",
         ]))
         .unwrap();
         assert_eq!(
@@ -703,6 +730,8 @@ mod tests {
                 degrade: fedex_serve::DegradeMode::Force,
                 write_timeout_ms: 750,
                 exec: ExecutionMode::Serial,
+                slow_ms: 250,
+                no_obs: true,
             }
         );
         // Defaults.
@@ -719,8 +748,11 @@ mod tests {
                 degrade: fedex_serve::DegradeMode::Auto,
                 write_timeout_ms: 5_000,
                 exec: ExecutionMode::default(),
+                slow_ms: 0,
+                no_obs: false,
             }
         );
+        assert!(parse_args(&s(&["serve", "--slow-ms", "wat"])).is_err());
         assert!(parse_args(&s(&["serve", "--cache-policy", "wat"])).is_err());
         assert!(parse_args(&s(&["serve", "--degrade", "sometimes"])).is_err());
         let cmd = parse_args(&s(&[

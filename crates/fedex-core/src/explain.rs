@@ -76,6 +76,13 @@ pub struct FedexConfig {
     /// boundaries (see [`crate::cancel`]). `None` (the default) runs to
     /// completion; an uncancelled token never changes the output.
     pub cancel: Option<crate::cancel::CancelToken>,
+    /// Request trace id assigned by a serving layer, made visible to
+    /// every stage through [`PipelineContext::trace_id`]
+    /// (`crate::pipeline::PipelineContext`) so work units can tag
+    /// diagnostics (panic messages, slow-query logs) with the request
+    /// they belong to. `None` for library/CLI use; never affects
+    /// results.
+    pub trace_id: Option<u64>,
 }
 
 impl Default for FedexConfig {
@@ -93,6 +100,7 @@ impl Default for FedexConfig {
             execution: ExecutionMode::default(),
             artifact_cache: None,
             cancel: None,
+            trace_id: None,
         }
     }
 }

@@ -41,6 +41,12 @@ pub struct ScoredColumns {
     /// Sub-phase wall-clock timings of the stage (`encode` vs `score`),
     /// surfaced through [`StageReport::sub`](crate::pipeline::StageReport).
     pub timings: Vec<(&'static str, Duration)>,
+    /// Cross-request cache consultations, as `(artifact, hit)` pairs —
+    /// one `frame[i]` entry per input plus a `kernels` entry when an
+    /// [`ArtifactCache`](crate::ArtifactCache) is configured; empty on
+    /// uncached runs. Surfaced through
+    /// [`StageReport::artifacts`](crate::pipeline::StageReport).
+    pub cache_events: Vec<(String, bool)>,
 }
 
 /// Output of the **Partition** stage: mined (and user-supplied) row

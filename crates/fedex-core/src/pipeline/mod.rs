@@ -93,6 +93,13 @@ impl<'a> PipelineContext<'a> {
             .get_or_init(|| build_sample(self.step, self.config))
     }
 
+    /// The request trace id assigned by a serving layer (`None` for
+    /// library/CLI runs). Stages and work units may tag diagnostics
+    /// with it; it never affects results.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.config.trace_id
+    }
+
     /// Cooperative cancellation checkpoint: `Ok(())` when no token is
     /// configured or the run may continue, the typed error otherwise.
     /// Stages call this at their own unit boundaries; the orchestrator
@@ -158,6 +165,11 @@ pub struct StageReport {
     /// Sub-phase timings within the stage — ScoreColumns reports its
     /// `encode` vs `score` split; other stages have none.
     pub sub: Vec<(&'static str, Duration)>,
+    /// Cache artifacts the stage consulted, as `(artifact, hit)` pairs —
+    /// ScoreColumns reports one `frame[i]` entry per input plus a
+    /// `kernels` entry when an [`ArtifactCache`](crate::ArtifactCache)
+    /// is configured; other stages (and uncached runs) report none.
+    pub artifacts: Vec<(String, bool)>,
 }
 
 impl StageReport {
@@ -246,13 +258,15 @@ impl<'a> ExplainPipeline<'a> {
                      stage: &'static str,
                      start: Instant,
                      items: usize,
-                     sub: Vec<(&'static str, Duration)>| {
+                     sub: Vec<(&'static str, Duration)>,
+                     artifacts: Vec<(String, bool)>| {
             if let Some(t) = trace {
                 t.push(StageReport {
                     stage,
                     elapsed: start.elapsed(),
                     items,
                     sub,
+                    artifacts,
                 });
             }
         };
@@ -266,6 +280,7 @@ impl<'a> ExplainPipeline<'a> {
             t0,
             scored.scores.len(),
             scored.timings.clone(),
+            scored.cache_events.clone(),
         );
         if scored.top.is_empty() {
             return Ok(Vec::new());
@@ -283,6 +298,7 @@ impl<'a> ExplainPipeline<'a> {
             t0,
             partitioned.partitions.len(),
             Vec::new(),
+            Vec::new(),
         );
 
         let contribute = Contribute { contributor };
@@ -294,6 +310,7 @@ impl<'a> ExplainPipeline<'a> {
             contribute.name(),
             t0,
             contributed.candidates.len(),
+            Vec::new(),
             Vec::new(),
         );
         if contributed.candidates.is_empty() {
@@ -310,6 +327,7 @@ impl<'a> ExplainPipeline<'a> {
             t0,
             ranked.order.len(),
             Vec::new(),
+            Vec::new(),
         );
 
         let present = Present;
@@ -321,6 +339,7 @@ impl<'a> ExplainPipeline<'a> {
             present.name(),
             t0,
             explanations.len(),
+            Vec::new(),
             Vec::new(),
         );
 

@@ -44,7 +44,7 @@ pub(crate) fn encode_inputs(
 ) -> CodedInputs {
     match cache {
         None => encode_inputs_cold(step, mode, |_| true),
-        Some(cache) => encode_inputs_cached(step, mode, cache, &input_fingerprints(step)),
+        Some(cache) => encode_inputs_cached(step, mode, cache, &input_fingerprints(step)).0,
     }
 }
 
@@ -95,13 +95,21 @@ fn encode_inputs_cold(
 /// The batch encode is timed and each inserted frame carries its share of
 /// that measured cost (proportional to its coded size) — the rebuild cost
 /// the cache's cost-aware eviction policy weighs.
+///
+/// Also returns one `("frame[i]", hit)` cache event per input, in input
+/// order, for trace reporting.
 fn encode_inputs_cached(
     step: &ExploratoryStep,
     mode: ExecutionMode,
     cache: &ArtifactCache,
     fps: &[Fingerprint],
-) -> CodedInputs {
+) -> (CodedInputs, Vec<(String, bool)>) {
     let warm: Vec<Option<Arc<CodedFrame>>> = fps.iter().map(|&fp| cache.get_frame(fp)).collect();
+    let events: Vec<(String, bool)> = warm
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (format!("frame[{i}]"), w.is_some()))
+        .collect();
     let t_encode = Instant::now();
     let fresh = encode_inputs_cold(step, mode, |i| warm[i].is_none());
     let encode_elapsed = t_encode.elapsed();
@@ -126,7 +134,7 @@ fn encode_inputs_cached(
             }
         })
         .collect();
-    Arc::new(frames)
+    (Arc::new(frames), events)
 }
 
 /// The shared coded inputs, or a freshly-encoded set when the upstream
@@ -226,20 +234,21 @@ impl Stage for ScoreColumns<'_> {
         // `encode` sub-timing then collapses to the fingerprint lookups.
         let t_encode = Instant::now();
         let mut step_fp = None;
-        let (coded, kernels) = match ctx.config.artifact_cache.as_deref() {
+        let (coded, kernels, cache_events) = match ctx.config.artifact_cache.as_deref() {
             None => (
                 encode_inputs(step, ctx.mode(), None),
                 Arc::new(ExcKernelCache::default()),
+                Vec::new(),
             ),
             Some(cache) => {
                 let fps = input_fingerprints(step);
-                let coded = encode_inputs_cached(step, ctx.mode(), cache, &fps);
+                let (coded, mut events) = encode_inputs_cached(step, ctx.mode(), cache, &fps);
                 let fp = step_fingerprint(step, fps.iter().copied());
                 step_fp = Some(fp);
-                let kernels = cache
-                    .get_kernels(fp)
-                    .unwrap_or_else(|| Arc::new(ExcKernelCache::default()));
-                (coded, kernels)
+                let warm_kernels = cache.get_kernels(fp);
+                events.push(("kernels".to_string(), warm_kernels.is_some()));
+                let kernels = warm_kernels.unwrap_or_else(|| Arc::new(ExcKernelCache::default()));
+                (coded, kernels, events)
             }
         };
         let encode_elapsed = t_encode.elapsed();
@@ -314,6 +323,7 @@ impl Stage for ScoreColumns<'_> {
             coded,
             kernels,
             timings: vec![("encode", encode_elapsed), ("score", score_elapsed)],
+            cache_events,
         })
     }
 }

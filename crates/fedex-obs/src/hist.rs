@@ -1,0 +1,259 @@
+//! Lock-free log-linear latency histograms.
+//!
+//! Values are recorded in **microseconds** into a fixed set of
+//! [`NUM_BUCKETS`] buckets: the first [`SUB_BUCKETS`] buckets are exact
+//! (one per value `0..8`), after which each power-of-two octave is split
+//! into [`SUB_BUCKETS`] linear sub-buckets. The sub-bucket width within
+//! octave `e` is `2^(e-3)`, so any reported quantile overestimates the
+//! true value by at most a factor of `1 + 1/8` (12.5%) — see
+//! [`HistSnapshot::quantile`]. Recording is a single relaxed
+//! `fetch_add` plus three bookkeeping atomics; there are no locks
+//! anywhere on the write path, so histograms can be shared freely across
+//! worker threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Linear sub-buckets per power-of-two octave (and count of exact
+/// single-value buckets at the front).
+pub const SUB_BUCKETS: usize = 8;
+
+/// Total bucket count. Buckets `0..8` hold exact values `0..8` µs; the
+/// remaining 31 octaves of 8 sub-buckets reach past `2^34` µs (~4.7 h),
+/// beyond which values clamp into the last bucket.
+pub const NUM_BUCKETS: usize = SUB_BUCKETS * 32;
+
+/// Bucket index for a value in microseconds.
+#[inline]
+pub fn bucket_index(micros: u64) -> usize {
+    if micros < SUB_BUCKETS as u64 {
+        return micros as usize;
+    }
+    let e = 63 - micros.leading_zeros() as usize; // e >= 3
+    let sub = ((micros >> (e - 3)) & 0x7) as usize;
+    let idx = (e - 2) * SUB_BUCKETS + sub;
+    idx.min(NUM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound (µs) of a bucket; the value returned by
+/// quantile queries that land in this bucket.
+#[inline]
+pub fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS {
+        return idx as u64;
+    }
+    let e = idx / SUB_BUCKETS + 2;
+    let sub = (idx % SUB_BUCKETS) as u64;
+    (1u64 << e) + (sub + 1) * (1u64 << (e - 3)) - 1
+}
+
+/// Inclusive lower bound (µs) of a bucket.
+#[inline]
+pub fn bucket_lower(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS {
+        return idx as u64;
+    }
+    let e = idx / SUB_BUCKETS + 2;
+    let sub = (idx % SUB_BUCKETS) as u64;
+    (1u64 << e) + sub * (1u64 << (e - 3))
+}
+
+/// A concurrent latency histogram (microsecond resolution).
+///
+/// All mutation happens through `&self` with relaxed atomics; read a
+/// coherent-enough view with [`Histogram::snapshot`].
+#[derive(Debug)]
+pub struct Histogram {
+    counts: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not Copy; build the boxed array from a vec.
+        let v: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let counts: Box<[AtomicU64; NUM_BUCKETS]> = v
+            .into_boxed_slice()
+            .try_into()
+            .expect("NUM_BUCKETS-sized vec");
+        Histogram {
+            counts,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation, in microseconds.
+    #[inline]
+    pub fn record(&self, micros: u64) {
+        self.counts[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Record one observation from a [`Duration`].
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Capture a point-in-time copy of the bucket counts. Concurrent
+    /// writers may land between bucket reads, so `snapshot.count` is
+    /// recomputed from the copied buckets to stay internally consistent.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut counts = vec![0u64; NUM_BUCKETS];
+        let mut total = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            let v = c.load(Ordering::Relaxed);
+            counts[i] = v;
+            total += v;
+        }
+        HistSnapshot {
+            counts,
+            count: total,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket observation counts (length [`NUM_BUCKETS`]).
+    pub counts: Vec<u64>,
+    /// Total observations (sum of `counts`).
+    pub count: u64,
+    /// Sum of all observed values, µs.
+    pub sum: u64,
+    /// Largest observed value, µs (exact, not bucketed).
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// The value (µs) at quantile `q` in `[0, 1]`: the inclusive upper
+    /// bound of the bucket containing the `ceil(q * count)`-th smallest
+    /// observation. Overestimates the exact rank value by at most
+    /// `1/SUB_BUCKETS` (12.5%). Returns 0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                // Never report past the true maximum.
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (µs).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (µs).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (µs).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another snapshot into this one (bucket-wise addition; the
+    /// operation is associative and commutative, so shard snapshots can
+    /// be merged in any order).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_value_space() {
+        for idx in 0..NUM_BUCKETS {
+            assert!(bucket_lower(idx) <= bucket_upper(idx), "bucket {idx}");
+            if idx + 1 < NUM_BUCKETS {
+                assert_eq!(bucket_upper(idx) + 1, bucket_lower(idx + 1));
+            }
+        }
+        for v in [0u64, 1, 7, 8, 9, 15, 16, 100, 1_000, 123_456, 1 << 33] {
+            let idx = bucket_index(v);
+            assert!(bucket_lower(idx) <= v && v <= bucket_upper(idx), "v={v}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 28);
+        assert_eq!(s.max, 7);
+        assert_eq!(s.quantile(1.0), 7);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in (8u64..1 << 22).step_by(977) {
+            let upper = bucket_upper(bucket_index(v));
+            assert!(upper >= v);
+            assert!(
+                (upper - v) as f64 <= v as f64 / SUB_BUCKETS as f64,
+                "v={v} upper={upper}"
+            );
+        }
+    }
+
+    #[test]
+    fn overflow_clamps_to_last_bucket() {
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

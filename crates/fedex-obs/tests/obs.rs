@@ -1,0 +1,203 @@
+//! Property and concurrency tests for the observability primitives:
+//! histogram quantiles against an exact reference, merge associativity,
+//! and flight-recorder wraparound under concurrent writers.
+
+use std::sync::Arc;
+use std::thread;
+
+use fedex_obs::hist::{bucket_index, bucket_lower, bucket_upper, NUM_BUCKETS};
+use fedex_obs::{Event, FlightRecorder, HistSnapshot, Histogram};
+use proptest::prelude::*;
+
+/// Exact quantile of a sorted sample, matching the histogram's rank
+/// convention (`ceil(q * n)`-th smallest, 1-based).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_stay_within_bucket_error(
+        values in proptest::collection::vec(0u64..5_000_000, 1..400),
+        qs in proptest::collection::vec(0.0f64..1.0, 1..6),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &q in &qs {
+            let exact = exact_quantile(&sorted, q);
+            let est = snap.quantile(q);
+            // The estimate is the bucket's inclusive upper bound (capped
+            // at the true max): never below the exact value, and at most
+            // 1/8 above it.
+            prop_assert!(est >= exact, "q={} est={} exact={}", q, est, exact);
+            prop_assert!(
+                est <= exact + exact / 8 + 1,
+                "q={} est={} exact={}", q, est, exact
+            );
+        }
+        prop_assert_eq!(snap.quantile(1.0), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..2_000_000, 0..120),
+        b in proptest::collection::vec(0u64..2_000_000, 0..120),
+        c in proptest::collection::vec(0u64..2_000_000, 0..120),
+    ) {
+        let snap = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // b ⊕ a == a ⊕ b
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // Merging equals recording the concatenation.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &snap(&all));
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_every_value(v in 0u64..u64::MAX) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < NUM_BUCKETS);
+        prop_assert!(bucket_lower(idx) <= v);
+        if idx < NUM_BUCKETS - 1 {
+            prop_assert!(v <= bucket_upper(idx));
+        }
+    }
+}
+
+#[test]
+fn recorder_wraparound_under_concurrent_writers() {
+    const CAP: usize = 64;
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 200;
+    let rec = Arc::new(FlightRecorder::with_capacity(CAP));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let rec = Arc::clone(&rec);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    rec.record(Event {
+                        seq: 0,
+                        at_micros: 0,
+                        trace_id: t * PER_THREAD + i,
+                        kind: "admit",
+                        cmd: "explain".into(),
+                        session: format!("s{t}"),
+                        detail: String::new(),
+                        incident: String::new(),
+                        micros: 0,
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let total = THREADS * PER_THREAD;
+    assert_eq!(rec.recorded(), total);
+    let dump = rec.dump();
+    // Ring is full: exactly `CAP` events survive, each slot holding the
+    // newest sequence number that mapped to it — all from the last lap.
+    assert_eq!(dump.len(), CAP);
+    assert!(
+        dump.windows(2).all(|w| w[0].seq < w[1].seq),
+        "dump must be strictly ordered by seq"
+    );
+    for ev in &dump {
+        assert!(
+            ev.seq >= total - CAP as u64 && ev.seq < total,
+            "seq {} outside final lap",
+            ev.seq
+        );
+    }
+    // All slots distinct residues.
+    let mut residues: Vec<u64> = dump.iter().map(|e| e.seq % CAP as u64).collect();
+    residues.sort_unstable();
+    residues.dedup();
+    assert_eq!(residues.len(), CAP);
+}
+
+#[test]
+fn concurrent_histogram_recording_loses_nothing() {
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    h.record(t * 1_000 + (i % 977));
+                }
+            })
+        })
+        .collect();
+    for j in handles {
+        j.join().unwrap();
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 40_000);
+    assert_eq!(snap.counts.iter().sum::<u64>(), 40_000);
+}
+
+#[test]
+fn snapshot_merge_matches_single_histogram() {
+    let parts: Vec<HistSnapshot> = (0..4)
+        .map(|t| {
+            let h = Histogram::new();
+            for i in 0..100u64 {
+                h.record(t * 37 + i * 13);
+            }
+            h.snapshot()
+        })
+        .collect();
+    let whole = {
+        let h = Histogram::new();
+        for t in 0..4u64 {
+            for i in 0..100u64 {
+                h.record(t * 37 + i * 13);
+            }
+        }
+        h.snapshot()
+    };
+    let mut merged = HistSnapshot::default();
+    for p in &parts {
+        merged.merge(p);
+    }
+    assert_eq!(merged, whole);
+}

@@ -103,6 +103,39 @@ impl Client {
         Ok(response.trim_end().to_string())
     }
 
+    /// One HTTP/1.1 `GET` against the server's HTTP fallback, with an
+    /// explicit `Accept` header — how the Prometheus scrape
+    /// (`/metrics` with `Accept: text/plain`) and the flight-recorder
+    /// endpoint (`/debug/requests`) are exercised by the bench harness
+    /// and the integration tests. Returns `(status_line, body)`.
+    pub fn http_get(addr: &str, path: &str, accept: &str) -> std::io::Result<(String, String)> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: fedex\r\nAccept: {accept}\r\nConnection: close\r\n\r\n"
+        )?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream);
+        let mut status = String::new();
+        if reader.read_line(&mut status)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before the status line",
+            ));
+        }
+        // Skip headers (Connection: close means the body runs to EOF).
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
+                break;
+            }
+        }
+        let mut body = String::new();
+        std::io::Read::read_to_string(&mut reader, &mut body)?;
+        Ok((status.trim_end().to_string(), body))
+    }
+
     /// Send one raw request line with retries: reconnects per attempt
     /// (the previous connection may be half-dead after a transport
     /// error), retrying transport failures and the transient typed

@@ -24,8 +24,14 @@
 //!   `ping`/`metrics` fast while long explains run;
 //! * **transport** — newline-delimited JSON over TCP (one request object
 //!   per line) with a minimal HTTP/1.1 fallback (`POST /api`,
-//!   `GET /metrics`, `GET /healthz`) on the same port; per-connection
-//!   I/O threads feed the scheduler.
+//!   `GET /metrics`, `GET /healthz`, `GET /debug/requests`) on the same
+//!   port; per-connection I/O threads feed the scheduler;
+//! * **observability** — per-command/per-queue/per-stage latency
+//!   histograms, request-scoped tracing (`"trace":true` on `explain`),
+//!   Prometheus text exposition (`GET /metrics` with
+//!   `Accept: text/plain`), and an always-on flight recorder dumpable
+//!   via `debug_dump` / `GET /debug/requests` ([`fedex_obs`], wired in
+//!   [`service`] and [`sched`]); see `docs/OBSERVABILITY.md`.
 //!
 //! The full wire protocol is documented in `docs/WIRE_PROTOCOL.md`; the
 //! serving architecture in `docs/ARCHITECTURE.md`.
@@ -69,6 +75,8 @@ pub mod service;
 pub use client::{Client, RetryPolicy};
 pub use fault::FaultPlan;
 pub use json::{Json, JsonError};
-pub use sched::{DegradeMode, RequestClass, SchedMetrics, Scheduler, SchedulerConfig};
+pub use sched::{
+    DegradeMode, RequestClass, SchedMetrics, SchedSnapshot, Scheduler, SchedulerConfig,
+};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use service::{ExplainService, JobContext, ServerMetrics, DEGRADE_SAMPLE_SIZE};
+pub use service::{ExplainService, JobContext, ServerMetrics, ServerSnapshot, DEGRADE_SAMPLE_SIZE};

@@ -166,23 +166,87 @@ pub struct SchedMetrics {
     pub running_heavy_now: AtomicU64,
 }
 
+/// One coherent reading of [`SchedMetrics`], shared by the JSON `metrics`
+/// command, the Prometheus exposition, and the chaos harness's
+/// conservation check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedSnapshot {
+    /// Control requests admitted.
+    pub admitted_control: u64,
+    /// Heavy requests admitted.
+    pub admitted_heavy: u64,
+    /// `overloaded` rejections.
+    pub rejected_overloaded: u64,
+    /// `quota_exceeded` rejections.
+    pub rejected_quota: u64,
+    /// Coalesced followers.
+    pub coalesced: u64,
+    /// Jobs fully served.
+    pub completed: u64,
+    /// Degraded admissions.
+    pub degraded: u64,
+    /// Jobs expired before dispatch.
+    pub expired: u64,
+    /// Waiters that left early.
+    pub detached: u64,
+    /// Control jobs queued right now.
+    pub queued_control_now: u64,
+    /// Heavy jobs queued right now.
+    pub queued_heavy_now: u64,
+    /// Heavy jobs running right now.
+    pub running_heavy_now: u64,
+}
+
 impl SchedMetrics {
+    /// Read every counter into one coherent snapshot. Every "effect"
+    /// counter (a completion, an expiry) is incremented *after* its
+    /// "cause" (the admission), so loading effects first — with `SeqCst`
+    /// to pin the load order — guarantees the snapshot never shows
+    /// `completed + expired > admitted`, which independent relaxed reads
+    /// could.
+    pub fn snapshot(&self) -> SchedSnapshot {
+        let completed = self.completed.load(Ordering::SeqCst);
+        let expired = self.expired.load(Ordering::SeqCst);
+        let detached = self.detached.load(Ordering::SeqCst);
+        let coalesced = self.coalesced.load(Ordering::SeqCst);
+        let degraded = self.degraded.load(Ordering::SeqCst);
+        let rejected_overloaded = self.rejected_overloaded.load(Ordering::SeqCst);
+        let rejected_quota = self.rejected_quota.load(Ordering::SeqCst);
+        let admitted_control = self.admitted_control.load(Ordering::SeqCst);
+        let admitted_heavy = self.admitted_heavy.load(Ordering::SeqCst);
+        SchedSnapshot {
+            admitted_control,
+            admitted_heavy,
+            rejected_overloaded,
+            rejected_quota,
+            coalesced,
+            completed,
+            degraded,
+            expired,
+            detached,
+            queued_control_now: self.queued_control_now.load(Ordering::Relaxed),
+            queued_heavy_now: self.queued_heavy_now.load(Ordering::Relaxed),
+            running_heavy_now: self.running_heavy_now.load(Ordering::Relaxed),
+        }
+    }
+
     /// Snapshot as the JSON object embedded in `metrics` responses.
     pub fn to_json(&self) -> Json {
-        let n = |v: &AtomicU64| json::n(v.load(Ordering::Relaxed) as f64);
+        let m = self.snapshot();
+        let n = |v: u64| json::n(v as f64);
         json::obj([
-            ("admitted_control", n(&self.admitted_control)),
-            ("admitted_heavy", n(&self.admitted_heavy)),
-            ("rejected_overloaded", n(&self.rejected_overloaded)),
-            ("rejected_quota", n(&self.rejected_quota)),
-            ("coalesced", n(&self.coalesced)),
-            ("completed", n(&self.completed)),
-            ("degraded", n(&self.degraded)),
-            ("expired", n(&self.expired)),
-            ("detached", n(&self.detached)),
-            ("queued_control", n(&self.queued_control_now)),
-            ("queued_heavy", n(&self.queued_heavy_now)),
-            ("running_heavy", n(&self.running_heavy_now)),
+            ("admitted_control", n(m.admitted_control)),
+            ("admitted_heavy", n(m.admitted_heavy)),
+            ("rejected_overloaded", n(m.rejected_overloaded)),
+            ("rejected_quota", n(m.rejected_quota)),
+            ("coalesced", n(m.coalesced)),
+            ("completed", n(m.completed)),
+            ("degraded", n(m.degraded)),
+            ("expired", n(m.expired)),
+            ("detached", n(m.detached)),
+            ("queued_control", n(m.queued_control_now)),
+            ("queued_heavy", n(m.queued_heavy_now)),
+            ("running_heavy", n(m.running_heavy_now)),
         ])
     }
 }
@@ -253,6 +317,10 @@ struct Job {
     signature: Option<String>,
     /// Run on the FEDEX-Sampling path (see [`DegradeMode`]).
     degraded: bool,
+    /// Trace id minted at admission (0 when observability is off).
+    trace_id: u64,
+    /// When the job entered its queue — the admission-wait clock.
+    enqueued: Instant,
     state: Arc<JobState>,
 }
 
@@ -366,6 +434,10 @@ impl Scheduler {
             0 => CancelToken::new(),
             ms => CancelToken::with_deadline(Instant::now() + Duration::from_millis(ms)),
         };
+        // Every request entering admission gets a trace id; rejections,
+        // coalesced attaches, and executed jobs all log flight events
+        // under it.
+        let trace_id = self.service.obs().map_or(0, |o| o.mint_trace().id);
 
         let mut inner = self.inner.lock().expect("scheduler");
         // Checked under the queue lock: workers observe the flag under
@@ -373,7 +445,13 @@ impl Scheduler {
         // guaranteed to still have live workers to drain it (see
         // `await_response`).
         if self.service.shutdown_requested() {
-            return Err(self.reject_counted("shutting_down", "server is shutting down"));
+            return Err(self.reject_counted(
+                "shutting_down",
+                "server is shutting down",
+                cmd,
+                &session,
+                trace_id,
+            ));
         }
         // Catalog-mutating commands start a new coalescing generation for
         // the session: explains submitted after this point must never
@@ -416,7 +494,14 @@ impl Scheduler {
                     return Err(self.reject_counted(
                         "overloaded",
                         format!("control queue full ({CONTROL_QUEUE_DEPTH} requests waiting)"),
+                        cmd,
+                        &session,
+                        trace_id,
                     ));
+                }
+                if let Some(obs) = self.service.obs() {
+                    obs.recorder()
+                        .push(trace_id, "admit", cmd, &session, "control", "", 0);
                 }
                 let state = JobState::new(cancel);
                 inner.control.push_back(Job {
@@ -425,6 +510,8 @@ impl Scheduler {
                     session: None,
                     signature: None,
                     degraded: false,
+                    trace_id,
+                    enqueued: Instant::now(),
                     state: state.clone(),
                 });
                 self.metrics
@@ -446,6 +533,13 @@ impl Scheduler {
                     if let Some(state) = inner.inflight.get(sig) {
                         if state.try_attach() {
                             self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                            if let Some(obs) = self.service.obs() {
+                                // Followers consume no queue slot and no
+                                // request count; the event is the only
+                                // wire-visible mark the attach leaves.
+                                obs.recorder()
+                                    .push(trace_id, "coalesce", cmd, &session, "", "", 0);
+                            }
                             return Ok(state.clone());
                         }
                     }
@@ -460,6 +554,9 @@ impl Scheduler {
                              queued or running (quota {})",
                             self.config.session_quota
                         ),
+                        cmd,
+                        &session,
+                        trace_id,
                     ));
                 }
                 if inner.heavy.len() >= self.config.queue_depth {
@@ -481,11 +578,19 @@ impl Scheduler {
                                 inner.heavy.len(),
                                 self.config.queue_depth
                             ),
+                            cmd,
+                            &session,
+                            trace_id,
                         ));
                     }
                 }
                 if degraded {
                     self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(obs) = self.service.obs() {
+                    let detail = if degraded { "heavy degraded" } else { "heavy" };
+                    obs.recorder()
+                        .push(trace_id, "admit", cmd, &session, detail, "", 0);
                 }
                 let state = JobState::new(cancel);
                 *inner.per_session.entry(session.clone()).or_insert(0) += 1;
@@ -498,6 +603,8 @@ impl Scheduler {
                     session: Some(session),
                     signature,
                     degraded,
+                    trace_id,
+                    enqueued: Instant::now(),
                     state: state.clone(),
                 });
                 self.metrics.admitted_heavy.fetch_add(1, Ordering::Relaxed);
@@ -574,11 +681,26 @@ impl Scheduler {
     /// Build a typed rejection and charge it to the wire-visible server
     /// counters — rejections never reach `ExplainService::dispatch`, so
     /// without this `server.errors` would sit at zero through an entire
-    /// overload episode.
-    fn reject_counted(&self, code: &str, message: impl Into<String>) -> String {
+    /// overload episode. The request is counted, so its command histogram
+    /// records the (zero-duration) observation too — per-command counts
+    /// must keep summing to `requests` — and the flight recorder logs the
+    /// rejection under the request's trace id.
+    fn reject_counted(
+        &self,
+        code: &'static str,
+        message: impl Into<String>,
+        cmd: &str,
+        session: &str,
+        trace_id: u64,
+    ) -> String {
         let server = self.service.metrics();
         server.requests.fetch_add(1, Ordering::Relaxed);
         server.errors.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.service.obs() {
+            obs.record_command(cmd, Duration::ZERO);
+            obs.recorder()
+                .push(trace_id, "reject", cmd, session, code, "", 0);
+        }
         reject(code, message)
     }
 
@@ -635,9 +757,14 @@ impl Scheduler {
     /// slot. Control jobs always execute — they're cheap, and `shutdown`
     /// must never be skipped.
     fn execute(&self, job: Job) {
-        let expired = (job.class == RequestClass::Heavy)
-            .then(|| job.state.cancel.check().err())
-            .flatten();
+        let cmd = job.req.get("cmd").and_then(Json::as_str).unwrap_or("other");
+        let session = job.session.as_deref().unwrap_or("");
+        let heavy = job.class == RequestClass::Heavy;
+        let wait = job.enqueued.elapsed();
+        if let Some(obs) = self.service.obs() {
+            obs.record_admission_wait(heavy, wait);
+        }
+        let expired = heavy.then(|| job.state.cancel.check().err()).flatten();
         let mut failed = expired.is_some();
         let response = match expired {
             Some(e) => {
@@ -645,6 +772,20 @@ impl Scheduler {
                 let server = self.service.metrics();
                 server.requests.fetch_add(1, Ordering::Relaxed);
                 server.errors.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = self.service.obs() {
+                    // Counted as a request without reaching dispatch, so
+                    // the command histogram observation lands here.
+                    obs.record_command(cmd, Duration::ZERO);
+                    obs.recorder().push(
+                        job.trace_id,
+                        "expired",
+                        cmd,
+                        session,
+                        "",
+                        "",
+                        wait.as_micros() as u64,
+                    );
+                }
                 match e {
                     ExplainError::Cancelled => {
                         server.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -662,22 +803,61 @@ impl Scheduler {
             None => {
                 let jctx = JobContext {
                     degraded: job.degraded,
-                    cancel: (job.class == RequestClass::Heavy).then(|| job.state.cancel.clone()),
+                    cancel: heavy.then(|| job.state.cancel.clone()),
+                    trace_id: (job.trace_id != 0).then_some(job.trace_id),
+                    queue_wait_micros: Some(wait.as_micros() as u64),
+                    waiters: job.state.waiters.load(Ordering::Relaxed),
                 };
+                if let Some(obs) = self.service.obs() {
+                    obs.recorder()
+                        .push(job.trace_id, "dispatch", cmd, session, "", "", 0);
+                }
+                let t0 = Instant::now();
                 let run = catch_unwind(AssertUnwindSafe(|| {
                     self.service.dispatch_job(&job.req, &jctx).to_string()
                 }));
+                let served = t0.elapsed();
+                if let Some(obs) = self.service.obs() {
+                    obs.record_service_time(heavy, served);
+                }
                 match run {
-                    Ok(response) => response,
+                    Ok(response) => {
+                        if let Some(obs) = self.service.obs() {
+                            obs.recorder().push(
+                                job.trace_id,
+                                "finish",
+                                cmd,
+                                session,
+                                "",
+                                "",
+                                served.as_micros() as u64,
+                            );
+                        }
+                        response
+                    }
                     Err(_) => {
                         failed = true;
                         let incident =
                             format!("inc-{:08x}", self.incidents.fetch_add(1, Ordering::Relaxed));
                         let server = self.service.metrics();
                         // `dispatch_job` counted the request before the
-                        // panic; only the error needs charging here.
+                        // panic; only the error needs charging here —
+                        // plus the command histogram observation the
+                        // unwind skipped.
                         server.panics.fetch_add(1, Ordering::Relaxed);
                         server.errors.fetch_add(1, Ordering::Relaxed);
+                        if let Some(obs) = self.service.obs() {
+                            obs.record_command(cmd, served);
+                            obs.recorder().push(
+                                job.trace_id,
+                                "error",
+                                cmd,
+                                session,
+                                "panic",
+                                &incident,
+                                served.as_micros() as u64,
+                            );
+                        }
                         eprintln!(
                             "fedex-serve: worker caught a panic serving {:?} (incident {incident})",
                             job.req.get("cmd").and_then(Json::as_str).unwrap_or("?"),
@@ -739,9 +919,11 @@ impl Scheduler {
 }
 
 /// The coalescing key of an explain: every field that shapes the
-/// response, plus the session's catalog generation (so explains across a
-/// re-register never share a run) and the degrade decision (a sampled
-/// run must never stand in for a full one).
+/// response — including `trace`, since a traced response carries a span
+/// object an untraced client never asked for — plus the session's
+/// catalog generation (so explains across a re-register never share a
+/// run) and the degrade decision (a sampled run must never stand in for
+/// a full one).
 fn explain_signature(req: &Json, session: &str, generation: u64, degraded: bool) -> String {
     let field = |k: &str| {
         req.get(k)
@@ -749,11 +931,12 @@ fn explain_signature(req: &Json, session: &str, generation: u64, degraded: bool)
             .unwrap_or_else(|| "~".to_string())
     };
     format!(
-        "{session}\u{1}{generation}\u{1}{}\u{1}{}\u{1}{}\u{1}{}\u{1}{}",
+        "{session}\u{1}{generation}\u{1}{}\u{1}{}\u{1}{}\u{1}{}\u{1}{}\u{1}{}",
         field("sql"),
         field("save_as"),
         field("top"),
         field("width"),
+        field("trace"),
         u8::from(degraded),
     )
 }
@@ -814,6 +997,51 @@ mod tests {
             explain_signature(&base, "s", 0, true),
             "a degraded run never stands in for a full one"
         );
+        let traced = json::parse(r#"{"cmd":"explain","sql":"SELECT 1","trace":true}"#).unwrap();
+        assert_ne!(
+            explain_signature(&base, "s", 0, false),
+            explain_signature(&traced, "s", 0, false),
+            "a traced response must never be shared with an untraced client"
+        );
+    }
+
+    #[test]
+    fn snapshots_never_tear_under_concurrent_updates() {
+        // Writers increment the cause (`admitted_*`) strictly before the
+        // effect (`completed`); a coherent snapshot must therefore never
+        // show `completed > admitted_control + admitted_heavy`, no matter
+        // when it lands relative to the writers.
+        let m = Arc::new(SchedMetrics::default());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..2)
+            .map(|i| {
+                let m = m.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        if i == 0 {
+                            m.admitted_control.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            m.admitted_heavy.fetch_add(1, Ordering::Relaxed);
+                        }
+                        m.completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..20_000 {
+            let s = m.snapshot();
+            assert!(
+                s.completed <= s.admitted_control + s.admitted_heavy,
+                "torn snapshot: completed {} > admitted {}",
+                s.completed,
+                s.admitted_control + s.admitted_heavy
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
     }
 
     #[test]

@@ -420,9 +420,12 @@ fn http_request_line(line: &str) -> Option<(String, String)> {
 }
 
 /// Minimal HTTP/1.1: headers, optional Content-Length body, one response,
-/// close. `POST /api` and `GET /metrics` go through the admission
-/// scheduler like NDJSON requests; `GET /healthz` bypasses it so a
-/// liveness probe answers even when the queues are saturated.
+/// close. `POST /api` and `GET /metrics` (JSON form) go through the
+/// admission scheduler like NDJSON requests; `GET /healthz`,
+/// `GET /debug/requests`, and the Prometheus form of `GET /metrics`
+/// (selected by an `Accept` header containing `text/plain`) bypass it —
+/// monitoring and post-incident debugging must answer even when the
+/// queues are saturated.
 fn serve_http(
     mut reader: BufReader<TcpStream>,
     mut writer: TcpStream,
@@ -436,6 +439,7 @@ fn serve_http(
         .get_ref()
         .set_read_timeout(Some(Duration::from_secs(10)))?;
     let mut content_length = 0usize;
+    let mut accept = String::new();
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -448,6 +452,8 @@ fn serve_http(
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().unwrap_or(0);
+            } else if name.eq_ignore_ascii_case("accept") {
+                accept = value.trim().to_ascii_lowercase();
             }
         }
     }
@@ -477,12 +483,38 @@ fn serve_http(
     reader.read_exact(&mut body)?;
     let body = String::from_utf8_lossy(&body);
 
-    let (status, payload) = match (method.as_str(), path.as_str()) {
-        ("POST", "/api") => ("200 OK", scheduler.handle_line(body.trim())),
-        ("GET", "/metrics") => ("200 OK", scheduler.handle_line(r#"{"cmd":"metrics"}"#)),
-        ("GET", "/healthz") => ("200 OK", service.dispatch_line(r#"{"cmd":"ping"}"#)),
+    const JSON_TYPE: &str = "application/json";
+    /// Prometheus text exposition format version 0.0.4.
+    const PROM_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+    let (status, content_type, payload) = match (method.as_str(), path.as_str()) {
+        ("POST", "/api") => ("200 OK", JSON_TYPE, scheduler.handle_line(body.trim())),
+        // Prometheus scrapes are served from the I/O thread directly:
+        // they must work while the queues are full, and a direct scrape
+        // does not bump `requests`, keeping the per-command histogram
+        // counts exactly equal to the request count in serial smokes.
+        ("GET", "/metrics") if accept.contains("text/plain") => {
+            ("200 OK", PROM_TYPE, service.metrics_prometheus())
+        }
+        ("GET", "/metrics") => (
+            "200 OK",
+            JSON_TYPE,
+            scheduler.handle_line(r#"{"cmd":"metrics"}"#),
+        ),
+        ("GET", "/healthz") => (
+            "200 OK",
+            JSON_TYPE,
+            service.dispatch_line(r#"{"cmd":"ping"}"#),
+        ),
+        // The flight-recorder dump answers even under overload — it
+        // exists to debug exactly those episodes.
+        ("GET", "/debug/requests") => (
+            "200 OK",
+            JSON_TYPE,
+            service.dispatch_line(r#"{"cmd":"debug_dump"}"#),
+        ),
         _ => (
             "404 Not Found",
+            JSON_TYPE,
             json::obj([
                 ("ok", Json::Bool(false)),
                 ("code", json::s("bad_request")),
@@ -493,7 +525,7 @@ fn serve_http(
     };
     let sent = write!(
         writer,
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
         payload.len(),
     )
     .and_then(|()| writer.flush());

@@ -9,10 +9,11 @@
 //! | `ping`          | —                                                   |
 //! | `register`      | `session`, `table`, `columns` (inline data)         |
 //! | `register_demo` | `session`, `table?`, `rows?`, `seed?`               |
-//! | `explain`       | `session`, `sql`, `save_as?`, `top?`, `width?`      |
+//! | `explain`       | `session`, `sql`, `save_as?`, `top?`, `width?`, `trace?` |
 //! | `history`       | `session`                                           |
 //! | `sessions`      | —                                                   |
 //! | `metrics`       | —                                                   |
+//! | `debug_dump`    | `incident?`, `trace_id?`, `limit?`                  |
 //! | `shutdown`      | —                                                   |
 //!
 //! Responses always carry `"ok"`; failures are
@@ -27,11 +28,13 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+use std::time::Instant;
 
 use fedex_core::{
     sampling_error_bound, to_json_array, CancelToken, ExplainError, SessionManager, StageReport,
 };
 use fedex_frame::{Column, DataFrame};
+use fedex_obs::{parse_trace_id, trace_id_str, HistSnapshot, Obs, PromWriter};
 
 use crate::fault::FaultPlan;
 use crate::json::{self, n, obj, s, Json};
@@ -69,34 +72,78 @@ pub struct ServerMetrics {
     pub disconnects: AtomicU64,
 }
 
+/// One coherent reading of [`ServerMetrics`], used by the JSON `metrics`
+/// command, the Prometheus exposition, and the chaos harness alike.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerSnapshot {
+    /// Requests dispatched (all commands).
+    pub requests: u64,
+    /// Requests answered with `ok:false`.
+    pub errors: u64,
+    /// `explain` requests served.
+    pub explains: u64,
+    /// Tables registered.
+    pub registers: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Isolated panics.
+    pub panics: u64,
+    /// Degraded explains.
+    pub degraded: u64,
+    /// `deadline_exceeded` responses.
+    pub deadline_exceeded: u64,
+    /// `cancelled` responses.
+    pub cancelled: u64,
+    /// Failed/timed-out response writes.
+    pub disconnects: u64,
+}
+
 impl ServerMetrics {
+    /// Read every counter into one coherent snapshot. The counters are
+    /// monotonic and every "effect" counter is incremented *after* its
+    /// "cause" (an error is counted after its request, an explain after
+    /// its request, a panic before its error), so loading effects first
+    /// — with `SeqCst` to pin the load order — guarantees the snapshot
+    /// never shows `errors > requests` or `explains > requests`, which
+    /// the previous per-field `to_json` reads could.
+    pub fn snapshot(&self) -> ServerSnapshot {
+        let degraded = self.degraded.load(Ordering::SeqCst);
+        let panics = self.panics.load(Ordering::SeqCst);
+        let deadline_exceeded = self.deadline_exceeded.load(Ordering::SeqCst);
+        let cancelled = self.cancelled.load(Ordering::SeqCst);
+        let disconnects = self.disconnects.load(Ordering::SeqCst);
+        let registers = self.registers.load(Ordering::SeqCst);
+        let explains = self.explains.load(Ordering::SeqCst);
+        let errors = self.errors.load(Ordering::SeqCst);
+        let requests = self.requests.load(Ordering::SeqCst);
+        let connections = self.connections.load(Ordering::SeqCst);
+        ServerSnapshot {
+            requests,
+            errors,
+            explains,
+            registers,
+            connections,
+            panics,
+            degraded,
+            deadline_exceeded,
+            cancelled,
+            disconnects,
+        }
+    }
+
     fn to_json(&self) -> Json {
+        let m = self.snapshot();
         obj([
-            ("requests", n(self.requests.load(Ordering::Relaxed) as f64)),
-            ("errors", n(self.errors.load(Ordering::Relaxed) as f64)),
-            ("explains", n(self.explains.load(Ordering::Relaxed) as f64)),
-            (
-                "registers",
-                n(self.registers.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "connections",
-                n(self.connections.load(Ordering::Relaxed) as f64),
-            ),
-            ("panics", n(self.panics.load(Ordering::Relaxed) as f64)),
-            ("degraded", n(self.degraded.load(Ordering::Relaxed) as f64)),
-            (
-                "deadline_exceeded",
-                n(self.deadline_exceeded.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "cancelled",
-                n(self.cancelled.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "disconnects",
-                n(self.disconnects.load(Ordering::Relaxed) as f64),
-            ),
+            ("requests", n(m.requests as f64)),
+            ("errors", n(m.errors as f64)),
+            ("explains", n(m.explains as f64)),
+            ("registers", n(m.registers as f64)),
+            ("connections", n(m.connections as f64)),
+            ("panics", n(m.panics as f64)),
+            ("degraded", n(m.degraded as f64)),
+            ("deadline_exceeded", n(m.deadline_exceeded as f64)),
+            ("cancelled", n(m.cancelled as f64)),
+            ("disconnects", n(m.disconnects as f64)),
         ])
     }
 }
@@ -111,10 +158,19 @@ pub struct JobContext {
     /// Cooperative cancellation handle (deadline and/or abandoned-run
     /// flag) checked by the pipeline at work-unit boundaries.
     pub cancel: Option<CancelToken>,
+    /// Request trace id minted at admission (`None` for direct
+    /// dispatches, which mint their own lazily).
+    pub trace_id: Option<u64>,
+    /// Microseconds the job waited in its admission queue before a
+    /// worker picked it up.
+    pub queue_wait_micros: Option<u64>,
+    /// Clients attached to the job at dispatch (submitter + coalesced
+    /// followers); `> 1` marks the run as coalesced in traces.
+    pub waiters: usize,
 }
 
 /// The shared request handler: a [`SessionManager`] plus server state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ExplainService {
     manager: SessionManager,
     metrics: ServerMetrics,
@@ -127,6 +183,19 @@ pub struct ExplainService {
     /// microseconds — the scheduler's estimate for "is this deadline
     /// budget plausibly enough for a full run?".
     est_explain_micros: AtomicU64,
+    /// Latency histograms, tracing, and the flight recorder. On by
+    /// default; `None` only under `--no-obs` (overhead measurement).
+    obs: Option<Arc<Obs>>,
+    /// Slow-explain log threshold in milliseconds (0 = off): explains
+    /// slower than this print their trace id + stage breakdown to
+    /// stderr.
+    slow_explain_ms: AtomicU64,
+}
+
+impl Default for ExplainService {
+    fn default() -> Self {
+        ExplainService::new(SessionManager::default())
+    }
 }
 
 /// Cumulative artifact-cache snapshot as a JSON object.
@@ -149,7 +218,7 @@ fn trace_json(trace: &[StageReport]) -> Json {
         trace
             .iter()
             .map(|r| {
-                obj([
+                let mut fields = vec![
                     ("stage", s(r.stage)),
                     ("micros", n(r.elapsed.as_micros() as f64)),
                     ("items", n(r.items as f64)),
@@ -164,10 +233,91 @@ fn trace_json(trace: &[StageReport]) -> Json {
                                 .collect(),
                         ),
                     ),
-                ])
+                ];
+                if !r.artifacts.is_empty() {
+                    // Cache consultations of the stage: which artifacts
+                    // (input frames, kernel caches) were warm.
+                    fields.push((
+                        "cache",
+                        Json::Arr(
+                            r.artifacts
+                                .iter()
+                                .map(|(artifact, hit)| {
+                                    obj([
+                                        ("artifact", s(artifact.clone())),
+                                        ("hit", Json::Bool(*hit)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+                obj(fields)
             })
             .collect(),
     )
+}
+
+/// Percentile summary of one histogram snapshot (microsecond units).
+fn hist_json(snap: &HistSnapshot) -> Json {
+    obj([
+        ("count", n(snap.count as f64)),
+        ("p50_us", n(snap.p50() as f64)),
+        ("p90_us", n(snap.p90() as f64)),
+        ("p99_us", n(snap.p99() as f64)),
+        ("max_us", n(snap.max as f64)),
+        ("sum_us", n(snap.sum as f64)),
+    ])
+}
+
+/// The `"latency"` object of the `metrics` command: per-command,
+/// per-queue, and per-stage percentile summaries (non-empty series
+/// only).
+fn latency_json(obs: &Obs) -> Json {
+    let series = |snaps: Vec<(&'static str, HistSnapshot)>| {
+        Json::Obj(
+            snaps
+                .into_iter()
+                .filter(|(_, snap)| snap.count > 0)
+                .map(|(name, snap)| (name.to_string(), hist_json(&snap)))
+                .collect(),
+        )
+    };
+    obj([
+        ("commands", series(obs.command_snapshots())),
+        ("admission_wait", series(obs.admission_wait_snapshots())),
+        ("service_time", series(obs.service_time_snapshots())),
+        ("stages", series(obs.stage_snapshots())),
+    ])
+}
+
+/// One flight-recorder event as wire JSON.
+fn event_json(ev: &fedex_obs::Event) -> Json {
+    let mut fields = vec![
+        ("seq", n(ev.seq as f64)),
+        ("at_micros", n(ev.at_micros as f64)),
+        (
+            "trace_id",
+            if ev.trace_id == 0 {
+                Json::Null
+            } else {
+                s(trace_id_str(ev.trace_id))
+            },
+        ),
+        ("kind", s(ev.kind)),
+        ("cmd", s(ev.cmd.clone())),
+        ("session", s(ev.session.clone())),
+    ];
+    if !ev.detail.is_empty() {
+        fields.push(("detail", s(ev.detail.clone())));
+    }
+    if !ev.incident.is_empty() {
+        fields.push(("incident", s(ev.incident.clone())));
+    }
+    if ev.micros > 0 {
+        fields.push(("micros", n(ev.micros as f64)));
+    }
+    obj(fields)
 }
 
 /// A typed error response: machine-readable `code` + human `error`.
@@ -253,8 +403,17 @@ fn parse_column(spec: &Json) -> Result<Column, String> {
 }
 
 impl ExplainService {
-    /// A service over an existing manager (shared cache, config).
+    /// A service over an existing manager (shared cache, config), with
+    /// observability on.
     pub fn new(manager: SessionManager) -> Self {
+        ExplainService::with_obs(manager, Some(Arc::new(Obs::new())))
+    }
+
+    /// [`ExplainService::new`] with an explicit observability hub —
+    /// `None` disables histograms, tracing, and the flight recorder
+    /// (used by `serve_bench --no-obs` to measure instrumentation
+    /// overhead).
+    pub fn with_obs(manager: SessionManager, obs: Option<Arc<Obs>>) -> Self {
         ExplainService {
             manager,
             metrics: ServerMetrics::default(),
@@ -262,7 +421,19 @@ impl ExplainService {
             scheduler: OnceLock::new(),
             faults: RwLock::new(None),
             est_explain_micros: AtomicU64::new(0),
+            obs,
+            slow_explain_ms: AtomicU64::new(0),
         }
+    }
+
+    /// The observability hub, if enabled.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
+    }
+
+    /// Set the slow-explain log threshold (milliseconds; 0 disables).
+    pub fn set_slow_explain_ms(&self, ms: u64) {
+        self.slow_explain_ms.store(ms, Ordering::Relaxed);
     }
 
     /// Install (or clear) a fault-injection plan. Chaos harness only.
@@ -322,11 +493,22 @@ impl ExplainService {
 
     /// [`ExplainService::dispatch`] under a scheduler-provided
     /// [`JobContext`] (degradation decision + cancellation token).
+    ///
+    /// Every counted request records exactly one observation in its
+    /// command's latency histogram, so the per-command counts sum to
+    /// `requests` (the invariant CI's `promcheck` asserts). The one
+    /// exception is a panicking dispatch — the scheduler's panic arm
+    /// records the observation the unwind skipped here.
     pub fn dispatch_job(&self, req: &Json, job: &JobContext) -> Json {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
         let response = self.dispatch_inner(req, job);
         if response.get("ok") == Some(&Json::Bool(false)) {
             self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(obs) = &self.obs {
+            let cmd = req.get("cmd").and_then(Json::as_str).unwrap_or("other");
+            obs.record_command(cmd, t0.elapsed());
         }
         response
     }
@@ -339,6 +521,11 @@ impl ExplainService {
             Err(e) => {
                 self.metrics.requests.fetch_add(1, Ordering::Relaxed);
                 self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &self.obs {
+                    // Unparseable lines count as requests, so they must
+                    // also count as an `other` command observation.
+                    obs.record_command("other", std::time::Duration::ZERO);
+                }
                 err("invalid_json", format!("invalid JSON: {e}"))
             }
         };
@@ -377,8 +564,19 @@ impl ExplainService {
                 if let Some(sched) = self.scheduler.get() {
                     fields.push(("scheduler", sched.to_json()));
                 }
+                if let Some(obs) = &self.obs {
+                    fields.push(("latency", latency_json(obs)));
+                    fields.push((
+                        "flight_recorder",
+                        obj([
+                            ("capacity", n(obs.recorder().capacity() as f64)),
+                            ("recorded", n(obs.recorder().recorded() as f64)),
+                        ]),
+                    ));
+                }
                 ok(fields)
             }
+            "debug_dump" => self.debug_dump(req),
             "shutdown" => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 ok(vec![("shutting_down", Json::Bool(true))])
@@ -444,10 +642,21 @@ impl ExplainService {
         let save_as = req.get("save_as").and_then(Json::as_str);
         let width = req.get("width").and_then(Json::as_usize).unwrap_or(44);
         let top = req.get("top").and_then(Json::as_usize);
+        let want_trace = req.get("trace").and_then(Json::as_bool).unwrap_or(false);
         self.metrics.explains.fetch_add(1, Ordering::Relaxed);
         let faults = self.faults();
         let degraded = job.degraded;
         let cancel = job.cancel.clone();
+        // Scheduler-admitted jobs arrive with a trace id minted at
+        // admission; direct dispatches (tests, CLI, inline control
+        // commands) mint one lazily so traced explains always carry a
+        // stable id.
+        let trace_id = job
+            .trace_id
+            .or_else(|| self.obs.as_ref().map(|o| o.mint_trace().id));
+        // Stage breakdown captured out of the summarize closure for the
+        // slow-explain log (printed after the session lock is released).
+        let mut slow_breakdown = String::new();
         // Summarize in place (`run_traced_configured_with`): a
         // SessionEntry owns the full input/output dataframes, which must
         // not be deep-cloned per wire request.
@@ -468,9 +677,29 @@ impl ExplainService {
                 if degraded {
                     config.sample_size = Some(DEGRADE_SAMPLE_SIZE);
                 }
+                config.trace_id = trace_id;
                 config.cancel = cancel;
             },
             |entry, trace| {
+                if let Some(obs) = &self.obs {
+                    for r in trace {
+                        obs.record_stage(r.stage, r.elapsed);
+                        obs.recorder().push(
+                            trace_id.unwrap_or(0),
+                            "stage",
+                            "explain",
+                            session,
+                            r.stage,
+                            "",
+                            r.elapsed.as_micros() as u64,
+                        );
+                    }
+                }
+                slow_breakdown = trace
+                    .iter()
+                    .map(StageReport::describe)
+                    .collect::<Vec<_>>()
+                    .join("; ");
                 // `top` trims the *response* — the ranked prefix is exactly
                 // what `top_k_explanations` would have kept; history stays
                 // complete.
@@ -504,6 +733,25 @@ impl ExplainService {
                     fields.push(("sample_size", n(DEGRADE_SAMPLE_SIZE as f64)));
                     fields.push(("error_bound", n(sampling_error_bound(DEGRADE_SAMPLE_SIZE))));
                 }
+                if want_trace {
+                    // `total_micros` is the sum of the per-stage spans by
+                    // construction, so clients can check that the spans
+                    // account for the whole pipeline wall time.
+                    fields.push((
+                        "trace",
+                        obj([
+                            ("id", trace_id.map_or(Json::Null, |id| s(trace_id_str(id)))),
+                            ("total_micros", n(total_micros as f64)),
+                            (
+                                "queue_micros",
+                                job.queue_wait_micros.map_or(Json::Null, |q| n(q as f64)),
+                            ),
+                            ("degraded", Json::Bool(degraded)),
+                            ("coalesced", Json::Bool(job.waiters > 1)),
+                            ("spans", trace_json(trace)),
+                        ]),
+                    ));
+                }
                 (ok(fields), total_micros)
             },
         );
@@ -516,6 +764,14 @@ impl ExplainService {
                     // scheduler uses for deadline-driven degradation.
                     self.est_explain_micros
                         .store(total_micros, Ordering::Relaxed);
+                }
+                let slow_ms = self.slow_explain_ms.load(Ordering::Relaxed);
+                if slow_ms > 0 && total_micros >= slow_ms.saturating_mul(1000) {
+                    let id = trace_id.map_or_else(|| "-".to_string(), trace_id_str);
+                    eprintln!(
+                        "[slow-explain] {id} session={session} {}ms: {slow_breakdown}",
+                        total_micros / 1000
+                    );
                 }
                 // The cache snapshot is taken after the run, outside the
                 // session lock.
@@ -538,6 +794,303 @@ impl ExplainService {
             }
             Err(e) => err("explain_failed", format!("explain failed: {e}")),
         }
+    }
+
+    /// The `debug_dump` command: the flight-recorder ring, optionally
+    /// narrowed to one incident's or one trace's timeline, trimmed to the
+    /// most recent `limit` events.
+    fn debug_dump(&self, req: &Json) -> Json {
+        let Some(obs) = &self.obs else {
+            return ok(vec![
+                ("enabled", Json::Bool(false)),
+                ("events", Json::Arr(Vec::new())),
+            ]);
+        };
+        let rec = obs.recorder();
+        let events = if let Some(incident) = req.get("incident").and_then(Json::as_str) {
+            rec.events_for_incident(incident)
+        } else if let Some(t) = req.get("trace_id").and_then(Json::as_str) {
+            match parse_trace_id(t) {
+                Some(id) => rec.events_for_trace(id),
+                None => {
+                    return err(
+                        "bad_request",
+                        format!("bad trace_id {t:?} (want t-<16 hex digits>)"),
+                    )
+                }
+            }
+        } else {
+            rec.dump()
+        };
+        let limit = req
+            .get("limit")
+            .and_then(Json::as_usize)
+            .unwrap_or(usize::MAX);
+        let skip = events.len().saturating_sub(limit);
+        ok(vec![
+            ("enabled", Json::Bool(true)),
+            ("capacity", n(rec.capacity() as f64)),
+            ("recorded", n(rec.recorded() as f64)),
+            (
+                "events",
+                Json::Arr(events[skip..].iter().map(event_json).collect()),
+            ),
+        ])
+    }
+
+    /// The Prometheus text exposition served by `GET /metrics` when the
+    /// client's `Accept` header asks for `text/plain`. Built from the
+    /// same coherent snapshots as the JSON `metrics` command, so the two
+    /// views never disagree on the conservation invariants.
+    pub fn metrics_prometheus(&self) -> String {
+        let mut w = PromWriter::new();
+        let counter = |w: &mut PromWriter, name: &str, help: &str, v: u64| {
+            w.header(name, "counter", help);
+            w.sample(name, &[], v as f64);
+        };
+        let gauge = |w: &mut PromWriter, name: &str, help: &str, v: u64| {
+            w.header(name, "gauge", help);
+            w.sample(name, &[], v as f64);
+        };
+
+        let m = self.metrics.snapshot();
+        counter(
+            &mut w,
+            "fedex_requests_total",
+            "Requests dispatched (all commands).",
+            m.requests,
+        );
+        counter(
+            &mut w,
+            "fedex_errors_total",
+            "Requests answered with ok:false.",
+            m.errors,
+        );
+        counter(
+            &mut w,
+            "fedex_explains_total",
+            "explain requests served.",
+            m.explains,
+        );
+        counter(
+            &mut w,
+            "fedex_registers_total",
+            "Tables registered.",
+            m.registers,
+        );
+        counter(
+            &mut w,
+            "fedex_connections_total",
+            "Connections accepted.",
+            m.connections,
+        );
+        counter(
+            &mut w,
+            "fedex_panics_total",
+            "Explains that panicked and were isolated.",
+            m.panics,
+        );
+        counter(
+            &mut w,
+            "fedex_degraded_explains_total",
+            "Explains served on the degraded sampling path.",
+            m.degraded,
+        );
+        counter(
+            &mut w,
+            "fedex_deadline_exceeded_total",
+            "deadline_exceeded responses produced.",
+            m.deadline_exceeded,
+        );
+        counter(
+            &mut w,
+            "fedex_cancelled_total",
+            "cancelled responses produced.",
+            m.cancelled,
+        );
+        counter(
+            &mut w,
+            "fedex_disconnects_total",
+            "Response writes that failed or timed out.",
+            m.disconnects,
+        );
+
+        let c = self.manager.cache().metrics();
+        counter(
+            &mut w,
+            "fedex_cache_hits_total",
+            "Artifact-cache hits.",
+            c.hits,
+        );
+        counter(
+            &mut w,
+            "fedex_cache_misses_total",
+            "Artifact-cache misses.",
+            c.misses,
+        );
+        counter(
+            &mut w,
+            "fedex_cache_evictions_total",
+            "Artifact-cache evictions.",
+            c.evictions,
+        );
+        counter(
+            &mut w,
+            "fedex_cache_rejected_total",
+            "Artifact-cache inserts rejected by the admission policy.",
+            c.rejected,
+        );
+        gauge(
+            &mut w,
+            "fedex_cache_entries",
+            "Artifact-cache entries resident.",
+            c.entries as u64,
+        );
+        gauge(
+            &mut w,
+            "fedex_cache_bytes",
+            "Artifact-cache bytes resident.",
+            c.bytes as u64,
+        );
+        gauge(
+            &mut w,
+            "fedex_cache_budget_bytes",
+            "Artifact-cache byte budget.",
+            c.budget as u64,
+        );
+
+        if let Some(sched) = self.scheduler.get() {
+            let sc = sched.snapshot();
+            w.header(
+                "fedex_sched_admitted_total",
+                "counter",
+                "Requests admitted, by queue class.",
+            );
+            w.sample(
+                "fedex_sched_admitted_total",
+                &[("class", "control")],
+                sc.admitted_control as f64,
+            );
+            w.sample(
+                "fedex_sched_admitted_total",
+                &[("class", "heavy")],
+                sc.admitted_heavy as f64,
+            );
+            w.header(
+                "fedex_sched_rejected_total",
+                "counter",
+                "Requests rejected at admission, by reason.",
+            );
+            w.sample(
+                "fedex_sched_rejected_total",
+                &[("reason", "overloaded")],
+                sc.rejected_overloaded as f64,
+            );
+            w.sample(
+                "fedex_sched_rejected_total",
+                &[("reason", "quota")],
+                sc.rejected_quota as f64,
+            );
+            counter(
+                &mut w,
+                "fedex_sched_coalesced_total",
+                "Explains that attached to an identical in-flight job.",
+                sc.coalesced,
+            );
+            counter(
+                &mut w,
+                "fedex_sched_completed_total",
+                "Jobs fully served.",
+                sc.completed,
+            );
+            counter(
+                &mut w,
+                "fedex_sched_degraded_total",
+                "Explains admitted on the degraded path.",
+                sc.degraded,
+            );
+            counter(
+                &mut w,
+                "fedex_sched_expired_total",
+                "Jobs expired before dispatch.",
+                sc.expired,
+            );
+            counter(
+                &mut w,
+                "fedex_sched_detached_total",
+                "Waiters that left before their job's response.",
+                sc.detached,
+            );
+            w.header(
+                "fedex_sched_queued",
+                "gauge",
+                "Jobs queued right now, by class.",
+            );
+            w.sample(
+                "fedex_sched_queued",
+                &[("class", "control")],
+                sc.queued_control_now as f64,
+            );
+            w.sample(
+                "fedex_sched_queued",
+                &[("class", "heavy")],
+                sc.queued_heavy_now as f64,
+            );
+            gauge(
+                &mut w,
+                "fedex_sched_running_heavy",
+                "Heavy jobs running right now.",
+                sc.running_heavy_now,
+            );
+        }
+
+        if let Some(obs) = &self.obs {
+            w.header(
+                "fedex_request_duration_seconds",
+                "histogram",
+                "End-to-end handling time per wire command.",
+            );
+            for (name, snap) in obs.command_snapshots() {
+                w.histogram("fedex_request_duration_seconds", &[("cmd", name)], &snap);
+            }
+            w.header(
+                "fedex_admission_wait_seconds",
+                "histogram",
+                "Queue wait before dispatch, per class.",
+            );
+            for (name, snap) in obs.admission_wait_snapshots() {
+                w.histogram("fedex_admission_wait_seconds", &[("class", name)], &snap);
+            }
+            w.header(
+                "fedex_service_time_seconds",
+                "histogram",
+                "Execution time after dispatch, per class.",
+            );
+            for (name, snap) in obs.service_time_snapshots() {
+                w.histogram("fedex_service_time_seconds", &[("class", name)], &snap);
+            }
+            w.header(
+                "fedex_stage_duration_seconds",
+                "histogram",
+                "Pipeline stage wall time, per stage.",
+            );
+            for (name, snap) in obs.stage_snapshots() {
+                w.histogram("fedex_stage_duration_seconds", &[("stage", name)], &snap);
+            }
+            counter(
+                &mut w,
+                "fedex_flight_recorder_events_total",
+                "Flight-recorder events ever recorded.",
+                obs.recorder().recorded(),
+            );
+            gauge(
+                &mut w,
+                "fedex_flight_recorder_capacity",
+                "Flight-recorder ring capacity.",
+                obs.recorder().capacity() as u64,
+            );
+        }
+        w.finish()
     }
 
     fn history(&self, session: &str) -> Json {

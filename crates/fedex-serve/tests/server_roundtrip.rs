@@ -237,6 +237,175 @@ fn connection_cap_refuses_with_typed_error() {
 }
 
 #[test]
+fn traced_explain_reports_spans_and_resolves_in_the_flight_recorder() {
+    let handle = boot(2);
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+    let r = client
+        .request(&req(&format!(
+            r#"{{"cmd":"register_demo","session":"t","rows":{ROWS},"seed":{SEED}}}"#
+        )))
+        .unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+
+    let traced = req(&format!(
+        r#"{{"cmd":"explain","session":"t","sql":"{SQL}","trace":true}}"#
+    ));
+    let t0 = std::time::Instant::now();
+    let cold = client.request(&traced).unwrap();
+    let wall_micros = t0.elapsed().as_micros() as f64;
+    assert_eq!(cold.get("ok"), Some(&Json::Bool(true)), "{cold:?}");
+
+    let trace = cold.get("trace").expect("traced explain carries a trace");
+    let id = trace.get("id").and_then(Json::as_str).unwrap().to_string();
+    assert!(
+        id.strip_prefix("t-")
+            .is_some_and(|hex| { hex.len() == 16 && hex.chars().all(|c| c.is_ascii_hexdigit()) }),
+        "trace id {id:?} should be t-<16 hex digits>"
+    );
+    let spans = trace.get("spans").and_then(Json::as_arr).unwrap();
+    assert_eq!(spans.len(), 5, "one span per pipeline stage: {spans:?}");
+    let span_sum: f64 = spans
+        .iter()
+        .map(|s| s.get("micros").and_then(Json::as_f64).unwrap())
+        .sum();
+    let total = trace.get("total_micros").and_then(Json::as_f64).unwrap();
+    assert_eq!(total, span_sum, "spans must account for the whole pipeline");
+    assert!(
+        total <= wall_micros,
+        "pipeline {total}µs cannot exceed client wall {wall_micros}µs"
+    );
+
+    // A warm traced run gets a *fresh* id and shows its cache hits in
+    // the span-level cache consultations.
+    let warm = client.request(&traced).unwrap();
+    let warm_trace = warm.get("trace").unwrap();
+    let warm_id = warm_trace.get("id").and_then(Json::as_str).unwrap();
+    assert_ne!(warm_id, id, "every request gets its own trace id");
+    let warm_hit = warm_trace
+        .get("spans")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|s| s.get("cache").and_then(Json::as_arr))
+        .flatten()
+        .any(|c| c.get("hit") == Some(&Json::Bool(true)));
+    assert!(
+        warm_hit,
+        "warm run shows no cache hit in its spans: {warm:?}"
+    );
+
+    // Untraced requests stay untraced — no "trace" key in the response.
+    let plain = client
+        .request(&req(&format!(
+            r#"{{"cmd":"explain","session":"t","sql":"{SQL}"}}"#
+        )))
+        .unwrap();
+    assert!(plain.get("trace").is_none(), "{plain:?}");
+
+    // The flight recorder replays the cold request's timeline by id:
+    // per-stage events plus the scheduler's dispatch/finish bracketing.
+    let dump = client
+        .request(&req(&format!(
+            r#"{{"cmd":"debug_dump","trace_id":"{id}"}}"#
+        )))
+        .unwrap();
+    assert_eq!(dump.get("ok"), Some(&Json::Bool(true)), "{dump:?}");
+    let events = dump.get("events").and_then(Json::as_arr).unwrap();
+    assert!(!events.is_empty(), "no events for trace {id}");
+    let kinds: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("kind").and_then(Json::as_str))
+        .collect();
+    assert!(kinds.contains(&"stage"), "{kinds:?}");
+    assert!(kinds.contains(&"finish"), "{kinds:?}");
+    for e in events {
+        assert_eq!(e.get("trace_id").and_then(Json::as_str), Some(id.as_str()));
+    }
+
+    handle.stop().unwrap();
+}
+
+#[test]
+fn prometheus_scrape_is_valid_and_counts_every_request() {
+    let handle = boot(2);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let r = client
+        .request(&req(&format!(
+            r#"{{"cmd":"register_demo","session":"p","rows":{ROWS},"seed":{SEED}}}"#
+        )))
+        .unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+    let r = client
+        .request(&req(&format!(
+            r#"{{"cmd":"explain","session":"p","sql":"{SQL}"}}"#
+        )))
+        .unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+    let r = client.request(&req(r#"{"cmd":"ping"}"#)).unwrap();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+
+    // Without the text/plain Accept, /metrics stays JSON (curl users and
+    // the pre-PR 9 smoke keep working).
+    let (status, body) = Client::http_get(&addr, "/metrics", "application/json").unwrap();
+    assert!(status.contains("200"), "{status}");
+    assert!(body.trim_start().starts_with('{'), "{body}");
+    assert!(body.contains(r#""cache""#), "{body}");
+
+    // The Prometheus scrape parses under the strict validator: TYPE
+    // before samples, monotonic cumulative buckets, +Inf == _count.
+    let (status, text) = Client::http_get(&addr, "/metrics", "text/plain").unwrap();
+    assert!(status.contains("200"), "{status}");
+    let exp = fedex_obs::validate_exposition(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    for family in [
+        "fedex_request_duration_seconds",
+        "fedex_admission_wait_seconds",
+        "fedex_service_time_seconds",
+        "fedex_stage_duration_seconds",
+    ] {
+        assert_eq!(
+            exp.types.get(family).map(String::as_str),
+            Some("histogram"),
+            "{family} missing or mistyped"
+        );
+    }
+    // Every wire command exposes a series, and the per-command counts
+    // sum to exactly the request counter — nothing escapes the
+    // histograms (the direct scrape itself bumps no counters).
+    let requests = exp.sum("fedex_requests_total").unwrap();
+    let mut hist_total = 0.0;
+    for cmd in fedex_obs::WIRE_COMMANDS {
+        hist_total += exp
+            .value_with("fedex_request_duration_seconds_count", "cmd", cmd)
+            .unwrap_or_else(|| panic!("no series for cmd={cmd:?}"));
+    }
+    assert_eq!(hist_total, requests, "\n{text}");
+    // The one explain above drove every pipeline stage through its
+    // stage histogram.
+    for stage in fedex_obs::STAGES {
+        let count = exp
+            .value_with("fedex_stage_duration_seconds_count", "stage", stage)
+            .unwrap_or_else(|| panic!("no series for stage={stage:?}"));
+        assert!(count >= 1.0, "stage {stage} never observed");
+    }
+
+    // The flight-recorder HTTP endpoint serves the same dump as the
+    // debug_dump command.
+    let (status, body) = Client::http_get(&addr, "/debug/requests", "application/json").unwrap();
+    assert!(status.contains("200"), "{status}");
+    let dump = json::parse(&body).unwrap();
+    assert_eq!(dump.get("ok"), Some(&Json::Bool(true)), "{body}");
+    assert!(
+        dump.get("events")
+            .and_then(Json::as_arr)
+            .is_some_and(|e| !e.is_empty()),
+        "{body}"
+    );
+
+    handle.stop().unwrap();
+}
+
+#[test]
 fn malformed_lines_do_not_kill_the_connection() {
     let handle = boot(1);
     let mut client = Client::connect(&handle.addr().to_string()).unwrap();
