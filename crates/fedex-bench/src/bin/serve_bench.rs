@@ -51,10 +51,11 @@
 //!
 //! Prints one JSON object to stdout; human-readable progress to stderr.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use fedex_bench::driver::{metric, Tally};
 use fedex_core::{render_all, ArtifactCache, ExecutionMode, Fedex, Session, SessionManager};
 use fedex_serve::{
     json, Client, DegradeMode, ExplainService, FaultPlan, Json, Server, ServerConfig,
@@ -544,81 +545,10 @@ fn main() {
 // ---------------------------------------------------------------------
 // Chaos mode (`--chaos`): seeded fault injection + liveness invariants.
 // ---------------------------------------------------------------------
-
-/// Shared outcome counters across all chaos traffic threads.
-#[derive(Default)]
-struct Tally {
-    attempts: AtomicU64,
-    ok: AtomicU64,
-    ok_degraded: AtomicU64,
-    untyped_errors: AtomicU64,
-    torn_lines: AtomicU64,
-    io_errors: AtomicU64,
-    typed_errors: std::sync::Mutex<std::collections::HashMap<String, u64>>,
-    /// Incident ids out of `internal_error` responses — each must
-    /// resolve to a flight-recorder timeline after the run.
-    incidents: std::sync::Mutex<Vec<String>>,
-}
-
-impl Tally {
-    /// One full connect → request → classify cycle. Every outcome lands
-    /// in exactly one bucket, so the buckets sum to `attempts`.
-    fn one_request(&self, addr: &str, line: &str) {
-        self.attempts.fetch_add(1, Ordering::Relaxed);
-        // Fresh connection per request: injected disconnects kill the old
-        // one anyway, and reconnecting is what a resilient client does.
-        let outcome = Client::connect(addr).and_then(|mut c| c.request_raw(line));
-        match outcome {
-            Err(_) => {
-                self.io_errors.fetch_add(1, Ordering::Relaxed);
-            }
-            Ok(raw) => match json::parse(&raw) {
-                Err(_) => {
-                    self.torn_lines.fetch_add(1, Ordering::Relaxed);
-                }
-                Ok(resp) => {
-                    if resp.get("ok") == Some(&Json::Bool(true)) {
-                        self.ok.fetch_add(1, Ordering::Relaxed);
-                        if resp.get("degraded") == Some(&Json::Bool(true)) {
-                            self.ok_degraded.fetch_add(1, Ordering::Relaxed);
-                        }
-                    } else {
-                        match resp.get("code").and_then(Json::as_str) {
-                            Some(code) => {
-                                if code == "internal_error" {
-                                    if let Some(inc) = resp.get("incident").and_then(Json::as_str) {
-                                        self.incidents.lock().unwrap().push(inc.to_string());
-                                    }
-                                }
-                                *self
-                                    .typed_errors
-                                    .lock()
-                                    .unwrap()
-                                    .entry(code.to_string())
-                                    .or_insert(0) += 1;
-                            }
-                            None => {
-                                self.untyped_errors.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                    }
-                }
-            },
-        }
-    }
-}
-
-/// A counter out of a `metrics` response, top-level or `scheduler.*`.
-fn metric(m: &Json, path: &[&str]) -> f64 {
-    let mut cur = m;
-    for key in path {
-        cur = cur
-            .get(key)
-            .unwrap_or_else(|| panic!("metrics response lacks {}: {m:?}", path.join(".")));
-    }
-    cur.as_f64()
-        .unwrap_or_else(|| panic!("{} is not a number", path.join(".")))
-}
+//
+// Outcome classification (Tally) and the `metric` reader are the shared
+// client-simulation core in `fedex_bench::driver` — the same code the
+// workload-trace replayer scores with.
 
 /// Run the fault-injection harness and exit nonzero on any liveness
 /// violation. See the module docs for the invariants.
@@ -735,7 +665,7 @@ fn chaos_run(rows: usize, secs: u64, seed: u64) {
                         r#"{{"cmd":"explain","session":"chaos","sql":"SELECT * FROM spotify WHERE popularity > {}"}}"#,
                         cutoffs[i % cutoffs.len()]
                     );
-                    tally.one_request(&addr, &line);
+                    let _ = tally.one_request(&addr, &line);
                     i += 1;
                     // A beat between requests: real clients think between
                     // explains. A zero-sleep loop is a reject-rate
@@ -753,7 +683,7 @@ fn chaos_run(rows: usize, secs: u64, seed: u64) {
             scope.spawn(move || {
                 while !stop.load(Ordering::SeqCst) {
                     let line = r#"{"cmd":"explain","session":"chaos","sql":"SELECT * FROM spotify WHERE popularity > 80","deadline_ms":40}"#;
-                    tally.one_request(&addr, line);
+                    let _ = tally.one_request(&addr, line);
                     // Expired jobs sit in the queue until a worker skips
                     // them; pace the submissions so they don't crowd the
                     // overflow band the flood relies on.

@@ -21,9 +21,11 @@
 //! substitution rationale.
 
 pub mod accuracy;
+pub mod driver;
 pub mod quality;
 pub mod runtime;
 pub mod sets;
 pub mod systems;
 pub mod tables;
 pub mod util;
+pub mod workload;

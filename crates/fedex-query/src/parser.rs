@@ -8,6 +8,7 @@
 //! SELECT * FROM t1 INNER JOIN t2 ON t1.a = t2.b;
 //! SELECT * FROM [SELECT * FROM t WHERE ...] WHERE <predicate>;   -- nested step
 //! SELECT mean(x), max(y), count(z), count FROM t [WHERE ...] GROUP BY a, b;
+//! SELECT * FROM t1 UNION SELECT * FROM t2 [UNION SELECT * FROM t3 ...];
 //! ```
 //!
 //! `AVG` is accepted as an alias for `mean`. Keywords are case-insensitive;
@@ -98,6 +99,11 @@ pub struct ParsedQuery {
     pub where_clause: Option<Expr>,
     /// `GROUP BY` key columns (empty when absent).
     pub group_by: Vec<String>,
+    /// Additional `UNION` arms (empty when absent). Each arm is the
+    /// source of a `SELECT * FROM <source>` branch; the step's inputs are
+    /// the primary source followed by every arm, concatenated by
+    /// [`Operation::Union`].
+    pub union_arms: Vec<Source>,
 }
 
 /// An `INNER JOIN ... ON a.x = b.y` clause.
@@ -118,6 +124,24 @@ impl ParsedQuery {
     /// subquery outputs), which is the unit FEDEX explains.
     pub fn to_step(&self, catalog: &Catalog) -> Result<ExploratoryStep> {
         let left_df = resolve_source(&self.from, catalog)?;
+        if !self.union_arms.is_empty() {
+            if !matches!(self.select, SelectList::Star)
+                || self.join.is_some()
+                || self.where_clause.is_some()
+                || !self.group_by.is_empty()
+            {
+                return Err(QueryError::InvalidArgument(
+                    "UNION queries must be SELECT * without JOIN, WHERE, or GROUP BY \
+                     (push predicates into bracketed subqueries)"
+                        .into(),
+                ));
+            }
+            let mut inputs = vec![left_df];
+            for arm in &self.union_arms {
+                inputs.push(resolve_source(arm, catalog)?);
+            }
+            return ExploratoryStep::run(inputs, Operation::Union);
+        }
         if let Some(join) = &self.join {
             if !matches!(self.select, SelectList::Star) || !self.group_by.is_empty() {
                 return Err(QueryError::InvalidArgument(
@@ -450,6 +474,24 @@ impl Parser {
                 }
             }
         }
+        let mut union_arms = Vec::new();
+        while self.keyword_is("UNION") {
+            self.next();
+            if self.keyword_is("ALL") {
+                // The paper's union keeps duplicates (§3.1); `UNION` and
+                // `UNION ALL` are therefore the same operation here.
+                self.next();
+            }
+            self.expect_keyword("SELECT")?;
+            match self.next() {
+                Tok::Star => {}
+                other => {
+                    return Err(self.error(format!("UNION arm must be SELECT *, found {other:?}")))
+                }
+            }
+            self.expect_keyword("FROM")?;
+            union_arms.push(self.parse_source()?);
+        }
         if matches!(self.peek(), Tok::Semicolon) {
             self.next();
         }
@@ -459,6 +501,7 @@ impl Parser {
             join,
             where_clause,
             group_by,
+            union_arms,
         })
     }
 
@@ -821,5 +864,55 @@ mod tests {
         let q = parse_query("SELECT count FROM spotify GROUP BY year, popularity").unwrap();
         let step = q.to_step(&catalog()).unwrap();
         assert_eq!(step.output.n_cols(), 3);
+    }
+
+    #[test]
+    fn parse_union_query() {
+        let q = parse_query("SELECT * FROM spotify UNION SELECT * FROM spotify;").unwrap();
+        assert_eq!(q.union_arms.len(), 1);
+        let step = q.to_step(&catalog()).unwrap();
+        assert_eq!(step.inputs.len(), 2);
+        assert_eq!(step.output.n_rows(), 8);
+        assert_eq!(step.op.kind_name(), "union");
+
+        // UNION ALL is the same operation; three-way unions chain.
+        let q = parse_query(
+            "SELECT * FROM spotify UNION ALL SELECT * FROM spotify UNION SELECT * FROM spotify",
+        )
+        .unwrap();
+        assert_eq!(q.union_arms.len(), 2);
+        assert_eq!(q.to_step(&catalog()).unwrap().output.n_rows(), 12);
+    }
+
+    #[test]
+    fn union_arms_may_be_subqueries() {
+        let q = parse_query(
+            "SELECT * FROM [SELECT * FROM spotify WHERE year > 2000] \
+             UNION SELECT * FROM [SELECT * FROM spotify WHERE year < 1990]",
+        )
+        .unwrap();
+        let step = q.to_step(&catalog()).unwrap();
+        assert_eq!(step.output.n_rows(), 3);
+    }
+
+    #[test]
+    fn union_rejects_predicates_and_aggregates() {
+        for sql in [
+            "SELECT * FROM spotify WHERE year > 2000 UNION SELECT * FROM spotify",
+            "SELECT count FROM spotify GROUP BY year UNION SELECT * FROM spotify",
+            "SELECT * FROM products INNER JOIN sales ON products.item = sales.item \
+             UNION SELECT * FROM spotify",
+        ] {
+            let q = parse_query(sql).unwrap();
+            assert!(q.to_step(&catalog()).is_err(), "{sql}");
+        }
+        // Aggregate arms do not even parse.
+        assert!(parse_query("SELECT * FROM spotify UNION SELECT count FROM spotify").is_err());
+    }
+
+    #[test]
+    fn union_schema_mismatch_is_an_error() {
+        let q = parse_query("SELECT * FROM spotify UNION SELECT * FROM sales").unwrap();
+        assert!(q.to_step(&catalog()).is_err());
     }
 }

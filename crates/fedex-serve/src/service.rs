@@ -8,7 +8,7 @@
 //! |-----------------|-----------------------------------------------------|
 //! | `ping`          | —                                                   |
 //! | `register`      | `session`, `table`, `columns` (inline data)         |
-//! | `register_demo` | `session`, `table?`, `rows?`, `seed?`               |
+//! | `register_demo` | `session`, `dataset?`, `table?`, `rows?`, `seed?`, `product_rows?` |
 //! | `explain`       | `session`, `sql`, `save_as?`, `top?`, `width?`, `trace?` |
 //! | `history`       | `session`                                           |
 //! | `sessions`      | —                                                   |
@@ -607,14 +607,50 @@ impl ExplainService {
     }
 
     fn register_demo(&self, req: &Json, session: &str) -> Json {
-        let table = req.get("table").and_then(Json::as_str).unwrap_or("spotify");
+        let dataset = req
+            .get("dataset")
+            .and_then(Json::as_str)
+            .unwrap_or("spotify");
+        let table = req.get("table").and_then(Json::as_str).unwrap_or(dataset);
         let rows = req
             .get("rows")
             .and_then(Json::as_usize)
             .unwrap_or(10_000)
             .clamp(1, 5_000_000);
         let seed = req.get("seed").and_then(Json::as_usize).unwrap_or(42) as u64;
-        let df = fedex_data::spotify::generate(rows, seed);
+        // Every generator is a pure function of (rows, seed) — the same
+        // request line always registers the same bytes, which is what
+        // makes workload traces compact *and* replayable: a trace ships
+        // generator parameters, not data.
+        let df = match dataset {
+            "spotify" => fedex_data::spotify::generate(rows, seed),
+            "bank" => fedex_data::bank::generate(rows, seed),
+            "products" => fedex_data::products::generate_products(rows, seed),
+            "sales" => {
+                // Sales rows reference product rows; the parent table is
+                // regenerated from (product_rows, seed) so a session can
+                // register "products" and "sales" that join consistently
+                // without shipping either.
+                let product_rows = req
+                    .get("product_rows")
+                    .and_then(Json::as_usize)
+                    .unwrap_or_else(|| (rows / 25).max(50))
+                    .clamp(1, 1_000_000);
+                let products = fedex_data::products::generate_products(product_rows, seed);
+                fedex_data::products::generate_sales(&products, rows, seed)
+            }
+            "counties" => fedex_data::products::generate_counties(seed),
+            "stores" => fedex_data::products::generate_stores(rows, seed),
+            other => {
+                return err(
+                    "bad_request",
+                    format!(
+                        "unknown demo dataset {other:?} \
+                         (want spotify|bank|products|sales|counties|stores)"
+                    ),
+                )
+            }
+        };
         self.finish_register(session, table, df)
     }
 
@@ -1201,6 +1237,30 @@ mod tests {
             Some(1.0)
         );
         assert!(m.get("cache").and_then(|c| c.get("budget")).is_some());
+    }
+
+    #[test]
+    fn register_demo_datasets_join_consistently() {
+        let svc = ExplainService::default();
+        for line in [
+            r#"{"cmd":"register_demo","session":"w","dataset":"products","rows":150,"seed":9}"#,
+            r#"{"cmd":"register_demo","session":"w","dataset":"sales","rows":2000,"product_rows":150,"seed":9}"#,
+            r#"{"cmd":"register_demo","session":"w","dataset":"bank","table":"Bank","rows":400,"seed":9}"#,
+        ] {
+            let r = svc.dispatch(&json::parse(line).unwrap());
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{line}: {r:?}");
+        }
+        // The regenerated parent means the join is non-empty.
+        let r = svc.dispatch(&json::parse(
+            r#"{"cmd":"explain","session":"w","sql":"SELECT * FROM products INNER JOIN sales ON products.item = sales.item"}"#,
+        ).unwrap());
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+        assert!(r.get("n_rows_out").and_then(Json::as_f64).unwrap() > 0.0);
+        // Unknown datasets are a typed refusal, not a panic.
+        let r = svc.dispatch(
+            &json::parse(r#"{"cmd":"register_demo","session":"w","dataset":"wat"}"#).unwrap(),
+        );
+        assert_eq!(r.get("code").and_then(Json::as_str), Some("bad_request"));
     }
 
     #[test]
